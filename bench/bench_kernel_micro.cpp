@@ -1,0 +1,130 @@
+// Google-benchmark microbenchmarks of the filtration core itself: per-pair
+// latency of GateKeeperFiltration across read lengths and error thresholds,
+// the amendment/count primitives, the baselines, and the exact aligners —
+// the numbers behind the throughput tables.
+#include <benchmark/benchmark.h>
+
+#include "align/banded.hpp"
+#include "align/myers.hpp"
+#include "align/needleman_wunsch.hpp"
+#include "encode/encoded.hpp"
+#include "filters/gatekeeper_core.hpp"
+#include "filters/magnet.hpp"
+#include "filters/shouji.hpp"
+#include "filters/sneakysnake.hpp"
+#include "sim/pairgen.hpp"
+
+namespace gkgpu {
+namespace {
+
+struct EncodedPair {
+  Word read[kMaxEncodedWords];
+  Word ref[kMaxEncodedWords];
+};
+
+EncodedPair MakeEncoded(int length, int edits, std::uint64_t seed) {
+  const SequencePair p = MakePairWithEdits(length, edits, 0.3, seed);
+  EncodedPair enc;
+  EncodeSequence(p.read, enc.read);
+  EncodeSequence(p.ref, enc.ref);
+  return enc;
+}
+
+void BM_GateKeeperFiltration(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  const int e = static_cast<int>(state.range(1));
+  const EncodedPair p = MakeEncoded(length, e + 2, 99);
+  GateKeeperParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GateKeeperFiltration(p.read, p.ref, length, e, params));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GateKeeperFiltration)
+    ->ArgsProduct({{100, 150, 250}, {0, 2, 5, 10}});
+
+void BM_GateKeeperFiltrationLut(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  const int e = static_cast<int>(state.range(1));
+  const EncodedPair p = MakeEncoded(length, e + 2, 99);
+  GateKeeperParams params;
+  params.use_lut = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GateKeeperFiltration(p.read, p.ref, length, e, params));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GateKeeperFiltrationLut)->Args({100, 5})->Args({250, 10});
+
+void BM_Amendment(benchmark::State& state) {
+  Word mask[kMaxMaskWords];
+  for (int i = 0; i < kMaxMaskWords; ++i) {
+    mask[i] = 0x5A5A5A5Au ^ (0x01010101u * i);
+  }
+  const int nwords = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Word scratch[kMaxMaskWords];
+    std::memcpy(scratch, mask, sizeof(scratch));
+    AmendShortZeroRuns(scratch, nwords);
+    benchmark::DoNotOptimize(scratch[0]);
+  }
+}
+BENCHMARK(BM_Amendment)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CountOneRuns(benchmark::State& state) {
+  Word mask[kMaxMaskWords];
+  for (int i = 0; i < kMaxMaskWords; ++i) {
+    mask[i] = 0x93A5C71Eu * (i + 1);
+  }
+  const int nwords = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountOneRuns(mask, nwords));
+  }
+}
+BENCHMARK(BM_CountOneRuns)->Arg(4)->Arg(16);
+
+void BM_BaselineFilter(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const int e = 5;
+  const SequencePair p = MakePairWithEdits(100, 7, 0.3, 7);
+  MagnetFilter magnet;
+  ShoujiFilter shouji;
+  SneakySnakeFilter snake;
+  PreAlignmentFilter* filter =
+      which == 0 ? static_cast<PreAlignmentFilter*>(&magnet)
+                 : which == 1 ? static_cast<PreAlignmentFilter*>(&shouji)
+                              : static_cast<PreAlignmentFilter*>(&snake);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter->Filter(p.read, p.ref, e));
+  }
+  state.SetLabel(std::string(filter->name()));
+}
+BENCHMARK(BM_BaselineFilter)->DenseRange(0, 2);
+
+void BM_ExactAligners(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const SequencePair p = MakePairWithEdits(100, 7, 0.3, 11);
+  MyersAligner myers;
+  for (auto _ : state) {
+    switch (which) {
+      case 0:
+        benchmark::DoNotOptimize(NwEditDistance(p.read, p.ref));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(myers.Distance(p.read, p.ref));
+        break;
+      default:
+        benchmark::DoNotOptimize(BandedEditDistance(p.read, p.ref, 10));
+        break;
+    }
+  }
+  state.SetLabel(which == 0 ? "NW-DP" : which == 1 ? "Myers" : "Banded-k10");
+}
+BENCHMARK(BM_ExactAligners)->DenseRange(0, 2);
+
+}  // namespace
+}  // namespace gkgpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Reproduces the resource-utilization analysis of Sec. 5.4.1: theoretical
+// warp occupancy from the CUDA occupancy-calculator rules (register count
+// sweep, block-size trade-off) and the achieved occupancy / warp execution
+// efficiency / SM efficiency the simulator records while filtering 100 bp
+// and 250 bp sets on both setups.
+//
+// Scale with GKGPU_PAIRS (default 150,000).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace gkgpu;
+using namespace gkgpu::bench;
+
+int main() {
+  const std::size_t pairs = EnvSize("GKGPU_PAIRS", 150000);
+  std::printf("=== Sec. 5.4.1: occupancy & utilization ===\n");
+
+  std::printf("\n-- Theoretical occupancy (GTX 1080 Ti) --\n");
+  {
+    TablePrinter table({"regs/thread", "threads/block", "blocks/SM",
+                        "active warps", "occupancy", "limited by"});
+    const gpusim::DeviceProperties props = gpusim::MakeGtx1080Ti();
+    for (const int regs : {32, 40, 48}) {
+      for (const int tpb : {256, 512, 1024}) {
+        const gpusim::OccupancyResult r =
+            gpusim::ComputeOccupancy(props, tpb, regs, 0);
+        table.AddRow({std::to_string(regs), std::to_string(tpb),
+                      std::to_string(r.blocks_per_sm),
+                      std::to_string(r.active_warps_per_sm),
+                      TablePrinter::Percent(r.occupancy * 100.0, 0),
+                      std::string(gpusim::LimiterName(r.limited_by))});
+      }
+    }
+    table.Print(std::cout);
+    std::printf("(paper: 32 regs -> 100%%; 48 regs @ 256 threads -> 63%%; "
+                "48 regs @ 1024 threads -> 50%%, the shipping config)\n");
+  }
+
+  std::printf("\n-- Achieved utilization while filtering --\n");
+  TablePrinter table({"setup", "encoding", "read length", "achieved occ.",
+                      "warp exec eff.", "SM efficiency"});
+  for (const int setup : {1, 2}) {
+    for (const EncodingActor actor :
+         {EncodingActor::kDevice, EncodingActor::kHost}) {
+      for (const int length : {100, 250}) {
+        const int e = length == 100 ? 4 : 10;
+        const Dataset data = MakeDataset(MrFastCandidateProfile(length),
+                                         pairs, 1100 + length);
+        auto devices =
+            setup == 1 ? gpusim::MakeSetup1(1) : gpusim::MakeSetup2(1);
+        RunEngine(data, length, e, actor, Ptrs(devices));
+        const gpusim::DeviceStats& s = devices[0]->stats();
+        const double launches =
+            s.kernels_launched > 0 ? static_cast<double>(s.kernels_launched)
+                                   : 1.0;
+        table.AddRow(
+            {std::to_string(setup), EncodingActorName(actor),
+             std::to_string(length),
+             TablePrinter::Percent(100.0 * s.achieved_occupancy_sum / launches,
+                                   1),
+             TablePrinter::Percent(100.0 * s.warp_efficiency_sum / launches, 1),
+             TablePrinter::Percent(100.0 * s.sm_efficiency_sum / launches, 1)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shapes (paper): achieved occupancy just below the 50%%\n"
+      "theoretical bound (44.6-49.2%%); warp execution efficiency 74-80%%\n"
+      "at 100 bp and >98%% at 250 bp; SM efficiency always >95%%.\n");
+  return 0;
+}

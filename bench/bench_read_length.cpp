@@ -1,0 +1,46 @@
+// Reproduces Fig. 7 and Sup. Table S.20: the effect of read length on
+// single-GPU filtering throughput (millions of filtrations per second,
+// with respect to filter time) at e = 0 and e = 4, for both setups and
+// both encoding actors.
+//
+// Scale with GKGPU_PAIRS (default 150,000).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace gkgpu;
+using namespace gkgpu::bench;
+
+int main() {
+  const std::size_t pairs = EnvSize("GKGPU_PAIRS", 150000);
+  std::printf("=== Fig. 7 / Table S.20: read length vs throughput ===\n");
+  std::printf("(millions of filtrations per second, filter time)\n\n");
+  TablePrinter table({"e", "read length", "Setup1 dev-enc", "Setup1 host-enc",
+                      "Setup2 dev-enc", "Setup2 host-enc"});
+  for (const int e : {0, 4}) {
+    for (const int length : {100, 150, 250}) {
+      const Dataset data = MakeDataset(MrFastCandidateProfile(length), pairs,
+                                       700 + length);
+      std::vector<std::string> row{std::to_string(e), std::to_string(length)};
+      for (const int setup : {1, 2}) {
+        for (const EncodingActor actor :
+             {EncodingActor::kDevice, EncodingActor::kHost}) {
+          auto devices =
+              setup == 1 ? gpusim::MakeSetup1(1) : gpusim::MakeSetup2(1);
+          const FilterRunStats s =
+              RunEngine(data, length, e, actor, Ptrs(devices));
+          row.push_back(TablePrinter::Num(
+              MillionsPerSecond(pairs, s.filter_seconds), 2));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nExpected shape (paper Fig. 7): throughput decreases with\n"
+              "read length; the error threshold has little effect.\n");
+  return 0;
+}

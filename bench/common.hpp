@@ -1,0 +1,100 @@
+// Shared helpers for the benchmark harnesses: environment-variable scaling
+// (every bench honours GKGPU_PAIRS / GKGPU_READS / GKGPU_GENOME to trade
+// fidelity for runtime), data-set construction, CPU-baseline timing, and
+// device bookkeeping.
+#ifndef GKGPU_BENCH_COMMON_HPP
+#define GKGPU_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "filters/gatekeeper.hpp"
+#include "gpusim/device.hpp"
+#include "sim/pairgen.hpp"
+#include "util/timer.hpp"
+
+namespace gkgpu::bench {
+
+inline std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+/// A pair data set split into the engine's parallel-array input shape.
+struct Dataset {
+  std::vector<std::string> reads;
+  std::vector<std::string> refs;
+  std::size_t size() const { return reads.size(); }
+};
+
+inline Dataset MakeDataset(const PairProfile& profile, std::size_t n,
+                           std::uint64_t seed) {
+  Dataset d;
+  d.reads.reserve(n);
+  d.refs.reserve(n);
+  for (auto& p : GeneratePairs(n, profile, seed)) {
+    d.reads.push_back(std::move(p.read));
+    d.refs.push_back(std::move(p.ref));
+  }
+  return d;
+}
+
+inline std::vector<gpusim::Device*> Ptrs(
+    const std::vector<std::unique_ptr<gpusim::Device>>& devices) {
+  std::vector<gpusim::Device*> out;
+  out.reserve(devices.size());
+  for (const auto& d : devices) out.push_back(d.get());
+  return out;
+}
+
+/// Times the multicore CPU baseline on a dataset; returns {kernel seconds
+/// (the filtration function only), filter seconds (encode + filtration)}.
+struct CpuTimes {
+  double kernel_seconds = 0.0;
+  double filter_seconds = 0.0;
+};
+
+inline CpuTimes RunGateKeeperCpu(const Dataset& data, int length, int e,
+                                 unsigned threads) {
+  GateKeeperCpu cpu({}, threads);
+  const std::size_t n = data.size();
+  const std::size_t words = static_cast<std::size_t>(EncodedWords(length));
+  CpuTimes t;
+  WallTimer total;
+  std::vector<Word> reads(n * words);
+  std::vector<Word> refs(n * words);
+  std::vector<GateKeeperCpu::PairView> views(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool rn = EncodeSequence(data.reads[i], reads.data() + i * words);
+    const bool gn = EncodeSequence(data.refs[i], refs.data() + i * words);
+    views[i] = {reads.data() + i * words, refs.data() + i * words,
+                static_cast<std::uint8_t>((rn || gn) ? 1 : 0)};
+  }
+  std::vector<FilterResult> results(n);
+  WallTimer kernel;
+  cpu.FilterBatch(views.data(), n, length, e, results.data());
+  t.kernel_seconds = kernel.Seconds();
+  t.filter_seconds = total.Seconds();
+  return t;
+}
+
+/// Runs the engine over a dataset and returns its stats.
+inline FilterRunStats RunEngine(const Dataset& data, int length, int e,
+                                EncodingActor actor,
+                                std::vector<gpusim::Device*> devices) {
+  EngineConfig cfg;
+  cfg.read_length = length;
+  cfg.error_threshold = e;
+  cfg.encoding = actor;
+  GateKeeperGpuEngine engine(cfg, std::move(devices));
+  std::vector<PairResult> results;
+  return engine.FilterPairs(data.reads, data.refs, &results);
+}
+
+}  // namespace gkgpu::bench
+
+#endif  // GKGPU_BENCH_COMMON_HPP

@@ -1,0 +1,95 @@
+// Interactive-ish accuracy explorer: sweeps the filtering error threshold
+// on a chosen data-set profile and prints the Fig. 4-style table (accepted/
+// rejected by the exact aligner vs GateKeeper-GPU, false-accept count and
+// rate, true-reject rate), for either algorithm mode.
+//
+//   $ ./accuracy_explorer [profile] [length] [pairs] [mode]
+//
+//   profile: mrfast | lowedit | highedit | minimap2 | bwamem  (default mrfast)
+//   length:  read length in bp                                (default 100)
+//   pairs:   data set size                                    (default 30000)
+//   mode:    improved | original                              (default improved)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "align/banded.hpp"
+#include "encode/dna.hpp"
+#include "filters/gatekeeper.hpp"
+#include "sim/pairgen.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gkgpu;
+  const std::string profile_name = argc > 1 ? argv[1] : "mrfast";
+  const int length = argc > 2 ? std::atoi(argv[2]) : 100;
+  const std::size_t n = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 30000;
+  const std::string mode_name = argc > 4 ? argv[4] : "improved";
+
+  PairProfile profile;
+  if (profile_name == "mrfast") {
+    profile = MrFastCandidateProfile(length);
+  } else if (profile_name == "lowedit") {
+    profile = LowEditProfile(length);
+  } else if (profile_name == "highedit") {
+    profile = HighEditProfile(length);
+  } else if (profile_name == "minimap2") {
+    profile = Minimap2Profile(length);
+  } else if (profile_name == "bwamem") {
+    profile = BwaMemProfile(length);
+  } else {
+    std::fprintf(stderr, "unknown profile '%s'\n", profile_name.c_str());
+    return 2;
+  }
+
+  GateKeeperParams params;
+  params.mode = mode_name == "original" ? GateKeeperMode::kOriginal
+                                        : GateKeeperMode::kImproved;
+  GateKeeperFilter filter(params);
+
+  std::printf("profile=%s length=%d pairs=%zu algorithm=%s\n", profile_name.c_str(),
+              length, n, std::string(filter.name()).c_str());
+  const auto pairs = GeneratePairs(n, profile, 4242);
+
+  TablePrinter table({"e", "Edlib accept", "Edlib reject", "GK accept",
+                      "GK reject", "false accepts", "FA rate", "TR rate",
+                      "false rejects"});
+  for (int e = 0; e <= length / 10; e += std::max(1, length / 100)) {
+    std::size_t oracle_accept = 0;
+    std::size_t filter_accept = 0;
+    std::size_t fa = 0;
+    std::size_t fr = 0;
+    std::size_t tr = 0;
+    for (const auto& p : pairs) {
+      // Undefined pairs count as accepted on both sides (Sup. note, S.2).
+      const bool undefined = ContainsUnknown(p.read) || ContainsUnknown(p.ref);
+      const bool truth =
+          undefined || WithinEditDistance(p.read, p.ref, e);
+      const bool accept = filter.Filter(p.read, p.ref, e).accept;
+      oracle_accept += truth;
+      filter_accept += accept;
+      if (accept && !truth) ++fa;
+      if (!accept && truth) ++fr;
+      if (!accept && !truth) ++tr;
+    }
+    const std::size_t oracle_reject = n - oracle_accept;
+    table.AddRow(
+        {std::to_string(e), TablePrinter::Count(oracle_accept),
+         TablePrinter::Count(oracle_reject),
+         TablePrinter::Count(filter_accept),
+         TablePrinter::Count(n - filter_accept), TablePrinter::Count(fa),
+         TablePrinter::Percent(oracle_reject ? 100.0 * static_cast<double>(fa) /
+                                                   static_cast<double>(oracle_reject)
+                                             : 0.0),
+         TablePrinter::Percent(oracle_reject ? 100.0 * static_cast<double>(tr) /
+                                                   static_cast<double>(oracle_reject)
+                                             : 0.0),
+         TablePrinter::Count(fr)});
+  }
+  table.Print(std::cout);
+  std::printf("\nfalse rejects must be 0 in every row for %s.\n",
+              std::string(filter.name()).c_str());
+  return 0;
+}

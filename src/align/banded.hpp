@@ -1,0 +1,23 @@
+// Ukkonen banded Levenshtein distance: exact when the distance is within
+// the band, and the mapper's verification stage (mrFAST verifies candidate
+// mappings against an edit-distance threshold e, so a band of e suffices
+// for an exact accept/reject decision).
+#ifndef GKGPU_ALIGN_BANDED_HPP
+#define GKGPU_ALIGN_BANDED_HPP
+
+#include <string_view>
+
+namespace gkgpu {
+
+/// Exact edit distance if it is <= k, otherwise -1 ("more than k").
+/// O((2k+1) * max(m,n)) time.
+int BandedEditDistance(std::string_view a, std::string_view b, int k);
+
+/// Convenience accept test used by verification: edit(a, b) <= k.
+inline bool WithinEditDistance(std::string_view a, std::string_view b, int k) {
+  return BandedEditDistance(a, b, k) >= 0;
+}
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_ALIGN_BANDED_HPP

@@ -1,0 +1,32 @@
+// Banded global alignment with traceback: produces the CIGAR string for a
+// verified mapping (SAM conventions: M = match/mismatch consuming both
+// sequences, I = base present in the read but not the reference, D = base
+// present in the reference but not the read).  Used by the SAM writer so
+// mapper output carries real alignments instead of a bare match run.
+#ifndef GKGPU_ALIGN_CIGAR_HPP
+#define GKGPU_ALIGN_CIGAR_HPP
+
+#include <string>
+#include <string_view>
+
+namespace gkgpu {
+
+struct Alignment {
+  int distance = -1;  // -1 when the distance exceeds the band
+  std::string cigar;  // run-length encoded, e.g. "48M1I51M"
+};
+
+/// Exact banded global alignment of `read` against `ref` with edit budget
+/// k; Alignment.distance == BandedEditDistance(read, ref, k) and the CIGAR
+/// describes one optimal alignment (diagonal moves preferred on ties).
+Alignment BandedAlign(std::string_view read, std::string_view ref, int k);
+
+/// Applies a CIGAR to `ref` to check consistency with `read`: returns the
+/// number of edits implied (M columns that mismatch + I + D runs), or -1
+/// if the CIGAR does not span the two sequences.  Test/validation helper.
+int CigarEdits(std::string_view read, std::string_view ref,
+               const std::string& cigar);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_ALIGN_CIGAR_HPP

@@ -1,0 +1,70 @@
+#include "align/myers.hpp"
+
+#include <algorithm>
+
+namespace gkgpu {
+
+namespace {
+constexpr int kAlphabet = 256;
+constexpr int kW = 64;
+}  // namespace
+
+void MyersAligner::BuildPeq(std::string_view pattern, int nblocks) {
+  peq_.assign(static_cast<std::size_t>(kAlphabet) * nblocks, 0);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const auto c = static_cast<unsigned char>(pattern[i]);
+    peq_[static_cast<std::size_t>(c) * nblocks + i / kW] |=
+        std::uint64_t{1} << (i % kW);
+  }
+}
+
+int MyersAligner::Distance(std::string_view a, std::string_view b) {
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  if (m == 0) return n;
+  if (n == 0) return m;
+  const int nblocks = (m + kW - 1) / kW;
+  BuildPeq(a, nblocks);
+  blocks_.assign(static_cast<std::size_t>(nblocks), Block{~std::uint64_t{0}, 0});
+  // High bit of the last (possibly partial) block marks pattern row m.
+  const std::uint64_t last_high =
+      std::uint64_t{1} << ((m - 1) % kW);
+  int score = m;
+  for (int j = 0; j < n; ++j) {
+    const auto c = static_cast<unsigned char>(b[static_cast<std::size_t>(j)]);
+    const std::uint64_t* peq_c = peq_.data() + static_cast<std::size_t>(c) * nblocks;
+    int hin = 1;  // D[0][j] = j boundary: +1 enters the top block each column
+    for (int bi = 0; bi < nblocks; ++bi) {
+      Block& blk = blocks_[static_cast<std::size_t>(bi)];
+      std::uint64_t eq = peq_c[bi];
+      const std::uint64_t pv = blk.pv;
+      const std::uint64_t mv = blk.mv;
+      const std::uint64_t xv = eq | mv;
+      if (hin < 0) eq |= 1;
+      const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+      std::uint64_t ph = mv | ~(xh | pv);
+      std::uint64_t mh = pv & xh;
+      const std::uint64_t high =
+          bi == nblocks - 1 ? last_high : (std::uint64_t{1} << (kW - 1));
+      int hout = 0;
+      if (ph & high) hout = 1;
+      else if (mh & high) hout = -1;
+      ph <<= 1;
+      mh <<= 1;
+      if (hin < 0) mh |= 1;
+      else if (hin > 0) ph |= 1;
+      blk.pv = mh | ~(xv | ph);
+      blk.mv = ph & xv;
+      hin = hout;
+    }
+    score += hin;  // hout of the last block adjusts D[m][j+1]
+  }
+  return score;
+}
+
+int MyersEditDistance(std::string_view a, std::string_view b) {
+  MyersAligner aligner;
+  return aligner.Distance(a, b);
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,47 @@
+// Myers' bit-vector algorithm for exact global edit distance (Myers 1999,
+// with Hyyrö's block formulation).  This is the functional equivalent of
+// Edlib's EDLIB_MODE_NW, which the paper uses as the accuracy ground truth:
+// "we hold Edlib's global alignment results as the ground truth".
+//
+// MyersAligner keeps reusable pattern-preprocessing buffers so the accuracy
+// benches can score hundreds of thousands of pairs without reallocation.
+#ifndef GKGPU_ALIGN_MYERS_HPP
+#define GKGPU_ALIGN_MYERS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace gkgpu {
+
+class MyersAligner {
+ public:
+  /// Exact global (NW) edit distance between pattern a and text b.
+  int Distance(std::string_view a, std::string_view b);
+
+  /// Edit distance if <= k, else -1 (same contract as BandedEditDistance).
+  int DistanceWithin(std::string_view a, std::string_view b, int k) {
+    const int d = Distance(a, b);
+    return d <= k ? d : -1;
+  }
+
+ private:
+  struct Block {
+    std::uint64_t pv;  // vertical positive deltas
+    std::uint64_t mv;  // vertical negative deltas
+  };
+
+  void BuildPeq(std::string_view pattern, int nblocks);
+
+  // peq_[c * nblocks + b]: bit i set when pattern[b*64 + i] == character c.
+  std::vector<std::uint64_t> peq_;
+  std::vector<Block> blocks_;
+};
+
+/// One-shot convenience wrapper.
+int MyersEditDistance(std::string_view a, std::string_view b);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_ALIGN_MYERS_HPP

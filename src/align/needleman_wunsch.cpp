@@ -1,0 +1,30 @@
+#include "align/needleman_wunsch.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace gkgpu {
+
+int NwEditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  std::vector<int> row(static_cast<std::size_t>(m) + 1);
+  for (int i = 0; i <= m; ++i) row[static_cast<std::size_t>(i)] = i;
+  for (int j = 1; j <= n; ++j) {
+    int diag = row[0];
+    row[0] = j;
+    for (int i = 1; i <= m; ++i) {
+      const int sub = diag + (a[static_cast<std::size_t>(i - 1)] ==
+                                      b[static_cast<std::size_t>(j - 1)]
+                                  ? 0
+                                  : 1);
+      diag = row[static_cast<std::size_t>(i)];
+      row[static_cast<std::size_t>(i)] =
+          std::min({sub, diag + 1, row[static_cast<std::size_t>(i - 1)] + 1});
+    }
+  }
+  return row[static_cast<std::size_t>(m)];
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,18 @@
+// Full dynamic-programming global alignment (unit-cost Levenshtein /
+// Needleman-Wunsch distance).  O(mn) time, O(min(m,n)) space.  This is the
+// slow, obviously-correct oracle the bit-vector algorithms are tested
+// against, and it doubles as the "expensive verification" whose work the
+// pre-alignment filter is meant to reduce.
+#ifndef GKGPU_ALIGN_NEEDLEMAN_WUNSCH_HPP
+#define GKGPU_ALIGN_NEEDLEMAN_WUNSCH_HPP
+
+#include <string_view>
+
+namespace gkgpu {
+
+/// Exact global (NW) edit distance between a and b with unit costs.
+int NwEditDistance(std::string_view a, std::string_view b);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_ALIGN_NEEDLEMAN_WUNSCH_HPP

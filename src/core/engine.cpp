@@ -1,0 +1,488 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace gkgpu {
+
+using gpusim::Device;
+using gpusim::LaunchConfig;
+using gpusim::UnifiedBuffer;
+
+/// Per-device unified-memory working set (Sec. 3.2 resource allocation).
+struct GateKeeperGpuEngine::DeviceBuffers {
+  std::size_t pair_capacity = 0;
+  std::size_t read_capacity = 0;
+
+  // Pair mode, host-encoded.
+  std::unique_ptr<UnifiedBuffer> reads_enc;
+  std::unique_ptr<UnifiedBuffer> refs_enc;
+  std::unique_ptr<UnifiedBuffer> bypass;
+  // Pair mode, device-encoded (raw characters cross the bus instead).
+  std::unique_ptr<UnifiedBuffer> raw_reads;
+  std::unique_ptr<UnifiedBuffer> raw_refs;
+  // Candidate mode.
+  std::unique_ptr<UnifiedBuffer> cand;
+  // Shared.
+  std::unique_ptr<UnifiedBuffer> results;
+};
+
+GateKeeperGpuEngine::GateKeeperGpuEngine(EngineConfig config,
+                                         std::vector<Device*> devices)
+    : config_(config), devices_(std::move(devices)) {
+  assert(!devices_.empty());
+  plan_ = ConfigureSystem(*devices_.front(), config_);
+  buffers_.resize(devices_.size());
+  for (auto& b : buffers_) b = std::make_unique<DeviceBuffers>();
+}
+
+GateKeeperGpuEngine::~GateKeeperGpuEngine() = default;
+
+namespace {
+
+struct TransferLedger {
+  std::uint64_t h2d = 0;
+  std::uint64_t d2h = 0;
+  std::uint64_t faults = 0;
+
+  static TransferLedger Snapshot(const std::vector<Device*>& devices) {
+    TransferLedger t;
+    for (const Device* d : devices) {
+      t.h2d += d->stats().h2d_bytes;
+      t.d2h += d->stats().d2h_bytes;
+      t.faults += d->stats().page_faults;
+    }
+    return t;
+  }
+};
+
+/// Prefetches the given input buffers ahead of a kernel, one per stream as
+/// the paper does, so the link time of a round is the max, not the sum.
+double PrefetchAll(std::initializer_list<UnifiedBuffer*> buffers) {
+  double max_s = 0.0;
+  for (UnifiedBuffer* b : buffers) {
+    if (b == nullptr) continue;
+    b->Advise(gpusim::MemAdvice::kPreferredLocationDevice);
+    max_s = std::max(max_s, b->PrefetchToDevice());
+  }
+  return max_s;
+}
+
+double FaultAll(std::initializer_list<UnifiedBuffer*> buffers) {
+  double sum_s = 0.0;
+  for (UnifiedBuffer* b : buffers) {
+    if (b != nullptr) sum_s += b->FaultToDevice();
+  }
+  return sum_s;
+}
+
+/// Runs fn(di) for every device concurrently — one host thread per device,
+/// the way one CPU thread feeds each GPU — and returns the slowest
+/// duration (the wall-clock cost of the concurrent phase).
+double ConcurrentPerDevice(std::size_t ndev,
+                           const std::function<void(std::size_t)>& fn) {
+  std::vector<double> seconds(ndev, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(ndev);
+  for (std::size_t di = 0; di < ndev; ++di) {
+    threads.emplace_back([&, di] {
+      WallTimer t;
+      fn(di);
+      seconds[di] = t.Seconds();
+    });
+  }
+  for (auto& t : threads) t.join();
+  double max_s = 0.0;
+  for (const double s : seconds) max_s = std::max(max_s, s);
+  return max_s;
+}
+
+}  // namespace
+
+void GateKeeperGpuEngine::EnsurePairBuffers(std::size_t capacity) {
+  const std::size_t words =
+      static_cast<std::size_t>(EncodedWords(config_.read_length));
+  const std::size_t len = static_cast<std::size_t>(config_.read_length);
+  for (std::size_t di = 0; di < devices_.size(); ++di) {
+    DeviceBuffers& b = *buffers_[di];
+    if (b.pair_capacity >= capacity && b.results != nullptr) continue;
+    Device* dev = devices_[di];
+    b.pair_capacity = capacity;
+    if (config_.encoding == EncodingActor::kHost) {
+      b.reads_enc = dev->AllocateUnified(capacity * words * sizeof(Word));
+      b.refs_enc = dev->AllocateUnified(capacity * words * sizeof(Word));
+      b.bypass = dev->AllocateUnified(capacity);
+      b.raw_reads.reset();
+      b.raw_refs.reset();
+    } else {
+      b.raw_reads = dev->AllocateUnified(capacity * len);
+      b.raw_refs = dev->AllocateUnified(capacity * len);
+      b.reads_enc.reset();
+      b.refs_enc.reset();
+      b.bypass.reset();
+    }
+    b.results = dev->AllocateUnified(capacity * sizeof(PairResult));
+  }
+}
+
+FilterRunStats GateKeeperGpuEngine::FilterPairs(
+    const std::vector<std::string>& reads, const std::vector<std::string>& refs,
+    std::vector<PairResult>* results) {
+  assert(reads.size() == refs.size());
+  const std::size_t n = reads.size();
+  results->assign(n, PairResult{});
+  FilterRunStats stats;
+  stats.pairs = n;
+  if (n == 0) return stats;
+
+  const std::size_t ndev = devices_.size();
+  const std::size_t per_device_cap = plan_.pairs_per_batch;
+  const std::size_t even_split = (n + ndev - 1) / ndev;
+  const std::size_t slice_cap = std::min(per_device_cap, even_split);
+  EnsurePairBuffers(slice_cap);
+
+  const TransferLedger before = TransferLedger::Snapshot(devices_);
+  const std::size_t words =
+      static_cast<std::size_t>(EncodedWords(config_.read_length));
+  const std::size_t len = static_cast<std::size_t>(config_.read_length);
+  double device_pipeline_seconds = 0.0;
+
+  struct Slice {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+  };
+  std::size_t offset = 0;
+  while (offset < n) {
+    // Equal batches per device (Sec. 3.1): carve this round's slices.
+    std::vector<Slice> slices(ndev);
+    for (std::size_t di = 0; di < ndev && offset < n; ++di) {
+      slices[di] = {offset, std::min(slice_cap, n - offset)};
+      offset += slices[di].count;
+    }
+
+    // --- Host preprocessing: one CPU thread feeds each device, serial
+    // within a slice (the paper's encode/copy cost is host-sequential per
+    // device, which is exactly why the encoding actor matters). ---
+    const double prep_s = ConcurrentPerDevice(ndev, [&](std::size_t di) {
+      const Slice s = slices[di];
+      if (s.count == 0) return;
+      DeviceBuffers& b = *buffers_[di];
+      if (config_.encoding == EncodingActor::kHost) {
+        Word* renc = b.reads_enc->as<Word>();
+        Word* genc = b.refs_enc->as<Word>();
+        std::uint8_t* byp = b.bypass->as<std::uint8_t>();
+        for (std::size_t i = 0; i < s.count; ++i) {
+          const bool rn = EncodeSequence(reads[s.begin + i], renc + i * words);
+          const bool gn = EncodeSequence(refs[s.begin + i], genc + i * words);
+          byp[i] = (rn || gn) ? 1 : 0;
+        }
+        b.reads_enc->MarkHostResident();
+        b.refs_enc->MarkHostResident();
+        b.bypass->MarkHostResident();
+      } else {
+        char* rr = b.raw_reads->as<char>();
+        char* gg = b.raw_refs->as<char>();
+        for (std::size_t i = 0; i < s.count; ++i) {
+          std::memcpy(rr + i * len, reads[s.begin + i].data(), len);
+          std::memcpy(gg + i * len, refs[s.begin + i].data(), len);
+        }
+        b.raw_reads->MarkHostResident();
+        b.raw_refs->MarkHostResident();
+      }
+      b.results->MarkHostResident();
+    });
+    if (config_.encoding == EncodingActor::kHost) {
+      stats.host_encode_seconds += prep_s;
+    } else {
+      stats.host_copy_seconds += prep_s;
+    }
+
+    // --- Per device: advice + prefetch (or demand migration), kernel
+    // launch, result migration.  Kernels execute sequentially here (they
+    // share the physical host), but the simulated timeline treats devices
+    // as parallel: the round's kernel time is the per-device maximum. ---
+    double round_kt = 0.0;
+    double round_transfer = 0.0;
+    for (std::size_t di = 0; di < ndev; ++di) {
+      const Slice s = slices[di];
+      if (s.count == 0) continue;
+      Device* dev = devices_[di];
+      DeviceBuffers& b = *buffers_[di];
+
+      double prefetch_s = 0.0;
+      double fault_s = 0.0;
+      if (dev->props().supports_prefetch()) {
+        prefetch_s = config_.encoding == EncodingActor::kHost
+                         ? PrefetchAll({b.reads_enc.get(), b.refs_enc.get(),
+                                        b.bypass.get(), b.results.get()})
+                         : PrefetchAll({b.raw_reads.get(), b.raw_refs.get(),
+                                        b.results.get()});
+      } else {
+        fault_s = config_.encoding == EncodingActor::kHost
+                      ? FaultAll({b.reads_enc.get(), b.refs_enc.get(),
+                                  b.bypass.get(), b.results.get()})
+                      : FaultAll({b.raw_reads.get(), b.raw_refs.get(),
+                                  b.results.get()});
+      }
+
+      const LaunchConfig cfg{
+          static_cast<std::int64_t>((s.count + plan_.threads_per_block - 1) /
+                                    plan_.threads_per_block),
+          plan_.threads_per_block};
+      double kt = 0.0;
+      if (config_.encoding == EncodingActor::kHost) {
+        HostEncodedPairsKernel kernel;
+        kernel.reads = b.reads_enc->as<Word>();
+        kernel.refs = b.refs_enc->as<Word>();
+        kernel.bypass = b.bypass->as<std::uint8_t>();
+        kernel.results = b.results->as<PairResult>();
+        kernel.n = static_cast<std::int64_t>(s.count);
+        kernel.length = config_.read_length;
+        kernel.words_per_seq = static_cast<int>(words);
+        kernel.e = config_.error_threshold;
+        kernel.params = config_.algorithm;
+        kt = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
+      } else {
+        DeviceEncodedPairsKernel kernel;
+        kernel.reads = b.raw_reads->as<char>();
+        kernel.refs = b.raw_refs->as<char>();
+        kernel.results = b.results->as<PairResult>();
+        kernel.n = static_cast<std::int64_t>(s.count);
+        kernel.length = config_.read_length;
+        kernel.e = config_.error_threshold;
+        kernel.params = config_.algorithm;
+        kt = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
+      }
+      b.results->MarkDeviceResident();
+      const double d2h_s = b.results->FaultToHost();
+      round_kt = std::max(round_kt, kt);
+      round_transfer = std::max(round_transfer, prefetch_s + d2h_s);
+    }
+
+    // --- Results read-out: concurrent per device, like the prep. ---
+    std::vector<std::uint64_t> acc(ndev, 0);
+    std::vector<std::uint64_t> byp_count(ndev, 0);
+    const double copy_s = ConcurrentPerDevice(ndev, [&](std::size_t di) {
+      const Slice s = slices[di];
+      if (s.count == 0) return;
+      const PairResult* res = buffers_[di]->results->as<PairResult>();
+      for (std::size_t i = 0; i < s.count; ++i) {
+        const PairResult r = res[i];
+        (*results)[s.begin + i] = r;
+        acc[di] += r.accept;
+        byp_count[di] += r.bypassed;
+      }
+    });
+    stats.host_copy_seconds += copy_s;
+    for (std::size_t di = 0; di < ndev; ++di) {
+      stats.accepted += acc[di];
+      stats.rejected += slices[di].count - acc[di];
+      stats.bypassed += byp_count[di];
+    }
+
+    stats.kernel_seconds += round_kt;
+    stats.transfer_seconds += round_transfer;
+    // Prefetch-capable devices overlap the next round's transfers with the
+    // current kernel; without prefetch the migration stalls already sit
+    // inside the kernel time.
+    device_pipeline_seconds +=
+        devices_.front()->props().supports_prefetch()
+            ? std::max(round_kt, round_transfer)
+            : round_kt + round_transfer;
+    ++stats.batches;
+  }
+
+  const TransferLedger after = TransferLedger::Snapshot(devices_);
+  stats.h2d_bytes = after.h2d - before.h2d;
+  stats.d2h_bytes = after.d2h - before.d2h;
+  stats.page_faults = after.faults - before.faults;
+  stats.filter_seconds = stats.host_encode_seconds + stats.host_copy_seconds +
+                         device_pipeline_seconds;
+  return stats;
+}
+
+void GateKeeperGpuEngine::LoadReference(const std::string& genome) {
+  // Multithreaded host encoding of the reference (Sec. 3.5, Box R of the
+  // workflow figure), then one resident copy per device.
+  ReferenceEncoding enc =
+      EncodeReference(genome, &devices_.front()->pool());
+  ref_length_ = enc.length;
+  ref_buffers_.clear();
+  ref_nmask_buffers_.clear();
+  for (Device* dev : devices_) {
+    auto words = dev->AllocateUnified(enc.words.size() * sizeof(Word));
+    auto nmask = dev->AllocateUnified(enc.n_mask.size() * sizeof(Word));
+    std::memcpy(words->data(), enc.words.data(), words->bytes());
+    std::memcpy(nmask->data(), enc.n_mask.data(), nmask->bytes());
+    words->Advise(gpusim::MemAdvice::kPreferredLocationDevice);
+    nmask->Advise(gpusim::MemAdvice::kPreferredLocationDevice);
+    if (dev->props().supports_prefetch()) {
+      words->PrefetchToDevice();
+      nmask->PrefetchToDevice();
+    }
+    ref_buffers_.push_back(std::move(words));
+    ref_nmask_buffers_.push_back(std::move(nmask));
+  }
+}
+
+void GateKeeperGpuEngine::EnsureCandidateBuffers(std::size_t capacity,
+                                                 std::size_t read_capacity) {
+  const std::size_t words =
+      static_cast<std::size_t>(EncodedWords(config_.read_length));
+  for (std::size_t di = 0; di < devices_.size(); ++di) {
+    DeviceBuffers& b = *buffers_[di];
+    Device* dev = devices_[di];
+    if (b.read_capacity < read_capacity || b.reads_enc == nullptr) {
+      b.read_capacity = read_capacity;
+      b.reads_enc = dev->AllocateUnified(read_capacity * words * sizeof(Word));
+      b.bypass = dev->AllocateUnified(read_capacity);
+    }
+    if (b.pair_capacity < capacity || b.cand == nullptr) {
+      b.pair_capacity = capacity;
+      b.cand = dev->AllocateUnified(capacity * sizeof(CandidatePair));
+      b.results = dev->AllocateUnified(capacity * sizeof(PairResult));
+    }
+  }
+}
+
+FilterRunStats GateKeeperGpuEngine::FilterCandidates(
+    const std::vector<std::string>& reads,
+    const std::vector<CandidatePair>& candidates,
+    std::vector<PairResult>* results) {
+  assert(HasReference());
+  const std::size_t n = candidates.size();
+  results->assign(n, PairResult{});
+  FilterRunStats stats;
+  stats.pairs = n;
+  if (n == 0) return stats;
+
+  const std::size_t ndev = devices_.size();
+  const std::size_t even_split = (n + ndev - 1) / ndev;
+  const std::size_t slice_cap = std::min(plan_.pairs_per_batch, even_split);
+  EnsureCandidateBuffers(slice_cap, reads.size());
+
+  const TransferLedger before = TransferLedger::Snapshot(devices_);
+  const std::size_t words =
+      static_cast<std::size_t>(EncodedWords(config_.read_length));
+  double device_pipeline_seconds = 0.0;
+
+  // Encode the read buffer once per device (a read is copied to the GPU
+  // once for all of its candidate segments); one host thread per device.
+  stats.host_encode_seconds += ConcurrentPerDevice(ndev, [&](std::size_t di) {
+    DeviceBuffers& b = *buffers_[di];
+    Word* renc = b.reads_enc->as<Word>();
+    std::uint8_t* byp = b.bypass->as<std::uint8_t>();
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      byp[i] = EncodeSequence(reads[i], renc + i * words) ? 1 : 0;
+    }
+    b.reads_enc->MarkHostResident();
+    b.bypass->MarkHostResident();
+  });
+
+  struct Slice {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+  };
+  std::size_t offset = 0;
+  while (offset < n) {
+    std::vector<Slice> slices(ndev);
+    for (std::size_t di = 0; di < ndev && offset < n; ++di) {
+      slices[di] = {offset, std::min(slice_cap, n - offset)};
+      offset += slices[di].count;
+    }
+
+    stats.host_copy_seconds += ConcurrentPerDevice(ndev, [&](std::size_t di) {
+      const Slice s = slices[di];
+      if (s.count == 0) return;
+      DeviceBuffers& b = *buffers_[di];
+      std::memcpy(b.cand->data(), candidates.data() + s.begin,
+                  s.count * sizeof(CandidatePair));
+      b.cand->MarkHostResident();
+      b.results->MarkHostResident();
+    });
+
+    double round_kt = 0.0;
+    double round_transfer = 0.0;
+    for (std::size_t di = 0; di < ndev; ++di) {
+      const Slice s = slices[di];
+      if (s.count == 0) continue;
+      Device* dev = devices_[di];
+      DeviceBuffers& b = *buffers_[di];
+
+      double prefetch_s = 0.0;
+      double fault_s = 0.0;
+      if (dev->props().supports_prefetch()) {
+        prefetch_s = PrefetchAll({b.reads_enc.get(), b.bypass.get(),
+                                  b.cand.get(), b.results.get()});
+      } else {
+        fault_s = FaultAll({b.reads_enc.get(), b.bypass.get(), b.cand.get(),
+                            b.results.get(), ref_buffers_[di].get(),
+                            ref_nmask_buffers_[di].get()});
+      }
+
+      const LaunchConfig cfg{
+          static_cast<std::int64_t>((s.count + plan_.threads_per_block - 1) /
+                                    plan_.threads_per_block),
+          plan_.threads_per_block};
+      CandidatesKernel kernel;
+      kernel.reads = b.reads_enc->as<Word>();
+      kernel.read_has_n = b.bypass->as<std::uint8_t>();
+      kernel.ref_words = ref_buffers_[di]->as<Word>();
+      kernel.ref_n_mask = ref_nmask_buffers_[di]->as<Word>();
+      kernel.ref_len = ref_length_;
+      kernel.candidates = b.cand->as<CandidatePair>();
+      kernel.results = b.results->as<PairResult>();
+      kernel.n = static_cast<std::int64_t>(s.count);
+      kernel.length = config_.read_length;
+      kernel.words_per_seq = static_cast<int>(words);
+      kernel.e = config_.error_threshold;
+      kernel.params = config_.algorithm;
+      const double kt = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
+      b.results->MarkDeviceResident();
+      const double d2h_s = b.results->FaultToHost();
+      round_kt = std::max(round_kt, kt);
+      round_transfer = std::max(round_transfer, prefetch_s + d2h_s);
+    }
+
+    std::vector<std::uint64_t> acc(ndev, 0);
+    std::vector<std::uint64_t> byp_count(ndev, 0);
+    stats.host_copy_seconds += ConcurrentPerDevice(ndev, [&](std::size_t di) {
+      const Slice s = slices[di];
+      if (s.count == 0) return;
+      const PairResult* res = buffers_[di]->results->as<PairResult>();
+      for (std::size_t i = 0; i < s.count; ++i) {
+        const PairResult r = res[i];
+        (*results)[s.begin + i] = r;
+        acc[di] += r.accept;
+        byp_count[di] += r.bypassed;
+      }
+    });
+    for (std::size_t di = 0; di < ndev; ++di) {
+      stats.accepted += acc[di];
+      stats.rejected += slices[di].count - acc[di];
+      stats.bypassed += byp_count[di];
+    }
+
+    stats.kernel_seconds += round_kt;
+    stats.transfer_seconds += round_transfer;
+    device_pipeline_seconds +=
+        devices_.front()->props().supports_prefetch()
+            ? std::max(round_kt, round_transfer)
+            : round_kt + round_transfer;
+    ++stats.batches;
+  }
+
+  const TransferLedger after = TransferLedger::Snapshot(devices_);
+  stats.h2d_bytes = after.h2d - before.h2d;
+  stats.d2h_bytes = after.d2h - before.d2h;
+  stats.page_faults = after.faults - before.faults;
+  stats.filter_seconds = stats.host_encode_seconds + stats.host_copy_seconds +
+                         device_pipeline_seconds;
+  return stats;
+}
+
+}  // namespace gkgpu

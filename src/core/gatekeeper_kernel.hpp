@@ -1,0 +1,145 @@
+// The GateKeeper-GPU device kernels, written the way the CUDA __global__
+// functions are: each simulated thread performs one complete filtration
+// (Sec. 3.2: "each thread runs kernel function for a single filtration with
+// the least dependency possible") using only fixed-size stack arrays and
+// the unified-memory pointers passed as arguments.
+//
+// Three variants, matching the paper's configurations:
+//   * HostEncodedPairsKernel   — host pre-encoded read/ref pairs,
+//   * DeviceEncodedPairsKernel — raw characters, the kernel encodes,
+//   * CandidatesKernel         — mrFAST integration: reads + candidate
+//     reference indices; the thread extracts the reference segment from the
+//     encoded genome in unified memory ("starting with extracting the
+//     relevant reference segment based on the index", Sec. 3.5).
+#ifndef GKGPU_CORE_GATEKEEPER_KERNEL_HPP
+#define GKGPU_CORE_GATEKEEPER_KERNEL_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "encode/encoded.hpp"
+#include "filters/gatekeeper_core.hpp"
+#include "gpusim/device.hpp"
+
+namespace gkgpu {
+
+/// Result slot written back to unified memory: the filtering decision
+/// ('1' accept / '0' reject) and the approximated edit distance (Sec. 3.5).
+struct PairResult {
+  std::uint8_t accept = 0;
+  std::uint8_t bypassed = 0;  // undefined ('N') pair skipped filtration
+  std::uint16_t edits = 0;
+};
+
+inline PairResult MakePairResult(const FilterResult& r, bool bypassed) {
+  PairResult out;
+  out.accept = r.accept ? 1 : 0;
+  out.bypassed = bypassed ? 1 : 0;
+  out.edits = static_cast<std::uint16_t>(
+      r.estimated_edits < 0
+          ? 0
+          : (r.estimated_edits > 0xFFFF ? 0xFFFF : r.estimated_edits));
+  return out;
+}
+
+struct HostEncodedPairsKernel {
+  const Word* reads = nullptr;        // n * words_per_seq
+  const Word* refs = nullptr;         // n * words_per_seq
+  const std::uint8_t* bypass = nullptr;
+  PairResult* results = nullptr;
+  std::int64_t n = 0;
+  int length = 0;
+  int words_per_seq = 0;
+  int e = 0;
+  GateKeeperParams params;
+
+  void operator()(const gpusim::ThreadCtx& ctx) const {
+    const std::int64_t i = ctx.GlobalId();
+    if (i >= n) return;
+    if (bypass[i] != 0) {
+      results[i] = MakePairResult({true, 0}, /*bypassed=*/true);
+      return;
+    }
+    const std::size_t off =
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(words_per_seq);
+    const FilterResult r =
+        GateKeeperFiltration(reads + off, refs + off, length, e, params);
+    results[i] = MakePairResult(r, /*bypassed=*/false);
+  }
+};
+
+struct DeviceEncodedPairsKernel {
+  const char* reads = nullptr;  // n * length raw characters
+  const char* refs = nullptr;
+  PairResult* results = nullptr;
+  std::int64_t n = 0;
+  int length = 0;
+  int e = 0;
+  GateKeeperParams params;
+
+  void operator()(const gpusim::ThreadCtx& ctx) const {
+    const std::int64_t i = ctx.GlobalId();
+    if (i >= n) return;
+    const std::size_t off =
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(length);
+    Word read_enc[kMaxEncodedWords];
+    Word ref_enc[kMaxEncodedWords];
+    const bool read_n = EncodeSequence(
+        std::string_view(reads + off, static_cast<std::size_t>(length)),
+        read_enc);
+    const bool ref_n = EncodeSequence(
+        std::string_view(refs + off, static_cast<std::size_t>(length)),
+        ref_enc);
+    if (read_n || ref_n) {
+      results[i] = MakePairResult({true, 0}, /*bypassed=*/true);
+      return;
+    }
+    const FilterResult r =
+        GateKeeperFiltration(read_enc, ref_enc, length, e, params);
+    results[i] = MakePairResult(r, /*bypassed=*/false);
+  }
+};
+
+/// One candidate mapping: which read, and where its candidate reference
+/// segment starts on the genome.
+struct CandidatePair {
+  std::uint32_t read_index = 0;
+  std::int64_t ref_pos = 0;
+};
+
+struct CandidatesKernel {
+  const Word* reads = nullptr;  // encoded reads, words_per_seq stride
+  const std::uint8_t* read_has_n = nullptr;
+  const Word* ref_words = nullptr;   // encoded genome
+  const Word* ref_n_mask = nullptr;  // genome 'N' positions
+  std::int64_t ref_len = 0;
+  const CandidatePair* candidates = nullptr;
+  PairResult* results = nullptr;
+  std::int64_t n = 0;
+  int length = 0;
+  int words_per_seq = 0;
+  int e = 0;
+  GateKeeperParams params;
+
+  void operator()(const gpusim::ThreadCtx& ctx) const {
+    const std::int64_t i = ctx.GlobalId();
+    if (i >= n) return;
+    const CandidatePair c = candidates[i];
+    if (read_has_n[c.read_index] != 0 ||
+        RangeHasUnknownRaw(ref_n_mask, ref_len, c.ref_pos, length)) {
+      results[i] = MakePairResult({true, 0}, /*bypassed=*/true);
+      return;
+    }
+    Word ref_enc[kMaxEncodedWords];
+    ExtractSegmentRaw(ref_words, ref_len, c.ref_pos, length, ref_enc);
+    const std::size_t off = static_cast<std::size_t>(c.read_index) *
+                            static_cast<std::size_t>(words_per_seq);
+    const FilterResult r =
+        GateKeeperFiltration(reads + off, ref_enc, length, e, params);
+    results[i] = MakePairResult(r, /*bypassed=*/false);
+  }
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_CORE_GATEKEEPER_KERNEL_HPP

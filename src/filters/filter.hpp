@@ -1,0 +1,35 @@
+// Common interface for pre-alignment filters.  A filter inspects a read and
+// its candidate reference segment (equal length, as produced by seed
+// extension) and decides quickly whether the pair could be within the edit
+// threshold: accept (needs real verification) or reject (skip alignment).
+// Filters may over-accept (false accepts cost verification time) but should
+// never over-reject (false rejects lose mappings).
+#ifndef GKGPU_FILTERS_FILTER_HPP
+#define GKGPU_FILTERS_FILTER_HPP
+
+#include <string_view>
+
+namespace gkgpu {
+
+struct FilterResult {
+  bool accept = true;
+  /// The filter's cheap approximation of the edit distance (GateKeeper-GPU
+  /// writes this next to the accept bit in the result buffer).
+  int estimated_edits = 0;
+};
+
+class PreAlignmentFilter {
+ public:
+  virtual ~PreAlignmentFilter() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Filters one read / candidate-reference-segment pair with error
+  /// threshold `e`.  Both sequences must have the same length.
+  virtual FilterResult Filter(std::string_view read, std::string_view ref,
+                              int e) const = 0;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_FILTERS_FILTER_HPP

@@ -1,0 +1,56 @@
+#include "filters/gatekeeper.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "encode/encoded.hpp"
+#include "util/threadpool.hpp"
+
+namespace gkgpu {
+
+FilterResult GateKeeperFilter::Filter(std::string_view read,
+                                      std::string_view ref, int e) const {
+  assert(read.size() == ref.size());
+  assert(static_cast<int>(read.size()) <= kMaxReadLength);
+  Word read_enc[kMaxEncodedWords];
+  Word ref_enc[kMaxEncodedWords];
+  const bool read_n = EncodeSequence(read, read_enc);
+  const bool ref_n = EncodeSequence(ref, ref_enc);
+  if (params_.bypass_undefined && (read_n || ref_n)) {
+    // Undefined pair: pass it straight to verification.
+    return {true, 0};
+  }
+  return FilterEncoded(read_enc, ref_enc, static_cast<int>(read.size()), e);
+}
+
+GateKeeperCpu::GateKeeperCpu(GateKeeperParams params, unsigned threads)
+    : params_(params),
+      pool_(threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr) {}
+
+GateKeeperCpu::~GateKeeperCpu() = default;
+
+unsigned GateKeeperCpu::threads() const {
+  return pool_ != nullptr ? pool_->size() : 1;
+}
+
+void GateKeeperCpu::FilterBatch(const PairView* pairs, std::size_t n,
+                                int length, int e,
+                                FilterResult* results) const {
+  auto run = [&](std::size_t b, std::size_t end) {
+    for (std::size_t i = b; i < end; ++i) {
+      if (pairs[i].bypass != 0) {
+        results[i] = {true, 0};
+      } else {
+        results[i] =
+            GateKeeperFiltration(pairs[i].read, pairs[i].ref, length, e, params_);
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(0, n, 4096, run);
+  } else {
+    run(0, n);
+  }
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,79 @@
+// GateKeeper as a host-side pre-alignment filter.
+//
+//  * GateKeeperFilter(kImproved)  — the GateKeeper-GPU algorithm run on the
+//    CPU; also the engine's reference semantics (the simulated device kernel
+//    must agree bit-for-bit).
+//  * GateKeeperFilter(kOriginal)  — the original GateKeeper/FPGA algorithm
+//    without the leading/trailing fix, used as the accuracy baseline
+//    ("GateKeeper-FPGA" in the paper's comparison figures).
+//  * GateKeeperCpu                — the multicore batch runner used by the
+//    throughput benches ("GateKeeper-CPU", 1..N cores).
+#ifndef GKGPU_FILTERS_GATEKEEPER_HPP
+#define GKGPU_FILTERS_GATEKEEPER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "filters/filter.hpp"
+#include "filters/gatekeeper_core.hpp"
+
+namespace gkgpu {
+
+class ThreadPool;
+struct EncodedBatch;
+
+class GateKeeperFilter : public PreAlignmentFilter {
+ public:
+  explicit GateKeeperFilter(GateKeeperParams params = {}) : params_(params) {}
+
+  std::string_view name() const override {
+    return params_.mode == GateKeeperMode::kImproved ? "GateKeeper-GPU"
+                                                     : "GateKeeper-FPGA";
+  }
+
+  /// String-level entry point.  Pairs containing 'N' bypass filtration and
+  /// are accepted outright (GateKeeper-GPU Sec. 3.3 design choice).
+  FilterResult Filter(std::string_view read, std::string_view ref,
+                      int e) const override;
+
+  /// Encoded-domain entry point used by batch runners.
+  FilterResult FilterEncoded(const Word* read_enc, const Word* ref_enc,
+                             int length, int e) const {
+    return GateKeeperFiltration(read_enc, ref_enc, length, e, params_);
+  }
+
+  const GateKeeperParams& params() const { return params_; }
+
+ private:
+  GateKeeperParams params_;
+};
+
+/// Multicore batched GateKeeper: the "GateKeeper-CPU" baseline.  Reads and
+/// candidate segments arrive pre-encoded (fixed stride); results land in a
+/// caller-provided buffer, one byte accept flag + estimated edits.
+class GateKeeperCpu {
+ public:
+  GateKeeperCpu(GateKeeperParams params, unsigned threads);
+  ~GateKeeperCpu();
+
+  struct PairView {
+    const Word* read;
+    const Word* ref;
+    std::uint8_t bypass;  // undefined ('N') pair: auto-accept
+  };
+
+  /// Filters pairs[i] for i in [0, n); results[i] = {accept, edits}.
+  void FilterBatch(const PairView* pairs, std::size_t n, int length, int e,
+                   FilterResult* results) const;
+
+  unsigned threads() const;
+
+ private:
+  GateKeeperParams params_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_FILTERS_GATEKEEPER_HPP

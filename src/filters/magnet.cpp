@@ -1,0 +1,74 @@
+#include "filters/magnet.hpp"
+
+#include <cassert>
+#include <queue>
+
+#include "filters/neighborhood.hpp"
+
+namespace gkgpu {
+
+namespace {
+
+struct Candidate {
+  int run_len;
+  int run_start;
+  int lo;  // interval the run was found in
+  int hi;
+  bool operator<(const Candidate& o) const { return run_len < o.run_len; }
+};
+
+// Longest zero run across every diagonal within [lo, hi].
+Candidate FindLongest(const NeighborhoodMap& map, int lo, int hi) {
+  Candidate best{0, lo, lo, hi};
+  for (int d = -map.e(); d <= map.e(); ++d) {
+    int start = lo;
+    const int len = map.LongestZeroRun(d, lo, hi, &start);
+    if (len > best.run_len) {
+      best.run_len = len;
+      best.run_start = start;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+FilterResult MagnetFilter::Filter(std::string_view read, std::string_view ref,
+                                  int e) const {
+  assert(read.size() == ref.size());
+  const int length = static_cast<int>(read.size());
+  NeighborhoodMap map;
+  map.Build(read, ref, e);
+
+  // Greedy global extraction: repeatedly take the longest remaining zero
+  // streak (max-heap over live intervals), burn one divider column on each
+  // side, and recurse into the leftover sub-intervals.  At most e+1
+  // extractions, as in the MAGNET paper.
+  std::priority_queue<Candidate> heap;
+  {
+    const Candidate c = FindLongest(map, 0, length - 1);
+    if (c.run_len > 0) heap.push(c);
+  }
+  int covered = 0;
+  int extractions = 0;
+  while (!heap.empty() && extractions < e + 1) {
+    const Candidate c = heap.top();
+    heap.pop();
+    covered += c.run_len;
+    ++extractions;
+    const int left_hi = c.run_start - 2;   // -1 is the divider column
+    const int right_lo = c.run_start + c.run_len + 1;
+    if (left_hi >= c.lo) {
+      const Candidate l = FindLongest(map, c.lo, left_hi);
+      if (l.run_len > 0) heap.push(l);
+    }
+    if (right_lo <= c.hi) {
+      const Candidate r = FindLongest(map, right_lo, c.hi);
+      if (r.run_len > 0) heap.push(r);
+    }
+  }
+  const int edits = length - covered;
+  return {edits <= e, edits};
+}
+
+}  // namespace gkgpu

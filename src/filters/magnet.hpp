@@ -1,0 +1,23 @@
+// MAGNET (Alser et al. 2017): pre-alignment filtering by divide-and-conquer
+// extraction of the e+1 longest non-overlapping zero streaks across the
+// neighborhood masks.  Positions not covered by an extracted streak
+// (including the single divider column consumed on each side of a streak)
+// are counted as edits.  More accurate than GateKeeper/SHD but can produce
+// occasional false rejects, which the paper calls out in Sec. 5.1.2.
+#ifndef GKGPU_FILTERS_MAGNET_HPP
+#define GKGPU_FILTERS_MAGNET_HPP
+
+#include "filters/filter.hpp"
+
+namespace gkgpu {
+
+class MagnetFilter : public PreAlignmentFilter {
+ public:
+  std::string_view name() const override { return "MAGNET"; }
+  FilterResult Filter(std::string_view read, std::string_view ref,
+                      int e) const override;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_FILTERS_MAGNET_HPP

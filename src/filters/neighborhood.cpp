@@ -1,0 +1,72 @@
+#include "filters/neighborhood.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace gkgpu {
+
+void NeighborhoodMap::Build(std::string_view read, std::string_view ref,
+                            int e) {
+  assert(read.size() == ref.size());
+  length_ = static_cast<int>(read.size());
+  e_ = e;
+  mask_words_ = MaskWords(length_);
+  words_.assign(static_cast<std::size_t>(2 * e + 1) *
+                    static_cast<std::size_t>(mask_words_),
+                0);
+  for (int d = -e; d <= e; ++d) {
+    Word* row = words_.data() + static_cast<std::size_t>(d + e_) *
+                                    static_cast<std::size_t>(mask_words_);
+    for (int j = 0; j < length_; ++j) {
+      const int rj = j + d;
+      const bool mismatch =
+          rj < 0 || rj >= length_ ||
+          read[static_cast<std::size_t>(j)] != ref[static_cast<std::size_t>(rj)];
+      if (mismatch) SetMaskBit(row, j);
+    }
+  }
+}
+
+int NeighborhoodMap::ZeroRunFrom(int d, int j) const {
+  if (j >= length_) return 0;
+  const Word* row = Diagonal(d);
+  int pos = j;
+  while (pos < length_) {
+    const int word = pos / kWordBits;
+    const int off = pos % kWordBits;
+    const Word w = row[word] << off;  // first considered bit at the MSB
+    if (w != 0) {
+      const int lead = std::countl_zero(w);
+      pos += lead;
+      break;
+    }
+    pos += kWordBits - off;
+  }
+  if (pos > length_) pos = length_;
+  return pos - j;
+}
+
+int NeighborhoodMap::LongestZeroRun(int d, int lo, int hi, int* start) const {
+  if (lo < 0) lo = 0;
+  if (hi >= length_) hi = length_ - 1;
+  int best = 0;
+  int best_start = lo;
+  int j = lo;
+  while (j <= hi) {
+    int run = ZeroRunFrom(d, j);
+    if (run == 0) {
+      ++j;
+      continue;
+    }
+    if (j + run - 1 > hi) run = hi - j + 1;
+    if (run > best) {
+      best = run;
+      best_start = j;
+    }
+    j += run + 1;
+  }
+  if (start != nullptr) *start = best_start;
+  return best;
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,48 @@
+// The banded neighborhood map shared by the MAGNET, Shouji and SneakySnake
+// baselines: one mismatch bit-vector per diagonal d in [-e, +e], where bit j
+// of diagonal d says whether read[j] differs from ref[j + d].  Out-of-range
+// comparisons count as mismatches, which also encodes the leading/trailing
+// edge information these filters (unlike the original GateKeeper) honour.
+#ifndef GKGPU_FILTERS_NEIGHBORHOOD_HPP
+#define GKGPU_FILTERS_NEIGHBORHOOD_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace gkgpu {
+
+class NeighborhoodMap {
+ public:
+  /// Builds the map for the given pair and threshold.  The object is
+  /// reusable: Build() resizes internal storage as needed.
+  void Build(std::string_view read, std::string_view ref, int e);
+
+  int length() const { return length_; }
+  int e() const { return e_; }
+  int mask_words() const { return mask_words_; }
+
+  /// Bit-vector for diagonal d (-e <= d <= +e), MSB-first packed.
+  const Word* Diagonal(int d) const {
+    return words_.data() +
+           static_cast<std::size_t>(d + e_) * static_cast<std::size_t>(mask_words_);
+  }
+
+  /// Length of the run of 0s (matches) on diagonal d starting at column j.
+  int ZeroRunFrom(int d, int j) const;
+
+  /// Longest run of 0s on diagonal d within columns [lo, hi]; returns its
+  /// length and writes the start column (undefined when the result is 0).
+  int LongestZeroRun(int d, int lo, int hi, int* start) const;
+
+ private:
+  int length_ = 0;
+  int e_ = 0;
+  int mask_words_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_FILTERS_NEIGHBORHOOD_HPP

@@ -1,0 +1,130 @@
+#include "filters/scalar_ref.hpp"
+
+#include <cassert>
+
+#include "encode/dna.hpp"
+
+namespace gkgpu {
+
+std::vector<int> ScalarMask(std::string_view read, std::string_view ref,
+                            int shift) {
+  const int length = static_cast<int>(read.size());
+  std::vector<int> mask(static_cast<std::size_t>(length), 0);
+  for (int p = 0; p < length; ++p) {
+    const int ri = p - shift;
+    // The bit-parallel shift fills vacated slots with 0 bits == code of 'A'.
+    const unsigned read_code =
+        (ri >= 0 && ri < length)
+            ? BaseToCode(read[static_cast<std::size_t>(ri)]) & 0x3u
+            : 0u;
+    const unsigned ref_code =
+        BaseToCode(ref[static_cast<std::size_t>(p)]) & 0x3u;
+    mask[static_cast<std::size_t>(p)] = read_code == ref_code ? 0 : 1;
+  }
+  return mask;
+}
+
+std::vector<int> ScalarMask2Bit(std::string_view read, std::string_view ref,
+                                int shift) {
+  const int length = static_cast<int>(read.size());
+  std::vector<int> mask(2 * static_cast<std::size_t>(length), 0);
+  for (int p = 0; p < length; ++p) {
+    const int ri = p - shift;
+    const unsigned read_code =
+        (ri >= 0 && ri < length)
+            ? BaseToCode(read[static_cast<std::size_t>(ri)]) & 0x3u
+            : 0u;
+    const unsigned ref_code =
+        BaseToCode(ref[static_cast<std::size_t>(p)]) & 0x3u;
+    const unsigned x = read_code ^ ref_code;
+    mask[2 * static_cast<std::size_t>(p)] = (x >> 1) & 1u;
+    mask[2 * static_cast<std::size_t>(p) + 1] = x & 1u;
+  }
+  return mask;
+}
+
+void ScalarAmend(std::vector<int>& mask) {
+  const int n = static_cast<int>(mask.size());
+  std::vector<int> out = mask;
+  int i = 0;
+  while (i < n) {
+    if (mask[static_cast<std::size_t>(i)] == 1) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < n && mask[static_cast<std::size_t>(j)] == 0) ++j;
+    const int run = j - i;
+    const bool left_one = i > 0;
+    const bool right_one = j < n;
+    if (run <= 2 && left_one && right_one) {
+      for (int p = i; p < j; ++p) out[static_cast<std::size_t>(p)] = 1;
+    }
+    i = j;
+  }
+  mask = std::move(out);
+}
+
+int ScalarCountRuns(const std::vector<int>& mask) {
+  int runs = 0;
+  int prev = 0;
+  for (const int b : mask) {
+    if (b == 1 && prev == 0) ++runs;
+    prev = b;
+  }
+  return runs;
+}
+
+FilterResult GateKeeperScalar(std::string_view read, std::string_view ref,
+                              int e, const GateKeeperParams& params) {
+  assert(read.size() == ref.size());
+  const int length = static_cast<int>(read.size());
+  if (params.bypass_undefined &&
+      (ContainsUnknown(read) || ContainsUnknown(ref))) {
+    return {true, 0};
+  }
+
+  auto count = [&](const std::vector<int>& m) {
+    if (params.count == CountMode::kPopcount) {
+      int ones = 0;
+      for (const int b : m) ones += b;
+      return ones;
+    }
+    return ScalarCountRuns(m);
+  };
+
+  const bool original = params.mode == GateKeeperMode::kOriginal;
+  auto make_mask = [&](int shift) {
+    return original ? ScalarMask2Bit(read, ref, shift)
+                    : ScalarMask(read, ref, shift);
+  };
+
+  std::vector<int> final_mask = make_mask(0);
+  if (e == 0) {
+    const int errors = count(final_mask);
+    return {errors == 0, errors};
+  }
+  ScalarAmend(final_mask);
+  for (int k = 1; k <= e; ++k) {
+    for (const int shift : {k, -k}) {
+      std::vector<int> mask = make_mask(shift);
+      ScalarAmend(mask);
+      if (params.mode == GateKeeperMode::kImproved) {
+        if (shift > 0) {
+          for (int p = 0; p < shift; ++p) mask[static_cast<std::size_t>(p)] = 1;
+        } else {
+          for (int p = length + shift; p < length; ++p) {
+            mask[static_cast<std::size_t>(p)] = 1;
+          }
+        }
+      }
+      for (std::size_t p = 0; p < final_mask.size(); ++p) {
+        final_mask[p] &= mask[p];
+      }
+    }
+  }
+  const int errors = count(final_mask);
+  return {errors <= e, errors};
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,27 @@
+#include "filters/shd.hpp"
+
+#include <cassert>
+
+#include "encode/encoded.hpp"
+#include "filters/gatekeeper_core.hpp"
+
+namespace gkgpu {
+
+FilterResult ShdFilter::Filter(std::string_view read, std::string_view ref,
+                               int e) const {
+  assert(read.size() == ref.size());
+  Word read_enc[kMaxEncodedWords];
+  Word ref_enc[kMaxEncodedWords];
+  EncodeSequence(read, read_enc);
+  EncodeSequence(ref, ref_enc);
+  // SHD materializes every mask before the AND (it is SIMD-parallel across
+  // masks); functionally this is the original GateKeeper data flow, which
+  // the shared core reproduces with kOriginal mode.
+  GateKeeperParams params;
+  params.mode = GateKeeperMode::kOriginal;
+  params.count = CountMode::kOneRuns;
+  return GateKeeperFiltration(read_enc, ref_enc,
+                              static_cast<int>(read.size()), e, params);
+}
+
+}  // namespace gkgpu

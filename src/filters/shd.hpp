@@ -1,0 +1,23 @@
+// Shifted Hamming Distance (Xin et al. 2015): the bit-parallel,
+// SIMD-friendly ancestor of GateKeeper.  Builds the same 2e+1 Hamming
+// masks, speculatively removes short 0-streaks, ANDs, and counts — without
+// the leading/trailing fix, so its accuracy matches the original
+// GateKeeper, as the paper's comparison tables show (identical false-accept
+// columns for GateKeeper-FPGA and SHD).
+#ifndef GKGPU_FILTERS_SHD_HPP
+#define GKGPU_FILTERS_SHD_HPP
+
+#include "filters/filter.hpp"
+
+namespace gkgpu {
+
+class ShdFilter : public PreAlignmentFilter {
+ public:
+  std::string_view name() const override { return "SHD"; }
+  FilterResult Filter(std::string_view read, std::string_view ref,
+                      int e) const override;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_FILTERS_SHD_HPP

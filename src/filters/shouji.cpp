@@ -1,0 +1,69 @@
+#include "filters/shouji.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "filters/neighborhood.hpp"
+
+namespace gkgpu {
+
+namespace {
+constexpr int kWindow = 4;
+}  // namespace
+
+FilterResult ShoujiFilter::Filter(std::string_view read, std::string_view ref,
+                                  int e) const {
+  assert(read.size() == ref.size());
+  const int length = static_cast<int>(read.size());
+  NeighborhoodMap map;
+  map.Build(read, ref, e);
+
+  // Shouji bit-vector: starts all-mismatch; each sliding window stores the
+  // best (fewest mismatches) diagonal segment it found, but only if doing
+  // so strictly reduces the number of mismatches in that span of the
+  // vector (the Shouji paper's Algorithm 1 update rule).
+  const int mask_words = MaskWords(length);
+  Word common[kMaxMaskWords];
+  for (int i = 0; i < mask_words; ++i) common[i] = ~Word{0};
+  ZeroTailBits(common, mask_words, length);
+  SetBitRange(common, 0, length);
+
+  auto window_bits = [&](const Word* row, int j, int w) {
+    unsigned bits = 0;
+    for (int t = 0; t < w; ++t) {
+      bits = (bits << 1) | GetMaskBit(row, j + t);
+    }
+    return bits;
+  };
+
+  for (int j = 0; j < length; ++j) {
+    const int w = j + kWindow <= length ? kWindow : length - j;
+    unsigned best = (1u << w) - 1u;
+    int best_ones = w + 1;
+    for (int d = -e; d <= e; ++d) {
+      const unsigned bits = window_bits(map.Diagonal(d), j, w);
+      const int ones = std::popcount(bits);
+      if (ones < best_ones) {
+        best_ones = ones;
+        best = bits;
+      }
+    }
+    const unsigned cur = window_bits(common, j, w);
+    if (best_ones < std::popcount(cur)) {
+      for (int t = 0; t < w; ++t) {
+        const int p = j + t;
+        const Word bit = Word{1u} << (kWordBits - 1 - p % kWordBits);
+        if ((best & (1u << (w - 1 - t))) == 0) {
+          common[p / kWordBits] &= ~bit;
+        } else {
+          common[p / kWordBits] |= bit;
+        }
+      }
+    }
+  }
+
+  const int edits = PopcountWords(common, mask_words);
+  return {edits <= e, edits};
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,21 @@
+// Shouji (Alser et al. 2019): builds a banded neighborhood map and slides a
+// 4-column search window across it, keeping for every window the diagonal
+// segment with the most matches; the surviving unmatched columns of the
+// assembled common-subsequence vector estimate the edit count.
+#ifndef GKGPU_FILTERS_SHOUJI_HPP
+#define GKGPU_FILTERS_SHOUJI_HPP
+
+#include "filters/filter.hpp"
+
+namespace gkgpu {
+
+class ShoujiFilter : public PreAlignmentFilter {
+ public:
+  std::string_view name() const override { return "Shouji"; }
+  FilterResult Filter(std::string_view read, std::string_view ref,
+                      int e) const override;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_FILTERS_SHOUJI_HPP

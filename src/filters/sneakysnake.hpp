@@ -1,0 +1,22 @@
+// SneakySnake (Alser et al. 2020): approximate string matching as a single
+// net routing problem.  The snake greedily crosses the (2e+1) x L chip maze
+// taking the longest available horizontal run of matches over all
+// diagonals, consuming one column (an obstruction = one edit) whenever it
+// must stop.  Accepts when the maze is crossed with at most e obstructions.
+#ifndef GKGPU_FILTERS_SNEAKYSNAKE_HPP
+#define GKGPU_FILTERS_SNEAKYSNAKE_HPP
+
+#include "filters/filter.hpp"
+
+namespace gkgpu {
+
+class SneakySnakeFilter : public PreAlignmentFilter {
+ public:
+  std::string_view name() const override { return "SneakySnake"; }
+  FilterResult Filter(std::string_view read, std::string_view ref,
+                      int e) const override;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_FILTERS_SNEAKYSNAKE_HPP

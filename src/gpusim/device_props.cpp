@@ -1,0 +1,53 @@
+#include "gpusim/device_props.hpp"
+
+namespace gkgpu::gpusim {
+
+double DeviceProperties::pcie_bytes_per_second() const {
+  // Raw per-lane payload rate (GB/s): gen2 = 0.5, gen3 = ~0.985.
+  const double per_lane_gb = pcie_gen >= 3 ? 0.985 : 0.5;
+  return per_lane_gb * pcie_lanes * 0.75 * 1e9;
+}
+
+DeviceProperties MakeGtx1080Ti() {
+  DeviceProperties p;
+  p.name = "GeForce GTX 1080 Ti";
+  p.compute_major = 6;
+  p.compute_minor = 1;
+  p.sm_count = 28;             // 3584 CUDA cores
+  p.cores_per_sm = 128;
+  p.max_threads_per_sm = 2048;
+  p.max_blocks_per_sm = 32;
+  p.regs_per_sm = 64 * 1024;
+  p.shared_mem_per_sm = 96 * 1024;
+  p.global_mem_bytes = std::size_t{10} * 1024 * 1024 * 1024;  // per paper
+  p.core_clock_ghz = 1.58;
+  p.mem_bandwidth_gb_s = 484.0;
+  p.pcie_gen = 3;
+  p.pcie_lanes = 16;
+  p.idle_power_mw = 8900.0;    // matches the paper's observed minimum
+  p.tdp_mw = 250000.0;
+  return p;
+}
+
+DeviceProperties MakeTeslaK20X() {
+  DeviceProperties p;
+  p.name = "Tesla K20X";
+  p.compute_major = 3;
+  p.compute_minor = 5;
+  p.sm_count = 14;             // 2688 CUDA cores
+  p.cores_per_sm = 192;
+  p.max_threads_per_sm = 2048;
+  p.max_blocks_per_sm = 16;
+  p.regs_per_sm = 64 * 1024;
+  p.shared_mem_per_sm = 48 * 1024;
+  p.global_mem_bytes = std::size_t{5} * 1024 * 1024 * 1024;  // per paper
+  p.core_clock_ghz = 0.732;
+  p.mem_bandwidth_gb_s = 250.0;
+  p.pcie_gen = 2;
+  p.pcie_lanes = 16;
+  p.idle_power_mw = 30100.0;   // matches the paper's observed minimum
+  p.tdp_mw = 235000.0;
+  return p;
+}
+
+}  // namespace gkgpu::gpusim

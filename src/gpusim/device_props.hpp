@@ -1,0 +1,70 @@
+// Static properties of the simulated GPGPU devices.
+//
+// The paper evaluates on two machines:
+//   Setup 1: 8x NVIDIA GeForce GTX 1080 Ti (Pascal, CC 6.1, 10 GB,
+//            PCIe gen3 x16) — supports memory advice + async prefetching.
+//   Setup 2: 4x NVIDIA Tesla K20X (Kepler, CC 3.5, 5 GB, PCIe gen2 x16) —
+//            prefetching unsupported, whole-allocation unified-memory
+//            migration semantics.
+// We reproduce both profiles; values the paper states (memory sizes, CC,
+// PCIe generation) are taken from the paper even where they differ from
+// the vendor datasheet, since they parameterize the paper's experiments.
+#ifndef GKGPU_GPUSIM_DEVICE_PROPS_HPP
+#define GKGPU_GPUSIM_DEVICE_PROPS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gkgpu::gpusim {
+
+struct DeviceProperties {
+  std::string name;
+  int compute_major = 6;
+  int compute_minor = 1;
+  int sm_count = 28;
+  int cores_per_sm = 128;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  std::int64_t regs_per_sm = 64 * 1024;
+  int reg_alloc_granularity = 256;
+  std::size_t shared_mem_per_sm = 96 * 1024;
+  std::size_t global_mem_bytes = 0;
+  double core_clock_ghz = 1.0;
+  double mem_bandwidth_gb_s = 300.0;
+  int pcie_gen = 3;
+  int pcie_lanes = 16;
+  double idle_power_mw = 9000.0;
+  double tdp_mw = 250000.0;
+
+  int max_warps_per_sm() const { return max_threads_per_sm / warp_size; }
+
+  /// Memory advice + asynchronous prefetching need CC >= 6.x (Pascal),
+  /// exactly the capability gate GateKeeper-GPU checks at configuration.
+  bool supports_prefetch() const { return compute_major >= 6; }
+
+  /// Pascal-class unified memory pages on demand; Kepler migrates whole
+  /// allocations at kernel launch.
+  bool supports_demand_paging() const { return compute_major >= 6; }
+
+  /// Effective host<->device bandwidth in bytes/second for the PCIe link
+  /// (~75% of the raw per-lane rate, the usual achievable fraction).
+  double pcie_bytes_per_second() const;
+
+  /// Peak simple-ALU throughput in operations/second (cores x clock).
+  double peak_ops_per_second() const {
+    return static_cast<double>(sm_count) * cores_per_sm * core_clock_ghz * 1e9;
+  }
+};
+
+/// GeForce GTX 1080 Ti as configured in the paper's Setup 1.
+DeviceProperties MakeGtx1080Ti();
+
+/// Tesla K20X as configured in the paper's Setup 2.
+DeviceProperties MakeTeslaK20X();
+
+}  // namespace gkgpu::gpusim
+
+#endif  // GKGPU_GPUSIM_DEVICE_PROPS_HPP

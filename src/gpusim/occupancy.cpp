@@ -1,0 +1,65 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+namespace gkgpu::gpusim {
+
+std::string_view LimiterName(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::kWarps: return "warps";
+    case OccupancyLimiter::kBlocks: return "blocks";
+    case OccupancyLimiter::kRegisters: return "registers";
+    case OccupancyLimiter::kSharedMemory: return "shared memory";
+  }
+  return "?";
+}
+
+OccupancyResult ComputeOccupancy(const DeviceProperties& props,
+                                 int threads_per_block, int regs_per_thread,
+                                 std::size_t shared_mem_per_block) {
+  OccupancyResult r;
+  r.max_warps_per_sm = props.max_warps_per_sm();
+  const int warps_per_block =
+      (threads_per_block + props.warp_size - 1) / props.warp_size;
+
+  // Limit 1: resident warps / threads.
+  const int by_warps = r.max_warps_per_sm / warps_per_block;
+  // Limit 2: resident blocks.
+  const int by_blocks = props.max_blocks_per_sm;
+  // Limit 3: register file.  Registers are allocated per warp with a
+  // granularity of reg_alloc_granularity.
+  int by_regs = by_blocks;
+  if (regs_per_thread > 0) {
+    const std::int64_t regs_per_warp =
+        ((static_cast<std::int64_t>(regs_per_thread) * props.warp_size +
+          props.reg_alloc_granularity - 1) /
+         props.reg_alloc_granularity) *
+        props.reg_alloc_granularity;
+    const std::int64_t warps_by_regs = props.regs_per_sm / regs_per_warp;
+    by_regs = static_cast<int>(warps_by_regs / warps_per_block);
+  }
+  // Limit 4: shared memory.
+  int by_smem = by_blocks;
+  if (shared_mem_per_block > 0) {
+    by_smem = static_cast<int>(props.shared_mem_per_sm / shared_mem_per_block);
+  }
+
+  r.blocks_per_sm = std::max(0, std::min({by_warps, by_blocks, by_regs, by_smem}));
+  r.active_warps_per_sm = r.blocks_per_sm * warps_per_block;
+  r.occupancy = r.max_warps_per_sm > 0
+                    ? static_cast<double>(r.active_warps_per_sm) /
+                          r.max_warps_per_sm
+                    : 0.0;
+  if (r.blocks_per_sm == by_regs && by_regs <= by_warps && by_regs <= by_smem) {
+    r.limited_by = OccupancyLimiter::kRegisters;
+  } else if (r.blocks_per_sm == by_smem && by_smem <= by_warps) {
+    r.limited_by = OccupancyLimiter::kSharedMemory;
+  } else if (r.blocks_per_sm == by_blocks && by_blocks < by_warps) {
+    r.limited_by = OccupancyLimiter::kBlocks;
+  } else {
+    r.limited_by = OccupancyLimiter::kWarps;
+  }
+  return r;
+}
+
+}  // namespace gkgpu::gpusim

@@ -1,0 +1,35 @@
+// CUDA occupancy-calculator rules: given a kernel's resource usage, how
+// many warps can be resident per SM.  Reproduces the paper's Sec. 5.4.1
+// analysis (48 registers/thread at 1024 threads/block -> 50% theoretical
+// occupancy on both device generations).
+#ifndef GKGPU_GPUSIM_OCCUPANCY_HPP
+#define GKGPU_GPUSIM_OCCUPANCY_HPP
+
+#include <cstddef>
+#include <string_view>
+
+#include "gpusim/device_props.hpp"
+
+namespace gkgpu::gpusim {
+
+enum class OccupancyLimiter { kWarps, kBlocks, kRegisters, kSharedMemory };
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int active_warps_per_sm = 0;
+  int max_warps_per_sm = 0;
+  double occupancy = 0.0;  // active / max
+  OccupancyLimiter limited_by = OccupancyLimiter::kWarps;
+};
+
+std::string_view LimiterName(OccupancyLimiter limiter);
+
+/// Theoretical occupancy for a kernel with the given per-thread register
+/// count, block size, and per-block shared memory.
+OccupancyResult ComputeOccupancy(const DeviceProperties& props,
+                                 int threads_per_block, int regs_per_thread,
+                                 std::size_t shared_mem_per_block);
+
+}  // namespace gkgpu::gpusim
+
+#endif  // GKGPU_GPUSIM_OCCUPANCY_HPP

@@ -1,0 +1,53 @@
+#include "io/fasta.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gkgpu {
+
+std::vector<FastaRecord> ReadFasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      records.push_back({line.substr(1), {}});
+    } else if (line[0] == ';') {
+      continue;  // comment line
+    } else {
+      if (records.empty()) {
+        throw std::runtime_error("FASTA: sequence data before first header");
+      }
+      records.back().seq += line;
+    }
+  }
+  return records;
+}
+
+std::vector<FastaRecord> ReadFastaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FASTA: cannot open " + path);
+  return ReadFasta(in);
+}
+
+void WriteFasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                int line_width) {
+  for (const auto& r : records) {
+    out << '>' << r.name << '\n';
+    for (std::size_t i = 0; i < r.seq.size();
+         i += static_cast<std::size_t>(line_width)) {
+      out << r.seq.substr(i, static_cast<std::size_t>(line_width)) << '\n';
+    }
+  }
+}
+
+void WriteFastaFile(const std::string& path,
+                    const std::vector<FastaRecord>& records, int line_width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("FASTA: cannot open " + path);
+  WriteFasta(out, records, line_width);
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,29 @@
+// Minimal FASTA reader/writer for reference genomes and read sets.
+#ifndef GKGPU_IO_FASTA_HPP
+#define GKGPU_IO_FASTA_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gkgpu {
+
+struct FastaRecord {
+  std::string name;
+  std::string seq;
+};
+
+/// Parses all records from a FASTA stream.  Throws std::runtime_error on a
+/// malformed stream (sequence data before the first header).
+std::vector<FastaRecord> ReadFasta(std::istream& in);
+std::vector<FastaRecord> ReadFastaFile(const std::string& path);
+
+void WriteFasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                int line_width = 70);
+void WriteFastaFile(const std::string& path,
+                    const std::vector<FastaRecord>& records,
+                    int line_width = 70);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_IO_FASTA_HPP

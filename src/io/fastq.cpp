@@ -1,0 +1,60 @@
+#include "io/fastq.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace gkgpu {
+
+std::vector<FastqRecord> ReadFastq(std::istream& in) {
+  std::vector<FastqRecord> records;
+  std::string header, seq, plus, qual;
+  auto chomp = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  while (std::getline(in, header)) {
+    chomp(header);
+    if (header.empty()) continue;
+    if (header[0] != '@') {
+      throw std::runtime_error("FASTQ: expected '@' header, got: " + header);
+    }
+    if (!std::getline(in, seq) || !std::getline(in, plus) ||
+        !std::getline(in, qual)) {
+      throw std::runtime_error("FASTQ: truncated record: " + header);
+    }
+    chomp(seq);
+    chomp(plus);
+    chomp(qual);
+    if (plus.empty() || plus[0] != '+') {
+      throw std::runtime_error("FASTQ: expected '+' separator: " + header);
+    }
+    if (qual.size() != seq.size()) {
+      throw std::runtime_error("FASTQ: quality length mismatch: " + header);
+    }
+    records.push_back({header.substr(1), std::move(seq), std::move(qual)});
+  }
+  return records;
+}
+
+std::vector<FastqRecord> ReadFastqFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FASTQ: cannot open " + path);
+  return ReadFastq(in);
+}
+
+void WriteFastq(std::ostream& out, const std::vector<FastqRecord>& records) {
+  for (const auto& r : records) {
+    out << '@' << r.name << '\n'
+        << r.seq << '\n'
+        << "+\n"
+        << (r.qual.empty() ? std::string(r.seq.size(), 'I') : r.qual) << '\n';
+  }
+}
+
+void WriteFastqFile(const std::string& path,
+                    const std::vector<FastqRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("FASTQ: cannot open " + path);
+  WriteFastq(out, records);
+}
+
+}  // namespace gkgpu

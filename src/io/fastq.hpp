@@ -1,0 +1,26 @@
+// Minimal FASTQ reader/writer for simulated read sets.
+#ifndef GKGPU_IO_FASTQ_HPP
+#define GKGPU_IO_FASTQ_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gkgpu {
+
+struct FastqRecord {
+  std::string name;
+  std::string seq;
+  std::string qual;  // same length as seq
+};
+
+std::vector<FastqRecord> ReadFastq(std::istream& in);
+std::vector<FastqRecord> ReadFastqFile(const std::string& path);
+
+void WriteFastq(std::ostream& out, const std::vector<FastqRecord>& records);
+void WriteFastqFile(const std::string& path,
+                    const std::vector<FastqRecord>& records);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_IO_FASTQ_HPP

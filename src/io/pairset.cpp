@@ -1,0 +1,50 @@
+#include "io/pairset.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace gkgpu {
+
+void WritePairSet(std::ostream& out, const std::vector<SequencePair>& pairs) {
+  out << "# gkgpu-pairset v1 pairs=" << pairs.size()
+      << " length=" << (pairs.empty() ? 0 : pairs.front().read.size()) << '\n';
+  for (const auto& p : pairs) {
+    out << p.read << '\t' << p.ref << '\n';
+  }
+}
+
+void WritePairSetFile(const std::string& path,
+                      const std::vector<SequencePair>& pairs) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("pairset: cannot open " + path);
+  WritePairSet(out, pairs);
+}
+
+std::vector<SequencePair> ReadPairSet(std::istream& in) {
+  std::vector<SequencePair> pairs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      throw std::runtime_error("pairset: malformed line: " + line);
+    }
+    SequencePair p;
+    p.read = line.substr(0, tab);
+    p.ref = line.substr(tab + 1);
+    if (p.read.size() != p.ref.size()) {
+      throw std::runtime_error("pairset: length mismatch on line: " + line);
+    }
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+std::vector<SequencePair> ReadPairSetFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("pairset: cannot open " + path);
+  return ReadPairSet(in);
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,84 @@
+#include "mapper/index.hpp"
+
+#include <cassert>
+
+#include "encode/dna.hpp"
+
+namespace gkgpu {
+
+KmerIndex::KmerIndex(std::string_view genome, int k)
+    : k_(k), genome_length_(genome.size()) {
+  assert(k >= 4 && k <= 14);
+  const std::size_t buckets = std::size_t{1} << (2 * k);
+  offsets_.assign(buckets + 1, 0);
+  if (genome.size() < static_cast<std::size_t>(k)) return;
+  const std::size_t n_kmers = genome.size() - static_cast<std::size_t>(k) + 1;
+
+  // Pass 1: counts.  A rolling code with an "invalid until" marker skips
+  // windows containing 'N' without rescanning.
+  const std::uint64_t mask = (std::uint64_t{1} << (2 * k)) - 1;
+  std::uint64_t code = 0;
+  std::size_t valid_from = 0;  // first position where the window is clean
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    const unsigned c = BaseToCode(genome[i]);
+    if (c >= 4) {
+      valid_from = i + 1;
+      code = (code << 2) & mask;
+      continue;
+    }
+    code = ((code << 2) | c) & mask;
+    if (i + 1 >= static_cast<std::size_t>(k) &&
+        i + 1 - static_cast<std::size_t>(k) >= valid_from) {
+      ++offsets_[code + 1];
+    }
+  }
+  for (std::size_t b = 0; b < buckets; ++b) offsets_[b + 1] += offsets_[b];
+  positions_.resize(offsets_[buckets]);
+
+  // Pass 2: fill.
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  code = 0;
+  valid_from = 0;
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    const unsigned c = BaseToCode(genome[i]);
+    if (c >= 4) {
+      valid_from = i + 1;
+      code = (code << 2) & mask;
+      continue;
+    }
+    code = ((code << 2) | c) & mask;
+    if (i + 1 >= static_cast<std::size_t>(k) &&
+        i + 1 - static_cast<std::size_t>(k) >= valid_from) {
+      const std::size_t start = i + 1 - static_cast<std::size_t>(k);
+      positions_[cursor[code]++] = static_cast<std::uint32_t>(start);
+    }
+  }
+  (void)n_kmers;
+}
+
+std::int64_t KmerIndex::Encode(std::string_view kmer) const {
+  if (kmer.size() != static_cast<std::size_t>(k_)) return -1;
+  std::uint64_t code = 0;
+  for (const char ch : kmer) {
+    const unsigned c = BaseToCode(ch);
+    if (c >= 4) return -1;
+    code = (code << 2) | c;
+  }
+  return static_cast<std::int64_t>(code);
+}
+
+std::span<const std::uint32_t> KmerIndex::Lookup(std::string_view kmer) const {
+  return LookupCode(Encode(kmer));
+}
+
+std::span<const std::uint32_t> KmerIndex::LookupCode(std::int64_t code) const {
+  if (code < 0 ||
+      static_cast<std::size_t>(code) + 1 >= offsets_.size()) {
+    return {};
+  }
+  const std::uint32_t b = offsets_[static_cast<std::size_t>(code)];
+  const std::uint32_t e = offsets_[static_cast<std::size_t>(code) + 1];
+  return std::span<const std::uint32_t>(positions_.data() + b, e - b);
+}
+
+}  // namespace gkgpu

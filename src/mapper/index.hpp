@@ -1,0 +1,42 @@
+// k-mer hash index over the reference genome, mrFAST-style: every position
+// of every k-mer, stored in a CSR layout (offset table over the 4^k code
+// space + a flat position array).  Seeding looks up the non-overlapping
+// k-mers of a read and turns hits into candidate mapping locations.
+#ifndef GKGPU_MAPPER_INDEX_HPP
+#define GKGPU_MAPPER_INDEX_HPP
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace gkgpu {
+
+class KmerIndex {
+ public:
+  /// Builds the index; k <= 14 (the offset table is 4^k + 1 entries;
+  /// mrFAST uses 12).  k-mers containing 'N' are not indexed.
+  KmerIndex(std::string_view genome, int k = 12);
+
+  int k() const { return k_; }
+  std::size_t genome_length() const { return genome_length_; }
+  std::size_t indexed_kmers() const { return positions_.size(); }
+
+  /// Encodes a k-mer to its code; returns -1 if it contains unknown bases.
+  std::int64_t Encode(std::string_view kmer) const;
+
+  /// All genome positions of the exact k-mer (empty when absent or
+  /// malformed).
+  std::span<const std::uint32_t> Lookup(std::string_view kmer) const;
+  std::span<const std::uint32_t> LookupCode(std::int64_t code) const;
+
+ private:
+  int k_;
+  std::size_t genome_length_;
+  std::vector<std::uint32_t> offsets_;    // 4^k + 1
+  std::vector<std::uint32_t> positions_;  // CSR payload
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_MAPPER_INDEX_HPP

@@ -1,0 +1,142 @@
+#include "mapper/mapper.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "align/banded.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace gkgpu {
+
+ReadMapper::ReadMapper(std::string genome, MapperConfig config)
+    : genome_(std::move(genome)),
+      config_(config),
+      index_(genome_, config.k),
+      verify_pool_(std::make_unique<ThreadPool>(config.verify_threads)) {}
+
+ReadMapper::~ReadMapper() = default;
+
+void ReadMapper::CollectCandidates(std::string_view read,
+                                   std::vector<std::int64_t>* candidates)
+    const {
+  candidates->clear();
+  const int L = static_cast<int>(read.size());
+  const int k = config_.k;
+  // Pigeonhole seeding: e+1 non-overlapping k-mers guarantee that a read
+  // within the threshold shares at least one exact seed with its locus.
+  const int max_seeds = L / k;
+  const int n_seeds = std::min(config_.error_threshold + 1, max_seeds);
+  const std::int64_t genome_len = static_cast<std::int64_t>(genome_.size());
+  for (int s = 0; s < n_seeds; ++s) {
+    const int offset = s * k;
+    const auto hits =
+        index_.Lookup(read.substr(static_cast<std::size_t>(offset),
+                                  static_cast<std::size_t>(k)));
+    for (const std::uint32_t pos : hits) {
+      const std::int64_t start = static_cast<std::int64_t>(pos) - offset;
+      if (start < 0 || start + L > genome_len) continue;
+      candidates->push_back(start);
+    }
+  }
+  std::sort(candidates->begin(), candidates->end());
+  candidates->erase(std::unique(candidates->begin(), candidates->end()),
+                    candidates->end());
+}
+
+MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
+                                  GateKeeperGpuEngine* filter,
+                                  std::vector<MappingRecord>* out) {
+  MappingStats stats;
+  stats.reads = reads.size();
+  WallTimer total;
+  if (filter != nullptr && !filter->HasReference()) {
+    WallTimer prep;
+    filter->LoadReference(genome_);
+    stats.preprocess_seconds += prep.Seconds();
+  }
+
+  std::vector<bool> read_mapped(reads.size(), false);
+  const std::size_t batch_reads = std::max<std::size_t>(
+      1, filter != nullptr ? filter->config().max_reads_per_batch
+                           : config_.max_reads_per_batch);
+
+  std::vector<std::string> batch;         // read sequences of this batch
+  std::vector<CandidatePair> candidates;  // (read-in-batch, position)
+  std::vector<std::int64_t> one_read_cands;
+
+  for (std::size_t base = 0; base < reads.size(); base += batch_reads) {
+    const std::size_t count = std::min(batch_reads, reads.size() - base);
+
+    // --- Seeding: fill the batch buffers (Sec. 3.5: "we fill the buffers
+    // with multiple reads and their candidate location indices"). ---
+    WallTimer seed_timer;
+    batch.assign(reads.begin() + static_cast<std::ptrdiff_t>(base),
+                 reads.begin() + static_cast<std::ptrdiff_t>(base + count));
+    candidates.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      CollectCandidates(batch[i], &one_read_cands);
+      for (const std::int64_t pos : one_read_cands) {
+        candidates.push_back({static_cast<std::uint32_t>(i), pos});
+      }
+    }
+    stats.seeding_seconds += seed_timer.Seconds();
+    stats.candidates_total += candidates.size();
+
+    // --- Pre-alignment filtering (optional). ---
+    std::vector<PairResult> decisions;
+    if (filter != nullptr) {
+      const FilterRunStats fs =
+          filter->FilterCandidates(batch, candidates, &decisions);
+      stats.filter_seconds += fs.filter_seconds;
+      stats.filter_kernel_seconds += fs.kernel_seconds;
+      stats.filter_encode_seconds += fs.host_encode_seconds;
+      stats.filter_copy_seconds += fs.host_copy_seconds;
+      stats.rejected_pairs += fs.rejected;
+      stats.bypassed_pairs += fs.bypassed;
+    }
+
+    // --- Verification: banded edit distance on surviving pairs. ---
+    WallTimer verify_timer;
+    std::vector<MappingRecord> found(candidates.size(),
+                                     MappingRecord{0, 0, -1});
+    std::atomic<std::uint64_t> verified{0};
+    verify_pool_->ParallelFor(0, candidates.size(), 256, [&](std::size_t i0,
+                                                             std::size_t i1) {
+      std::uint64_t local_verified = 0;
+      for (std::size_t i = i0; i < i1; ++i) {
+        if (filter != nullptr && decisions[i].accept == 0) continue;
+        ++local_verified;
+        const CandidatePair c = candidates[i];
+        const std::string& read = batch[c.read_index];
+        const std::string_view segment(
+            genome_.data() + c.ref_pos, read.size());
+        const int dist =
+            BandedEditDistance(read, segment, config_.error_threshold);
+        if (dist >= 0) {
+          found[i] = MappingRecord{
+              static_cast<std::uint32_t>(base + c.read_index), c.ref_pos,
+              dist};
+        }
+      }
+      verified.fetch_add(local_verified, std::memory_order_relaxed);
+    });
+    stats.verification_seconds += verify_timer.Seconds();
+    stats.verification_pairs += verified.load();
+
+    for (const MappingRecord& m : found) {
+      if (m.edit_distance < 0) continue;
+      ++stats.mappings;
+      read_mapped[m.read_index] = true;
+      if (out != nullptr) out->push_back(m);
+    }
+  }
+
+  stats.mapped_reads = static_cast<std::uint64_t>(
+      std::count(read_mapped.begin(), read_mapped.end(), true));
+  stats.total_seconds = total.Seconds();
+  return stats;
+}
+
+}  // namespace gkgpu

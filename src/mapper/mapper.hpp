@@ -1,0 +1,97 @@
+// mrFAST-like seed-and-extend read mapper with a pluggable pre-alignment
+// filter, reproducing the integration of GateKeeper-GPU Sec. 3.5:
+//
+//   seed (k-mer index lookups, pigeonhole seeds)
+//     -> batch candidate locations for many reads
+//     -> [optional] GateKeeper-GPU pre-alignment filtering
+//     -> verification (banded edit distance <= e)
+//     -> mapping records + the statistics Table 3 reports.
+//
+// Without a filter every candidate enters verification ("No Filter" rows);
+// with a filter only accepted + bypassed pairs do.
+#ifndef GKGPU_MAPPER_MAPPER_HPP
+#define GKGPU_MAPPER_MAPPER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "mapper/index.hpp"
+
+namespace gkgpu {
+
+struct MapperConfig {
+  int k = 12;
+  int read_length = 100;
+  int error_threshold = 5;
+  /// Reads batched per filtering round (Table 1; 100,000 is the paper's
+  /// sweet spot).
+  std::size_t max_reads_per_batch = 100000;
+  unsigned verify_threads = 0;  // 0 = hardware concurrency
+};
+
+struct MappingRecord {
+  std::uint32_t read_index = 0;
+  std::int64_t pos = 0;
+  int edit_distance = 0;
+};
+
+/// The metrics of Table 3 / Sup. Tables S.24-S.26 plus stage timings.
+struct MappingStats {
+  std::uint64_t reads = 0;
+  std::uint64_t mappings = 0;
+  std::uint64_t mapped_reads = 0;
+  std::uint64_t candidates_total = 0;    // potential mappings found by seeding
+  std::uint64_t verification_pairs = 0;  // candidates entering verification
+  std::uint64_t rejected_pairs = 0;      // discarded by the filter
+  std::uint64_t bypassed_pairs = 0;      // undefined pairs passed through
+
+  double seeding_seconds = 0.0;
+  double preprocess_seconds = 0.0;     // filter-side host preprocessing
+  double filter_seconds = 0.0;         // total filtering ("ft")
+  double filter_kernel_seconds = 0.0;  // device time only ("kt")
+  double filter_encode_seconds = 0.0;  // host-side encoding within filtering
+  double filter_copy_seconds = 0.0;    // host-side buffer copies
+  double verification_seconds = 0.0;   // the DP stage the filter offloads
+  double total_seconds = 0.0;
+
+  double ReductionPercent() const {
+    return candidates_total == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(rejected_pairs) /
+                     static_cast<double>(candidates_total);
+  }
+};
+
+class ReadMapper {
+ public:
+  ReadMapper(std::string genome, MapperConfig config);
+  ~ReadMapper();
+
+  const std::string& genome() const { return genome_; }
+  const MapperConfig& config() const { return config_; }
+  const KmerIndex& index() const { return index_; }
+
+  /// Maps `reads`; when `filter` is non-null it is used as the
+  /// pre-alignment stage (the engine's reference is loaded on first use).
+  /// `out` (optional) receives every verified mapping.
+  MappingStats MapReads(const std::vector<std::string>& reads,
+                        GateKeeperGpuEngine* filter,
+                        std::vector<MappingRecord>* out = nullptr);
+
+  /// Seeding only: candidate locations for one read (deduplicated).
+  void CollectCandidates(std::string_view read,
+                         std::vector<std::int64_t>* candidates) const;
+
+ private:
+  std::string genome_;
+  MapperConfig config_;
+  KmerIndex index_;
+  std::unique_ptr<ThreadPool> verify_pool_;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_MAPPER_MAPPER_HPP

@@ -1,0 +1,45 @@
+#include "mapper/sam.hpp"
+
+#include <ostream>
+
+#include "align/cigar.hpp"
+
+namespace gkgpu {
+
+void WriteSamHeader(std::ostream& out, std::string_view ref_name,
+                    std::int64_t ref_length) {
+  out << "@HD\tVN:1.6\tSO:unknown\n";
+  out << "@SQ\tSN:" << ref_name << "\tLN:" << ref_length << '\n';
+  out << "@PG\tID:gkgpu\tPN:gatekeeper-gpu-repro\tVN:1.0.0\n";
+}
+
+void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
+                     const std::vector<MappingRecord>& records,
+                     std::string_view ref_name) {
+  for (const MappingRecord& m : records) {
+    const std::string& seq = reads[m.read_index];
+    out << "read" << m.read_index << "\t0\t" << ref_name << '\t'
+        << (m.pos + 1) << "\t255\t" << seq.size() << "M\t*\t0\t0\t" << seq
+        << "\t*\tNM:i:" << m.edit_distance << '\n';
+  }
+}
+
+void WriteSamRecordsWithCigar(std::ostream& out,
+                              const std::vector<std::string>& reads,
+                              const std::vector<MappingRecord>& records,
+                              std::string_view ref_name,
+                              std::string_view genome) {
+  for (const MappingRecord& m : records) {
+    const std::string& seq = reads[m.read_index];
+    const std::string_view segment =
+        genome.substr(static_cast<std::size_t>(m.pos), seq.size());
+    const Alignment aln = BandedAlign(seq, segment, m.edit_distance);
+    const std::string cigar =
+        aln.distance >= 0 ? aln.cigar : std::to_string(seq.size()) + "M";
+    out << "read" << m.read_index << "\t0\t" << ref_name << '\t'
+        << (m.pos + 1) << "\t255\t" << cigar << "\t*\t0\t0\t" << seq
+        << "\t*\tNM:i:" << m.edit_distance << '\n';
+  }
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,32 @@
+// Minimal SAM output for mapping results (header + one alignment line per
+// mapping with an NM edit-distance tag), so the examples produce inspectable
+// mapper output.
+#ifndef GKGPU_MAPPER_SAM_HPP
+#define GKGPU_MAPPER_SAM_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mapper/mapper.hpp"
+
+namespace gkgpu {
+
+void WriteSamHeader(std::ostream& out, std::string_view ref_name,
+                    std::int64_t ref_length);
+
+void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
+                     const std::vector<MappingRecord>& records,
+                     std::string_view ref_name);
+
+/// Full-fidelity variant: recomputes each mapping's banded alignment
+/// against `genome` and emits the real CIGAR instead of a bare match run.
+void WriteSamRecordsWithCigar(std::ostream& out,
+                              const std::vector<std::string>& reads,
+                              const std::vector<MappingRecord>& records,
+                              std::string_view ref_name,
+                              std::string_view genome);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_MAPPER_SAM_HPP

@@ -1,0 +1,52 @@
+#include "sim/genome.hpp"
+
+#include <algorithm>
+
+#include "encode/dna.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+
+std::string GenerateGenome(std::size_t length, std::uint64_t seed,
+                           const GenomeProfile& profile) {
+  Rng rng(seed);
+  std::string genome(length, 'A');
+  for (auto& c : genome) c = kBases[rng.NextU64() & 0x3u];
+
+  // Plant repeat families: copy a template segment to several random
+  // destinations with light per-base mutation.
+  const std::size_t rep_len =
+      std::min<std::size_t>(profile.repeat_length, length / 4 + 1);
+  if (rep_len >= 32 && length > 4 * rep_len) {
+    for (int f = 0; f < profile.repeat_families; ++f) {
+      const std::size_t src = rng.Uniform(length - rep_len);
+      for (int c = 0; c < profile.repeat_copies; ++c) {
+        const std::size_t dst = rng.Uniform(length - rep_len);
+        for (std::size_t i = 0; i < rep_len; ++i) {
+          char base = genome[src + i];
+          if (rng.Bernoulli(profile.repeat_mutation_rate)) {
+            base = kBases[rng.NextU64() & 0x3u];
+          }
+          genome[dst + i] = base;
+        }
+      }
+    }
+  }
+
+  // Assembly-gap runs of 'N'.
+  const double expected_runs =
+      profile.n_runs_per_mb * static_cast<double>(length) / 1e6;
+  const int runs = static_cast<int>(expected_runs);
+  for (int r = 0; r < runs; ++r) {
+    const std::size_t run_len =
+        std::min<std::size_t>(profile.n_run_length, length / 10 + 1);
+    if (length <= run_len) break;
+    const std::size_t start = rng.Uniform(length - run_len);
+    std::fill(genome.begin() + static_cast<std::ptrdiff_t>(start),
+              genome.begin() + static_cast<std::ptrdiff_t>(start + run_len),
+              'N');
+  }
+  return genome;
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,35 @@
+// Synthetic reference genome generation.  Stands in for GRCh37 in the
+// whole-genome experiments: random sequence seeded with repeat families
+// (segmental-duplication-like copies with light mutation) so that seeding
+// produces multiple candidate locations per read — the genomic-repeat
+// behaviour that motivates pre-alignment filtering in the first place —
+// plus occasional runs of 'N' (assembly gaps).
+#ifndef GKGPU_SIM_GENOME_HPP
+#define GKGPU_SIM_GENOME_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace gkgpu {
+
+struct GenomeProfile {
+  /// Number of distinct repeat families planted in the sequence.
+  int repeat_families = 24;
+  /// Length of each family's template segment.
+  int repeat_length = 1500;
+  /// Copies of each template pasted at random positions.
+  int repeat_copies = 6;
+  /// Per-base substitution rate applied to each pasted copy.
+  double repeat_mutation_rate = 0.02;
+  /// Expected number of 'N' gap runs per megabase.
+  double n_runs_per_mb = 2.0;
+  int n_run_length = 60;
+};
+
+/// Deterministically generates a genome of `length` bases.
+std::string GenerateGenome(std::size_t length, std::uint64_t seed,
+                           const GenomeProfile& profile = {});
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_SIM_GENOME_HPP

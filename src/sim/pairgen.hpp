@@ -1,0 +1,70 @@
+// Candidate-pair generators: read / candidate-reference-segment pairs with
+// controlled edit-distance mixtures, standing in for the paper's data sets
+// (Sup. Table S.1).  Each named profile mirrors one family of sets:
+//
+//   MrFastCandidateProfile — Set 3/6/10: candidates seeded by mrFAST at a
+//       mid threshold; a thin band of true positives over a heavy tail of
+//       dissimilar pairs (at e = 0 only ~0.35% of Set 3 is accepted).
+//   LowEditProfile   — Set 1/5/9 ("low edit profile"): mass concentrated at
+//       small-to-moderate distances, which maximizes near-threshold pairs
+//       and therefore false-accept pressure.
+//   HighEditProfile  — Set 4/8/12 ("high edit profile"): almost everything
+//       is heavily divergent.
+//   Minimap2Profile  — chain-stage candidates: more exact pairs, moderate
+//       tail (Sup. Table S.5).
+//   BwaMemProfile    — pre-global-alignment candidates: mostly
+//       high-identity pairs (Sup. Table S.6).
+//
+// Rates (false-accept %, reduction %) measured on these sets are
+// size-invariant, so the default scaled-down sizes reproduce the paper's
+// percentages without 30M-pair runtimes.
+#ifndef GKGPU_SIM_PAIRGEN_HPP
+#define GKGPU_SIM_PAIRGEN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gkgpu {
+
+struct SequencePair {
+  std::string read;
+  std::string ref;
+};
+
+struct PairProfile {
+  int length = 100;
+  /// Mixture component: `weight` of pairs get a uniform edit count in
+  /// [min_edits, max_edits], a fraction `indel_frac` of which are indels.
+  struct Band {
+    double weight = 1.0;
+    int min_edits = 0;
+    int max_edits = 0;
+    double indel_frac = 0.3;
+  };
+  std::vector<Band> bands;
+  /// Fraction of completely unrelated (independently random) pairs.
+  double random_pair_rate = 0.0;
+  /// Fraction of pairs carrying at least one 'N' ("undefined pairs").
+  double undefined_rate = 0.0;
+};
+
+/// Generates one pair with approximately `edits` edits between read and
+/// reference segment (the exact distance may be lower; ground truth is
+/// always recomputed with the alignment oracle).
+SequencePair MakePairWithEdits(int length, int edits, double indel_frac,
+                               std::uint64_t seed);
+
+std::vector<SequencePair> GeneratePairs(std::size_t count,
+                                        const PairProfile& profile,
+                                        std::uint64_t seed);
+
+PairProfile MrFastCandidateProfile(int length);
+PairProfile LowEditProfile(int length);
+PairProfile HighEditProfile(int length);
+PairProfile Minimap2Profile(int length);
+PairProfile BwaMemProfile(int length);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_SIM_PAIRGEN_HPP

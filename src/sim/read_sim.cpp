@@ -1,0 +1,71 @@
+#include "sim/read_sim.hpp"
+
+#include <algorithm>
+
+#include "encode/dna.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+
+std::vector<SimulatedRead> SimulateReads(std::string_view genome,
+                                         std::size_t count, int length,
+                                         const ReadErrorProfile& profile,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SimulatedRead> reads;
+  reads.reserve(count);
+  // Keep enough slack after the origin for deletions to draw from.
+  const std::size_t slack = static_cast<std::size_t>(length) / 2 + 8;
+  const std::size_t max_origin =
+      genome.size() > static_cast<std::size_t>(length) + slack
+          ? genome.size() - length - slack
+          : 0;
+  for (std::size_t r = 0; r < count; ++r) {
+    SimulatedRead read;
+    read.origin = static_cast<std::int64_t>(rng.Uniform(max_origin + 1));
+    read.seq.reserve(static_cast<std::size_t>(length));
+    std::size_t g = static_cast<std::size_t>(read.origin);
+    while (static_cast<int>(read.seq.size()) < length && g < genome.size()) {
+      if (rng.Bernoulli(profile.del_rate)) {
+        ++g;  // skip a genome base
+        ++read.edits;
+        continue;
+      }
+      if (rng.Bernoulli(profile.ins_rate)) {
+        read.seq.push_back(kBases[rng.NextU64() & 0x3u]);
+        ++read.edits;
+        continue;
+      }
+      char base = genome[g++];
+      if (rng.Bernoulli(profile.sub_rate)) {
+        const unsigned old_code = BaseToCode(base) & 0x3u;
+        base = kBases[(old_code + 1 + rng.Uniform(3)) & 0x3u];
+        ++read.edits;
+      }
+      if (rng.Bernoulli(profile.n_rate)) {
+        base = 'N';
+        ++read.edits;
+      }
+      read.seq.push_back(base);
+    }
+    while (static_cast<int>(read.seq.size()) < length) {
+      read.seq.push_back(kBases[rng.NextU64() & 0x3u]);
+    }
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+std::vector<std::string> SimulateReadSequences(std::string_view genome,
+                                               std::size_t count, int length,
+                                               const ReadErrorProfile& profile,
+                                               std::uint64_t seed) {
+  std::vector<std::string> seqs;
+  seqs.reserve(count);
+  for (auto& r : SimulateReads(genome, count, length, profile, seed)) {
+    seqs.push_back(std::move(r.seq));
+  }
+  return seqs;
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,51 @@
+// Mason-like short-read simulator: samples read origins from a genome and
+// applies a configurable error profile (substitutions, indels, unknown base
+// calls).  Used to build the whole-genome data sets (sim_set_1's rich
+// deletion profile, sim_set_2's low indel profile) and the real-data-like
+// Illumina sets.
+#ifndef GKGPU_SIM_READ_SIM_HPP
+#define GKGPU_SIM_READ_SIM_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gkgpu {
+
+struct ReadErrorProfile {
+  double sub_rate = 0.01;
+  double ins_rate = 0.0005;
+  double del_rate = 0.0005;
+  double n_rate = 0.0002;
+
+  /// Illumina-like default (Mason defaults in the same spirit).
+  static ReadErrorProfile Illumina() { return {}; }
+  /// sim_set_1: "rich deletion profile" (300 bp in the paper).
+  static ReadErrorProfile RichDeletion() { return {0.01, 0.001, 0.02, 0.0002}; }
+  /// sim_set_2: "low indel profile" (150 bp in the paper).
+  static ReadErrorProfile LowIndel() { return {0.015, 0.0001, 0.0001, 0.0002}; }
+};
+
+struct SimulatedRead {
+  std::string seq;
+  std::int64_t origin = 0;  // genome position the read was sampled from
+  int edits = 0;            // number of simulated errors
+};
+
+/// Samples `count` reads of `length` bases.  Origins avoid running past the
+/// genome end.  Deterministic in `seed`.
+std::vector<SimulatedRead> SimulateReads(std::string_view genome,
+                                         std::size_t count, int length,
+                                         const ReadErrorProfile& profile,
+                                         std::uint64_t seed);
+
+/// Convenience: just the sequences.
+std::vector<std::string> SimulateReadSequences(std::string_view genome,
+                                               std::size_t count, int length,
+                                               const ReadErrorProfile& profile,
+                                               std::uint64_t seed);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_SIM_READ_SIM_HPP

@@ -1,0 +1,64 @@
+// Deterministic, fast random number generation (xoshiro256** seeded via
+// splitmix64).  Every generator in the library takes an explicit seed so
+// that data sets, experiments and tests are reproducible bit-for-bit.
+#ifndef GKGPU_UTIL_RNG_HPP
+#define GKGPU_UTIL_RNG_HPP
+
+#include <cstdint>
+
+namespace gkgpu {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint32_t NextU32() { return static_cast<std::uint32_t>(NextU64() >> 32); }
+
+  /// Uniform integer in [0, n) (n > 0); unbiased enough for simulation use.
+  std::uint64_t Uniform(std::uint64_t n) { return NextU64() % n; }
+
+  /// Uniform double in [0, 1).
+  double UniformReal() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  /// Geometric-ish count: number of successes before failure with prob p.
+  int Geometric(double p) {
+    int n = 0;
+    while (Bernoulli(p) && n < 1 << 20) ++n;
+    return n;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_UTIL_RNG_HPP

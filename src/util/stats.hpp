@@ -1,0 +1,48 @@
+// Small statistics accumulators used by the benchmark harnesses and the
+// power model (min / max / mean, throughput conversions).
+#ifndef GKGPU_UTIL_STATS_HPP
+#define GKGPU_UTIL_STATS_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace gkgpu {
+
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Pairs filtered in a fixed 40-minute window given a measured rate, the
+/// unit Table 2 reports ("billions of filtrations in 40 minutes").
+inline double PairsIn40Minutes(std::uint64_t pairs, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(pairs) / seconds * 40.0 * 60.0;
+}
+
+/// Millions of filtrations per second (Figures 6-8 unit).
+inline double MillionsPerSecond(std::uint64_t pairs, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(pairs) / seconds / 1e6;
+}
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_UTIL_STATS_HPP

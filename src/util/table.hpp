@@ -1,0 +1,34 @@
+// Console table printer: the benchmark harnesses print rows shaped like the
+// paper's tables, and this keeps the formatting in one place.
+#ifndef GKGPU_UTIL_TABLE_HPP
+#define GKGPU_UTIL_TABLE_HPP
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gkgpu {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders the table with column-aligned cells and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `digits` decimals (no trailing localization).
+  static std::string Num(double v, int digits = 2);
+  /// Formats an integer with thousands separators, like the paper's tables.
+  static std::string Count(std::uint64_t v);
+  static std::string Percent(double v, int digits = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_UTIL_TABLE_HPP

@@ -1,0 +1,85 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+
+namespace gkgpu {
+
+ThreadPool::ThreadPool(unsigned nthreads) {
+  if (nthreads == 0) {
+    nthreads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  for (;;) {
+    const std::size_t b = job.next.fetch_add(job.grain);
+    if (b >= job.end) break;
+    const std::size_t e = std::min(b + job.grain, job.end);
+    (*job.fn)(b, e);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_job_.wait(lk, [&] { return shutdown_ || (job_ != nullptr && job_seq_ != seen); });
+      if (shutdown_) return;
+      job = job_;
+      seen = job_seq_;
+      job->active_workers.fetch_add(1);
+    }
+    RunChunks(*job);
+    if (job->active_workers.fetch_sub(1) == 1) {
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (workers_.empty() || end - begin <= grain) {
+    for (std::size_t b = begin; b < end; b += grain) {
+      fn(b, std::min(b + grain, end));
+    }
+    return;
+  }
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.fn = &fn;
+  job.next.store(begin);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  cv_job_.notify_all();
+  RunChunks(job);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return job.active_workers.load() == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,58 @@
+// Minimal blocking thread pool with a chunked parallel-for, used by the GPU
+// execution simulator (one pool per simulated device) and by the multicore
+// CPU filter baselines.
+#ifndef GKGPU_UTIL_THREADPOOL_HPP
+#define GKGPU_UTIL_THREADPOOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gkgpu {
+
+class ThreadPool {
+ public:
+  /// Creates `nthreads` persistent workers (0 means hardware concurrency).
+  explicit ThreadPool(unsigned nthreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
+  /// at most `grain` items, on the pool plus the calling thread.  Blocks
+  /// until every chunk finished.  fn must be thread-safe.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> active_workers{0};
+  };
+
+  void WorkerLoop();
+  static void RunChunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  Job* job_ = nullptr;          // guarded by mu_
+  std::uint64_t job_seq_ = 0;   // guarded by mu_
+  bool shutdown_ = false;       // guarded by mu_
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_UTIL_THREADPOOL_HPP

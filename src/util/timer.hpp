@@ -1,0 +1,25 @@
+// Wall-clock timing helpers for the "filter time" measurements (host
+// perspective) reported by the benchmark harnesses.
+#ifndef GKGPU_UTIL_TIMER_HPP
+#define GKGPU_UTIL_TIMER_HPP
+
+#include <chrono>
+
+namespace gkgpu {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_UTIL_TIMER_HPP

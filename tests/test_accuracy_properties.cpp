@@ -1,0 +1,135 @@
+// Property tests for the paper's accuracy invariants, parameterized over
+// read length and error threshold (TEST_P sweeps):
+//   * GateKeeper-GPU never false-rejects against the exact edit-distance
+//     oracle (Sec. 5.1.1: "false reject count is always 0"),
+//   * the improved algorithm produces no more false accepts than the
+//     original (Sec. 5.1.2, up to 52x fewer),
+//   * undefined ('N') pairs are always accepted,
+//   * estimated edits lower-bound nothing but never exceed e on accepts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "align/banded.hpp"
+#include "align/myers.hpp"
+#include "filters/gatekeeper.hpp"
+#include "sim/pairgen.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+namespace {
+
+struct SweepParam {
+  int length;
+  int e;
+};
+
+class AccuracySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AccuracySweep, ZeroFalseRejectsAgainstOracle) {
+  const auto [length, e] = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(length) * 31 + e);
+  GateKeeperFilter filter;
+  MyersAligner oracle;
+  int checked_within = 0;
+  for (int t = 0; t < 400; ++t) {
+    const int edits = static_cast<int>(
+        rng.Uniform(static_cast<std::uint64_t>(2 * e) + 2));
+    const SequencePair p =
+        MakePairWithEdits(length, edits, 0.3, rng.NextU64());
+    const int true_dist = oracle.Distance(p.read, p.ref);
+    const bool accepted = filter.Filter(p.read, p.ref, e).accept;
+    if (true_dist <= e) {
+      ++checked_within;
+      ASSERT_TRUE(accepted) << "FALSE REJECT: length " << length << " e " << e
+                            << " true distance " << true_dist;
+    }
+  }
+  EXPECT_GT(checked_within, 0) << "sweep generated no within-threshold pairs";
+}
+
+TEST_P(AccuracySweep, ImprovedNeverWorseThanOriginalOnFalseAccepts) {
+  const auto [length, e] = GetParam();
+  Rng rng(2000 + static_cast<std::uint64_t>(length) * 31 + e);
+  GateKeeperFilter improved;
+  GateKeeperParams op;
+  op.mode = GateKeeperMode::kOriginal;
+  GateKeeperFilter original(op);
+  MyersAligner oracle;
+  int fa_improved = 0;
+  int fa_original = 0;
+  for (int t = 0; t < 400; ++t) {
+    const int edits =
+        e + 1 + static_cast<int>(rng.Uniform(static_cast<std::uint64_t>(e) + 4));
+    const SequencePair p =
+        MakePairWithEdits(length, edits, 0.3, rng.NextU64());
+    if (oracle.Distance(p.read, p.ref) <= e) continue;  // not a reject case
+    fa_improved += improved.Filter(p.read, p.ref, e).accept ? 1 : 0;
+    fa_original += original.Filter(p.read, p.ref, e).accept ? 1 : 0;
+  }
+  EXPECT_LE(fa_improved, fa_original)
+      << "length " << length << " e " << e;
+}
+
+TEST_P(AccuracySweep, UndefinedPairsAlwaysAccepted) {
+  const auto [length, e] = GetParam();
+  Rng rng(3000 + static_cast<std::uint64_t>(length) * 31 + e);
+  GateKeeperFilter filter;
+  for (int t = 0; t < 50; ++t) {
+    SequencePair p = MakePairWithEdits(length, length / 2, 0.3, rng.NextU64());
+    p.read[rng.Uniform(p.read.size())] = 'N';
+    EXPECT_TRUE(filter.Filter(p.read, p.ref, e).accept);
+  }
+}
+
+TEST_P(AccuracySweep, AcceptedPairsReportEditsWithinThreshold) {
+  const auto [length, e] = GetParam();
+  Rng rng(4000 + static_cast<std::uint64_t>(length) * 31 + e);
+  GateKeeperFilter filter;
+  for (int t = 0; t < 200; ++t) {
+    const SequencePair p = MakePairWithEdits(
+        length, static_cast<int>(rng.Uniform(static_cast<std::uint64_t>(length) / 4 + 1)),
+        0.3, rng.NextU64());
+    const FilterResult r = filter.Filter(p.read, p.ref, e);
+    if (r.accept) {
+      EXPECT_LE(r.estimated_edits, e) << "length " << length << " e " << e;
+    } else {
+      EXPECT_GT(r.estimated_edits, e);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthThresholdGrid, AccuracySweep,
+    ::testing::Values(SweepParam{100, 0}, SweepParam{100, 2},
+                      SweepParam{100, 5}, SweepParam{100, 10},
+                      SweepParam{150, 4}, SweepParam{150, 10},
+                      SweepParam{150, 15}, SweepParam{250, 8},
+                      SweepParam{250, 15}, SweepParam{250, 25},
+                      SweepParam{300, 15}, SweepParam{50, 2},
+                      SweepParam{64, 5}, SweepParam{512, 20}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "L" + std::to_string(info.param.length) + "_e" +
+             std::to_string(info.param.e);
+    });
+
+// The banded verifier (the mapper's ground truth) and the filter must agree
+// in one direction: verified pairs are never rejected by the filter.
+TEST(FilterVerifierConsistency, VerifiedPairsPassTheFilter) {
+  Rng rng(91);
+  GateKeeperFilter filter;
+  for (int t = 0; t < 2000; ++t) {
+    const int e = 1 + static_cast<int>(rng.Uniform(10));
+    const SequencePair p = MakePairWithEdits(
+        100, static_cast<int>(rng.Uniform(15)), 0.4, rng.NextU64());
+    if (WithinEditDistance(p.read, p.ref, e)) {
+      ASSERT_TRUE(filter.Filter(p.read, p.ref, e).accept)
+          << "trial " << t << " e " << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gkgpu

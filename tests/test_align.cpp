@@ -1,0 +1,156 @@
+// Tests for the alignment oracles: Needleman-Wunsch DP, the Myers
+// bit-vector (Edlib equivalent), and the banded Ukkonen verifier — all
+// cross-checked against each other on randomized sweeps.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "align/banded.hpp"
+#include "align/myers.hpp"
+#include "align/needleman_wunsch.hpp"
+#include "encode/dna.hpp"
+#include "sim/pairgen.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+namespace {
+
+std::string RandomSeq(Rng& rng, std::size_t n) {
+  std::string s(n, 'A');
+  for (auto& c : s) c = kBases[rng.NextU64() & 0x3u];
+  return s;
+}
+
+TEST(NwTest, KnownDistances) {
+  EXPECT_EQ(NwEditDistance("", ""), 0);
+  EXPECT_EQ(NwEditDistance("ACGT", "ACGT"), 0);
+  EXPECT_EQ(NwEditDistance("ACGT", ""), 4);
+  EXPECT_EQ(NwEditDistance("", "ACGT"), 4);
+  EXPECT_EQ(NwEditDistance("ACGT", "AGGT"), 1);   // substitution
+  EXPECT_EQ(NwEditDistance("ACGT", "AGT"), 1);    // deletion
+  EXPECT_EQ(NwEditDistance("ACGT", "ACCGT"), 1);  // insertion
+  EXPECT_EQ(NwEditDistance("kitten", "sitting"), 3);
+}
+
+TEST(MyersTest, MatchesNwOnRandomPairs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t la = rng.Uniform(200) + 1;
+    const std::size_t lb = rng.Uniform(200) + 1;
+    const std::string a = RandomSeq(rng, la);
+    const std::string b = RandomSeq(rng, lb);
+    EXPECT_EQ(MyersEditDistance(a, b), NwEditDistance(a, b))
+        << "trial " << trial;
+  }
+}
+
+TEST(MyersTest, MatchesNwOnMutatedPairs) {
+  Rng rng(5);
+  MyersAligner aligner;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int length = 64 + static_cast<int>(rng.Uniform(200));
+    const int edits = static_cast<int>(rng.Uniform(20));
+    const SequencePair p =
+        MakePairWithEdits(length, edits, 0.3, rng.NextU64());
+    EXPECT_EQ(aligner.Distance(p.read, p.ref), NwEditDistance(p.read, p.ref))
+        << "trial " << trial;
+  }
+}
+
+TEST(MyersTest, MultiBlockBoundaries) {
+  // Pattern lengths around the 64-bit block boundary.
+  Rng rng(7);
+  for (const int m : {63, 64, 65, 127, 128, 129, 255, 256, 300}) {
+    const std::string a = RandomSeq(rng, static_cast<std::size_t>(m));
+    std::string b = a;
+    b[static_cast<std::size_t>(m / 2)] =
+        a[static_cast<std::size_t>(m / 2)] == 'A' ? 'C' : 'A';
+    EXPECT_EQ(MyersEditDistance(a, b), 1) << "m " << m;
+    EXPECT_EQ(MyersEditDistance(a, a), 0) << "m " << m;
+    const std::string c = RandomSeq(rng, static_cast<std::size_t>(m));
+    EXPECT_EQ(MyersEditDistance(a, c), NwEditDistance(a, c)) << "m " << m;
+  }
+}
+
+TEST(MyersTest, EmptyInputs) {
+  EXPECT_EQ(MyersEditDistance("", ""), 0);
+  EXPECT_EQ(MyersEditDistance("ACG", ""), 3);
+  EXPECT_EQ(MyersEditDistance("", "ACG"), 3);
+}
+
+TEST(BandedTest, ExactWithinBandRejectsBeyond) {
+  Rng rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int length = 20 + static_cast<int>(rng.Uniform(150));
+    const std::string a = RandomSeq(rng, static_cast<std::size_t>(length));
+    const std::string b = RandomSeq(rng, static_cast<std::size_t>(length));
+    const int exact = NwEditDistance(a, b);
+    for (const int k : {0, 1, 2, 5, 10, 25}) {
+      const int banded = BandedEditDistance(a, b, k);
+      if (exact <= k) {
+        EXPECT_EQ(banded, exact) << "trial " << trial << " k " << k;
+      } else {
+        EXPECT_EQ(banded, -1) << "trial " << trial << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(BandedTest, UnequalLengths) {
+  EXPECT_EQ(BandedEditDistance("ACGTACGT", "ACGT", 4), 4);
+  EXPECT_EQ(BandedEditDistance("ACGTACGT", "ACGT", 3), -1);
+  EXPECT_EQ(BandedEditDistance("ACGT", "ACGTACGT", 4), 4);
+  EXPECT_EQ(BandedEditDistance("", "AC", 2), 2);
+  EXPECT_EQ(BandedEditDistance("AC", "", 2), 2);
+  EXPECT_EQ(BandedEditDistance("AC", "", 1), -1);
+}
+
+TEST(BandedTest, SubstitutionOnlyPairsStayWithinEditBudget) {
+  // A pair built with d substitutions has distance exactly <= d.
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int length = 100;
+    const int edits = static_cast<int>(rng.Uniform(11));
+    const SequencePair p =
+        MakePairWithEdits(length, edits, 0.0, rng.NextU64());
+    const int dist = BandedEditDistance(p.read, p.ref, edits);
+    EXPECT_GE(dist, 0) << "trial " << trial << " edits " << edits;
+    EXPECT_LE(dist, edits) << "trial " << trial;
+  }
+}
+
+TEST(BandedTest, IndelPairsStayWithinDoubledBudget) {
+  // Equal-length windows convert each net indel into an indel plus a
+  // trailing boundary edit, so d planted edits bound the distance by 2d.
+  Rng rng(14);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int edits = 1 + static_cast<int>(rng.Uniform(10));
+    const SequencePair p =
+        MakePairWithEdits(100, edits, 1.0, rng.NextU64());
+    const int dist = BandedEditDistance(p.read, p.ref, 2 * edits);
+    EXPECT_GE(dist, 0) << "trial " << trial << " edits " << edits;
+    EXPECT_LE(dist, 2 * edits) << "trial " << trial;
+  }
+}
+
+TEST(BandedTest, AgreesWithMyersWithinThreshold) {
+  Rng rng(17);
+  MyersAligner aligner;
+  for (int trial = 0; trial < 300; ++trial) {
+    const int length = 100;
+    const int edits = static_cast<int>(rng.Uniform(30));
+    const SequencePair p =
+        MakePairWithEdits(length, edits, 0.25, rng.NextU64());
+    const int exact = aligner.Distance(p.read, p.ref);
+    const int k = 10;
+    const int banded = BandedEditDistance(p.read, p.ref, k);
+    if (exact <= k) {
+      EXPECT_EQ(banded, exact) << "trial " << trial;
+    } else {
+      EXPECT_EQ(banded, -1) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gkgpu

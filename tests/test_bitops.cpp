@@ -1,0 +1,286 @@
+// Unit + property tests for the multi-word bit-vector primitives: shifts
+// with carry transfer, pair reduction, amendment (bit trick vs LUT vs
+// scalar), and run counting (popcount-transition vs LUT walk vs scalar).
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gkgpu {
+namespace {
+
+std::vector<int> ToBits(const Word* mask, int nbits) {
+  std::vector<int> bits(static_cast<std::size_t>(nbits));
+  for (int p = 0; p < nbits; ++p) {
+    bits[static_cast<std::size_t>(p)] = static_cast<int>(GetMaskBit(mask, p));
+  }
+  return bits;
+}
+
+void FromBits(const std::vector<int>& bits, Word* mask, int nwords) {
+  std::fill(mask, mask + nwords, 0);
+  for (std::size_t p = 0; p < bits.size(); ++p) {
+    if (bits[p]) SetMaskBit(mask, static_cast<int>(p));
+  }
+}
+
+TEST(BitopsTest, WordCounts) {
+  EXPECT_EQ(EncodedWords(100), 7);   // the paper's "7 words per 100bp read"
+  EXPECT_EQ(EncodedWords(16), 1);
+  EXPECT_EQ(EncodedWords(17), 2);
+  EXPECT_EQ(MaskWords(100), 4);
+  EXPECT_EQ(MaskWords(32), 1);
+  EXPECT_EQ(MaskWords(33), 2);
+}
+
+TEST(BitopsTest, BaseAccessRoundTrip) {
+  Word enc[kMaxEncodedWords] = {};
+  for (int i = 0; i < 100; ++i) SetBase2Bit(enc, i, (i * 7 + 3) & 0x3u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(GetBase2Bit(enc, i), static_cast<unsigned>((i * 7 + 3) & 0x3))
+        << "base " << i;
+  }
+}
+
+TEST(BitopsTest, ShiftToLaterMovesBitsTowardLsbEnd) {
+  Word v[2] = {};
+  SetMaskBit(v, 0);
+  SetMaskBit(v, 31);
+  Word out[2];
+  ShiftToLater(v, out, 2, 1);
+  EXPECT_EQ(GetMaskBit(out, 1), 1u);
+  EXPECT_EQ(GetMaskBit(out, 32), 1u);  // carried across the word boundary
+  EXPECT_EQ(GetMaskBit(out, 0), 0u);
+}
+
+TEST(BitopsTest, ShiftToEarlierMovesBitsTowardMsbEnd) {
+  Word v[2] = {};
+  SetMaskBit(v, 32);
+  Word out[2];
+  ShiftToEarlier(v, out, 2, 1);
+  EXPECT_EQ(GetMaskBit(out, 31), 1u);
+  EXPECT_EQ(GetMaskBit(out, 32), 0u);
+}
+
+TEST(BitopsTest, ShiftRoundTripPreservesInteriorBits) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nwords = 1 + static_cast<int>(rng.Uniform(8));
+    const int bits = static_cast<int>(rng.Uniform(
+        static_cast<std::uint64_t>(nwords) * kWordBits));
+    std::vector<Word> v(static_cast<std::size_t>(nwords));
+    for (auto& w : v) w = rng.NextU32();
+    std::vector<Word> later(v.size());
+    std::vector<Word> back(v.size());
+    ShiftToLater(v.data(), later.data(), nwords, bits);
+    ShiftToEarlier(later.data(), back.data(), nwords, bits);
+    // Bits that survived both shifts (positions [0, N - bits)) must match.
+    const int total = nwords * kWordBits;
+    for (int p = 0; p + bits < total; ++p) {
+      EXPECT_EQ(GetMaskBit(back.data(), p), GetMaskBit(v.data(), p))
+          << "trial " << trial << " bit " << p << " shift " << bits;
+    }
+  }
+}
+
+TEST(BitopsTest, ShiftsAgreeWithScalarModel) {
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int nwords = 1 + static_cast<int>(rng.Uniform(6));
+    const int total = nwords * kWordBits;
+    const int shift = static_cast<int>(rng.Uniform(
+        static_cast<std::uint64_t>(total + 8)));
+    std::vector<Word> v(static_cast<std::size_t>(nwords));
+    for (auto& w : v) w = rng.NextU32();
+    const std::vector<int> bits = ToBits(v.data(), total);
+
+    std::vector<Word> later(v.size());
+    ShiftToLater(v.data(), later.data(), nwords, shift);
+    for (int p = 0; p < total; ++p) {
+      const int src = p - shift;
+      const int expected =
+          src >= 0 ? bits[static_cast<std::size_t>(src)] : 0;
+      ASSERT_EQ(static_cast<int>(GetMaskBit(later.data(), p)), expected)
+          << "later: trial " << trial << " p " << p << " shift " << shift;
+    }
+
+    std::vector<Word> earlier(v.size());
+    ShiftToEarlier(v.data(), earlier.data(), nwords, shift);
+    for (int p = 0; p < total; ++p) {
+      const int src = p + shift;
+      const int expected =
+          src < total ? bits[static_cast<std::size_t>(src)] : 0;
+      ASSERT_EQ(static_cast<int>(GetMaskBit(earlier.data(), p)), expected)
+          << "earlier: trial " << trial << " p " << p << " shift " << shift;
+    }
+  }
+}
+
+TEST(BitopsTest, InPlaceShiftsMatchOutOfPlace) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int nwords = 1 + static_cast<int>(rng.Uniform(6));
+    const int shift = static_cast<int>(rng.Uniform(70));
+    std::vector<Word> v(static_cast<std::size_t>(nwords));
+    for (auto& w : v) w = rng.NextU32();
+    std::vector<Word> expected(v.size());
+    ShiftToLater(v.data(), expected.data(), nwords, shift);
+    std::vector<Word> inplace = v;
+    ShiftToLater(inplace.data(), inplace.data(), nwords, shift);
+    EXPECT_EQ(inplace, expected);
+
+    ShiftToEarlier(v.data(), expected.data(), nwords, shift);
+    inplace = v;
+    ShiftToEarlier(inplace.data(), inplace.data(), nwords, shift);
+    EXPECT_EQ(inplace, expected);
+  }
+}
+
+TEST(BitopsTest, CompressPairsOrHalfReducesBasePairs) {
+  // Base 0 = bits 31,30; base 15 = bits 1,0.
+  EXPECT_EQ(CompressPairsOrHalf(0), 0u);
+  EXPECT_EQ(CompressPairsOrHalf(0xC0000000u), 0x8000u);  // base 0 differs
+  EXPECT_EQ(CompressPairsOrHalf(0x40000000u), 0x8000u);  // one bit is enough
+  EXPECT_EQ(CompressPairsOrHalf(0x00000003u), 0x0001u);  // base 15
+  EXPECT_EQ(CompressPairsOrHalf(0xFFFFFFFFu), 0xFFFFu);
+}
+
+TEST(BitopsTest, ReducePairsOrMatchesPerBaseScan) {
+  Rng rng(21);
+  for (const int length : {5, 16, 31, 32, 33, 100, 150, 250, 512}) {
+    std::vector<Word> diff(static_cast<std::size_t>(EncodedWords(length)));
+    for (auto& w : diff) w = rng.NextU32();
+    std::vector<Word> mask(static_cast<std::size_t>(MaskWords(length)));
+    ReducePairsOr(diff.data(), length, mask.data());
+    for (int i = 0; i < length; ++i) {
+      const unsigned pair = GetBase2Bit(diff.data(), i);
+      EXPECT_EQ(GetMaskBit(mask.data(), i), pair != 0 ? 1u : 0u)
+          << "length " << length << " base " << i;
+    }
+    // Tail bits must be zero.
+    for (int p = length; p < MaskWords(length) * kWordBits; ++p) {
+      EXPECT_EQ(GetMaskBit(mask.data(), p), 0u);
+    }
+  }
+}
+
+TEST(BitopsTest, CountOneRunsBasics) {
+  Word m[2] = {};
+  EXPECT_EQ(CountOneRuns(m, 2), 0);
+  FromBits({1, 1, 0, 1, 0, 0, 1, 1, 1}, m, 2);
+  EXPECT_EQ(CountOneRuns(m, 2), 3);
+  // A run crossing the word boundary counts once.
+  std::vector<int> bits(64, 0);
+  for (int p = 30; p < 35; ++p) bits[static_cast<std::size_t>(p)] = 1;
+  FromBits(bits, m, 2);
+  EXPECT_EQ(CountOneRuns(m, 2), 1);
+}
+
+TEST(BitopsTest, RunCountImplementationsAgree) {
+  Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int nwords = 1 + static_cast<int>(rng.Uniform(16));
+    std::vector<Word> v(static_cast<std::size_t>(nwords));
+    for (auto& w : v) {
+      // Mix densities so runs of many shapes appear.
+      w = rng.NextU32() & rng.NextU32();
+      if (trial % 3 == 0) w |= rng.NextU32();
+    }
+    const int expected = [&] {
+      int runs = 0;
+      int prev = 0;
+      for (int p = 0; p < nwords * kWordBits; ++p) {
+        const int b = static_cast<int>(GetMaskBit(v.data(), p));
+        if (b == 1 && prev == 0) ++runs;
+        prev = b;
+      }
+      return runs;
+    }();
+    EXPECT_EQ(CountOneRuns(v.data(), nwords), expected);
+    EXPECT_EQ(CountOneRunsLut(v.data(), nwords), expected);
+  }
+}
+
+std::vector<int> ScalarAmendBits(std::vector<int> bits) {
+  const int n = static_cast<int>(bits.size());
+  std::vector<int> out = bits;
+  int i = 0;
+  while (i < n) {
+    if (bits[static_cast<std::size_t>(i)] == 1) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < n && bits[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i <= 2 && i > 0 && j < n) {
+      for (int p = i; p < j; ++p) out[static_cast<std::size_t>(p)] = 1;
+    }
+    i = j;
+  }
+  return out;
+}
+
+TEST(BitopsTest, AmendFlipsOnlyShortInternalZeroRuns) {
+  Word m[1];
+  FromBits({1, 0, 1, 0, 0, 1, 0, 0, 0, 1}, m, 1);
+  AmendShortZeroRuns(m, 1);
+  const auto bits = ToBits(m, 10);
+  EXPECT_EQ(bits, (std::vector<int>{1, 1, 1, 1, 1, 1, 0, 0, 0, 1}));
+}
+
+TEST(BitopsTest, AmendLeavesBoundaryRunsAlone) {
+  Word m[1];
+  FromBits({0, 0, 1, 1, 0, 0}, m, 1);
+  AmendShortZeroRuns(m, 1);
+  const auto bits = ToBits(m, 6);
+  EXPECT_EQ(bits, (std::vector<int>{0, 0, 1, 1, 0, 0}));
+}
+
+TEST(BitopsTest, AmendImplementationsAgreeWithScalar) {
+  Rng rng(41);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int nwords = 1 + static_cast<int>(rng.Uniform(16));
+    std::vector<Word> v(static_cast<std::size_t>(nwords));
+    for (auto& w : v) {
+      w = rng.NextU32() & rng.NextU32();  // sparse-ish: many zero runs
+      if (trial % 4 == 0) w |= rng.NextU32() & rng.NextU32();
+    }
+    const int total = nwords * kWordBits;
+    const std::vector<int> expected = ScalarAmendBits(ToBits(v.data(), total));
+
+    std::vector<Word> trick = v;
+    AmendShortZeroRuns(trick.data(), nwords);
+    EXPECT_EQ(ToBits(trick.data(), total), expected) << "bit trick, trial "
+                                                     << trial;
+
+    std::vector<Word> lut = v;
+    AmendShortZeroRunsLut(lut.data(), nwords);
+    EXPECT_EQ(ToBits(lut.data(), total), expected) << "LUT, trial " << trial;
+  }
+}
+
+TEST(BitopsTest, ZeroTailBitsClearsBeyondLength) {
+  Word m[2] = {~Word{0}, ~Word{0}};
+  ZeroTailBits(m, 2, 40);
+  for (int p = 0; p < 40; ++p) EXPECT_EQ(GetMaskBit(m, p), 1u);
+  for (int p = 40; p < 64; ++p) EXPECT_EQ(GetMaskBit(m, p), 0u);
+}
+
+TEST(BitopsTest, SetBitRangeSetsExactRange) {
+  Word m[2] = {};
+  SetBitRange(m, 30, 35);
+  for (int p = 0; p < 64; ++p) {
+    EXPECT_EQ(GetMaskBit(m, p), (p >= 30 && p < 35) ? 1u : 0u) << p;
+  }
+}
+
+TEST(BitopsTest, PopcountWords) {
+  Word m[2] = {0xF0F0F0F0u, 0x1u};
+  EXPECT_EQ(PopcountWords(m, 2), 17);
+}
+
+}  // namespace
+}  // namespace gkgpu

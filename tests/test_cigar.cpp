@@ -1,0 +1,94 @@
+// Tests for banded alignment with traceback: CIGAR strings must span both
+// sequences exactly, imply the reported edit count, and the distance must
+// agree with the traceback-free verifier on randomized sweeps.
+#include "align/cigar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/banded.hpp"
+#include "align/needleman_wunsch.hpp"
+#include "encode/dna.hpp"
+#include "sim/pairgen.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+namespace {
+
+TEST(CigarTest, ExactMatchIsAllM) {
+  const Alignment a = BandedAlign("ACGTACGT", "ACGTACGT", 2);
+  EXPECT_EQ(a.distance, 0);
+  EXPECT_EQ(a.cigar, "8M");
+}
+
+TEST(CigarTest, SubstitutionStaysM) {
+  const Alignment a = BandedAlign("ACGTACGT", "ACGAACGT", 2);
+  EXPECT_EQ(a.distance, 1);
+  EXPECT_EQ(a.cigar, "8M");  // M covers mismatches in SAM
+}
+
+TEST(CigarTest, InsertionAndDeletion) {
+  // read has an extra base relative to ref -> one I.
+  const Alignment ins = BandedAlign("ACGGT", "ACGT", 2);
+  EXPECT_EQ(ins.distance, 1);
+  EXPECT_EQ(CigarEdits("ACGGT", "ACGT", ins.cigar), 1);
+  EXPECT_NE(ins.cigar.find('I'), std::string::npos);
+  // ref has an extra base -> one D.
+  const Alignment del = BandedAlign("ACGT", "ACGGT", 2);
+  EXPECT_EQ(del.distance, 1);
+  EXPECT_EQ(CigarEdits("ACGT", "ACGGT", del.cigar), 1);
+  EXPECT_NE(del.cigar.find('D'), std::string::npos);
+}
+
+TEST(CigarTest, BeyondBandReturnsEmpty) {
+  const Alignment a = BandedAlign("AAAA", "TTTT", 2);
+  EXPECT_EQ(a.distance, -1);
+  EXPECT_TRUE(a.cigar.empty());
+}
+
+TEST(CigarTest, DistanceMatchesBandedVerifierOnSweep) {
+  Rng rng(7);
+  for (int t = 0; t < 400; ++t) {
+    const int length = 20 + static_cast<int>(rng.Uniform(200));
+    const int edits = static_cast<int>(rng.Uniform(12));
+    const SequencePair p =
+        MakePairWithEdits(length, edits, 0.4, rng.NextU64());
+    const int k = 2 * edits + 2;
+    const int expected = BandedEditDistance(p.read, p.ref, k);
+    const Alignment a = BandedAlign(p.read, p.ref, k);
+    ASSERT_EQ(a.distance, expected) << "trial " << t;
+    if (expected >= 0) {
+      // The CIGAR must span both sequences and imply exactly the distance
+      // (unit costs: an optimal alignment has edits == distance).
+      ASSERT_EQ(CigarEdits(p.read, p.ref, a.cigar), expected)
+          << "trial " << t << " cigar " << a.cigar;
+    }
+  }
+}
+
+TEST(CigarTest, UnequalLengths) {
+  Rng rng(11);
+  for (int t = 0; t < 100; ++t) {
+    const std::string a = [&] {
+      std::string s(40 + rng.Uniform(40), 'A');
+      for (auto& c : s) c = kBases[rng.NextU64() & 0x3u];
+      return s;
+    }();
+    std::string b = a;
+    b.erase(rng.Uniform(b.size()), 1 + rng.Uniform(3));
+    const int d = NwEditDistance(a, b);
+    const Alignment aln = BandedAlign(a, b, d);
+    ASSERT_EQ(aln.distance, d) << t;
+    ASSERT_EQ(CigarEdits(a, b, aln.cigar), d) << t;
+  }
+}
+
+TEST(CigarTest, CigarEditsRejectsMalformed) {
+  EXPECT_EQ(CigarEdits("ACGT", "ACGT", "3M"), -1);    // doesn't span
+  EXPECT_EQ(CigarEdits("ACGT", "ACGT", "5M"), -1);    // overruns
+  EXPECT_EQ(CigarEdits("ACGT", "ACGT", "4X"), -1);    // unknown op
+  EXPECT_EQ(CigarEdits("ACGT", "ACGT", "M"), -1);     // missing count
+  EXPECT_EQ(CigarEdits("ACGT", "ACGT", "4M"), 0);
+}
+
+}  // namespace
+}  // namespace gkgpu

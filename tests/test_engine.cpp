@@ -1,0 +1,380 @@
+// Integration tests for the GateKeeper-GPU engine: decisions must be
+// bit-exact with the CPU filter in every configuration (encoding actor,
+// device generation, device count, batch size), and the run statistics
+// must be internally consistent.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "filters/gatekeeper.hpp"
+#include "sim/pairgen.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+namespace {
+
+struct Workload {
+  std::vector<std::string> reads;
+  std::vector<std::string> refs;
+};
+
+Workload MakeWorkload(std::size_t n, int length, std::uint64_t seed) {
+  PairProfile profile = LowEditProfile(length);
+  profile.undefined_rate = 0.01;  // exercise the bypass path
+  Workload w;
+  for (auto& p : GeneratePairs(n, profile, seed)) {
+    w.reads.push_back(std::move(p.read));
+    w.refs.push_back(std::move(p.ref));
+  }
+  return w;
+}
+
+std::vector<PairResult> ExpectedDecisions(const Workload& w, int length,
+                                          int e) {
+  GateKeeperFilter filter;
+  std::vector<PairResult> expected;
+  expected.reserve(w.reads.size());
+  for (std::size_t i = 0; i < w.reads.size(); ++i) {
+    const bool undefined =
+        ContainsUnknown(w.reads[i]) || ContainsUnknown(w.refs[i]);
+    const FilterResult r = filter.Filter(w.reads[i], w.refs[i], e);
+    expected.push_back(MakePairResult(r, undefined));
+  }
+  (void)length;
+  return expected;
+}
+
+class EngineMatrix
+    : public ::testing::TestWithParam<std::tuple<EncodingActor, int, int>> {};
+
+TEST_P(EngineMatrix, DecisionsMatchCpuFilter) {
+  const auto [actor, setup, ndev] = GetParam();
+  const int length = 100;
+  const int e = 5;
+  const Workload w = MakeWorkload(3000, length, 42);
+  const std::vector<PairResult> expected = ExpectedDecisions(w, length, e);
+
+  auto devices = setup == 1 ? gpusim::MakeSetup1(ndev, 2)
+                            : gpusim::MakeSetup2(ndev, 2);
+  std::vector<gpusim::Device*> ptrs;
+  for (auto& d : devices) ptrs.push_back(d.get());
+  EngineConfig cfg;
+  cfg.read_length = length;
+  cfg.error_threshold = e;
+  cfg.encoding = actor;
+  GateKeeperGpuEngine engine(cfg, ptrs);
+
+  std::vector<PairResult> results;
+  const FilterRunStats stats = engine.FilterPairs(w.reads, w.refs, &results);
+
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].accept, expected[i].accept) << "pair " << i;
+    ASSERT_EQ(results[i].bypassed, expected[i].bypassed) << "pair " << i;
+    ASSERT_EQ(results[i].edits, expected[i].edits) << "pair " << i;
+  }
+  EXPECT_EQ(stats.pairs, w.reads.size());
+  EXPECT_EQ(stats.accepted + stats.rejected, stats.pairs);
+  EXPECT_GT(stats.kernel_seconds, 0.0);
+  EXPECT_GE(stats.filter_seconds, stats.kernel_seconds);
+}
+
+std::string EngineMatrixName(
+    const ::testing::TestParamInfo<std::tuple<EncodingActor, int, int>>&
+        info) {
+  const EncodingActor actor = std::get<0>(info.param);
+  const int setup = std::get<1>(info.param);
+  const int ndev = std::get<2>(info.param);
+  return std::string(actor == EncodingActor::kHost ? "host" : "device") +
+         "_setup" + std::to_string(setup) + "_gpu" + std::to_string(ndev);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ActorSetupDevices, EngineMatrix,
+    ::testing::Combine(::testing::Values(EncodingActor::kHost,
+                                         EncodingActor::kDevice),
+                       ::testing::Values(1, 2), ::testing::Values(1, 3)),
+    EngineMatrixName);
+
+TEST(EngineTest, ResultsIndependentOfDeviceCount) {
+  const Workload w = MakeWorkload(2000, 100, 7);
+  std::vector<std::vector<PairResult>> all;
+  for (const int ndev : {1, 2, 4, 8}) {
+    auto devices = gpusim::MakeSetup1(ndev, 2);
+    std::vector<gpusim::Device*> ptrs;
+    for (auto& d : devices) ptrs.push_back(d.get());
+    EngineConfig cfg;
+    cfg.read_length = 100;
+    cfg.error_threshold = 4;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    std::vector<PairResult> results;
+    engine.FilterPairs(w.reads, w.refs, &results);
+    all.push_back(std::move(results));
+  }
+  for (std::size_t d = 1; d < all.size(); ++d) {
+    ASSERT_EQ(all[d].size(), all[0].size());
+    for (std::size_t i = 0; i < all[0].size(); ++i) {
+      ASSERT_EQ(all[d][i].accept, all[0][i].accept)
+          << "device count variant " << d << " pair " << i;
+    }
+  }
+}
+
+TEST(EngineTest, MultiGpuReducesKernelTime) {
+  const Workload w = MakeWorkload(8000, 100, 11);
+  double kt1 = 0.0;
+  double kt8 = 0.0;
+  for (const int ndev : {1, 8}) {
+    auto devices = gpusim::MakeSetup1(ndev, 2);
+    std::vector<gpusim::Device*> ptrs;
+    for (auto& d : devices) ptrs.push_back(d.get());
+    EngineConfig cfg;
+    cfg.read_length = 100;
+    cfg.error_threshold = 2;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    std::vector<PairResult> results;
+    const FilterRunStats stats = engine.FilterPairs(w.reads, w.refs, &results);
+    (ndev == 1 ? kt1 : kt8) = stats.kernel_seconds;
+  }
+  EXPECT_LT(kt8, kt1);
+}
+
+TEST(EngineTest, DeviceEncodingRaisesKernelTimeLowersHostTime) {
+  const Workload w = MakeWorkload(6000, 100, 13);
+  FilterRunStats host_stats;
+  FilterRunStats dev_stats;
+  for (const EncodingActor actor :
+       {EncodingActor::kHost, EncodingActor::kDevice}) {
+    auto devices = gpusim::MakeSetup1(1, 4);
+    std::vector<gpusim::Device*> ptrs{devices[0].get()};
+    EngineConfig cfg;
+    cfg.read_length = 100;
+    cfg.error_threshold = 5;
+    cfg.encoding = actor;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    std::vector<PairResult> results;
+    const FilterRunStats s = engine.FilterPairs(w.reads, w.refs, &results);
+    (actor == EncodingActor::kHost ? host_stats : dev_stats) = s;
+  }
+  // Kernel does more work when it encodes; host does less.
+  EXPECT_GT(dev_stats.kernel_seconds, host_stats.kernel_seconds);
+  EXPECT_EQ(dev_stats.host_encode_seconds, 0.0);
+  EXPECT_GT(host_stats.host_encode_seconds, 0.0);
+}
+
+TEST(EngineTest, Setup2PaysUnifiedMemoryPenalty) {
+  const Workload w = MakeWorkload(6000, 100, 17);
+  double kt_pascal = 0.0;
+  double kt_kepler = 0.0;
+  for (const int setup : {1, 2}) {
+    auto devices =
+        setup == 1 ? gpusim::MakeSetup1(1, 2) : gpusim::MakeSetup2(1, 2);
+    std::vector<gpusim::Device*> ptrs{devices[0].get()};
+    EngineConfig cfg;
+    cfg.read_length = 100;
+    cfg.error_threshold = 5;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    std::vector<PairResult> results;
+    const FilterRunStats s = engine.FilterPairs(w.reads, w.refs, &results);
+    (setup == 1 ? kt_pascal : kt_kepler) = s.kernel_seconds;
+  }
+  // Kepler: slower clock/cores AND migration stalls inside the kernel.
+  EXPECT_GT(kt_kepler, kt_pascal);
+}
+
+TEST(EngineTest, CandidateModeMatchesPairMode) {
+  // Filtering candidates against an in-memory reference must give the same
+  // decisions as filtering the equivalent explicit pairs.
+  Rng rng(23);
+  std::string genome;
+  genome.reserve(50000);
+  for (int i = 0; i < 50000; ++i) {
+    genome.push_back(kBases[rng.NextU64() & 0x3u]);
+  }
+  const int length = 100;
+  const int e = 4;
+  std::vector<std::string> reads;
+  std::vector<CandidatePair> candidates;
+  std::vector<std::string> pair_reads;
+  std::vector<std::string> pair_refs;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t pos =
+        static_cast<std::int64_t>(rng.Uniform(genome.size() - length));
+    std::string read = genome.substr(static_cast<std::size_t>(pos), length);
+    // Mutate some reads beyond the threshold.
+    const int muts = static_cast<int>(rng.Uniform(12));
+    for (int m = 0; m < muts; ++m) {
+      read[rng.Uniform(read.size())] = kBases[rng.NextU64() & 0x3u];
+    }
+    reads.push_back(read);
+    candidates.push_back({static_cast<std::uint32_t>(i), pos});
+    pair_reads.push_back(read);
+    pair_refs.push_back(genome.substr(static_cast<std::size_t>(pos), length));
+  }
+
+  auto devices = gpusim::MakeSetup1(2, 2);
+  std::vector<gpusim::Device*> ptrs;
+  for (auto& d : devices) ptrs.push_back(d.get());
+  EngineConfig cfg;
+  cfg.read_length = length;
+  cfg.error_threshold = e;
+  GateKeeperGpuEngine engine(cfg, ptrs);
+  engine.LoadReference(genome);
+  std::vector<PairResult> via_candidates;
+  engine.FilterCandidates(reads, candidates, &via_candidates);
+
+  GateKeeperGpuEngine engine2(cfg, ptrs);
+  std::vector<PairResult> via_pairs;
+  engine2.FilterPairs(pair_reads, pair_refs, &via_pairs);
+
+  ASSERT_EQ(via_candidates.size(), via_pairs.size());
+  for (std::size_t i = 0; i < via_pairs.size(); ++i) {
+    ASSERT_EQ(via_candidates[i].accept, via_pairs[i].accept) << i;
+    ASSERT_EQ(via_candidates[i].edits, via_pairs[i].edits) << i;
+  }
+}
+
+TEST(EngineTest, CandidateModeBypassesReferenceNs) {
+  Rng rng(31);
+  std::string genome(5000, 'A');
+  for (auto& c : genome) c = kBases[rng.NextU64() & 0x3u];
+  genome[2050] = 'N';
+  auto devices = gpusim::MakeSetup1(1, 2);
+  std::vector<gpusim::Device*> ptrs{devices[0].get()};
+  EngineConfig cfg;
+  cfg.read_length = 100;
+  cfg.error_threshold = 2;
+  GateKeeperGpuEngine engine(cfg, ptrs);
+  engine.LoadReference(genome);
+  std::string read(100, 'A');
+  for (auto& c : read) c = kBases[rng.NextU64() & 0x3u];
+  std::vector<std::string> reads{read};
+  std::vector<CandidatePair> candidates{{0, 2000}, {0, 3000}};
+  std::vector<PairResult> results;
+  const FilterRunStats stats =
+      engine.FilterCandidates(reads, candidates, &results);
+  // Candidate over the 'N' bypasses filtration regardless of content.
+  EXPECT_EQ(results[0].bypassed, 1);
+  EXPECT_EQ(results[0].accept, 1);
+  // The clean segment is actually filtered and must match the CPU filter.
+  GateKeeperFilter cpu;
+  const FilterResult expected =
+      cpu.Filter(read, genome.substr(3000, 100), cfg.error_threshold);
+  EXPECT_EQ(results[1].bypassed, 0);
+  EXPECT_EQ(results[1].accept, expected.accept ? 1 : 0);
+  EXPECT_EQ(stats.bypassed, 1u);
+}
+
+TEST(EngineTest, MultiRoundBatchingMatchesSingleRound) {
+  // Force tiny kernel batches: results and counters must be identical to a
+  // one-round run, with the batch counter reflecting the extra rounds.
+  const Workload w = MakeWorkload(5000, 100, 19);
+  std::vector<PairResult> one_round;
+  FilterRunStats one_stats;
+  {
+    auto devices = gpusim::MakeSetup1(1, 2);
+    std::vector<gpusim::Device*> ptrs{devices[0].get()};
+    EngineConfig cfg;
+    cfg.read_length = 100;
+    cfg.error_threshold = 4;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    one_stats = engine.FilterPairs(w.reads, w.refs, &one_round);
+  }
+  EXPECT_EQ(one_stats.batches, 1u);
+  for (const std::size_t cap : {512u, 1024u, 2048u}) {
+    auto devices = gpusim::MakeSetup1(1, 2);
+    std::vector<gpusim::Device*> ptrs{devices[0].get()};
+    EngineConfig cfg;
+    cfg.read_length = 100;
+    cfg.error_threshold = 4;
+    cfg.max_pairs_per_batch = cap;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    std::vector<PairResult> results;
+    const FilterRunStats stats = engine.FilterPairs(w.reads, w.refs, &results);
+    EXPECT_EQ(engine.plan().pairs_per_batch, cap);
+    EXPECT_GT(stats.batches, 1u) << cap;
+    EXPECT_EQ(stats.accepted, one_stats.accepted) << cap;
+    EXPECT_EQ(stats.rejected, one_stats.rejected) << cap;
+    EXPECT_EQ(stats.bypassed, one_stats.bypassed) << cap;
+    ASSERT_EQ(results.size(), one_round.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].accept, one_round[i].accept)
+          << "cap " << cap << " pair " << i;
+      ASSERT_EQ(results[i].edits, one_round[i].edits);
+    }
+  }
+}
+
+TEST(EngineTest, MultiRoundCandidateModeMatches) {
+  Rng rng(29);
+  std::string genome(30000, 'A');
+  for (auto& c : genome) c = kBases[rng.NextU64() & 0x3u];
+  const int length = 100;
+  std::vector<std::string> reads;
+  std::vector<CandidatePair> candidates;
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t pos =
+        static_cast<std::int64_t>(rng.Uniform(genome.size() - length));
+    std::string read = genome.substr(static_cast<std::size_t>(pos), length);
+    for (int m = 0; m < 3; ++m) {
+      read[rng.Uniform(read.size())] = kBases[rng.NextU64() & 0x3u];
+    }
+    reads.push_back(std::move(read));
+    // several candidates per read, some bogus
+    candidates.push_back({static_cast<std::uint32_t>(i), pos});
+    candidates.push_back(
+        {static_cast<std::uint32_t>(i),
+         static_cast<std::int64_t>(rng.Uniform(genome.size() - length))});
+  }
+  std::vector<PairResult> expected;
+  {
+    auto devices = gpusim::MakeSetup1(1, 2);
+    std::vector<gpusim::Device*> ptrs{devices[0].get()};
+    EngineConfig cfg;
+    cfg.read_length = length;
+    cfg.error_threshold = 3;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    engine.LoadReference(genome);
+    engine.FilterCandidates(reads, candidates, &expected);
+  }
+  {
+    auto devices = gpusim::MakeSetup1(1, 2);
+    std::vector<gpusim::Device*> ptrs{devices[0].get()};
+    EngineConfig cfg;
+    cfg.read_length = length;
+    cfg.error_threshold = 3;
+    cfg.max_pairs_per_batch = 64;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    engine.LoadReference(genome);
+    std::vector<PairResult> results;
+    const FilterRunStats stats =
+        engine.FilterCandidates(reads, candidates, &results);
+    EXPECT_GT(stats.batches, 1u);
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].accept, expected[i].accept) << i;
+    }
+  }
+}
+
+TEST(EngineTest, PlanRespectsDeviceMemory) {
+  auto devices = gpusim::MakeSetup2(1, 1);
+  std::vector<gpusim::Device*> ptrs{devices[0].get()};
+  EngineConfig cfg;
+  cfg.read_length = 250;
+  cfg.error_threshold = 10;
+  GateKeeperGpuEngine engine(cfg, ptrs);
+  const SystemPlan& plan = engine.plan();
+  EXPECT_GT(plan.pairs_per_batch, 0u);
+  EXPECT_LE(static_cast<double>(plan.pairs_per_batch) *
+                static_cast<double>(plan.pair_buffer_bytes),
+            static_cast<double>(devices[0]->props().global_mem_bytes));
+  EXPECT_EQ(plan.threads_per_block, 1024);
+  EXPECT_DOUBLE_EQ(plan.occupancy.occupancy, 0.5);  // the paper's figure
+}
+
+}  // namespace
+}  // namespace gkgpu

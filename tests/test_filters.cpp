@@ -1,0 +1,230 @@
+// Tests for the baseline pre-alignment filters (SHD, MAGNET, Shouji,
+// SneakySnake) and the neighborhood map they share.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/needleman_wunsch.hpp"
+#include "encode/dna.hpp"
+#include "filters/gatekeeper.hpp"
+#include "filters/magnet.hpp"
+#include "filters/neighborhood.hpp"
+#include "filters/shd.hpp"
+#include "filters/shouji.hpp"
+#include "filters/sneakysnake.hpp"
+#include "sim/pairgen.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+namespace {
+
+std::string RandomSeq(Rng& rng, std::size_t n) {
+  std::string s(n, 'A');
+  for (auto& c : s) c = kBases[rng.NextU64() & 0x3u];
+  return s;
+}
+
+std::vector<std::unique_ptr<PreAlignmentFilter>> AllFilters() {
+  std::vector<std::unique_ptr<PreAlignmentFilter>> filters;
+  filters.push_back(std::make_unique<GateKeeperFilter>());
+  GateKeeperParams original;
+  original.mode = GateKeeperMode::kOriginal;
+  filters.push_back(std::make_unique<GateKeeperFilter>(original));
+  filters.push_back(std::make_unique<ShdFilter>());
+  filters.push_back(std::make_unique<MagnetFilter>());
+  filters.push_back(std::make_unique<ShoujiFilter>());
+  filters.push_back(std::make_unique<SneakySnakeFilter>());
+  return filters;
+}
+
+TEST(NeighborhoodTest, DiagonalBitsMatchDirectComparison) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int length = 30 + static_cast<int>(rng.Uniform(100));
+    const int e = 1 + static_cast<int>(rng.Uniform(8));
+    const std::string read = RandomSeq(rng, static_cast<std::size_t>(length));
+    const std::string ref = RandomSeq(rng, static_cast<std::size_t>(length));
+    NeighborhoodMap map;
+    map.Build(read, ref, e);
+    for (int d = -e; d <= e; ++d) {
+      for (int j = 0; j < length; ++j) {
+        const int rj = j + d;
+        const bool mismatch =
+            rj < 0 || rj >= length ||
+            read[static_cast<std::size_t>(j)] !=
+                ref[static_cast<std::size_t>(rj)];
+        ASSERT_EQ(GetMaskBit(map.Diagonal(d), j), mismatch ? 1u : 0u)
+            << "d " << d << " j " << j;
+      }
+    }
+  }
+}
+
+TEST(NeighborhoodTest, ZeroRunFromScansCorrectly) {
+  NeighborhoodMap map;
+  //          0123456789
+  map.Build("ACGTACGTAC", "ACGTACGTAC", 1);
+  EXPECT_EQ(map.ZeroRunFrom(0, 0), 10);  // exact match: all zeros
+  EXPECT_EQ(map.ZeroRunFrom(0, 7), 3);
+  EXPECT_EQ(map.ZeroRunFrom(0, 10), 0);
+  // Diagonal +1 compares read[j] vs ref[j+1]; out of range at j=9.
+  EXPECT_EQ(map.ZeroRunFrom(1, 9), 0);
+}
+
+TEST(NeighborhoodTest, LongestZeroRunFindsTheLongest) {
+  NeighborhoodMap map;
+  // One mismatch in the middle splits diagonal 0 into runs of 5 and 6.
+  std::string read = "AAAAACAAAAAA";
+  std::string ref = "AAAAAGAAAAAA";
+  map.Build(read, ref, 0);
+  int start = -1;
+  EXPECT_EQ(map.LongestZeroRun(0, 0, 11, &start), 6);
+  EXPECT_EQ(start, 6);
+  EXPECT_EQ(map.LongestZeroRun(0, 0, 4, &start), 5);
+  EXPECT_EQ(start, 0);
+}
+
+TEST(FiltersTest, AllAcceptExactMatches) {
+  Rng rng(5);
+  for (const auto& filter : AllFilters()) {
+    for (const int length : {48, 100, 150}) {
+      const std::string seq = RandomSeq(rng, static_cast<std::size_t>(length));
+      for (const int e : {0, 2, 5}) {
+        EXPECT_TRUE(filter->Filter(seq, seq, e).accept)
+            << filter->name() << " length " << length << " e " << e;
+      }
+    }
+  }
+}
+
+TEST(FiltersTest, AllRejectMostRandomPairsAtLowThreshold) {
+  // GateKeeper-family filters are heuristic (the paper measures multi-
+  // percent false-accept rates even at e = 2); the neighborhood-map
+  // filters are much tighter.
+  Rng rng(7);
+  for (const auto& filter : AllFilters()) {
+    int rejected = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+      const std::string a = RandomSeq(rng, 100);
+      const std::string b = RandomSeq(rng, 100);
+      rejected += filter->Filter(a, b, 2).accept ? 0 : 1;
+    }
+    const bool tight = filter->name() == "MAGNET" ||
+                       filter->name() == "Shouji" ||
+                       filter->name() == "SneakySnake";
+    EXPECT_GE(rejected, tight ? trials - 2 : trials * 9 / 10)
+        << filter->name();
+  }
+}
+
+TEST(FiltersTest, AllAcceptPairsWithinThreshold) {
+  // Every filter must be (near-)lossless on oracle-verified true
+  // positives; MAGNET is the only one the paper observed occasional false
+  // rejects from, so it gets a small allowance.
+  Rng rng(9);
+  for (const auto& filter : AllFilters()) {
+    int false_rejects = 0;
+    int true_positives = 0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+      const int e = 2 + static_cast<int>(rng.Uniform(8));
+      const int edits = static_cast<int>(rng.Uniform(
+          static_cast<std::uint64_t>(e) + 1));
+      const SequencePair p =
+          MakePairWithEdits(100, edits, 0.3, rng.NextU64());
+      if (NwEditDistance(p.read, p.ref) > e) continue;  // not a true positive
+      ++true_positives;
+      if (!filter->Filter(p.read, p.ref, e).accept) ++false_rejects;
+    }
+    ASSERT_GT(true_positives, 100) << filter->name();
+    if (filter->name() == "MAGNET") {
+      EXPECT_LE(false_rejects, true_positives / 20) << filter->name();
+    } else if (filter->name() == "Shouji") {
+      // Shouji's window-replacement rule can overwrite true-path matches;
+      // a sub-percent false-reject rate is inherent to the algorithm.
+      EXPECT_LE(false_rejects, true_positives / 100) << filter->name();
+    } else {
+      EXPECT_EQ(false_rejects, 0) << filter->name();
+    }
+  }
+}
+
+TEST(FiltersTest, ShdMatchesOriginalGateKeeperDecisions) {
+  // The paper's comparison tables show identical false-accept counts for
+  // GateKeeper-FPGA and SHD; our implementations must agree pairwise.
+  Rng rng(11);
+  GateKeeperParams original;
+  original.mode = GateKeeperMode::kOriginal;
+  GateKeeperFilter fpga(original);
+  ShdFilter shd;
+  for (int t = 0; t < 500; ++t) {
+    const int e = static_cast<int>(rng.Uniform(11));
+    const SequencePair p = MakePairWithEdits(
+        100, static_cast<int>(rng.Uniform(30)), 0.3, rng.NextU64());
+    EXPECT_EQ(shd.Filter(p.read, p.ref, e).accept,
+              fpga.Filter(p.read, p.ref, e).accept)
+        << "trial " << t;
+  }
+}
+
+TEST(FiltersTest, MagnetCountsIsolatedEditsExactly) {
+  // MAGNET's estimate equals the true count for well-separated edits.
+  const std::string read = "AAAAAAAAAACAAAAAAAAAAGAAAAAAAAAA";
+  std::string ref = read;
+  ref[10] = 'T';  // one substitution vs read
+  MagnetFilter magnet;
+  const FilterResult r = magnet.Filter(read, ref, 3);
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.estimated_edits, 1);
+}
+
+TEST(FiltersTest, SneakySnakeCountsObstructions) {
+  Rng rng(13);
+  SneakySnakeFilter snake;
+  for (int t = 0; t < 200; ++t) {
+    const int edits = static_cast<int>(rng.Uniform(6));
+    const SequencePair p = MakePairWithEdits(100, edits, 0.0, rng.NextU64());
+    const FilterResult r = snake.Filter(p.read, p.ref, 10);
+    ASSERT_TRUE(r.accept);
+    EXPECT_LE(r.estimated_edits, edits) << "trial " << t;
+  }
+}
+
+TEST(FiltersTest, AccuracyOrderingOnNearThresholdPairs) {
+  // Count false accepts on pairs just above threshold: the paper's ordering
+  // is SneakySnake/MAGNET < Shouji < GateKeeper-GPU < GateKeeper-FPGA=SHD.
+  Rng rng(17);
+  const int e = 5;
+  const int trials = 800;
+  std::vector<SequencePair> hard;
+  for (int t = 0; t < trials; ++t) {
+    hard.push_back(MakePairWithEdits(100, e + 2 + static_cast<int>(rng.Uniform(6)),
+                                     0.3, rng.NextU64()));
+  }
+  auto count_false_accepts = [&](PreAlignmentFilter& f) {
+    int fa = 0;
+    for (const auto& p : hard) {
+      if (f.Filter(p.read, p.ref, e).accept &&
+          NwEditDistance(p.read, p.ref) > e) {
+        ++fa;
+      }
+    }
+    return fa;
+  };
+  GateKeeperFilter improved;
+  GateKeeperParams op;
+  op.mode = GateKeeperMode::kOriginal;
+  GateKeeperFilter original(op);
+  SneakySnakeFilter snake;
+  const int fa_improved = count_false_accepts(improved);
+  const int fa_original = count_false_accepts(original);
+  const int fa_snake = count_false_accepts(snake);
+  EXPECT_LE(fa_improved, fa_original);
+  EXPECT_LE(fa_snake, fa_improved);
+}
+
+}  // namespace
+}  // namespace gkgpu

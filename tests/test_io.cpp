@@ -1,0 +1,97 @@
+// Tests for FASTA/FASTQ parsing and pair-set serialization round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/fasta.hpp"
+#include "io/fastq.hpp"
+#include "io/pairset.hpp"
+#include "sim/pairgen.hpp"
+
+namespace gkgpu {
+namespace {
+
+TEST(FastaTest, ParsesMultiRecordWithWrappedLines) {
+  std::istringstream in(
+      ">chr1 test\nACGT\nACGT\n>chr2\nTTTT\n; comment\nGGGG\n");
+  const auto records = ReadFasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "chr1 test");
+  EXPECT_EQ(records[0].seq, "ACGTACGT");
+  EXPECT_EQ(records[1].name, "chr2");
+  EXPECT_EQ(records[1].seq, "TTTTGGGG");
+}
+
+TEST(FastaTest, RejectsSequenceBeforeHeader) {
+  std::istringstream in("ACGT\n>chr1\nACGT\n");
+  EXPECT_THROW(ReadFasta(in), std::runtime_error);
+}
+
+TEST(FastaTest, RoundTrip) {
+  std::vector<FastaRecord> records{{"a", std::string(150, 'A')},
+                                   {"b", "ACGTN"}};
+  std::ostringstream out;
+  WriteFasta(out, records, 70);
+  std::istringstream in(out.str());
+  const auto back = ReadFasta(in);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].name, records[i].name);
+    EXPECT_EQ(back[i].seq, records[i].seq);
+  }
+}
+
+TEST(FastqTest, RoundTrip) {
+  std::vector<FastqRecord> records{{"r1", "ACGT", "IIII"},
+                                   {"r2", "GGTT", "!!!!"}};
+  std::ostringstream out;
+  WriteFastq(out, records);
+  std::istringstream in(out.str());
+  const auto back = ReadFastq(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "r1");
+  EXPECT_EQ(back[0].seq, "ACGT");
+  EXPECT_EQ(back[0].qual, "IIII");
+  EXPECT_EQ(back[1].qual, "!!!!");
+}
+
+TEST(FastqTest, DefaultQualityFilledOnWrite) {
+  std::vector<FastqRecord> records{{"r", "ACGTACGT", ""}};
+  std::ostringstream out;
+  WriteFastq(out, records);
+  std::istringstream in(out.str());
+  const auto back = ReadFastq(in);
+  EXPECT_EQ(back[0].qual, std::string(8, 'I'));
+}
+
+TEST(FastqTest, RejectsMalformedRecords) {
+  std::istringstream bad_header("rX\nACGT\n+\nIIII\n");
+  EXPECT_THROW(ReadFastq(bad_header), std::runtime_error);
+  std::istringstream truncated("@r1\nACGT\n");
+  EXPECT_THROW(ReadFastq(truncated), std::runtime_error);
+  std::istringstream bad_qual("@r1\nACGT\n+\nII\n");
+  EXPECT_THROW(ReadFastq(bad_qual), std::runtime_error);
+}
+
+TEST(PairSetTest, RoundTrip) {
+  const auto pairs = GeneratePairs(100, LowEditProfile(100), 3);
+  std::ostringstream out;
+  WritePairSet(out, pairs);
+  std::istringstream in(out.str());
+  const auto back = ReadPairSet(in);
+  ASSERT_EQ(back.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(back[i].read, pairs[i].read);
+    EXPECT_EQ(back[i].ref, pairs[i].ref);
+  }
+}
+
+TEST(PairSetTest, RejectsMalformedLines) {
+  std::istringstream no_tab("# header\nACGTACGT\n");
+  EXPECT_THROW(ReadPairSet(no_tab), std::runtime_error);
+  std::istringstream mismatch("ACGT\tAC\n");
+  EXPECT_THROW(ReadPairSet(mismatch), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gkgpu

@@ -1,0 +1,227 @@
+// Integration tests for the mrFAST-like mapper and its GateKeeper-GPU
+// integration: the k-mer index, pigeonhole seeding, verification, and the
+// paper's headline invariant — filtering loses no mappings while slashing
+// the number of pairs entering verification.
+#include "mapper/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "mapper/sam.hpp"
+#include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+namespace {
+
+struct MapperFixture {
+  std::string genome;
+  std::vector<std::string> reads;
+  MapperConfig config;
+
+  static MapperFixture Make(int read_length, int e, std::size_t n_reads,
+                            std::uint64_t seed) {
+    MapperFixture f;
+    GenomeProfile gp;
+    gp.n_runs_per_mb = 1.0;
+    f.genome = GenerateGenome(400000, seed, gp);
+    ReadErrorProfile ep;
+    ep.sub_rate = 0.01;
+    ep.ins_rate = 0.001;
+    ep.del_rate = 0.001;
+    f.reads = SimulateReadSequences(f.genome, n_reads, read_length, ep,
+                                    seed + 1);
+    f.config.k = 10;
+    f.config.read_length = read_length;
+    f.config.error_threshold = e;
+    f.config.verify_threads = 4;
+    return f;
+  }
+};
+
+TEST(KmerIndexTest, FindsAllOccurrences) {
+  const std::string genome = "ACGTACGTACGTTTTTACGT";
+  KmerIndex index(genome, 4);
+  const auto hits = index.Lookup("ACGT");
+  std::vector<std::uint32_t> positions(hits.begin(), hits.end());
+  std::sort(positions.begin(), positions.end());
+  EXPECT_EQ(positions, (std::vector<std::uint32_t>{0, 4, 8, 16}));
+  EXPECT_TRUE(index.Lookup("AAAA").empty());
+  EXPECT_EQ(index.Lookup("TTTT").size(), 2u);  // positions 11, 12
+}
+
+TEST(KmerIndexTest, SkipsKmersWithN) {
+  const std::string genome = "ACGTNACGT";
+  KmerIndex index(genome, 4);
+  EXPECT_EQ(index.Lookup("ACGT").size(), 2u);  // 0 and 5
+  EXPECT_TRUE(index.Lookup("CGTN").empty());
+  EXPECT_TRUE(index.Lookup("GTNA").empty());
+}
+
+TEST(KmerIndexTest, LookupMatchesBruteForceScan) {
+  const std::string genome = GenerateGenome(20000, 3);
+  KmerIndex index(genome, 8);
+  Rng rng(5);
+  for (int t = 0; t < 50; ++t) {
+    const std::size_t pos = rng.Uniform(genome.size() - 8);
+    const std::string kmer = genome.substr(pos, 8);
+    if (kmer.find('N') != std::string::npos) continue;
+    std::vector<std::uint32_t> expected;
+    for (std::size_t i = 0; i + 8 <= genome.size(); ++i) {
+      if (genome.compare(i, 8, kmer) == 0) {
+        expected.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    const auto hits = index.Lookup(kmer);
+    std::vector<std::uint32_t> got(hits.begin(), hits.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << kmer;
+  }
+}
+
+TEST(MapperTest, MapsErrorFreeReadsToTheirOrigin) {
+  const std::string genome = GenerateGenome(200000, 7);
+  ReadErrorProfile clean{0.0, 0.0, 0.0, 0.0};
+  const auto sim = SimulateReads(genome, 100, 100, clean, 9);
+  std::vector<std::string> reads;
+  for (const auto& r : sim) reads.push_back(r.seq);
+  MapperConfig cfg;
+  cfg.k = 10;
+  cfg.read_length = 100;
+  cfg.error_threshold = 2;
+  cfg.verify_threads = 4;
+  ReadMapper mapper(genome, cfg);
+  std::vector<MappingRecord> records;
+  const MappingStats stats = mapper.MapReads(reads, nullptr, &records);
+  EXPECT_EQ(stats.mapped_reads, reads.size());
+  // Every read's true origin must be among its reported mappings.
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    const bool found = std::any_of(
+        records.begin(), records.end(), [&](const MappingRecord& m) {
+          return m.read_index == i && m.pos == sim[i].origin;
+        });
+    EXPECT_TRUE(found) << "read " << i;
+  }
+}
+
+TEST(MapperTest, CandidatesContainTrueOriginForCleanReads) {
+  const std::string genome = GenerateGenome(100000, 11);
+  ReadErrorProfile clean{0.0, 0.0, 0.0, 0.0};
+  const auto sim = SimulateReads(genome, 50, 100, clean, 13);
+  MapperConfig cfg;
+  cfg.k = 10;
+  cfg.read_length = 100;
+  cfg.error_threshold = 3;
+  ReadMapper mapper(genome, cfg);
+  std::vector<std::int64_t> candidates;
+  for (const auto& r : sim) {
+    mapper.CollectCandidates(r.seq, &candidates);
+    EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                   r.origin))
+        << "origin " << r.origin;
+  }
+}
+
+class MapperFilterIntegration : public ::testing::TestWithParam<int> {};
+
+TEST_P(MapperFilterIntegration, FilterLosesNoMappingsAndReducesWork) {
+  const int setup = GetParam();
+  MapperFixture f = MapperFixture::Make(100, 3, 400, 17);
+  ReadMapper mapper(f.genome, f.config);
+
+  std::vector<MappingRecord> unfiltered;
+  const MappingStats no_filter = mapper.MapReads(f.reads, nullptr, &unfiltered);
+
+  auto devices =
+      setup == 1 ? gpusim::MakeSetup1(1, 4) : gpusim::MakeSetup2(1, 4);
+  std::vector<gpusim::Device*> ptrs{devices[0].get()};
+  EngineConfig ecfg;
+  ecfg.read_length = f.config.read_length;
+  ecfg.error_threshold = f.config.error_threshold;
+  GateKeeperGpuEngine engine(ecfg, ptrs);
+  std::vector<MappingRecord> filtered;
+  const MappingStats with_filter = mapper.MapReads(f.reads, &engine, &filtered);
+
+  // The paper's Table 3 invariant: identical mappings and mapped reads.
+  EXPECT_EQ(with_filter.mappings, no_filter.mappings);
+  EXPECT_EQ(with_filter.mapped_reads, no_filter.mapped_reads);
+  ASSERT_EQ(filtered.size(), unfiltered.size());
+  auto key = [](const MappingRecord& m) {
+    return std::make_tuple(m.read_index, m.pos, m.edit_distance);
+  };
+  auto sorted = [&](std::vector<MappingRecord> v) {
+    std::sort(v.begin(), v.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+    return v;
+  };
+  const auto a = sorted(filtered);
+  const auto b = sorted(unfiltered);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(key(a[i]), key(b[i])) << i;
+  }
+
+  // And far fewer pairs entered verification.
+  EXPECT_EQ(no_filter.verification_pairs, no_filter.candidates_total);
+  EXPECT_LT(with_filter.verification_pairs, no_filter.verification_pairs);
+  EXPECT_EQ(with_filter.verification_pairs + with_filter.rejected_pairs,
+            with_filter.candidates_total);
+  EXPECT_GT(with_filter.ReductionPercent(), 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSetups, MapperFilterIntegration,
+                         ::testing::Values(1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Setup" + std::to_string(info.param);
+                         });
+
+TEST(MapperTest, BatchSizeDoesNotChangeResults) {
+  MapperFixture f = MapperFixture::Make(100, 2, 300, 23);
+  auto devices = gpusim::MakeSetup1(1, 4);
+  std::vector<gpusim::Device*> ptrs{devices[0].get()};
+  std::vector<std::uint64_t> mapping_counts;
+  for (const std::size_t batch : {64u, 128u, 100000u}) {
+    EngineConfig ecfg;
+    ecfg.read_length = f.config.read_length;
+    ecfg.error_threshold = f.config.error_threshold;
+    ecfg.max_reads_per_batch = batch;
+    GateKeeperGpuEngine engine(ecfg, ptrs);
+    ReadMapper mapper(f.genome, f.config);
+    const MappingStats s = mapper.MapReads(f.reads, &engine, nullptr);
+    mapping_counts.push_back(s.mappings);
+  }
+  EXPECT_EQ(mapping_counts[0], mapping_counts[1]);
+  EXPECT_EQ(mapping_counts[1], mapping_counts[2]);
+}
+
+TEST(SamTest, CigarVariantEmitsRealAlignments) {
+  const std::string genome = GenerateGenome(50000, 31);
+  // A read with one deletion relative to the genome, mapped at its origin.
+  std::string read = genome.substr(1000, 101);
+  read.erase(50, 1);  // 100 bp read, one base missing
+  std::vector<std::string> reads{read};
+  std::vector<MappingRecord> records{{0, 1000, 2}};
+  std::ostringstream out;
+  WriteSamRecordsWithCigar(out, reads, records, "chrS", genome);
+  const std::string sam = out.str();
+  EXPECT_NE(sam.find("D"), std::string::npos) << sam;  // real deletion op
+  EXPECT_NE(sam.find("NM:i:2"), std::string::npos);
+}
+
+TEST(SamTest, WritesWellFormedRecords) {
+  std::vector<std::string> reads{"ACGTACGT"};
+  std::vector<MappingRecord> records{{0, 41, 2}};
+  std::ostringstream out;
+  WriteSamHeader(out, "chrS", 1000);
+  WriteSamRecords(out, reads, records, "chrS");
+  const std::string sam = out.str();
+  EXPECT_NE(sam.find("@SQ\tSN:chrS\tLN:1000"), std::string::npos);
+  EXPECT_NE(sam.find("read0\t0\tchrS\t42\t255\t8M\t*\t0\t0\tACGTACGT"),
+            std::string::npos);
+  EXPECT_NE(sam.find("NM:i:2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gkgpu

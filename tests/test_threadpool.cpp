@@ -1,0 +1,66 @@
+// Tests for the worker pool that backs both the simulated devices and the
+// multicore CPU filter baseline.
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gkgpu {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginIsRespected) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(40, 60, 3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 40 && i < 60) ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SequentialJobsDoNotInterfere) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.ParallelFor(0, 1000, 13, [&](std::size_t b, std::size_t e) {
+      std::uint64_t local = 0;
+      for (std::size_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 999ull * 1000 / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::uint64_t sum = 0;  // no synchronization: must still be correct
+  pool.ParallelFor(0, 100, 1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 99ull * 100 / 2);
+}
+
+}  // namespace
+}  // namespace gkgpu

@@ -1,0 +1,96 @@
+// Tests for the small utilities: table formatting, statistics
+// accumulators, throughput conversions, and RNG determinism.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gkgpu {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsAndFormatsNumbers) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("| x |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CountInsertsThousandsSeparators) {
+  EXPECT_EQ(TablePrinter::Count(0), "0");
+  EXPECT_EQ(TablePrinter::Count(999), "999");
+  EXPECT_EQ(TablePrinter::Count(1000), "1,000");
+  EXPECT_EQ(TablePrinter::Count(29895597), "29,895,597");
+}
+
+TEST(TablePrinterTest, NumAndPercent) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Percent(54.39, 2), "54.39%");
+}
+
+TEST(RunningStatTest, TracksMinMaxMean) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  s.Add(2.0);
+  s.Add(4.0);
+  s.Add(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(ThroughputTest, FortyMinuteConversion) {
+  // 1M pairs in 1 second -> 2.4 billion in 40 minutes.
+  EXPECT_DOUBLE_EQ(PairsIn40Minutes(1000000, 1.0), 2.4e9);
+  EXPECT_DOUBLE_EQ(PairsIn40Minutes(100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(MillionsPerSecond(3000000, 2.0), 1.5);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+  Rng c(124);
+  EXPECT_NE(Rng(123).NextU64(), c.NextU64());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const double r = rng.UniformReal();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRateIsPlausible) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace gkgpu

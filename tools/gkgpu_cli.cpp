@@ -1,0 +1,349 @@
+// gkgpu — command-line front end for the GateKeeper-GPU library.
+//
+//   gkgpu generate-genome --length 1000000 --out ref.fa [--seed 42]
+//   gkgpu generate-reads  --ref ref.fa --count 10000 --length 100 --out r.fq
+//   gkgpu generate-pairs  --profile mrfast --length 100 --count 30000
+//                         --out set.pairs.tsv
+//   gkgpu filter --pairs set.pairs.tsv --e 5
+//                [--algo gkgpu|fpga|shd|magnet|shouji|sneakysnake|genasm]
+//                [--setup 1|2] [--devices N] [--encode host|device]
+//                [--out decisions.tsv]
+//   gkgpu map    --ref ref.fa --reads r.fq --e 5 [--no-filter]
+//                [--sam out.sam]
+//
+// `filter --algo gkgpu` runs the full engine (simulated GPU, batching,
+// unified memory); the other algorithms run as host filters.  `map` runs
+// the mrFAST-like mapper with GateKeeper-GPU pre-alignment filtering and
+// reports the Table-3 statistics.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "filters/gatekeeper.hpp"
+#include "filters/genasm.hpp"
+#include "filters/magnet.hpp"
+#include "filters/shd.hpp"
+#include "filters/shouji.hpp"
+#include "filters/sneakysnake.hpp"
+#include "io/fasta.hpp"
+#include "io/fastq.hpp"
+#include "io/pairset.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/sam.hpp"
+#include "sim/genome.hpp"
+#include "sim/pairgen.hpp"
+#include "sim/read_sim.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gkgpu;
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // boolean flag
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::atol(it->second.c_str()) : fallback;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fputs(
+      "usage: gkgpu <command> [options]\n"
+      "  generate-genome --length N --out FILE [--seed S]\n"
+      "  generate-reads  --ref FASTA --count N --length L --out FILE\n"
+      "                  [--profile illumina|richdel|lowindel] [--seed S]\n"
+      "  generate-pairs  --profile mrfast|lowedit|highedit|minimap2|bwamem\n"
+      "                  --length L --count N --out FILE [--seed S]\n"
+      "  filter          --pairs FILE --e N [--algo NAME] [--setup 1|2]\n"
+      "                  [--devices N] [--encode host|device] [--out FILE]\n"
+      "  map             --ref FASTA --reads FASTQ --e N [--no-filter]\n"
+      "                  [--sam FILE] [--setup 1|2] [--devices N]\n",
+      stderr);
+  return 2;
+}
+
+int GenerateGenomeCmd(const Args& args) {
+  const auto length = static_cast<std::size_t>(args.GetInt("length", 1000000));
+  const std::string out = args.Get("out", "reference.fa");
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+  const std::string genome = GenerateGenome(length, seed);
+  WriteFastaFile(out, {{"synthetic_chr1 length=" + std::to_string(length),
+                        genome}});
+  std::printf("wrote %s (%zu bp)\n", out.c_str(), length);
+  return 0;
+}
+
+int GenerateReadsCmd(const Args& args) {
+  const std::string ref_path = args.Get("ref", "");
+  if (ref_path.empty()) return Usage();
+  const auto records = ReadFastaFile(ref_path);
+  if (records.empty()) {
+    std::fprintf(stderr, "no sequences in %s\n", ref_path.c_str());
+    return 1;
+  }
+  const auto count = static_cast<std::size_t>(args.GetInt("count", 10000));
+  const int length = static_cast<int>(args.GetInt("length", 100));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 43));
+  const std::string profile_name = args.Get("profile", "illumina");
+  ReadErrorProfile profile = ReadErrorProfile::Illumina();
+  if (profile_name == "richdel") profile = ReadErrorProfile::RichDeletion();
+  if (profile_name == "lowindel") profile = ReadErrorProfile::LowIndel();
+  const auto reads =
+      SimulateReads(records[0].seq, count, length, profile, seed);
+  std::vector<FastqRecord> fq;
+  fq.reserve(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    fq.push_back({"read_" + std::to_string(i) + "_origin_" +
+                      std::to_string(reads[i].origin),
+                  reads[i].seq, ""});
+  }
+  const std::string out = args.Get("out", "reads.fq");
+  WriteFastqFile(out, fq);
+  std::printf("wrote %s (%zu reads of %d bp)\n", out.c_str(), fq.size(),
+              length);
+  return 0;
+}
+
+int GeneratePairsCmd(const Args& args) {
+  const int length = static_cast<int>(args.GetInt("length", 100));
+  const auto count = static_cast<std::size_t>(args.GetInt("count", 30000));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 44));
+  const std::string name = args.Get("profile", "mrfast");
+  PairProfile profile;
+  if (name == "mrfast") {
+    profile = MrFastCandidateProfile(length);
+  } else if (name == "lowedit") {
+    profile = LowEditProfile(length);
+  } else if (name == "highedit") {
+    profile = HighEditProfile(length);
+  } else if (name == "minimap2") {
+    profile = Minimap2Profile(length);
+  } else if (name == "bwamem") {
+    profile = BwaMemProfile(length);
+  } else {
+    std::fprintf(stderr, "unknown pair profile '%s'\n", name.c_str());
+    return 1;
+  }
+  const std::string out = args.Get("out", name + ".pairs.tsv");
+  WritePairSetFile(out, GeneratePairs(count, profile, seed));
+  std::printf("wrote %s (%zu pairs of %d bp, %s profile)\n", out.c_str(),
+              count, length, name.c_str());
+  return 0;
+}
+
+std::unique_ptr<PreAlignmentFilter> MakeHostFilter(const std::string& algo) {
+  if (algo == "gkgpu") return std::make_unique<GateKeeperFilter>();
+  if (algo == "fpga") {
+    GateKeeperParams p;
+    p.mode = GateKeeperMode::kOriginal;
+    p.bypass_undefined = false;
+    return std::make_unique<GateKeeperFilter>(p);
+  }
+  if (algo == "shd") return std::make_unique<ShdFilter>();
+  if (algo == "magnet") return std::make_unique<MagnetFilter>();
+  if (algo == "shouji") return std::make_unique<ShoujiFilter>();
+  if (algo == "sneakysnake") return std::make_unique<SneakySnakeFilter>();
+  if (algo == "genasm") return std::make_unique<GenAsmFilter>();
+  return nullptr;
+}
+
+int FilterCmd(const Args& args) {
+  const std::string pairs_path = args.Get("pairs", "");
+  if (pairs_path.empty()) return Usage();
+  const auto pairs = ReadPairSetFile(pairs_path);
+  if (pairs.empty()) {
+    std::fprintf(stderr, "no pairs in %s\n", pairs_path.c_str());
+    return 1;
+  }
+  const int e = static_cast<int>(args.GetInt("e", 5));
+  const int length = static_cast<int>(pairs.front().read.size());
+  const std::string algo = args.Get("algo", "gkgpu");
+
+  std::vector<std::uint8_t> accepts(pairs.size(), 0);
+  std::uint64_t accepted = 0;
+  double kt = -1.0;
+  double ft = 0.0;
+  if (algo == "gkgpu") {
+    const int setup = static_cast<int>(args.GetInt("setup", 1));
+    const int ndev = static_cast<int>(args.GetInt("devices", 1));
+    auto devices =
+        setup == 1 ? gpusim::MakeSetup1(ndev) : gpusim::MakeSetup2(ndev);
+    std::vector<gpusim::Device*> ptrs;
+    for (auto& d : devices) ptrs.push_back(d.get());
+    EngineConfig cfg;
+    cfg.read_length = length;
+    cfg.error_threshold = e;
+    cfg.encoding = args.Get("encode", "host") == "device"
+                       ? EncodingActor::kDevice
+                       : EncodingActor::kHost;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    std::vector<std::string> reads;
+    std::vector<std::string> refs;
+    reads.reserve(pairs.size());
+    refs.reserve(pairs.size());
+    for (const auto& p : pairs) {
+      reads.push_back(p.read);
+      refs.push_back(p.ref);
+    }
+    std::vector<PairResult> results;
+    const FilterRunStats stats = engine.FilterPairs(reads, refs, &results);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      accepts[i] = results[i].accept;
+      accepted += results[i].accept;
+    }
+    kt = stats.kernel_seconds;
+    ft = stats.filter_seconds;
+  } else {
+    const auto filter = MakeHostFilter(algo);
+    if (filter == nullptr) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+      return 1;
+    }
+    WallTimer timer;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const bool a = filter->Filter(pairs[i].read, pairs[i].ref, e).accept;
+      accepts[i] = a ? 1 : 0;
+      accepted += a;
+    }
+    ft = timer.Seconds();
+  }
+
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    os << "# pair_index\taccept\n";
+    for (std::size_t i = 0; i < accepts.size(); ++i) {
+      os << i << '\t' << static_cast<int>(accepts[i]) << '\n';
+    }
+    std::printf("decisions written to %s\n", out.c_str());
+  }
+  std::printf("%s: %zu pairs, e=%d -> accepted %llu (%.2f%%), rejected %llu\n",
+              algo.c_str(), pairs.size(), e,
+              static_cast<unsigned long long>(accepted),
+              100.0 * static_cast<double>(accepted) /
+                  static_cast<double>(pairs.size()),
+              static_cast<unsigned long long>(pairs.size() - accepted));
+  if (kt >= 0.0) {
+    std::printf("kernel time %.4f s (simulated device), filter time %.4f s\n",
+                kt, ft);
+  } else {
+    std::printf("filter time %.4f s (host)\n", ft);
+  }
+  return 0;
+}
+
+int MapCmd(const Args& args) {
+  const std::string ref_path = args.Get("ref", "");
+  const std::string reads_path = args.Get("reads", "");
+  if (ref_path.empty() || reads_path.empty()) return Usage();
+  const auto fasta = ReadFastaFile(ref_path);
+  const auto fastq = ReadFastqFile(reads_path);
+  if (fasta.empty() || fastq.empty()) {
+    std::fprintf(stderr, "empty reference or read set\n");
+    return 1;
+  }
+  std::vector<std::string> reads;
+  reads.reserve(fastq.size());
+  for (const auto& r : fastq) reads.push_back(r.seq);
+  const int length = static_cast<int>(reads.front().size());
+  const int e = static_cast<int>(args.GetInt("e", 5));
+
+  MapperConfig mcfg;
+  mcfg.k = 12;
+  mcfg.read_length = length;
+  mcfg.error_threshold = e;
+  ReadMapper mapper(fasta[0].seq, mcfg);
+
+  std::unique_ptr<GateKeeperGpuEngine> engine;
+  std::vector<std::unique_ptr<gpusim::Device>> devices;
+  if (!args.Has("no-filter")) {
+    const int setup = static_cast<int>(args.GetInt("setup", 1));
+    const int ndev = static_cast<int>(args.GetInt("devices", 1));
+    devices =
+        setup == 1 ? gpusim::MakeSetup1(ndev) : gpusim::MakeSetup2(ndev);
+    std::vector<gpusim::Device*> ptrs;
+    for (auto& d : devices) ptrs.push_back(d.get());
+    EngineConfig cfg;
+    cfg.read_length = length;
+    cfg.error_threshold = e;
+    engine = std::make_unique<GateKeeperGpuEngine>(cfg, ptrs);
+  }
+
+  std::vector<MappingRecord> records;
+  const MappingStats stats = mapper.MapReads(reads, engine.get(), &records);
+
+  TablePrinter t({"metric", "value"});
+  t.AddRow({"reads", TablePrinter::Count(stats.reads)});
+  t.AddRow({"mappings", TablePrinter::Count(stats.mappings)});
+  t.AddRow({"mapped reads", TablePrinter::Count(stats.mapped_reads)});
+  t.AddRow({"candidates", TablePrinter::Count(stats.candidates_total)});
+  t.AddRow({"verification pairs", TablePrinter::Count(stats.verification_pairs)});
+  t.AddRow({"rejected pairs", TablePrinter::Count(stats.rejected_pairs)});
+  t.AddRow({"reduction", TablePrinter::Percent(stats.ReductionPercent(), 1)});
+  t.AddRow({"seeding (s)", TablePrinter::Num(stats.seeding_seconds, 3)});
+  t.AddRow({"filtering (s)", TablePrinter::Num(stats.filter_seconds, 3)});
+  t.AddRow({"verification (s)", TablePrinter::Num(stats.verification_seconds, 3)});
+  t.AddRow({"total (s)", TablePrinter::Num(stats.total_seconds, 3)});
+  t.Print(std::cout);
+
+  const std::string sam_path = args.Get("sam", "");
+  if (!sam_path.empty()) {
+    std::ofstream sam(sam_path);
+    WriteSamHeader(sam, "synthetic_chr1",
+                   static_cast<std::int64_t>(fasta[0].seq.size()));
+    WriteSamRecordsWithCigar(sam, reads, records, "synthetic_chr1",
+                             fasta[0].seq);
+    std::printf("SAM written to %s (%zu records)\n", sam_path.c_str(),
+                records.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "generate-genome") return GenerateGenomeCmd(args);
+    if (cmd == "generate-reads") return GenerateReadsCmd(args);
+    if (cmd == "generate-pairs") return GeneratePairsCmd(args);
+    if (cmd == "filter") return FilterCmd(args);
+    if (cmd == "map") return MapCmd(args);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  return Usage();
+}
