@@ -1,0 +1,137 @@
+// Streaming pipeline vs. the blocking engine path: throughput of
+// StreamingPipeline (asynchronous, double-buffered, multi-device) against
+// GateKeeperGpuEngine::FilterPairs (lockstep rounds, host preprocessing
+// serialized with the device pipeline) on the same pair sets.
+//
+// The comparable quantity is the filtration makespan: for the blocking
+// path FilterRunStats::filter_seconds (measured host work + simulated
+// device time, serialized), for the pipeline PipelineStats::filter_seconds
+// (the overlapped timeline where encoding streams concurrently with
+// kernels and transfers).  Verification is disabled on both sides.
+//
+// The headline configuration is the paper's "encoding in device" design,
+// where host staging and simulated device time are of comparable
+// magnitude and the overlap discipline pays: the streaming path must show
+// >= 1.3x on the 2-GPU setups.  Host-encoded rows are included for
+// completeness; there the (real, single-machine) preprocessing dominates
+// the simulated kernels by ~100x, so overlap gains are bounded by the
+// device share — on real multicore hardware the encode worker pool closes
+// that gap instead.
+//
+// Scale with GKGPU_PAIRS (default 200,000).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "pipeline/read_to_sam.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace gkgpu;
+using namespace gkgpu::bench;
+
+namespace {
+
+struct RunResult {
+  double sync_ft = 0.0;
+  double pipe_ft = 0.0;
+  double speedup() const { return pipe_ft > 0.0 ? sync_ft / pipe_ft : 0.0; }
+};
+
+RunResult RunOne(const Dataset& data, int length, int e, EncodingActor actor,
+                 int setup, int ndev, std::size_t batch, int reps) {
+  // Host staging/encoding is measured wall time on ~millisecond scales;
+  // min-of-reps suppresses scheduler noise the same way for both paths.
+  RunResult r;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto devices =
+        setup == 1 ? gpusim::MakeSetup1(ndev) : gpusim::MakeSetup2(ndev);
+    const FilterRunStats s = RunEngine(data, length, e, actor, Ptrs(devices));
+    r.sync_ft = rep == 0 ? s.filter_seconds
+                         : std::min(r.sync_ft, s.filter_seconds);
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    auto devices =
+        setup == 1 ? gpusim::MakeSetup1(ndev) : gpusim::MakeSetup2(ndev);
+    auto ptrs = Ptrs(devices);
+    EngineConfig cfg;
+    cfg.read_length = length;
+    cfg.error_threshold = e;
+    cfg.encoding = actor;
+    GateKeeperGpuEngine engine(cfg, ptrs);
+    pipeline::PipelineConfig pcfg;
+    pcfg.batch_size = batch;
+    pcfg.encode_workers = 2;
+    pcfg.slots_per_device = 2;
+    pcfg.verify = false;
+    std::vector<PairResult> results;
+    const pipeline::PipelineStats s = pipeline::FilterPairsStreaming(
+        &engine, pcfg, data.reads, data.refs, &results);
+    r.pipe_ft = rep == 0 ? s.filter_seconds
+                         : std::min(r.pipe_ft, s.filter_seconds);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t pairs = EnvSize("GKGPU_PAIRS", 200000);
+  const int length = 100;
+  const int e = 5;
+  // Keep >= ~24 batches in flight whatever the dataset size, so the
+  // pipeline's fill/drain phases stay a small fraction of the run.
+  const std::size_t batch = EnvSize(
+      "GKGPU_BATCH", std::clamp<std::size_t>(pairs / 24, 1024, 8192));
+  const int reps = static_cast<int>(EnvSize("GKGPU_REPS", 3));
+  const Dataset data = MakeDataset(MrFastCandidateProfile(length), pairs, 907);
+
+  std::printf("=== streaming pipeline vs blocking FilterPairs ===\n");
+  std::printf("%zu pairs, %d bp, e = %d, batch = %zu, 2 encode workers, "
+              "double-buffered\n\n",
+              pairs, length, e, batch);
+
+  TablePrinter table({"actor", "setup", "GPUs", "blocking ft (s)",
+                      "streaming ft (s)", "blocking Mp/s", "streaming Mp/s",
+                      "speedup"});
+  double headline_speedup = 0.0;
+  for (const EncodingActor actor :
+       {EncodingActor::kDevice, EncodingActor::kHost}) {
+    for (const int setup : {1, 2}) {
+      const int max_dev = setup == 1 ? 8 : 4;
+      for (int ndev = 1; ndev <= max_dev; ndev *= 2) {
+        const RunResult r =
+            RunOne(data, length, e, actor, setup, ndev, batch, reps);
+        table.AddRow({EncodingActorName(actor), std::to_string(setup),
+                      std::to_string(ndev), TablePrinter::Num(r.sync_ft, 4),
+                      TablePrinter::Num(r.pipe_ft, 4),
+                      TablePrinter::Num(MillionsPerSecond(pairs, r.sync_ft), 1),
+                      TablePrinter::Num(MillionsPerSecond(pairs, r.pipe_ft), 1),
+                      TablePrinter::Num(r.speedup(), 2) + "x"});
+        // Acceptance gate: the best device-encoded 2-GPU configuration
+        // must clear 1.3x.
+        if (actor == EncodingActor::kDevice && ndev == 2) {
+          headline_speedup = std::max(headline_speedup, r.speedup());
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  const bool headline_ok = headline_speedup >= 1.3;
+  std::printf(
+      "\nheadline (best device-encoded 2-GPU config): %.2fx %s threshold "
+      "1.3x\n",
+      headline_speedup, headline_ok ? ">=" : "BELOW");
+  std::printf(
+      "\nExpected shape: with device encoding the host staging and the\n"
+      "simulated kernel+transfer time are comparable, so the overlapped\n"
+      "timeline approaches 2x over the serialized blocking path.  With\n"
+      "host encoding the measured preprocessing dominates the simulated\n"
+      "device by ~100x, so both paths converge on the encode rate; on\n"
+      "few-core hosts the streaming rows can even dip below 1x because\n"
+      "the concurrently measured encode workers contend with the\n"
+      "functionally simulated kernels for the same cores — contention a\n"
+      "real GPU would not cause and a multicore host amortizes.\n");
+  return headline_ok ? 0 : 1;
+}

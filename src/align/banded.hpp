@@ -6,12 +6,27 @@
 #define GKGPU_ALIGN_BANDED_HPP
 
 #include <string_view>
+#include <vector>
 
 namespace gkgpu {
 
 /// Exact edit distance if it is <= k, otherwise -1 ("more than k").
 /// O((2k+1) * max(m,n)) time.
 int BandedEditDistance(std::string_view a, std::string_view b, int k);
+
+/// Reusable-buffer variant for verification hot loops: one instance per
+/// worker thread amortizes the band-row allocations over millions of
+/// pairs (the streaming pipeline's verify stage churns one call per
+/// filter-accepted pair).  Not thread-safe; results identical to
+/// BandedEditDistance.
+class BandedVerifier {
+ public:
+  int Distance(std::string_view a, std::string_view b, int k);
+
+ private:
+  std::vector<int> row_;
+  std::vector<int> prev_;
+};
 
 /// Convenience accept test used by verification: edit(a, b) <= k.
 inline bool WithinEditDistance(std::string_view a, std::string_view b, int k) {

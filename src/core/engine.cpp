@@ -103,30 +103,193 @@ double ConcurrentPerDevice(std::size_t ndev,
 
 }  // namespace
 
-void GateKeeperGpuEngine::EnsurePairBuffers(std::size_t capacity) {
+void GateKeeperGpuEngine::AllocatePairBuffers(Device* dev, DeviceBuffers* b,
+                                              std::size_t capacity) {
   const std::size_t words =
       static_cast<std::size_t>(EncodedWords(config_.read_length));
   const std::size_t len = static_cast<std::size_t>(config_.read_length);
+  b->pair_capacity = capacity;
+  if (config_.encoding == EncodingActor::kHost) {
+    b->reads_enc = dev->AllocateUnified(capacity * words * sizeof(Word));
+    b->refs_enc = dev->AllocateUnified(capacity * words * sizeof(Word));
+    b->bypass = dev->AllocateUnified(capacity);
+    b->raw_reads.reset();
+    b->raw_refs.reset();
+  } else {
+    b->raw_reads = dev->AllocateUnified(capacity * len);
+    b->raw_refs = dev->AllocateUnified(capacity * len);
+    b->reads_enc.reset();
+    b->refs_enc.reset();
+    b->bypass.reset();
+  }
+  b->results = dev->AllocateUnified(capacity * sizeof(PairResult));
+}
+
+void GateKeeperGpuEngine::EnsurePairBuffers(std::size_t capacity) {
   for (std::size_t di = 0; di < devices_.size(); ++di) {
     DeviceBuffers& b = *buffers_[di];
     if (b.pair_capacity >= capacity && b.results != nullptr) continue;
-    Device* dev = devices_[di];
-    b.pair_capacity = capacity;
-    if (config_.encoding == EncodingActor::kHost) {
-      b.reads_enc = dev->AllocateUnified(capacity * words * sizeof(Word));
-      b.refs_enc = dev->AllocateUnified(capacity * words * sizeof(Word));
-      b.bypass = dev->AllocateUnified(capacity);
-      b.raw_reads.reset();
-      b.raw_refs.reset();
-    } else {
-      b.raw_reads = dev->AllocateUnified(capacity * len);
-      b.raw_refs = dev->AllocateUnified(capacity * len);
-      b.reads_enc.reset();
-      b.refs_enc.reset();
-      b.bypass.reset();
-    }
-    b.results = dev->AllocateUnified(capacity * sizeof(PairResult));
+    AllocatePairBuffers(devices_[di], &b, capacity);
   }
+}
+
+/// Host preprocessing of `count` pairs into a buffer set: the encode/copy
+/// work one CPU thread performs per device slice, shared by the blocking
+/// FilterPairs rounds and the streaming slot path.
+void GateKeeperGpuEngine::EncodePairsInto(DeviceBuffers* b,
+                                          const std::string* reads,
+                                          const std::string* refs,
+                                          std::size_t count) {
+  const std::size_t words =
+      static_cast<std::size_t>(EncodedWords(config_.read_length));
+  const std::size_t len = static_cast<std::size_t>(config_.read_length);
+  if (config_.encoding == EncodingActor::kHost) {
+    Word* renc = b->reads_enc->as<Word>();
+    Word* genc = b->refs_enc->as<Word>();
+    std::uint8_t* byp = b->bypass->as<std::uint8_t>();
+    for (std::size_t i = 0; i < count; ++i) {
+      const bool rn = EncodeSequence(reads[i], renc + i * words);
+      const bool gn = EncodeSequence(refs[i], genc + i * words);
+      byp[i] = (rn || gn) ? 1 : 0;
+    }
+    b->reads_enc->MarkHostResident();
+    b->refs_enc->MarkHostResident();
+    b->bypass->MarkHostResident();
+  } else {
+    char* rr = b->raw_reads->as<char>();
+    char* gg = b->raw_refs->as<char>();
+    for (std::size_t i = 0; i < count; ++i) {
+      std::memcpy(rr + i * len, reads[i].data(), len);
+      std::memcpy(gg + i * len, refs[i].data(), len);
+    }
+    b->raw_reads->MarkHostResident();
+    b->raw_refs->MarkHostResident();
+  }
+  b->results->MarkHostResident();
+}
+
+/// Device stage for one encoded buffer set: advice + prefetch (or demand
+/// migration), kernel launch, result migration and read-back into `out`.
+/// Pass out == nullptr to defer the host-side copy (FilterPairs reads all
+/// devices back concurrently afterwards; counts are then 0 here).
+StreamBatchStats GateKeeperGpuEngine::RunPairsKernel(Device* dev,
+                                                     DeviceBuffers* b,
+                                                     std::size_t count,
+                                                     PairResult* out) {
+  StreamBatchStats st;
+  if (count == 0) return st;
+  const std::size_t words =
+      static_cast<std::size_t>(EncodedWords(config_.read_length));
+  double prefetch_s = 0.0;
+  double fault_s = 0.0;
+  if (dev->props().supports_prefetch()) {
+    prefetch_s = config_.encoding == EncodingActor::kHost
+                     ? PrefetchAll({b->reads_enc.get(), b->refs_enc.get(),
+                                    b->bypass.get(), b->results.get()})
+                     : PrefetchAll({b->raw_reads.get(), b->raw_refs.get(),
+                                    b->results.get()});
+  } else {
+    fault_s = config_.encoding == EncodingActor::kHost
+                  ? FaultAll({b->reads_enc.get(), b->refs_enc.get(),
+                              b->bypass.get(), b->results.get()})
+                  : FaultAll({b->raw_reads.get(), b->raw_refs.get(),
+                              b->results.get()});
+  }
+
+  const LaunchConfig cfg{
+      static_cast<std::int64_t>((count + plan_.threads_per_block - 1) /
+                                plan_.threads_per_block),
+      plan_.threads_per_block};
+  if (config_.encoding == EncodingActor::kHost) {
+    HostEncodedPairsKernel kernel;
+    kernel.reads = b->reads_enc->as<Word>();
+    kernel.refs = b->refs_enc->as<Word>();
+    kernel.bypass = b->bypass->as<std::uint8_t>();
+    kernel.results = b->results->as<PairResult>();
+    kernel.n = static_cast<std::int64_t>(count);
+    kernel.length = config_.read_length;
+    kernel.words_per_seq = static_cast<int>(words);
+    kernel.e = config_.error_threshold;
+    kernel.params = config_.algorithm;
+    st.kernel_seconds = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
+  } else {
+    DeviceEncodedPairsKernel kernel;
+    kernel.reads = b->raw_reads->as<char>();
+    kernel.refs = b->raw_refs->as<char>();
+    kernel.results = b->results->as<PairResult>();
+    kernel.n = static_cast<std::int64_t>(count);
+    kernel.length = config_.read_length;
+    kernel.e = config_.error_threshold;
+    kernel.params = config_.algorithm;
+    st.kernel_seconds = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
+  }
+  b->results->MarkDeviceResident();
+  const double d2h_s = b->results->FaultToHost();
+  st.transfer_seconds = prefetch_s + d2h_s;
+  if (out != nullptr) {
+    WallTimer readback;
+    const PairResult* res = b->results->as<PairResult>();
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = res[i];
+      st.accepted += res[i].accept;
+      st.bypassed += res[i].bypassed;
+    }
+    st.readback_seconds = readback.Seconds();
+  }
+  return st;
+}
+
+std::size_t GateKeeperGpuEngine::PrepareStreaming(std::size_t batch_capacity,
+                                                  int slots_per_device) {
+  assert(slots_per_device >= 1);
+  const std::size_t capacity =
+      std::min(batch_capacity, plan_.pairs_per_batch);
+  if (streaming_slots_ >= slots_per_device &&
+      streaming_capacity_ >= capacity) {
+    return streaming_capacity_;
+  }
+  streaming_slots_ = slots_per_device;
+  streaming_capacity_ = capacity;
+  stream_buffers_.clear();
+  stream_buffers_.resize(devices_.size() *
+                         static_cast<std::size_t>(slots_per_device));
+  for (std::size_t di = 0; di < devices_.size(); ++di) {
+    for (int s = 0; s < slots_per_device; ++s) {
+      auto b = std::make_unique<DeviceBuffers>();
+      AllocatePairBuffers(devices_[di], b.get(), capacity);
+      stream_buffers_[di * slots_per_device + s] = std::move(b);
+    }
+  }
+  return streaming_capacity_;
+}
+
+double GateKeeperGpuEngine::EncodePairsSlot(int device, int slot,
+                                            const std::string* reads,
+                                            const std::string* refs,
+                                            std::size_t count) {
+  assert(device >= 0 && device < device_count());
+  assert(slot >= 0 && slot < streaming_slots_);
+  assert(count <= streaming_capacity_);
+  DeviceBuffers* b =
+      stream_buffers_[static_cast<std::size_t>(device) * streaming_slots_ +
+                      slot]
+          .get();
+  WallTimer t;
+  EncodePairsInto(b, reads, refs, count);
+  return t.Seconds();
+}
+
+StreamBatchStats GateKeeperGpuEngine::FilterPairsSlot(int device, int slot,
+                                                      std::size_t count,
+                                                      PairResult* out) {
+  assert(device >= 0 && device < device_count());
+  assert(slot >= 0 && slot < streaming_slots_);
+  DeviceBuffers* b =
+      stream_buffers_[static_cast<std::size_t>(device) * streaming_slots_ +
+                      slot]
+          .get();
+  return RunPairsKernel(devices_[static_cast<std::size_t>(device)], b, count,
+                        out);
 }
 
 FilterRunStats GateKeeperGpuEngine::FilterPairs(
@@ -146,9 +309,6 @@ FilterRunStats GateKeeperGpuEngine::FilterPairs(
   EnsurePairBuffers(slice_cap);
 
   const TransferLedger before = TransferLedger::Snapshot(devices_);
-  const std::size_t words =
-      static_cast<std::size_t>(EncodedWords(config_.read_length));
-  const std::size_t len = static_cast<std::size_t>(config_.read_length);
   double device_pipeline_seconds = 0.0;
 
   struct Slice {
@@ -170,30 +330,8 @@ FilterRunStats GateKeeperGpuEngine::FilterPairs(
     const double prep_s = ConcurrentPerDevice(ndev, [&](std::size_t di) {
       const Slice s = slices[di];
       if (s.count == 0) return;
-      DeviceBuffers& b = *buffers_[di];
-      if (config_.encoding == EncodingActor::kHost) {
-        Word* renc = b.reads_enc->as<Word>();
-        Word* genc = b.refs_enc->as<Word>();
-        std::uint8_t* byp = b.bypass->as<std::uint8_t>();
-        for (std::size_t i = 0; i < s.count; ++i) {
-          const bool rn = EncodeSequence(reads[s.begin + i], renc + i * words);
-          const bool gn = EncodeSequence(refs[s.begin + i], genc + i * words);
-          byp[i] = (rn || gn) ? 1 : 0;
-        }
-        b.reads_enc->MarkHostResident();
-        b.refs_enc->MarkHostResident();
-        b.bypass->MarkHostResident();
-      } else {
-        char* rr = b.raw_reads->as<char>();
-        char* gg = b.raw_refs->as<char>();
-        for (std::size_t i = 0; i < s.count; ++i) {
-          std::memcpy(rr + i * len, reads[s.begin + i].data(), len);
-          std::memcpy(gg + i * len, refs[s.begin + i].data(), len);
-        }
-        b.raw_reads->MarkHostResident();
-        b.raw_refs->MarkHostResident();
-      }
-      b.results->MarkHostResident();
+      EncodePairsInto(buffers_[di].get(), reads.data() + s.begin,
+                      refs.data() + s.begin, s.count);
     });
     if (config_.encoding == EncodingActor::kHost) {
       stats.host_encode_seconds += prep_s;
@@ -210,57 +348,10 @@ FilterRunStats GateKeeperGpuEngine::FilterPairs(
     for (std::size_t di = 0; di < ndev; ++di) {
       const Slice s = slices[di];
       if (s.count == 0) continue;
-      Device* dev = devices_[di];
-      DeviceBuffers& b = *buffers_[di];
-
-      double prefetch_s = 0.0;
-      double fault_s = 0.0;
-      if (dev->props().supports_prefetch()) {
-        prefetch_s = config_.encoding == EncodingActor::kHost
-                         ? PrefetchAll({b.reads_enc.get(), b.refs_enc.get(),
-                                        b.bypass.get(), b.results.get()})
-                         : PrefetchAll({b.raw_reads.get(), b.raw_refs.get(),
-                                        b.results.get()});
-      } else {
-        fault_s = config_.encoding == EncodingActor::kHost
-                      ? FaultAll({b.reads_enc.get(), b.refs_enc.get(),
-                                  b.bypass.get(), b.results.get()})
-                      : FaultAll({b.raw_reads.get(), b.raw_refs.get(),
-                                  b.results.get()});
-      }
-
-      const LaunchConfig cfg{
-          static_cast<std::int64_t>((s.count + plan_.threads_per_block - 1) /
-                                    plan_.threads_per_block),
-          plan_.threads_per_block};
-      double kt = 0.0;
-      if (config_.encoding == EncodingActor::kHost) {
-        HostEncodedPairsKernel kernel;
-        kernel.reads = b.reads_enc->as<Word>();
-        kernel.refs = b.refs_enc->as<Word>();
-        kernel.bypass = b.bypass->as<std::uint8_t>();
-        kernel.results = b.results->as<PairResult>();
-        kernel.n = static_cast<std::int64_t>(s.count);
-        kernel.length = config_.read_length;
-        kernel.words_per_seq = static_cast<int>(words);
-        kernel.e = config_.error_threshold;
-        kernel.params = config_.algorithm;
-        kt = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
-      } else {
-        DeviceEncodedPairsKernel kernel;
-        kernel.reads = b.raw_reads->as<char>();
-        kernel.refs = b.raw_refs->as<char>();
-        kernel.results = b.results->as<PairResult>();
-        kernel.n = static_cast<std::int64_t>(s.count);
-        kernel.length = config_.read_length;
-        kernel.e = config_.error_threshold;
-        kernel.params = config_.algorithm;
-        kt = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
-      }
-      b.results->MarkDeviceResident();
-      const double d2h_s = b.results->FaultToHost();
-      round_kt = std::max(round_kt, kt);
-      round_transfer = std::max(round_transfer, prefetch_s + d2h_s);
+      const StreamBatchStats st = RunPairsKernel(
+          devices_[di], buffers_[di].get(), s.count, /*out=*/nullptr);
+      round_kt = std::max(round_kt, st.kernel_seconds);
+      round_transfer = std::max(round_transfer, st.transfer_seconds);
     }
 
     // --- Results read-out: concurrent per device, like the prep. ---

@@ -31,6 +31,15 @@
 
 namespace gkgpu {
 
+/// Timings and counters of one streamed batch on one device slot.
+struct StreamBatchStats {
+  double kernel_seconds = 0.0;    // simulated device time
+  double transfer_seconds = 0.0;  // simulated PCIe (prefetch + result fault)
+  double readback_seconds = 0.0;  // measured host time copying results out
+  std::uint64_t accepted = 0;
+  std::uint64_t bypassed = 0;
+};
+
 /// Aggregated statistics of one Filter* call.
 struct FilterRunStats {
   std::uint64_t pairs = 0;
@@ -59,6 +68,9 @@ class GateKeeperGpuEngine {
   const EngineConfig& config() const { return config_; }
   const SystemPlan& plan() const { return plan_; }
   int device_count() const { return static_cast<int>(devices_.size()); }
+  const gpusim::Device& device(int i) const {
+    return *devices_[static_cast<std::size_t>(i)];
+  }
 
   /// Pair mode: filters reads[i] against refs[i] (equal length) and fills
   /// results (accept flag + approximate edit distance per pair).
@@ -77,17 +89,55 @@ class GateKeeperGpuEngine {
                                   const std::vector<CandidatePair>& candidates,
                                   std::vector<PairResult>* results);
 
+  // --- Streaming path (driven by src/pipeline/) -------------------------
+  //
+  // Re-entrant per-device batch filtration: every device owns
+  // `slots_per_device` independent buffer sets, so the pipeline can host-
+  // encode batch N+1 into one slot while batch N's kernel runs from
+  // another (double buffering).  Concurrency contract: EncodePairsSlot may
+  // run on any thread for any (device, slot) not currently in use, but all
+  // FilterPairsSlot calls for one device must come from a single driver
+  // thread (device timelines and unified-memory counters are per-device
+  // and unsynchronized, exactly like a CUDA stream).
+
+  /// Allocates the slot buffers.  `batch_capacity` is clamped to the
+  /// system plan's pairs-per-batch; returns the per-slot capacity.
+  std::size_t PrepareStreaming(std::size_t batch_capacity,
+                               int slots_per_device);
+  int streaming_slots() const { return streaming_slots_; }
+
+  /// Host preprocessing of one batch into (device, slot): 2-bit encoding
+  /// under EncodingActor::kHost, raw character staging under kDevice.
+  /// Returns measured host seconds.
+  double EncodePairsSlot(int device, int slot, const std::string* reads,
+                         const std::string* refs, std::size_t count);
+
+  /// Device stage for a previously encoded slot: prefetch (or demand
+  /// migration), kernel launch, and result read-back into out[0..count).
+  StreamBatchStats FilterPairsSlot(int device, int slot, std::size_t count,
+                                   PairResult* out);
+
  private:
   struct DeviceBuffers;
 
   void EnsurePairBuffers(std::size_t capacity);
   void EnsureCandidateBuffers(std::size_t capacity, std::size_t read_capacity);
+  void AllocatePairBuffers(gpusim::Device* dev, DeviceBuffers* b,
+                           std::size_t capacity);
+  void EncodePairsInto(DeviceBuffers* b, const std::string* reads,
+                       const std::string* refs, std::size_t count);
+  StreamBatchStats RunPairsKernel(gpusim::Device* dev, DeviceBuffers* b,
+                                  std::size_t count, PairResult* out);
 
   EngineConfig config_;
   std::vector<gpusim::Device*> devices_;
   SystemPlan plan_;
 
   std::vector<std::unique_ptr<DeviceBuffers>> buffers_;
+  // Streaming slots: stream_buffers_[device * streaming_slots_ + slot].
+  std::vector<std::unique_ptr<DeviceBuffers>> stream_buffers_;
+  int streaming_slots_ = 0;
+  std::size_t streaming_capacity_ = 0;
   // Reference genome, one unified copy per device (as each GPU needs its
   // own resident copy).
   std::vector<std::unique_ptr<gpusim::UnifiedBuffer>> ref_buffers_;

@@ -5,20 +5,19 @@
 
 namespace gkgpu {
 
-std::vector<FastqRecord> ReadFastq(std::istream& in) {
-  std::vector<FastqRecord> records;
+bool FastqStreamReader::Next(FastqRecord* rec) {
   std::string header, seq, plus, qual;
   auto chomp = [](std::string& s) {
     if (!s.empty() && s.back() == '\r') s.pop_back();
   };
-  while (std::getline(in, header)) {
+  while (std::getline(in_, header)) {
     chomp(header);
     if (header.empty()) continue;
     if (header[0] != '@') {
       throw std::runtime_error("FASTQ: expected '@' header, got: " + header);
     }
-    if (!std::getline(in, seq) || !std::getline(in, plus) ||
-        !std::getline(in, qual)) {
+    if (!std::getline(in_, seq) || !std::getline(in_, plus) ||
+        !std::getline(in_, qual)) {
       throw std::runtime_error("FASTQ: truncated record: " + header);
     }
     chomp(seq);
@@ -30,8 +29,19 @@ std::vector<FastqRecord> ReadFastq(std::istream& in) {
     if (qual.size() != seq.size()) {
       throw std::runtime_error("FASTQ: quality length mismatch: " + header);
     }
-    records.push_back({header.substr(1), std::move(seq), std::move(qual)});
+    rec->name = header.substr(1);
+    rec->seq = std::move(seq);
+    rec->qual = std::move(qual);
+    return true;
   }
+  return false;
+}
+
+std::vector<FastqRecord> ReadFastq(std::istream& in) {
+  std::vector<FastqRecord> records;
+  FastqStreamReader reader(in);
+  FastqRecord rec;
+  while (reader.Next(&rec)) records.push_back(std::move(rec));
   return records;
 }
 

@@ -14,6 +14,21 @@ struct FastqRecord {
   std::string qual;  // same length as seq
 };
 
+/// Incremental FASTQ parser for the streaming pipeline: pulls one record
+/// or one bounded chunk at a time, so a read set never has to be resident
+/// in memory all at once.  The whole-file readers below are built on it.
+class FastqStreamReader {
+ public:
+  explicit FastqStreamReader(std::istream& in) : in_(in) {}
+
+  /// Parses the next record into *rec; false at end of stream.  Throws on
+  /// malformed input (same diagnostics as ReadFastq).
+  bool Next(FastqRecord* rec);
+
+ private:
+  std::istream& in_;
+};
+
 std::vector<FastqRecord> ReadFastq(std::istream& in);
 std::vector<FastqRecord> ReadFastqFile(const std::string& path);
 

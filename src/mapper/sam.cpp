@@ -13,14 +13,20 @@ void WriteSamHeader(std::ostream& out, std::string_view ref_name,
   out << "@PG\tID:gkgpu\tPN:gatekeeper-gpu-repro\tVN:1.0.0\n";
 }
 
+void WriteSamRecord(std::ostream& out, std::string_view read_name,
+                    std::string_view seq, std::int64_t pos, int edit_distance,
+                    std::string_view ref_name) {
+  out << read_name << "\t0\t" << ref_name << '\t' << (pos + 1) << "\t255\t"
+      << seq.size() << "M\t*\t0\t0\t" << seq << "\t*\tNM:i:" << edit_distance
+      << '\n';
+}
+
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
                      const std::vector<MappingRecord>& records,
                      std::string_view ref_name) {
   for (const MappingRecord& m : records) {
-    const std::string& seq = reads[m.read_index];
-    out << "read" << m.read_index << "\t0\t" << ref_name << '\t'
-        << (m.pos + 1) << "\t255\t" << seq.size() << "M\t*\t0\t0\t" << seq
-        << "\t*\tNM:i:" << m.edit_distance << '\n';
+    WriteSamRecord(out, "read" + std::to_string(m.read_index),
+                   reads[m.read_index], m.pos, m.edit_distance, ref_name);
   }
 }
 

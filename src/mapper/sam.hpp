@@ -15,6 +15,12 @@ namespace gkgpu {
 void WriteSamHeader(std::ostream& out, std::string_view ref_name,
                     std::int64_t ref_length);
 
+/// One alignment line with an explicit read name — the streaming
+/// pipeline's SAM sink emits records incrementally as batches retire.
+void WriteSamRecord(std::ostream& out, std::string_view read_name,
+                    std::string_view seq, std::int64_t pos, int edit_distance,
+                    std::string_view ref_name);
+
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
                      const std::vector<MappingRecord>& records,
                      std::string_view ref_name);

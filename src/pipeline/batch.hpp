@@ -1,0 +1,50 @@
+// The unit of work flowing through the streaming pipeline: a fixed-size
+// batch of (read, reference-segment) pairs with its provenance and, as it
+// moves through the stages, filtration results and verification edits.
+#ifndef GKGPU_PIPELINE_BATCH_HPP
+#define GKGPU_PIPELINE_BATCH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gatekeeper_kernel.hpp"
+
+namespace gkgpu::pipeline {
+
+struct PairBatch {
+  /// Input-order sequence number, assigned by the source stage; the
+  /// ordered sink releases batches strictly by this.
+  std::uint64_t seq = 0;
+  /// Global index of pairs[0] over the whole stream.
+  std::size_t first_pair = 0;
+
+  std::vector<std::string> reads;
+  std::vector<std::string> refs;
+
+  // Read-to-SAM provenance (empty in plain pair-stream mode).  One entry
+  // per pair: which input read it came from, its name, and the reference
+  // position of the candidate segment.
+  std::vector<std::uint32_t> read_index;
+  std::vector<std::string> read_names;
+  std::vector<std::int64_t> ref_pos;
+
+  /// Filled by the filtration stage.
+  std::vector<PairResult> results;
+  /// Filled by the verification stage: exact banded edit distance for
+  /// pairs that entered verification and passed (<= threshold), -1 for
+  /// pairs the filter rejected or verification refuted.
+  std::vector<int> edits;
+
+  /// Which device filtered the batch (round-robin shard).
+  int device = -1;
+  /// Modeled availability instant on the overlapped timeline (seconds
+  /// since pipeline start) at which the batch finished host encoding.
+  double encode_ready = 0.0;
+
+  std::size_t size() const { return reads.size(); }
+};
+
+}  // namespace gkgpu::pipeline
+
+#endif  // GKGPU_PIPELINE_BATCH_HPP

@@ -1,0 +1,361 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "align/banded.hpp"
+#include "util/timer.hpp"
+
+namespace gkgpu::pipeline {
+
+namespace {
+
+/// A batch whose pairs sit encoded in a reserved device slot.
+struct EncodedMsg {
+  PairBatch batch;
+  int slot = 0;
+};
+
+}  // namespace
+
+StreamingPipeline::StreamingPipeline(GateKeeperGpuEngine* engine,
+                                     PipelineConfig config)
+    : engine_(engine), config_(config) {
+  config_.batch_size = std::max<std::size_t>(1, config_.batch_size);
+  config_.queue_depth = std::max<std::size_t>(1, config_.queue_depth);
+  config_.encode_workers = std::max(1, config_.encode_workers);
+  config_.verify_workers = std::max(1, config_.verify_workers);
+  config_.slots_per_device = std::max(1, config_.slots_per_device);
+  // The engine clamps slots to its kernel plan; the effective batch size is
+  // published back through config().
+  config_.batch_size =
+      engine_->PrepareStreaming(config_.batch_size, config_.slots_per_device);
+}
+
+PipelineStats StreamingPipeline::Run(const BatchSource& source,
+                                     const BatchSink& sink) {
+  const int ndev = engine_->device_count();
+  const std::size_t capacity = config_.batch_size;
+  const int verify_k = config_.verify_threshold >= 0
+                           ? config_.verify_threshold
+                           : engine_->config().error_threshold;
+
+  PipelineStats stats;
+  WallTimer run_timer;
+
+  // --- Queues -----------------------------------------------------------
+  BoundedQueue<PairBatch> q_in(config_.queue_depth);
+  std::vector<std::unique_ptr<BoundedQueue<int>>> q_free;
+  std::vector<std::unique_ptr<BoundedQueue<EncodedMsg>>> q_ready;
+  for (int d = 0; d < ndev; ++d) {
+    q_free.push_back(std::make_unique<BoundedQueue<int>>(
+        static_cast<std::size_t>(config_.slots_per_device)));
+    q_ready.push_back(std::make_unique<BoundedQueue<EncodedMsg>>(
+        static_cast<std::size_t>(config_.slots_per_device)));
+    for (int s = 0; s < config_.slots_per_device; ++s) q_free[d]->Push(s);
+  }
+  BoundedQueue<PairBatch> q_filtered(config_.queue_depth);
+  BoundedQueue<PairBatch> q_done(config_.queue_depth);
+
+  // --- Shutdown / error propagation ------------------------------------
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto abort_all = [&] {
+    q_in.Close();
+    for (auto& q : q_free) q->Close();
+    for (auto& q : q_ready) q->Close();
+    q_filtered.Close();
+    q_done.Close();
+  };
+  const auto record_error = [&](std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lk(err_mu);
+      if (!first_error) first_error = e;
+    }
+    abort_all();
+  };
+
+  // --- Stage accounting -------------------------------------------------
+  std::mutex stats_mu;
+  StageStats source_stage{"source", 1, 0, 0, 0.0};
+  StageStats encode_stage{"encode", config_.encode_workers, 0, 0, 0.0};
+  StageStats filter_stage{"filter", ndev, 0, 0, 0.0};
+  StageStats verify_stage{"verify", config_.verify_workers, 0, 0, 0.0};
+  StageStats sink_stage{"sink", 1, 0, 0, 0.0};
+
+  // Modeled overlapped timeline (seconds since pipeline start).  Encode
+  // workers and devices advance private clocks by their busy time; a
+  // device cannot start a batch before its encode finished, which is how
+  // an encode-bound stream shows up in the modeled makespan.
+  std::mutex model_mu;
+  std::vector<double> device_clock(static_cast<std::size_t>(ndev), 0.0);
+  std::vector<double> device_kt(static_cast<std::size_t>(ndev), 0.0);
+  std::vector<double> device_tr(static_cast<std::size_t>(ndev), 0.0);
+
+  std::atomic<int> encoders_left{config_.encode_workers};
+  std::atomic<int> drivers_left{ndev};
+  std::atomic<int> verifiers_left{config_.verify_workers};
+
+  std::vector<std::thread> threads;
+
+  // --- Stage 1: source --------------------------------------------------
+  threads.emplace_back([&] {
+    try {
+      std::uint64_t seq = 0;
+      std::size_t first_pair = 0;
+      double busy = 0.0;
+      std::uint64_t batches = 0;
+      std::uint64_t items = 0;
+      for (;;) {
+        PairBatch batch;
+        batch.seq = seq;
+        batch.first_pair = first_pair;
+        WallTimer t;
+        const bool more = source(&batch);
+        busy += t.Seconds();
+        if (!more) break;
+        if (batch.size() == 0) continue;
+        if (batch.refs.size() != batch.reads.size()) {
+          throw std::runtime_error("pipeline source: reads/refs length skew");
+        }
+        if (batch.size() > capacity) {
+          throw std::runtime_error("pipeline source: batch exceeds capacity");
+        }
+        // The slot encoders stride buffers by the configured read length;
+        // a shorter or longer sequence would over-read or cross into the
+        // neighbouring pair's slot.
+        const auto expected =
+            static_cast<std::size_t>(engine_->config().read_length);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (batch.reads[i].size() != expected ||
+              batch.refs[i].size() != expected) {
+            throw std::runtime_error(
+                "pipeline source: pair " + std::to_string(first_pair + i) +
+                " length != configured read length " +
+                std::to_string(expected));
+          }
+        }
+        ++seq;
+        first_pair += batch.size();
+        batches += 1;
+        items += batch.size();
+        if (!q_in.Push(std::move(batch))) break;  // aborted downstream
+      }
+      q_in.Close();
+      std::lock_guard<std::mutex> lk(stats_mu);
+      source_stage.busy_seconds += busy;
+      source_stage.batches += batches;
+      source_stage.items += items;
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+  });
+
+  // --- Stage 2: encode pool --------------------------------------------
+  for (int w = 0; w < config_.encode_workers; ++w) {
+    threads.emplace_back([&] {
+      double busy = 0.0;
+      double model_clock = 0.0;
+      std::uint64_t batches = 0;
+      std::uint64_t items = 0;
+      try {
+        while (auto batch = q_in.Pop()) {
+          const int d = static_cast<int>(
+              batch->seq % static_cast<std::uint64_t>(ndev));
+          const auto slot = q_free[d]->Pop();
+          if (!slot) break;  // aborted
+          const double enc_s = engine_->EncodePairsSlot(
+              d, *slot, batch->reads.data(), batch->refs.data(),
+              batch->size());
+          busy += enc_s;
+          model_clock += enc_s;
+          batch->device = d;
+          batch->encode_ready = model_clock;
+          batches += 1;
+          items += batch->size();
+          if (!q_ready[d]->Push({std::move(*batch), *slot})) break;
+        }
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      {
+        std::lock_guard<std::mutex> lk(stats_mu);
+        encode_stage.busy_seconds += busy;
+        encode_stage.batches += batches;
+        encode_stage.items += items;
+      }
+      if (encoders_left.fetch_sub(1) == 1) {
+        for (auto& q : q_ready) q->Close();
+      }
+    });
+  }
+
+  // --- Stage 3: filtration, one driver per device ----------------------
+  const bool double_buffered = config_.slots_per_device > 1;
+  for (int d = 0; d < ndev; ++d) {
+    threads.emplace_back([&, d] {
+      double busy = 0.0;
+      double clock = 0.0;
+      double kt_sum = 0.0;
+      double tr_sum = 0.0;
+      std::uint64_t batches = 0;
+      std::uint64_t items = 0;
+      std::uint64_t accepted = 0;
+      std::uint64_t bypassed = 0;
+      try {
+        while (auto msg = q_ready[d]->Pop()) {
+          const std::size_t n = msg->batch.size();
+          msg->batch.results.assign(n, PairResult{});
+          WallTimer t;
+          const StreamBatchStats st = engine_->FilterPairsSlot(
+              d, msg->slot, n, msg->batch.results.data());
+          busy += t.Seconds();
+          q_free[d]->Push(msg->slot);
+          // Timeline: a prefetch-capable, double-buffered device overlaps
+          // the next batch's transfers with the running kernel; otherwise
+          // transfers serialize with compute (same convention as the
+          // blocking path's device_pipeline_seconds).
+          const bool overlapped =
+              double_buffered && engine_->device(d).props().supports_prefetch();
+          const double device_busy =
+              overlapped ? std::max(st.kernel_seconds, st.transfer_seconds)
+                         : st.kernel_seconds + st.transfer_seconds;
+          clock = std::max(clock, msg->batch.encode_ready) + device_busy;
+          kt_sum += st.kernel_seconds;
+          tr_sum += st.transfer_seconds;
+          accepted += st.accepted;
+          bypassed += st.bypassed;
+          batches += 1;
+          items += n;
+          if (!q_filtered.Push(std::move(msg->batch))) break;
+        }
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      {
+        std::lock_guard<std::mutex> lk(model_mu);
+        device_clock[static_cast<std::size_t>(d)] = clock;
+        device_kt[static_cast<std::size_t>(d)] = kt_sum;
+        device_tr[static_cast<std::size_t>(d)] = tr_sum;
+      }
+      {
+        std::lock_guard<std::mutex> lk(stats_mu);
+        filter_stage.busy_seconds += busy;
+        filter_stage.batches += batches;
+        filter_stage.items += items;
+        stats.accepted += accepted;
+        stats.bypassed += bypassed;
+        stats.rejected += items - accepted;
+      }
+      if (drivers_left.fetch_sub(1) == 1) {
+        q_filtered.Close();
+      }
+    });
+  }
+
+  // --- Stage 4: verification pool --------------------------------------
+  for (int w = 0; w < config_.verify_workers; ++w) {
+    threads.emplace_back([&] {
+      double busy = 0.0;
+      std::uint64_t batches = 0;
+      std::uint64_t pairs_in = 0;
+      std::uint64_t confirmed = 0;
+      BandedVerifier verifier;
+      try {
+        while (auto batch = q_filtered.Pop()) {
+          const std::size_t n = batch->size();
+          batch->edits.assign(n, -1);
+          if (config_.verify) {
+            WallTimer t;
+            for (std::size_t i = 0; i < n; ++i) {
+              if (!batch->results[i].accept) continue;
+              ++pairs_in;
+              batch->edits[i] =
+                  verifier.Distance(batch->reads[i], batch->refs[i], verify_k);
+              if (batch->edits[i] >= 0) ++confirmed;
+            }
+            busy += t.Seconds();
+          }
+          batches += 1;
+          if (!q_done.Push(std::move(*batch))) break;
+        }
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      {
+        std::lock_guard<std::mutex> lk(stats_mu);
+        verify_stage.busy_seconds += busy;
+        verify_stage.batches += batches;
+        verify_stage.items += pairs_in;
+        stats.verified_pairs += pairs_in;
+        stats.true_mappings += confirmed;
+      }
+      if (verifiers_left.fetch_sub(1) == 1) {
+        q_done.Close();
+      }
+    });
+  }
+
+  // --- Stage 5: ordered sink (this thread) ------------------------------
+  try {
+    std::map<std::uint64_t, PairBatch> pending;
+    std::uint64_t next_seq = 0;
+    while (auto batch = q_done.Pop()) {
+      pending.emplace(batch->seq, std::move(*batch));
+      while (!pending.empty() && pending.begin()->first == next_seq) {
+        PairBatch out = std::move(pending.begin()->second);
+        pending.erase(pending.begin());
+        ++next_seq;
+        sink_stage.batches += 1;
+        sink_stage.items += out.size();
+        stats.pairs += out.size();
+        stats.batches += 1;
+        WallTimer t;
+        sink(std::move(out));
+        sink_stage.busy_seconds += t.Seconds();
+      }
+    }
+  } catch (...) {
+    record_error(std::current_exception());
+  }
+
+  for (auto& t : threads) t.join();
+
+  stats.wall_seconds = run_timer.Seconds();
+  for (int d = 0; d < ndev; ++d) {
+    stats.filter_seconds =
+        std::max(stats.filter_seconds, device_clock[static_cast<std::size_t>(d)]);
+    stats.kernel_seconds =
+        std::max(stats.kernel_seconds, device_kt[static_cast<std::size_t>(d)]);
+    stats.kernel_seconds_total += device_kt[static_cast<std::size_t>(d)];
+    stats.transfer_seconds =
+        std::max(stats.transfer_seconds, device_tr[static_cast<std::size_t>(d)]);
+  }
+  stats.encode_seconds = encode_stage.busy_seconds;
+  stats.verify_seconds = verify_stage.busy_seconds;
+  stats.stages = {source_stage, encode_stage, filter_stage, verify_stage,
+                  sink_stage};
+  stats.queues.push_back({"source->encode", q_in.capacity(), q_in.stats()});
+  for (int d = 0; d < ndev; ++d) {
+    stats.queues.push_back({"encoded->gpu" + std::to_string(d),
+                            q_ready[d]->capacity(), q_ready[d]->stats()});
+  }
+  stats.queues.push_back(
+      {"filter->verify", q_filtered.capacity(), q_filtered.stats()});
+  stats.queues.push_back({"verify->sink", q_done.capacity(), q_done.stats()});
+
+  {
+    std::lock_guard<std::mutex> lk(err_mu);
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  return stats;
+}
+
+}  // namespace gkgpu::pipeline

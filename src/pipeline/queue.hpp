@@ -1,0 +1,131 @@
+// Bounded MPMC queue with blocking backpressure — the coupling between the
+// streaming pipeline's stages.  A full queue blocks producers (so a slow
+// stage throttles everything upstream instead of ballooning memory), an
+// empty queue blocks consumers, and Close() initiates shutdown: pending
+// items drain, further pushes fail, and pops return nullopt once empty.
+//
+// Every queue keeps occupancy and stall statistics so PipelineStats can
+// show where a run spent its time waiting.
+#ifndef GKGPU_PIPELINE_QUEUE_HPP
+#define GKGPU_PIPELINE_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace gkgpu::pipeline {
+
+/// Lifetime counters of one queue (snapshot via BoundedQueue::stats()).
+struct QueueStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::size_t max_depth = 0;        // high-water occupancy
+  double push_wait_seconds = 0.0;   // producers blocked on a full queue
+  double pop_wait_seconds = 0.0;    // consumers blocked on an empty queue
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` >= 1 items may be queued before producers block.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full.  Returns false (dropping `item`) if
+  /// the queue is or becomes closed; items are never enqueued after Close.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!closed_ && items_.size() >= capacity_) {
+      WallTimer t;
+      cv_push_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+      stats_.push_wait_seconds += t.Seconds();
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    ++stats_.pushed;
+    stats_.max_depth = std::max(stats_.max_depth, items_.size());
+    lk.unlock();
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open.  Returns nullopt only when
+  /// the queue is closed AND fully drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (items_.empty() && !closed_) {
+      WallTimer t;
+      cv_pop_.wait(lk, [&] { return closed_ || !items_.empty(); });
+      stats_.pop_wait_seconds += t.Seconds();
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.popped;
+    lk.unlock();
+    cv_push_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop (drain loops during aborts).
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.popped;
+    lk.unlock();
+    cv_push_.notify_one();
+    return item;
+  }
+
+  /// Ends the stream: wakes every blocked producer (their pushes fail) and
+  /// consumer (pops drain what is queued, then return nullopt).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_push_.notify_all();
+    cv_pop_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  QueueStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  QueueStats stats_;
+};
+
+}  // namespace gkgpu::pipeline
+
+#endif  // GKGPU_PIPELINE_QUEUE_HPP

@@ -1,0 +1,119 @@
+#include "pipeline/read_to_sam.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+#include "io/fastq.hpp"
+#include "mapper/sam.hpp"
+
+namespace gkgpu::pipeline {
+
+ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
+                                GateKeeperGpuEngine* engine,
+                                const ReadToSamConfig& config,
+                                std::ostream* sam) {
+  ReadToSamStats out;
+  StreamingPipeline pipeline(engine, config.pipeline);
+  const std::size_t capacity = pipeline.config().batch_size;
+  const int read_length = engine->config().read_length;
+  const std::string& genome = mapper.genome();
+
+  FastqStreamReader reader(fastq);
+  // Carry-over between source calls: a read whose candidates did not all
+  // fit in the previous batch.
+  FastqRecord rec;
+  std::vector<std::int64_t> cand_positions;
+  std::size_t cand_offset = 0;
+  bool have_read = false;
+  std::uint32_t read_counter = 0;
+
+  const BatchSource source = [&](PairBatch* batch) {
+    while (batch->size() < capacity) {
+      if (!have_read) {
+        if (!reader.Next(&rec)) break;  // FASTQ exhausted
+        ++out.reads;
+        if (static_cast<int>(rec.seq.size()) != read_length) {
+          ++out.skipped_reads;
+          continue;
+        }
+        mapper.CollectCandidates(rec.seq, &cand_positions);
+        out.candidates += cand_positions.size();
+        cand_offset = 0;
+        have_read = true;
+        ++read_counter;
+      }
+      while (cand_offset < cand_positions.size() &&
+             batch->size() < capacity) {
+        const std::int64_t pos = cand_positions[cand_offset++];
+        batch->reads.push_back(rec.seq);
+        batch->refs.push_back(
+            genome.substr(static_cast<std::size_t>(pos),
+                          static_cast<std::size_t>(read_length)));
+        batch->read_index.push_back(read_counter - 1);
+        batch->read_names.push_back(rec.name);
+        batch->ref_pos.push_back(pos);
+      }
+      if (cand_offset >= cand_positions.size()) have_read = false;
+    }
+    return batch->size() > 0;
+  };
+
+  // The sink sees batches in input order, and within a batch pairs keep
+  // the seeding order, so each read's mappings arrive contiguously (even
+  // across a batch split).
+  std::uint32_t last_mapped = 0;
+  bool any_mapped = false;
+  const BatchSink sink = [&](PairBatch&& batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch.edits[i] < 0) continue;
+      ++out.mappings;
+      if (!any_mapped || batch.read_index[i] != last_mapped) {
+        ++out.mapped_reads;
+        last_mapped = batch.read_index[i];
+        any_mapped = true;
+      }
+      if (sam != nullptr) {
+        WriteSamRecord(*sam, batch.read_names[i], batch.reads[i],
+                       batch.ref_pos[i], batch.edits[i], config.ref_name);
+      }
+    }
+  };
+
+  out.pipeline = pipeline.Run(source, sink);
+  return out;
+}
+
+PipelineStats FilterPairsStreaming(GateKeeperGpuEngine* engine,
+                                   const PipelineConfig& config,
+                                   const std::vector<std::string>& reads,
+                                   const std::vector<std::string>& refs,
+                                   std::vector<PairResult>* results,
+                                   std::vector<int>* edits) {
+  assert(reads.size() == refs.size());
+  StreamingPipeline pipeline(engine, config);
+  const std::size_t capacity = pipeline.config().batch_size;
+  const std::size_t n = reads.size();
+  if (results != nullptr) results->assign(n, PairResult{});
+  if (edits != nullptr) edits->assign(n, -1);
+
+  std::size_t offset = 0;
+  const BatchSource source = [&](PairBatch* batch) {
+    if (offset >= n) return false;
+    const std::size_t count = std::min(capacity, n - offset);
+    batch->reads.assign(reads.begin() + offset,
+                        reads.begin() + offset + count);
+    batch->refs.assign(refs.begin() + offset, refs.begin() + offset + count);
+    offset += count;
+    return true;
+  };
+  const BatchSink sink = [&](PairBatch&& batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results != nullptr) (*results)[batch.first_pair + i] = batch.results[i];
+      if (edits != nullptr) (*edits)[batch.first_pair + i] = batch.edits[i];
+    }
+  };
+  return pipeline.Run(source, sink);
+}
+
+}  // namespace gkgpu::pipeline

@@ -1,0 +1,60 @@
+// End-to-end streaming front ends over StreamingPipeline:
+//
+//   * StreamFastqToSam — FASTQ in, ordered SAM out.  Reads are chunked off
+//     the stream, seeded against the mapper's k-mer index, the candidate
+//     (read, reference-segment) pairs flow through the filtration and
+//     verification stages, and the ordered sink writes one SAM line per
+//     verified mapping.  Memory stays bounded by the queue depths no
+//     matter the input size.
+//   * FilterPairsStreaming — the streaming analogue of
+//     GateKeeperGpuEngine::FilterPairs over an in-memory pair set, used by
+//     the equivalence tests and the pipeline bench.
+#ifndef GKGPU_PIPELINE_READ_TO_SAM_HPP
+#define GKGPU_PIPELINE_READ_TO_SAM_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mapper/mapper.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace gkgpu::pipeline {
+
+struct ReadToSamConfig {
+  PipelineConfig pipeline;
+  std::string ref_name = "synthetic_chr1";
+};
+
+struct ReadToSamStats {
+  PipelineStats pipeline;
+  std::uint64_t reads = 0;
+  std::uint64_t skipped_reads = 0;  // length != engine read length
+  std::uint64_t candidates = 0;
+  std::uint64_t mappings = 0;
+  std::uint64_t mapped_reads = 0;
+};
+
+/// Streams `fastq` through seed -> filter -> verify -> SAM.  The engine's
+/// read length defines which reads are mappable; `sam` may be null to run
+/// the pipeline for its statistics only (the header is written by the
+/// caller so multiple streams can share one file).
+ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
+                                GateKeeperGpuEngine* engine,
+                                const ReadToSamConfig& config,
+                                std::ostream* sam);
+
+/// Streams an in-memory pair set through the pipeline and collects
+/// per-pair results (and, when `edits` is non-null and verification is
+/// enabled, exact banded distances) in input order.
+PipelineStats FilterPairsStreaming(GateKeeperGpuEngine* engine,
+                                   const PipelineConfig& config,
+                                   const std::vector<std::string>& reads,
+                                   const std::vector<std::string>& refs,
+                                   std::vector<PairResult>* results,
+                                   std::vector<int>* edits = nullptr);
+
+}  // namespace gkgpu::pipeline
+
+#endif  // GKGPU_PIPELINE_READ_TO_SAM_HPP

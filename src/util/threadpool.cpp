@@ -27,7 +27,10 @@ void ThreadPool::RunChunks(Job& job) {
   for (;;) {
     const std::size_t b = job.next.fetch_add(job.grain);
     if (b >= job.end) break;
-    const std::size_t e = std::min(b + job.grain, job.end);
+    // Subtraction-based clamp: `b + grain` could wrap for ranges near
+    // SIZE_MAX, which would hand fn an inverted chunk and stall the
+    // claim counter.
+    const std::size_t e = job.end - b > job.grain ? b + job.grain : job.end;
     (*job.fn)(b, e);
   }
 }
@@ -56,10 +59,26 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   grain = std::max<std::size_t>(1, grain);
-  if (workers_.empty() || end - begin <= grain) {
-    for (std::size_t b = begin; b < end; b += grain) {
-      fn(b, std::min(b + grain, end));
+  // Serial execution when there is nothing to share, or when the range sits
+  // so close to SIZE_MAX that the atomic claim counter could wrap past
+  // `end` and re-issue chunks forever.  The loop advances by subtraction-
+  // clamped steps so it cannot overflow either.
+  const auto run_serial = [&] {
+    for (std::size_t b = begin; b < end;) {
+      const std::size_t e = end - b > grain ? b + grain : end;
+      fn(b, e);
+      b = e;
     }
+  };
+  // Each participant's final claim overshoots `end` by one grain before it
+  // notices, so with W workers plus the caller the claim counter can reach
+  // end + (W+1)*grain.  Division keeps the headroom test itself overflow-
+  // free.
+  const std::size_t participants = workers_.size() + 1;
+  const bool claim_could_wrap =
+      grain > (static_cast<std::size_t>(-1) - end) / (participants + 1);
+  if (workers_.empty() || end - begin <= grain || claim_could_wrap) {
+    run_serial();
     return;
   }
   Job job;
@@ -69,7 +88,16 @@ void ThreadPool::ParallelFor(
   job.fn = &fn;
   job.next.store(begin);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
+    if (job_ != nullptr) {
+      // The pool is already mid-job: either fn itself called ParallelFor
+      // (nesting) or another thread shares this pool (the streaming
+      // pipeline's stage threads may).  Corrupting the published job would
+      // deadlock the other caller, so this call degrades to serial.
+      lk.unlock();
+      run_serial();
+      return;
+    }
     job_ = &job;
     ++job_seq_;
   }

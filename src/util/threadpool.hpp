@@ -28,6 +28,13 @@ class ThreadPool {
   /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
   /// at most `grain` items, on the pool plus the calling thread.  Blocks
   /// until every chunk finished.  fn must be thread-safe.
+  ///
+  /// Edge behaviour: empty/inverted ranges are no-ops, `grain == 0` is
+  /// treated as 1, and ranges whose chunk arithmetic could wrap SIZE_MAX
+  /// run serially.  Re-entrant and concurrent calls are safe: while a job
+  /// is in flight, any further ParallelFor (nested from inside fn, or from
+  /// another thread sharing the pool) degrades to serial execution on the
+  /// calling thread instead of corrupting the active job.
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -1,0 +1,417 @@
+// Tests for the streaming filtration pipeline: bounded-queue semantics,
+// bit-exact equivalence with the blocking FilterPairs path, input-order
+// restoration under multi-shard execution, verification correctness, and
+// error propagation.
+#include "pipeline/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "align/banded.hpp"
+#include "io/fastq.hpp"
+#include "mapper/mapper.hpp"
+#include "pipeline/queue.hpp"
+#include "pipeline/read_to_sam.hpp"
+#include "sim/genome.hpp"
+#include "sim/pairgen.hpp"
+#include "sim/read_sim.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+namespace {
+
+using pipeline::BoundedQueue;
+using pipeline::PairBatch;
+using pipeline::PipelineConfig;
+using pipeline::PipelineStats;
+using pipeline::StreamingPipeline;
+
+// ---------------------------------------------------------------- queue --
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 4; ++i) {
+    const auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.Push(2);  // must block until the consumer pops
+    second_pushed.store(true);
+  });
+  // Give the producer a chance to (wrongly) complete.
+  for (int i = 0; i < 50 && !second_pushed.load(); ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_GE(q.stats().push_wait_seconds, 0.0);
+  EXPECT_EQ(q.stats().max_depth, 1u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(8);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // rejected after close
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());  // drained + closed -> end of stream
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  full.Push(0);
+  std::thread producer([&] { EXPECT_FALSE(full.Push(1)); });
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] { EXPECT_FALSE(empty.Pop().has_value()); });
+  std::this_thread::yield();
+  full.Close();
+  empty.Close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
+  BoundedQueue<int> q(3);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (const auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  const std::int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_LE(q.stats().max_depth, 3u);
+  EXPECT_EQ(q.stats().pushed, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(q.stats().popped, static_cast<std::uint64_t>(n));
+}
+
+// ------------------------------------------------------------- pipeline --
+
+struct Workload {
+  std::vector<std::string> reads;
+  std::vector<std::string> refs;
+};
+
+Workload MakeWorkload(std::size_t n, int length, std::uint64_t seed) {
+  PairProfile profile = LowEditProfile(length);
+  profile.undefined_rate = 0.01;  // exercise the bypass path
+  Workload w;
+  for (auto& p : GeneratePairs(n, profile, seed)) {
+    w.reads.push_back(std::move(p.read));
+    w.refs.push_back(std::move(p.ref));
+  }
+  return w;
+}
+
+struct EngineFixture {
+  std::vector<std::unique_ptr<gpusim::Device>> devices;
+  std::unique_ptr<GateKeeperGpuEngine> engine;
+
+  EngineFixture(int ndev, int length, int e,
+                std::size_t max_pairs_per_batch = 0) {
+    devices = gpusim::MakeSetup1(ndev, 2);
+    std::vector<gpusim::Device*> ptrs;
+    for (auto& d : devices) ptrs.push_back(d.get());
+    EngineConfig cfg;
+    cfg.read_length = length;
+    cfg.error_threshold = e;
+    cfg.max_pairs_per_batch = max_pairs_per_batch;
+    engine = std::make_unique<GateKeeperGpuEngine>(cfg, ptrs);
+  }
+};
+
+TEST(StreamingPipelineTest, MatchesFilterPairsBitForBit) {
+  const int length = 100;
+  const int e = 4;
+  const Workload w = MakeWorkload(6000, length, 91);
+
+  EngineFixture sync(2, length, e);
+  std::vector<PairResult> expected;
+  sync.engine->FilterPairs(w.reads, w.refs, &expected);
+
+  for (const int ndev : {1, 2, 3}) {
+    EngineFixture streamed(ndev, length, e);
+    PipelineConfig cfg;
+    cfg.batch_size = 512;  // force many batches across the shards
+    cfg.encode_workers = 2;
+    cfg.verify = false;
+    std::vector<PairResult> results;
+    const PipelineStats stats = pipeline::FilterPairsStreaming(
+        streamed.engine.get(), cfg, w.reads, w.refs, &results);
+    ASSERT_EQ(results.size(), expected.size()) << ndev;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].accept, expected[i].accept)
+          << "ndev " << ndev << " pair " << i;
+      ASSERT_EQ(results[i].bypassed, expected[i].bypassed) << i;
+      ASSERT_EQ(results[i].edits, expected[i].edits) << i;
+    }
+    EXPECT_EQ(stats.pairs, w.reads.size());
+    EXPECT_EQ(stats.accepted + stats.rejected, stats.pairs);
+    EXPECT_GT(stats.kernel_seconds, 0.0);
+    EXPECT_GT(stats.filter_seconds, 0.0);
+    EXPECT_EQ(stats.batches, (w.reads.size() + 511) / 512);
+  }
+}
+
+TEST(StreamingPipelineTest, OrderedSinkRestoresInputOrder) {
+  const Workload w = MakeWorkload(4000, 100, 17);
+  EngineFixture fx(3, 100, 5);
+  PipelineConfig cfg;
+  cfg.batch_size = 128;  // many small batches over 3 shards
+  cfg.encode_workers = 3;
+  cfg.verify_workers = 2;
+  cfg.verify = false;
+  StreamingPipeline pipe(fx.engine.get(), cfg);
+
+  std::size_t offset = 0;
+  const pipeline::BatchSource source = [&](PairBatch* batch) {
+    if (offset >= w.reads.size()) return false;
+    const std::size_t count =
+        std::min<std::size_t>(pipe.config().batch_size,
+                              w.reads.size() - offset);
+    batch->reads.assign(w.reads.begin() + offset,
+                        w.reads.begin() + offset + count);
+    batch->refs.assign(w.refs.begin() + offset,
+                       w.refs.begin() + offset + count);
+    offset += count;
+    return true;
+  };
+  std::uint64_t expected_seq = 0;
+  std::size_t expected_first = 0;
+  std::vector<int> devices_seen;
+  const pipeline::BatchSink sink = [&](PairBatch&& batch) {
+    EXPECT_EQ(batch.seq, expected_seq);
+    EXPECT_EQ(batch.first_pair, expected_first);
+    ++expected_seq;
+    expected_first += batch.size();
+    devices_seen.push_back(batch.device);
+  };
+  pipe.Run(source, sink);
+  EXPECT_EQ(expected_first, w.reads.size());
+  // Batches really sharded round-robin over every device.
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NE(std::count(devices_seen.begin(), devices_seen.end(), d), 0)
+        << "device " << d << " never used";
+  }
+}
+
+TEST(StreamingPipelineTest, VerificationMatchesBandedDistance) {
+  const int e = 5;
+  const Workload w = MakeWorkload(1500, 100, 23);
+  EngineFixture fx(2, 100, e);
+  PipelineConfig cfg;
+  cfg.batch_size = 256;
+  cfg.verify = true;
+  std::vector<PairResult> results;
+  std::vector<int> edits;
+  const PipelineStats stats = pipeline::FilterPairsStreaming(
+      fx.engine.get(), cfg, w.reads, w.refs, &results, &edits);
+  std::uint64_t confirmed = 0;
+  for (std::size_t i = 0; i < w.reads.size(); ++i) {
+    if (results[i].accept) {
+      EXPECT_EQ(edits[i], BandedEditDistance(w.reads[i], w.refs[i], e)) << i;
+      confirmed += edits[i] >= 0;
+    } else {
+      EXPECT_EQ(edits[i], -1) << i;
+    }
+  }
+  EXPECT_EQ(stats.verified_pairs, stats.accepted);
+  EXPECT_EQ(stats.true_mappings, confirmed);
+  EXPECT_GT(stats.verified_pairs, 0u);
+}
+
+TEST(StreamingPipelineTest, SourceErrorPropagates) {
+  EngineFixture fx(2, 100, 3);
+  PipelineConfig cfg;
+  cfg.batch_size = 64;
+  StreamingPipeline pipe(fx.engine.get(), cfg);
+  const Workload w = MakeWorkload(256, 100, 5);
+  int calls = 0;
+  const pipeline::BatchSource source = [&](PairBatch* batch) {
+    if (++calls > 3) throw std::runtime_error("synthetic source failure");
+    batch->reads.assign(w.reads.begin(), w.reads.begin() + 64);
+    batch->refs.assign(w.refs.begin(), w.refs.begin() + 64);
+    return true;
+  };
+  const pipeline::BatchSink sink = [](PairBatch&&) {};
+  EXPECT_THROW(pipe.Run(source, sink), std::runtime_error);
+}
+
+TEST(StreamingPipelineTest, OversizedBatchIsRejected) {
+  EngineFixture fx(1, 100, 3);
+  PipelineConfig cfg;
+  cfg.batch_size = 32;
+  StreamingPipeline pipe(fx.engine.get(), cfg);
+  const Workload w = MakeWorkload(64, 100, 7);
+  bool sent = false;
+  const pipeline::BatchSource source = [&](PairBatch* batch) {
+    if (sent) return false;
+    sent = true;
+    batch->reads = w.reads;  // 64 pairs into a 32-pair pipeline
+    batch->refs = w.refs;
+    return true;
+  };
+  const pipeline::BatchSink sink = [](PairBatch&&) {};
+  EXPECT_THROW(pipe.Run(source, sink), std::runtime_error);
+}
+
+TEST(StreamingPipelineTest, MismatchedPairLengthIsRejected) {
+  // The slot encoders stride unified buffers by the configured read
+  // length; a stray longer pair must be refused, not encoded.
+  EngineFixture fx(1, 100, 3);
+  PipelineConfig cfg;
+  cfg.batch_size = 16;
+  StreamingPipeline pipe(fx.engine.get(), cfg);
+  const Workload w = MakeWorkload(8, 100, 3);
+  bool sent = false;
+  const pipeline::BatchSource source = [&](PairBatch* batch) {
+    if (sent) return false;
+    sent = true;
+    batch->reads = w.reads;
+    batch->refs = w.refs;
+    batch->reads[3] += "ACGT";  // 104 bp in a 100 bp pipeline
+    return true;
+  };
+  const pipeline::BatchSink sink = [](PairBatch&&) {};
+  EXPECT_THROW(pipe.Run(source, sink), std::runtime_error);
+}
+
+TEST(StreamingPipelineTest, EmptyStreamCompletesCleanly) {
+  EngineFixture fx(2, 100, 3);
+  PipelineConfig cfg;
+  StreamingPipeline pipe(fx.engine.get(), cfg);
+  const pipeline::BatchSource source = [](PairBatch*) { return false; };
+  int sunk = 0;
+  const pipeline::BatchSink sink = [&](PairBatch&&) { ++sunk; };
+  const PipelineStats stats = pipe.Run(source, sink);
+  EXPECT_EQ(stats.pairs, 0u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(sunk, 0);
+}
+
+TEST(StreamingPipelineTest, StatsAreInternallyConsistent) {
+  const Workload w = MakeWorkload(3000, 100, 37);
+  EngineFixture fx(2, 100, 5);
+  PipelineConfig cfg;
+  cfg.batch_size = 500;
+  std::vector<PairResult> results;
+  const PipelineStats stats = pipeline::FilterPairsStreaming(
+      fx.engine.get(), cfg, w.reads, w.refs, &results);
+  EXPECT_EQ(stats.pairs, 3000u);
+  EXPECT_EQ(stats.accepted + stats.rejected, stats.pairs);
+  EXPECT_GT(stats.encode_seconds, 0.0);
+  EXPECT_GE(stats.kernel_seconds_total, stats.kernel_seconds);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  ASSERT_EQ(stats.stages.size(), 5u);
+  EXPECT_EQ(stats.stages[1].items, stats.pairs);  // encode saw every pair
+  EXPECT_EQ(stats.stages[2].items, stats.pairs);  // filter saw every pair
+  // Queue reports: source queue + per-device + filtered + done.
+  ASSERT_EQ(stats.queues.size(), 2u + 2u + 1u);
+  for (const auto& q : stats.queues) {
+    EXPECT_LE(q.stats.max_depth, q.capacity) << q.name;
+    EXPECT_EQ(q.stats.pushed, q.stats.popped) << q.name;
+  }
+}
+
+// ---------------------------------------------------------- read-to-SAM --
+
+TEST(ReadToSamTest, MatchesBlockingMapper) {
+  const std::string genome = GenerateGenome(60000, 3);
+  const int length = 100;
+  const int e = 4;
+  const auto reads =
+      SimulateReads(genome, 400, length, ReadErrorProfile::Illumina(), 11);
+
+  MapperConfig mcfg;
+  mcfg.k = 12;
+  mcfg.read_length = length;
+  mcfg.error_threshold = e;
+  ReadMapper mapper(genome, mcfg);
+
+  // Blocking reference run.
+  std::vector<std::string> read_seqs;
+  for (const auto& r : reads) read_seqs.push_back(r.seq);
+  EngineFixture blocking(2, length, e);
+  std::vector<MappingRecord> expected_records;
+  const MappingStats expected =
+      mapper.MapReads(read_seqs, blocking.engine.get(), &expected_records);
+
+  // Streaming run over the same reads serialized as FASTQ.
+  std::stringstream fastq;
+  std::vector<FastqRecord> fq;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    fq.push_back({"r" + std::to_string(i), reads[i].seq, ""});
+  }
+  WriteFastq(fastq, fq);
+
+  EngineFixture streaming(2, length, e);
+  pipeline::ReadToSamConfig scfg;
+  scfg.pipeline.batch_size = 512;
+  std::stringstream sam;
+  const pipeline::ReadToSamStats got = pipeline::StreamFastqToSam(
+      fastq, mapper, streaming.engine.get(), scfg, &sam);
+
+  EXPECT_EQ(got.reads, reads.size());
+  EXPECT_EQ(got.candidates, expected.candidates_total);
+  EXPECT_EQ(got.mappings, expected.mappings);
+  EXPECT_EQ(got.mapped_reads, expected.mapped_reads);
+  EXPECT_EQ(got.pipeline.verified_pairs, expected.verification_pairs);
+
+  // One SAM line per mapping, in input read order, with matching
+  // positions and edit distances.
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(sam, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), expected_records.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const MappingRecord& m = expected_records[i];
+    std::stringstream ls(lines[i]);
+    std::string qname, flag, rname, pos;
+    ls >> qname >> flag >> rname >> pos;
+    EXPECT_EQ(qname, "r" + std::to_string(m.read_index)) << i;
+    EXPECT_EQ(pos, std::to_string(m.pos + 1)) << i;
+    EXPECT_NE(lines[i].find("NM:i:" + std::to_string(m.edit_distance)),
+              std::string::npos)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace gkgpu

@@ -53,6 +53,85 @@ TEST(ThreadPoolTest, SequentialJobsDoNotInterfere) {
   }
 }
 
+TEST(ThreadPoolTest, ZeroGrainIsTreatedAsOne) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(0, hits.size(), 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroGrainEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, 0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, InvertedRangeIsNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, 3, 4, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, RangeNearSizeMaxDoesNotWrap) {
+  ThreadPool pool(2);
+  const std::size_t max = static_cast<std::size_t>(-1);
+  // Both an end == SIZE_MAX range and one with a small gap below it: the
+  // second would wrap through the cumulative one-grain-per-participant
+  // claim overshoot if only a single grain of headroom were reserved.
+  for (const std::size_t end : {max, max - 4}) {
+    std::atomic<std::uint64_t> items{0};
+    std::atomic<int> bad{0};
+    pool.ParallelFor(end - 10, end, 4, [&](std::size_t b, std::size_t e) {
+      if (e <= b || e > end || b < end - 10) ++bad;
+      items.fetch_add(e - b);
+    });
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_EQ(items.load(), 10u);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSeriallyAndCompletes) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> inner_items{0};
+  pool.ParallelFor(0, 64, 4, [&](std::size_t b, std::size_t e) {
+    pool.ParallelFor(b * 10, e * 10, 3, [&](std::size_t ib, std::size_t ie) {
+      inner_items.fetch_add(ie - ib);
+    });
+  });
+  EXPECT_EQ(inner_items.load(), 640u);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareOnePoolSafely) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 3;
+  constexpr std::size_t kItems = 5000;
+  std::vector<std::atomic<std::uint64_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.ParallelFor(0, kItems, 17, [&](std::size_t b, std::size_t e) {
+          std::uint64_t local = 0;
+          for (std::size_t i = b; i < e; ++i) local += i;
+          sum.fetch_add(local);
+        });
+        ASSERT_EQ(sum.load(), (kItems - 1) * kItems / 2)
+            << "caller " << c << " round " << round;
+      }
+      sums[c].store(1);
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) EXPECT_EQ(sums[c].load(), 1u);
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
   ThreadPool pool(1);
   std::uint64_t sum = 0;  // no synchronization: must still be correct

@@ -10,11 +10,19 @@
 //                [--out decisions.tsv]
 //   gkgpu map    --ref ref.fa --reads r.fq --e 5 [--no-filter]
 //                [--sam out.sam]
+//   gkgpu pipeline --reads r.fq --ref ref.fa --e 5 [--sam out.sam]
+//                  [--batch N] [--queue N] [--encode-workers N]
+//                  [--verify-workers N] [--slots N] [--setup 1|2]
+//                  [--devices N] [--no-verify]
+//   gkgpu pipeline --pairs set.pairs.tsv --e 5 [--out decisions.tsv] ...
 //
 // `filter --algo gkgpu` runs the full engine (simulated GPU, batching,
 // unified memory); the other algorithms run as host filters.  `map` runs
 // the mrFAST-like mapper with GateKeeper-GPU pre-alignment filtering and
-// reports the Table-3 statistics.
+// reports the Table-3 statistics.  `pipeline` runs the streaming
+// subsystem: FASTQ (or a pair set) is chunked, encoded, sharded across
+// the simulated devices with double buffering, verified, and emitted in
+// input order, with per-stage throughput and queue-occupancy tables.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +43,8 @@
 #include "io/pairset.hpp"
 #include "mapper/mapper.hpp"
 #include "mapper/sam.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/read_to_sam.hpp"
 #include "sim/genome.hpp"
 #include "sim/pairgen.hpp"
 #include "sim/read_sim.hpp"
@@ -76,6 +86,25 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// The simulated device set: paper Setup 1 (GTX 1080 Ti) or 2 (K20X).
+struct DeviceSet {
+  std::vector<std::unique_ptr<gpusim::Device>> devices;
+  std::vector<gpusim::Device*> ptrs;
+};
+
+DeviceSet MakeDeviceSet(int setup, int ndev) {
+  DeviceSet set;
+  set.devices =
+      setup == 1 ? gpusim::MakeSetup1(ndev) : gpusim::MakeSetup2(ndev);
+  for (auto& d : set.devices) set.ptrs.push_back(d.get());
+  return set;
+}
+
+EncodingActor ParseEncodingActor(const Args& args) {
+  return args.Get("encode", "host") == "device" ? EncodingActor::kDevice
+                                                : EncodingActor::kHost;
+}
+
 int Usage() {
   std::fputs(
       "usage: gkgpu <command> [options]\n"
@@ -87,7 +116,13 @@ int Usage() {
       "  filter          --pairs FILE --e N [--algo NAME] [--setup 1|2]\n"
       "                  [--devices N] [--encode host|device] [--out FILE]\n"
       "  map             --ref FASTA --reads FASTQ --e N [--no-filter]\n"
-      "                  [--sam FILE] [--setup 1|2] [--devices N]\n",
+      "                  [--sam FILE] [--setup 1|2] [--devices N]\n"
+      "  pipeline        --reads FASTQ --ref FASTA --e N [--sam FILE]\n"
+      "                  | --pairs FILE --e N [--out FILE]\n"
+      "                  [--batch N] [--queue N] [--encode-workers N]\n"
+      "                  [--verify-workers N] [--slots N] [--setup 1|2]\n"
+      "                  [--devices N] [--encode host|device]\n"
+      "                  [--length N] [--no-verify]\n",
       stderr);
   return 2;
 }
@@ -196,17 +231,12 @@ int FilterCmd(const Args& args) {
   if (algo == "gkgpu") {
     const int setup = static_cast<int>(args.GetInt("setup", 1));
     const int ndev = static_cast<int>(args.GetInt("devices", 1));
-    auto devices =
-        setup == 1 ? gpusim::MakeSetup1(ndev) : gpusim::MakeSetup2(ndev);
-    std::vector<gpusim::Device*> ptrs;
-    for (auto& d : devices) ptrs.push_back(d.get());
+    const DeviceSet set = MakeDeviceSet(setup, ndev);
     EngineConfig cfg;
     cfg.read_length = length;
     cfg.error_threshold = e;
-    cfg.encoding = args.Get("encode", "host") == "device"
-                       ? EncodingActor::kDevice
-                       : EncodingActor::kHost;
-    GateKeeperGpuEngine engine(cfg, ptrs);
+    cfg.encoding = ParseEncodingActor(args);
+    GateKeeperGpuEngine engine(cfg, set.ptrs);
     std::vector<std::string> reads;
     std::vector<std::string> refs;
     reads.reserve(pairs.size());
@@ -285,18 +315,15 @@ int MapCmd(const Args& args) {
   ReadMapper mapper(fasta[0].seq, mcfg);
 
   std::unique_ptr<GateKeeperGpuEngine> engine;
-  std::vector<std::unique_ptr<gpusim::Device>> devices;
+  DeviceSet set;
   if (!args.Has("no-filter")) {
     const int setup = static_cast<int>(args.GetInt("setup", 1));
     const int ndev = static_cast<int>(args.GetInt("devices", 1));
-    devices =
-        setup == 1 ? gpusim::MakeSetup1(ndev) : gpusim::MakeSetup2(ndev);
-    std::vector<gpusim::Device*> ptrs;
-    for (auto& d : devices) ptrs.push_back(d.get());
+    set = MakeDeviceSet(setup, ndev);
     EngineConfig cfg;
     cfg.read_length = length;
     cfg.error_threshold = e;
-    engine = std::make_unique<GateKeeperGpuEngine>(cfg, ptrs);
+    engine = std::make_unique<GateKeeperGpuEngine>(cfg, set.ptrs);
   }
 
   std::vector<MappingRecord> records;
@@ -329,6 +356,180 @@ int MapCmd(const Args& args) {
   return 0;
 }
 
+/// Renders PipelineStats the way the benches render the paper's tables:
+/// one row per stage, one row per queue.
+void PrintPipelineStats(const pipeline::PipelineStats& stats) {
+  TablePrinter summary({"metric", "value"});
+  summary.AddRow({"pairs", TablePrinter::Count(stats.pairs)});
+  summary.AddRow({"batches", TablePrinter::Count(stats.batches)});
+  summary.AddRow({"accepted", TablePrinter::Count(stats.accepted)});
+  summary.AddRow({"rejected", TablePrinter::Count(stats.rejected)});
+  summary.AddRow({"bypassed", TablePrinter::Count(stats.bypassed)});
+  summary.AddRow({"verified pairs", TablePrinter::Count(stats.verified_pairs)});
+  summary.AddRow({"true mappings", TablePrinter::Count(stats.true_mappings)});
+  summary.AddRow({"wall (s)", TablePrinter::Num(stats.wall_seconds, 3)});
+  summary.AddRow(
+      {"filter makespan (s)", TablePrinter::Num(stats.filter_seconds, 4)});
+  summary.AddRow(
+      {"kernel busiest gpu (s)", TablePrinter::Num(stats.kernel_seconds, 4)});
+  summary.AddRow({"kernel all gpus (s)",
+                  TablePrinter::Num(stats.kernel_seconds_total, 4)});
+  summary.AddRow(
+      {"transfer (s)", TablePrinter::Num(stats.transfer_seconds, 4)});
+  summary.AddRow({"encode busy (s)", TablePrinter::Num(stats.encode_seconds, 4)});
+  summary.AddRow({"verify busy (s)", TablePrinter::Num(stats.verify_seconds, 4)});
+  summary.Print(std::cout);
+
+  std::printf("\nstages:\n");
+  TablePrinter stages(
+      {"stage", "workers", "batches", "items", "busy (s)", "items/s"});
+  for (const auto& s : stats.stages) {
+    const double rate = s.busy_seconds > 0.0
+                            ? static_cast<double>(s.items) / s.busy_seconds
+                            : 0.0;
+    stages.AddRow({s.name, std::to_string(s.workers),
+                   TablePrinter::Count(s.batches), TablePrinter::Count(s.items),
+                   TablePrinter::Num(s.busy_seconds, 4),
+                   TablePrinter::Num(rate, 0)});
+  }
+  stages.Print(std::cout);
+
+  std::printf("\nqueues:\n");
+  TablePrinter queues({"queue", "cap", "peak", "pushed", "push wait (s)",
+                       "pop wait (s)"});
+  for (const auto& q : stats.queues) {
+    queues.AddRow({q.name, std::to_string(q.capacity),
+                   std::to_string(q.stats.max_depth),
+                   TablePrinter::Count(q.stats.pushed),
+                   TablePrinter::Num(q.stats.push_wait_seconds, 4),
+                   TablePrinter::Num(q.stats.pop_wait_seconds, 4)});
+  }
+  queues.Print(std::cout);
+}
+
+int PipelineCmd(const Args& args) {
+  const int e = static_cast<int>(args.GetInt("e", 5));
+  const int setup = static_cast<int>(args.GetInt("setup", 1));
+  const int ndev = static_cast<int>(args.GetInt("devices", 2));
+
+  pipeline::PipelineConfig pcfg;
+  pcfg.batch_size = static_cast<std::size_t>(args.GetInt("batch", 8192));
+  pcfg.queue_depth = static_cast<std::size_t>(args.GetInt("queue", 4));
+  pcfg.encode_workers = static_cast<int>(args.GetInt("encode-workers", 2));
+  pcfg.verify_workers = static_cast<int>(args.GetInt("verify-workers", 2));
+  pcfg.slots_per_device = static_cast<int>(args.GetInt("slots", 2));
+  pcfg.verify = !args.Has("no-verify");
+
+  const std::string pairs_path = args.Get("pairs", "");
+  const std::string reads_path = args.Get("reads", "");
+  if (pairs_path.empty() == reads_path.empty()) return Usage();
+
+  if (!pairs_path.empty()) {
+    // Pair-stream mode: the streaming analogue of `filter`.
+    const auto pairs = ReadPairSetFile(pairs_path);
+    if (pairs.empty()) {
+      std::fprintf(stderr, "no pairs in %s\n", pairs_path.c_str());
+      return 1;
+    }
+    const DeviceSet set = MakeDeviceSet(setup, ndev);
+    EngineConfig cfg;
+    cfg.read_length = static_cast<int>(pairs.front().read.size());
+    cfg.error_threshold = e;
+    cfg.encoding = ParseEncodingActor(args);
+    GateKeeperGpuEngine engine(cfg, set.ptrs);
+    std::vector<std::string> reads;
+    std::vector<std::string> refs;
+    for (const auto& p : pairs) {
+      reads.push_back(p.read);
+      refs.push_back(p.ref);
+    }
+    std::vector<PairResult> results;
+    std::vector<int> edits;
+    const pipeline::PipelineStats stats = pipeline::FilterPairsStreaming(
+        &engine, pcfg, reads, refs, &results, &edits);
+    const std::string out = args.Get("out", "");
+    if (!out.empty()) {
+      std::ofstream os(out);
+      os << "# pair_index\taccept\tedits\n";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        os << i << '\t' << static_cast<int>(results[i].accept) << '\t'
+           << edits[i] << '\n';
+      }
+      std::printf("decisions written to %s\n", out.c_str());
+    }
+    PrintPipelineStats(stats);
+    return 0;
+  }
+
+  // Read-to-SAM mode.
+  const std::string ref_path = args.Get("ref", "");
+  if (ref_path.empty()) return Usage();
+  const auto fasta = ReadFastaFile(ref_path);
+  if (fasta.empty()) {
+    std::fprintf(stderr, "no sequences in %s\n", ref_path.c_str());
+    return 1;
+  }
+  std::ifstream fastq(reads_path);
+  if (!fastq) {
+    std::fprintf(stderr, "cannot open %s\n", reads_path.c_str());
+    return 1;
+  }
+  // Read length defaults to the first record's, like `map`; --length
+  // overrides (reads of any other length are skipped by the stream).
+  int length = static_cast<int>(args.GetInt("length", 0));
+  if (length <= 0) {
+    std::ifstream peek(reads_path);
+    FastqStreamReader peek_reader(peek);
+    FastqRecord first;
+    if (!peek_reader.Next(&first)) {
+      std::fprintf(stderr, "no reads in %s\n", reads_path.c_str());
+      return 1;
+    }
+    length = static_cast<int>(first.seq.size());
+  }
+  MapperConfig mcfg;
+  mcfg.k = 12;
+  mcfg.read_length = length;
+  mcfg.error_threshold = e;
+  ReadMapper mapper(fasta[0].seq, mcfg);
+
+  const DeviceSet set = MakeDeviceSet(setup, ndev);
+  EngineConfig cfg;
+  cfg.read_length = length;
+  cfg.error_threshold = e;
+  cfg.encoding = ParseEncodingActor(args);
+  GateKeeperGpuEngine engine(cfg, set.ptrs);
+
+  pipeline::ReadToSamConfig scfg;
+  scfg.pipeline = pcfg;
+  const std::string sam_path = args.Get("sam", "");
+  std::ofstream sam_file;
+  std::ostream* sam = nullptr;
+  if (!sam_path.empty()) {
+    sam_file.open(sam_path);
+    WriteSamHeader(sam_file, scfg.ref_name,
+                   static_cast<std::int64_t>(fasta[0].seq.size()));
+    sam = &sam_file;
+  }
+  const pipeline::ReadToSamStats stats =
+      pipeline::StreamFastqToSam(fastq, mapper, &engine, scfg, sam);
+
+  TablePrinter t({"metric", "value"});
+  t.AddRow({"reads", TablePrinter::Count(stats.reads)});
+  t.AddRow({"skipped reads", TablePrinter::Count(stats.skipped_reads)});
+  t.AddRow({"candidates", TablePrinter::Count(stats.candidates)});
+  t.AddRow({"mappings", TablePrinter::Count(stats.mappings)});
+  t.AddRow({"mapped reads", TablePrinter::Count(stats.mapped_reads)});
+  t.Print(std::cout);
+  std::printf("\n");
+  PrintPipelineStats(stats.pipeline);
+  if (sam != nullptr) {
+    std::printf("SAM written to %s (%llu records)\n", sam_path.c_str(),
+                static_cast<unsigned long long>(stats.mappings));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -341,6 +542,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate-pairs") return GeneratePairsCmd(args);
     if (cmd == "filter") return FilterCmd(args);
     if (cmd == "map") return MapCmd(args);
+    if (cmd == "pipeline") return PipelineCmd(args);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 1;
