@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "util/fingerprint.hpp"
 #include "util/timer.hpp"
 
 namespace gkgpu {
@@ -239,6 +240,165 @@ StreamBatchStats GateKeeperGpuEngine::RunPairsKernel(Device* dev,
   return st;
 }
 
+void GateKeeperGpuEngine::AllocateCandidateBuffers(Device* dev,
+                                                   DeviceBuffers* b,
+                                                   std::size_t capacity,
+                                                   std::size_t read_capacity) {
+  const std::size_t words =
+      static_cast<std::size_t>(EncodedWords(config_.read_length));
+  b->pair_capacity = capacity;
+  b->read_capacity = read_capacity;
+  b->reads_enc = dev->AllocateUnified(read_capacity * words * sizeof(Word));
+  b->bypass = dev->AllocateUnified(read_capacity);
+  b->cand = dev->AllocateUnified(capacity * sizeof(CandidatePair));
+  b->results = dev->AllocateUnified(capacity * sizeof(PairResult));
+}
+
+/// Host preprocessing of one candidate batch into a buffer set: the batch's
+/// distinct reads are 2-bit encoded once each (a read crosses the bus once
+/// for all of its candidate locations) and the candidate table is staged.
+void GateKeeperGpuEngine::EncodeCandidatesInto(DeviceBuffers* b,
+                                               const std::string* reads,
+                                               std::size_t read_count,
+                                               const CandidatePair* candidates,
+                                               std::size_t count) {
+  const std::size_t words =
+      static_cast<std::size_t>(EncodedWords(config_.read_length));
+  Word* renc = b->reads_enc->as<Word>();
+  std::uint8_t* byp = b->bypass->as<std::uint8_t>();
+  for (std::size_t i = 0; i < read_count; ++i) {
+    byp[i] = EncodeSequence(reads[i], renc + i * words) ? 1 : 0;
+  }
+  std::memcpy(b->cand->data(), candidates, count * sizeof(CandidatePair));
+  b->reads_enc->MarkHostResident();
+  b->bypass->MarkHostResident();
+  b->cand->MarkHostResident();
+  b->results->MarkHostResident();
+}
+
+/// Device stage for one encoded candidate buffer set: the kernel extracts
+/// each candidate's reference window from the device-resident encoded
+/// genome (ref_buffers_), so only reads, the candidate table and results
+/// cross the bus per batch.
+StreamBatchStats GateKeeperGpuEngine::RunCandidatesKernel(std::size_t di,
+                                                          DeviceBuffers* b,
+                                                          std::size_t count,
+                                                          PairResult* out) {
+  StreamBatchStats st;
+  if (count == 0) return st;
+  assert(HasReference());
+  Device* dev = devices_[di];
+  const std::size_t words =
+      static_cast<std::size_t>(EncodedWords(config_.read_length));
+
+  double prefetch_s = 0.0;
+  double fault_s = 0.0;
+  if (dev->props().supports_prefetch()) {
+    prefetch_s = PrefetchAll(
+        {b->reads_enc.get(), b->bypass.get(), b->cand.get(), b->results.get()});
+  } else {
+    fault_s = FaultAll({b->reads_enc.get(), b->bypass.get(), b->cand.get(),
+                        b->results.get(), ref_buffers_[di].get(),
+                        ref_nmask_buffers_[di].get()});
+  }
+
+  const LaunchConfig cfg{
+      static_cast<std::int64_t>((count + plan_.threads_per_block - 1) /
+                                plan_.threads_per_block),
+      plan_.threads_per_block};
+  CandidatesKernel kernel;
+  kernel.reads = b->reads_enc->as<Word>();
+  kernel.read_has_n = b->bypass->as<std::uint8_t>();
+  kernel.ref_words = ref_buffers_[di]->as<Word>();
+  kernel.ref_n_mask = ref_nmask_buffers_[di]->as<Word>();
+  kernel.ref_len = ref_length_;
+  kernel.candidates = b->cand->as<CandidatePair>();
+  kernel.results = b->results->as<PairResult>();
+  kernel.n = static_cast<std::int64_t>(count);
+  kernel.length = config_.read_length;
+  kernel.words_per_seq = static_cast<int>(words);
+  kernel.e = config_.error_threshold;
+  kernel.params = config_.algorithm;
+  st.kernel_seconds = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
+  b->results->MarkDeviceResident();
+  const double d2h_s = b->results->FaultToHost();
+  st.transfer_seconds = prefetch_s + d2h_s;
+  if (out != nullptr) {
+    WallTimer readback;
+    const PairResult* res = b->results->as<PairResult>();
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = res[i];
+      st.accepted += res[i].accept;
+      st.bypassed += res[i].bypassed;
+    }
+    st.readback_seconds = readback.Seconds();
+  }
+  return st;
+}
+
+std::size_t GateKeeperGpuEngine::PrepareCandidateStreaming(
+    std::size_t batch_capacity, std::size_t read_capacity,
+    int slots_per_device) {
+  assert(slots_per_device >= 1);
+  const std::size_t capacity =
+      std::min(std::max<std::size_t>(1, batch_capacity),
+               plan_.pairs_per_batch);
+  const std::size_t rcap =
+      std::min(std::max<std::size_t>(1, read_capacity), capacity);
+  if (cand_streaming_slots_ >= slots_per_device &&
+      cand_streaming_capacity_ >= capacity &&
+      cand_streaming_read_capacity_ >= rcap) {
+    return cand_streaming_capacity_;
+  }
+  cand_streaming_slots_ = slots_per_device;
+  cand_streaming_capacity_ = capacity;
+  cand_streaming_read_capacity_ = rcap;
+  cand_stream_buffers_.clear();
+  cand_stream_buffers_.resize(devices_.size() *
+                              static_cast<std::size_t>(slots_per_device));
+  for (std::size_t di = 0; di < devices_.size(); ++di) {
+    for (int s = 0; s < slots_per_device; ++s) {
+      auto b = std::make_unique<DeviceBuffers>();
+      AllocateCandidateBuffers(devices_[di], b.get(), capacity, rcap);
+      cand_stream_buffers_[di * slots_per_device + s] = std::move(b);
+    }
+  }
+  return cand_streaming_capacity_;
+}
+
+double GateKeeperGpuEngine::EncodeCandidatesSlot(int device, int slot,
+                                                 const std::string* reads,
+                                                 std::size_t read_count,
+                                                 const CandidatePair* candidates,
+                                                 std::size_t count) {
+  assert(device >= 0 && device < device_count());
+  assert(slot >= 0 && slot < cand_streaming_slots_);
+  assert(count <= cand_streaming_capacity_);
+  assert(read_count <= cand_streaming_read_capacity_);
+  DeviceBuffers* b =
+      cand_stream_buffers_[static_cast<std::size_t>(device) *
+                               cand_streaming_slots_ +
+                           slot]
+          .get();
+  WallTimer t;
+  EncodeCandidatesInto(b, reads, read_count, candidates, count);
+  return t.Seconds();
+}
+
+StreamBatchStats GateKeeperGpuEngine::FilterCandidatesSlot(int device,
+                                                           int slot,
+                                                           std::size_t count,
+                                                           PairResult* out) {
+  assert(device >= 0 && device < device_count());
+  assert(slot >= 0 && slot < cand_streaming_slots_);
+  DeviceBuffers* b =
+      cand_stream_buffers_[static_cast<std::size_t>(device) *
+                               cand_streaming_slots_ +
+                           slot]
+          .get();
+  return RunCandidatesKernel(static_cast<std::size_t>(device), b, count, out);
+}
+
 std::size_t GateKeeperGpuEngine::PrepareStreaming(std::size_t batch_capacity,
                                                   int slots_per_device) {
   assert(slots_per_device >= 1);
@@ -402,6 +562,7 @@ void GateKeeperGpuEngine::LoadReference(const std::string& genome) {
   ReferenceEncoding enc =
       EncodeReference(genome, &devices_.front()->pool());
   ref_length_ = enc.length;
+  ref_fingerprint_ = FingerprintText(genome);
   ref_buffers_.clear();
   ref_nmask_buffers_.clear();
   for (Device* dev : devices_) {
@@ -501,42 +662,10 @@ FilterRunStats GateKeeperGpuEngine::FilterCandidates(
     for (std::size_t di = 0; di < ndev; ++di) {
       const Slice s = slices[di];
       if (s.count == 0) continue;
-      Device* dev = devices_[di];
-      DeviceBuffers& b = *buffers_[di];
-
-      double prefetch_s = 0.0;
-      double fault_s = 0.0;
-      if (dev->props().supports_prefetch()) {
-        prefetch_s = PrefetchAll({b.reads_enc.get(), b.bypass.get(),
-                                  b.cand.get(), b.results.get()});
-      } else {
-        fault_s = FaultAll({b.reads_enc.get(), b.bypass.get(), b.cand.get(),
-                            b.results.get(), ref_buffers_[di].get(),
-                            ref_nmask_buffers_[di].get()});
-      }
-
-      const LaunchConfig cfg{
-          static_cast<std::int64_t>((s.count + plan_.threads_per_block - 1) /
-                                    plan_.threads_per_block),
-          plan_.threads_per_block};
-      CandidatesKernel kernel;
-      kernel.reads = b.reads_enc->as<Word>();
-      kernel.read_has_n = b.bypass->as<std::uint8_t>();
-      kernel.ref_words = ref_buffers_[di]->as<Word>();
-      kernel.ref_n_mask = ref_nmask_buffers_[di]->as<Word>();
-      kernel.ref_len = ref_length_;
-      kernel.candidates = b.cand->as<CandidatePair>();
-      kernel.results = b.results->as<PairResult>();
-      kernel.n = static_cast<std::int64_t>(s.count);
-      kernel.length = config_.read_length;
-      kernel.words_per_seq = static_cast<int>(words);
-      kernel.e = config_.error_threshold;
-      kernel.params = config_.algorithm;
-      const double kt = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
-      b.results->MarkDeviceResident();
-      const double d2h_s = b.results->FaultToHost();
-      round_kt = std::max(round_kt, kt);
-      round_transfer = std::max(round_transfer, prefetch_s + d2h_s);
+      const StreamBatchStats st =
+          RunCandidatesKernel(di, buffers_[di].get(), s.count, /*out=*/nullptr);
+      round_kt = std::max(round_kt, st.kernel_seconds);
+      round_transfer = std::max(round_transfer, st.transfer_seconds);
     }
 
     std::vector<std::uint64_t> acc(ndev, 0);

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
@@ -82,6 +83,13 @@ class GateKeeperGpuEngine {
   /// every device (multithreaded host encoding, Sec. 3.5) and prefetch it.
   void LoadReference(const std::string& genome);
   bool HasReference() const { return !ref_buffers_.empty(); }
+  /// Length of the loaded reference (0 when none).
+  std::int64_t reference_length() const { return ref_length_; }
+  /// Content fingerprint of the loaded reference (FingerprintText of the
+  /// genome given to LoadReference) — lets callers that hold the text
+  /// verify the engine really filters against *their* genome, not a
+  /// same-length one loaded earlier.
+  std::uint64_t reference_fingerprint() const { return ref_fingerprint_; }
 
   /// Candidate mode, step 2: filter candidate mappings of `reads` (each at
   /// most config().read_length).  Candidates index into `reads`.
@@ -117,6 +125,34 @@ class GateKeeperGpuEngine {
   StreamBatchStats FilterPairsSlot(int device, int slot, std::size_t count,
                                    PairResult* out);
 
+  // Candidate-mode streaming: per-(device, slot) buffers carrying a batch's
+  // unique reads (2-bit encoded once) plus its (read, reference-offset)
+  // candidates; the kernel slices reference windows straight out of the
+  // per-device encoded genome loaded by LoadReference — no per-candidate
+  // segment extraction or re-encoding on the host.  Same concurrency
+  // contract as the pair-mode slots.
+
+  /// Allocates the candidate slot buffers.  `batch_capacity` bounds the
+  /// candidates per batch (clamped to the kernel plan), `read_capacity` the
+  /// distinct reads per batch; returns the per-slot candidate capacity.
+  std::size_t PrepareCandidateStreaming(std::size_t batch_capacity,
+                                        std::size_t read_capacity,
+                                        int slots_per_device);
+  int candidate_streaming_slots() const { return cand_streaming_slots_; }
+
+  /// Host preprocessing of one candidate batch into (device, slot): encodes
+  /// the batch's reads and stages the candidate table.  Returns measured
+  /// host seconds.
+  double EncodeCandidatesSlot(int device, int slot, const std::string* reads,
+                              std::size_t read_count,
+                              const CandidatePair* candidates,
+                              std::size_t count);
+
+  /// Device stage for a previously encoded candidate slot; requires a
+  /// loaded reference.
+  StreamBatchStats FilterCandidatesSlot(int device, int slot,
+                                        std::size_t count, PairResult* out);
+
  private:
   struct DeviceBuffers;
 
@@ -124,6 +160,15 @@ class GateKeeperGpuEngine {
   void EnsureCandidateBuffers(std::size_t capacity, std::size_t read_capacity);
   void AllocatePairBuffers(gpusim::Device* dev, DeviceBuffers* b,
                            std::size_t capacity);
+  void AllocateCandidateBuffers(gpusim::Device* dev, DeviceBuffers* b,
+                                std::size_t capacity,
+                                std::size_t read_capacity);
+  void EncodeCandidatesInto(DeviceBuffers* b, const std::string* reads,
+                            std::size_t read_count,
+                            const CandidatePair* candidates,
+                            std::size_t count);
+  StreamBatchStats RunCandidatesKernel(std::size_t di, DeviceBuffers* b,
+                                       std::size_t count, PairResult* out);
   void EncodePairsInto(DeviceBuffers* b, const std::string* reads,
                        const std::string* refs, std::size_t count);
   StreamBatchStats RunPairsKernel(gpusim::Device* dev, DeviceBuffers* b,
@@ -138,11 +183,17 @@ class GateKeeperGpuEngine {
   std::vector<std::unique_ptr<DeviceBuffers>> stream_buffers_;
   int streaming_slots_ = 0;
   std::size_t streaming_capacity_ = 0;
+  // Candidate-mode streaming slots, indexed the same way.
+  std::vector<std::unique_ptr<DeviceBuffers>> cand_stream_buffers_;
+  int cand_streaming_slots_ = 0;
+  std::size_t cand_streaming_capacity_ = 0;
+  std::size_t cand_streaming_read_capacity_ = 0;
   // Reference genome, one unified copy per device (as each GPU needs its
   // own resident copy).
   std::vector<std::unique_ptr<gpusim::UnifiedBuffer>> ref_buffers_;
   std::vector<std::unique_ptr<gpusim::UnifiedBuffer>> ref_nmask_buffers_;
   std::int64_t ref_length_ = 0;
+  std::uint64_t ref_fingerprint_ = 0;
 };
 
 }  // namespace gkgpu

@@ -24,6 +24,14 @@ class PreAlignmentFilter {
 
   virtual std::string_view name() const = 0;
 
+  /// Whether the algorithm contracts zero false rejects — it never rejects
+  /// a pair whose true edit distance is within the threshold.  The
+  /// differential test harness (tests/test_filter_differential.cpp) holds
+  /// lossless filters to exactly that; filters returning false (MAGNET and
+  /// Shouji, whose window extraction/replacement is known to shed a small
+  /// fraction of true positives) are held to a bounded budget instead.
+  virtual bool lossless() const { return true; }
+
   /// Filters one read / candidate-reference-segment pair with error
   /// threshold `e`.  Both sequences must have the same length.
   virtual FilterResult Filter(std::string_view read, std::string_view ref,

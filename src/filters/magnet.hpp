@@ -14,6 +14,7 @@ namespace gkgpu {
 class MagnetFilter : public PreAlignmentFilter {
  public:
   std::string_view name() const override { return "MAGNET"; }
+  bool lossless() const override { return false; }  // Sec. 5.1.2 FRs
   FilterResult Filter(std::string_view read, std::string_view ref,
                       int e) const override;
 };

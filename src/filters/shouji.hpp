@@ -12,6 +12,7 @@ namespace gkgpu {
 class ShoujiFilter : public PreAlignmentFilter {
  public:
   std::string_view name() const override { return "Shouji"; }
+  bool lossless() const override { return false; }  // window replacement FRs
   FilterResult Filter(std::string_view read, std::string_view ref,
                       int e) const override;
 };

@@ -26,6 +26,9 @@ bool FastqStreamReader::Next(FastqRecord* rec) {
     if (plus.empty() || plus[0] != '+') {
       throw std::runtime_error("FASTQ: expected '+' separator: " + header);
     }
+    if (seq.empty()) {
+      throw std::runtime_error("FASTQ: empty sequence: " + header);
+    }
     if (qual.size() != seq.size()) {
       throw std::runtime_error("FASTQ: quality length mismatch: " + header);
     }

@@ -1,0 +1,83 @@
+#include "io/reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gkgpu {
+
+namespace {
+
+std::string SequenceName(std::string_view header) {
+  const std::size_t ws = header.find_first_of(" \t");
+  return std::string(header.substr(0, ws));
+}
+
+}  // namespace
+
+ReferenceSet::ReferenceSet(std::string name, std::string sequence) {
+  if (name.empty()) name = "chr1";
+  chromosomes_.push_back(
+      {std::move(name), 0, static_cast<std::int64_t>(sequence.size())});
+  text_ = std::move(sequence);
+  if (chromosomes_.back().length == 0) {
+    throw std::runtime_error("reference: empty sequence for " +
+                             chromosomes_.back().name);
+  }
+  fingerprint_ = FingerprintText(text_);
+}
+
+void ReferenceSet::Add(std::string name, std::string_view sequence) {
+  if (name.empty()) {
+    throw std::runtime_error("reference: chromosome with empty name");
+  }
+  if (sequence.empty()) {
+    throw std::runtime_error("reference: empty sequence for " + name);
+  }
+  for (const ChromosomeInfo& c : chromosomes_) {
+    if (c.name == name) {
+      throw std::runtime_error("reference: duplicate chromosome name " + name);
+    }
+  }
+  chromosomes_.push_back({std::move(name),
+                          static_cast<std::int64_t>(text_.size()),
+                          static_cast<std::int64_t>(sequence.size())});
+  text_.append(sequence);
+  // FNV is byte-sequential: continuing from the previous fingerprint
+  // equals hashing the whole concatenation.
+  fingerprint_ = FingerprintText(sequence, fingerprint_);
+}
+
+ReferenceSet ReferenceSet::FromFasta(const std::vector<FastaRecord>& records) {
+  if (records.empty()) {
+    throw std::runtime_error("reference: FASTA contains no sequences");
+  }
+  ReferenceSet set;
+  for (const FastaRecord& r : records) {
+    set.Add(SequenceName(r.name), r.seq);
+  }
+  return set;
+}
+
+ReferenceSet ReferenceSet::FromFastaFile(const std::string& path) {
+  return FromFasta(ReadFastaFile(path));
+}
+
+int ReferenceSet::Locate(std::int64_t global_pos) const {
+  if (global_pos < 0 || global_pos >= length()) return -1;
+  // First chromosome starting after the position, then step back.
+  const auto it = std::upper_bound(
+      chromosomes_.begin(), chromosomes_.end(), global_pos,
+      [](std::int64_t pos, const ChromosomeInfo& c) { return pos < c.offset; });
+  return static_cast<int>(it - chromosomes_.begin()) - 1;
+}
+
+bool ReferenceSet::WindowWithinChromosome(std::int64_t global_pos,
+                                          int len) const {
+  if (len <= 0) return false;
+  const int chrom = Locate(global_pos);
+  if (chrom < 0) return false;
+  const ChromosomeInfo& c = chromosomes_[static_cast<std::size_t>(chrom)];
+  return global_pos + len <= c.offset + c.length;
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,85 @@
+// Multi-chromosome reference: named sequences concatenated into one
+// addressable text, the way short-read mappers index a genome.  Seeding and
+// filtration work in global (concatenated) coordinates — one k-mer index,
+// one 2-bit encoded reference per device — while the chromosome table maps
+// any global offset back to (chromosome, local position) for SAM output
+// and rejects candidate windows that would span a chromosome junction.
+#ifndef GKGPU_IO_REFERENCE_HPP
+#define GKGPU_IO_REFERENCE_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/fasta.hpp"
+#include "util/fingerprint.hpp"
+
+namespace gkgpu {
+
+struct ChromosomeInfo {
+  std::string name;
+  std::int64_t offset = 0;  // start in the concatenated text
+  std::int64_t length = 0;
+};
+
+class ReferenceSet {
+ public:
+  ReferenceSet() = default;
+
+  /// One-chromosome reference (the legacy single-genome workloads).
+  ReferenceSet(std::string name, std::string sequence);
+
+  /// Builds the set from FASTA records in file order.  Names are truncated
+  /// at the first whitespace (the FASTA description field is not part of
+  /// the sequence name).  Throws on an empty record set, an empty or
+  /// duplicate name, or an empty sequence.
+  static ReferenceSet FromFasta(const std::vector<FastaRecord>& records);
+  static ReferenceSet FromFastaFile(const std::string& path);
+
+  /// Appends a chromosome; same validation as FromFasta.
+  void Add(std::string name, std::string_view sequence);
+
+  /// The concatenated text (what the k-mer index and the engine's encoded
+  /// reference are built over).
+  const std::string& text() const { return text_; }
+  std::int64_t length() const { return static_cast<std::int64_t>(text_.size()); }
+  /// FingerprintText(text()), maintained incrementally across Add() calls;
+  /// lets candidate-mode pipelines check reference identity against
+  /// GateKeeperGpuEngine::reference_fingerprint() without rescanning the
+  /// genome.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  bool empty() const { return chromosomes_.empty(); }
+  std::size_t chromosome_count() const { return chromosomes_.size(); }
+  const ChromosomeInfo& chromosome(std::size_t i) const {
+    return chromosomes_[i];
+  }
+  const std::vector<ChromosomeInfo>& chromosomes() const {
+    return chromosomes_;
+  }
+
+  /// Index of the chromosome containing the global position; -1 when out of
+  /// range.
+  int Locate(std::int64_t global_pos) const;
+
+  /// True when [global_pos, global_pos + len) lies entirely inside one
+  /// chromosome — candidate windows crossing a junction are chimeric and
+  /// must be dropped at seeding time.
+  bool WindowWithinChromosome(std::int64_t global_pos, int len) const;
+
+  /// Global -> chromosome-local position (caller guarantees `chrom` is the
+  /// chromosome returned by Locate).
+  std::int64_t ToLocal(int chrom, std::int64_t global_pos) const {
+    return global_pos - chromosomes_[static_cast<std::size_t>(chrom)].offset;
+  }
+
+ private:
+  std::string text_;
+  std::vector<ChromosomeInfo> chromosomes_;
+  std::uint64_t fingerprint_ = kFingerprintSeed;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_IO_REFERENCE_HPP

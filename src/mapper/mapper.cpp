@@ -3,18 +3,23 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <stdexcept>
 
 #include "align/banded.hpp"
+#include "pipeline/candidate_packer.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
 namespace gkgpu {
 
-ReadMapper::ReadMapper(std::string genome, MapperConfig config)
-    : genome_(std::move(genome)),
+ReadMapper::ReadMapper(ReferenceSet reference, MapperConfig config)
+    : ref_(std::move(reference)),
       config_(config),
-      index_(genome_, config.k),
+      index_(ref_.text(), config.k),
       verify_pool_(std::make_unique<ThreadPool>(config.verify_threads)) {}
+
+ReadMapper::ReadMapper(std::string genome, MapperConfig config)
+    : ReadMapper(ReferenceSet("synthetic_chr1", std::move(genome)), config) {}
 
 ReadMapper::~ReadMapper() = default;
 
@@ -28,7 +33,7 @@ void ReadMapper::CollectCandidates(std::string_view read,
   // within the threshold shares at least one exact seed with its locus.
   const int max_seeds = L / k;
   const int n_seeds = std::min(config_.error_threshold + 1, max_seeds);
-  const std::int64_t genome_len = static_cast<std::int64_t>(genome_.size());
+  const std::int64_t genome_len = ref_.length();
   for (int s = 0; s < n_seeds; ++s) {
     const int offset = s * k;
     const auto hits =
@@ -37,6 +42,12 @@ void ReadMapper::CollectCandidates(std::string_view read,
     for (const std::uint32_t pos : hits) {
       const std::int64_t start = static_cast<std::int64_t>(pos) - offset;
       if (start < 0 || start + L > genome_len) continue;
+      // A window reaching across a chromosome junction would align the
+      // read against a chimeric segment; drop it at seeding time.
+      if (ref_.chromosome_count() > 1 &&
+          !ref_.WindowWithinChromosome(start, L)) {
+        continue;
+      }
       candidates->push_back(start);
     }
   }
@@ -53,7 +64,7 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
   WallTimer total;
   if (filter != nullptr && !filter->HasReference()) {
     WallTimer prep;
-    filter->LoadReference(genome_);
+    filter->LoadReference(ref_.text());
     stats.preprocess_seconds += prep.Seconds();
   }
 
@@ -111,7 +122,7 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
         const CandidatePair c = candidates[i];
         const std::string& read = batch[c.read_index];
         const std::string_view segment(
-            genome_.data() + c.ref_pos, read.size());
+            ref_.text().data() + c.ref_pos, read.size());
         const int dist =
             BandedEditDistance(read, segment, config_.error_threshold);
         if (dist >= 0) {
@@ -133,6 +144,99 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
     }
   }
 
+  stats.mapped_reads = static_cast<std::uint64_t>(
+      std::count(read_mapped.begin(), read_mapped.end(), true));
+  stats.total_seconds = total.Seconds();
+  return stats;
+}
+
+MappingStats ReadMapper::MapReadsStreaming(
+    const std::vector<std::string>& reads, GateKeeperGpuEngine* filter,
+    pipeline::PipelineConfig pcfg, std::vector<MappingRecord>* out) {
+  if (filter == nullptr) {
+    throw std::invalid_argument(
+        "MapReadsStreaming: the streaming path is the filter integration "
+        "and requires an engine");
+  }
+  const std::size_t expected =
+      static_cast<std::size_t>(filter->config().read_length);
+  for (const std::string& r : reads) {
+    if (r.size() != expected) {
+      throw std::invalid_argument(
+          "MapReadsStreaming: every read must match the engine's configured "
+          "read length " + std::to_string(expected));
+    }
+  }
+
+  MappingStats stats;
+  stats.reads = reads.size();
+  WallTimer total;
+  if (!filter->HasReference()) {
+    WallTimer prep;
+    filter->LoadReference(ref_.text());
+    stats.preprocess_seconds += prep.Seconds();
+  }
+
+  pcfg.reference_text = &ref_.text();
+  pcfg.reference_fingerprint = ref_.fingerprint();
+  pcfg.verify = true;
+  pcfg.verify_threshold = config_.error_threshold;
+  pipeline::StreamingPipeline pipe(filter, pcfg);
+
+  // Source: seed reads in input order and pack candidate batches (the
+  // read-table dedup and mid-read batch-split carry-over live in
+  // PackCandidateBatch).
+  pipeline::CandidateStream stream;
+  std::size_t next_read = 0;
+  std::size_t cur_read = 0;
+  double seed_seconds = 0.0;
+  std::uint64_t candidates_total = 0;
+
+  const pipeline::BatchSource source = [&](pipeline::PairBatch* batch) {
+    WallTimer seed_timer;
+    const std::size_t target =
+        std::max<std::size_t>(1, std::min(batch->target_size,
+                                          pipe.config().batch_size));
+    pipeline::PackCandidateBatch(
+        batch, target, &stream,
+        [&](std::vector<std::int64_t>* positions) -> const std::string* {
+          if (next_read >= reads.size()) return nullptr;
+          cur_read = next_read++;
+          CollectCandidates(reads[cur_read], positions);
+          candidates_total += positions->size();
+          return &reads[cur_read];
+        },
+        [&](std::int64_t) {
+          batch->read_index.push_back(static_cast<std::uint32_t>(cur_read));
+        });
+    seed_seconds += seed_timer.Seconds();
+    return batch->size() > 0;
+  };
+
+  std::vector<bool> read_mapped(reads.size(), false);
+  const pipeline::BatchSink sink = [&](pipeline::PairBatch&& batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch.edits[i] < 0) continue;
+      ++stats.mappings;
+      read_mapped[batch.read_index[i]] = true;
+      if (out != nullptr) {
+        out->push_back(MappingRecord{batch.read_index[i],
+                                     batch.candidates[i].ref_pos,
+                                     batch.edits[i]});
+      }
+    }
+  };
+
+  const pipeline::PipelineStats ps = pipe.Run(source, sink);
+  stats.seeding_seconds = seed_seconds;
+  stats.candidates_total = candidates_total;
+  stats.verification_pairs = ps.verified_pairs;
+  stats.rejected_pairs = ps.rejected;
+  stats.bypassed_pairs = ps.bypassed;
+  stats.filter_seconds = ps.filter_seconds;
+  stats.filter_kernel_seconds = ps.kernel_seconds;
+  stats.filter_encode_seconds = ps.encode_seconds;
+  stats.verification_seconds = ps.verify_seconds;
   stats.mapped_reads = static_cast<std::uint64_t>(
       std::count(read_mapped.begin(), read_mapped.end(), true));
   stats.total_seconds = total.Seconds();

@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "io/reference.hpp"
 #include "mapper/index.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace gkgpu {
 
@@ -67,10 +69,17 @@ struct MappingStats {
 
 class ReadMapper {
  public:
+  /// Multi-chromosome mapper: one k-mer index and one encoded reference
+  /// over the concatenated text; mappings carry global positions that the
+  /// reference set maps back to (chromosome, local position).
+  ReadMapper(ReferenceSet reference, MapperConfig config);
+  /// Single-sequence convenience (the chromosome is named
+  /// "synthetic_chr1", matching the synthetic-genome tooling).
   ReadMapper(std::string genome, MapperConfig config);
   ~ReadMapper();
 
-  const std::string& genome() const { return genome_; }
+  const ReferenceSet& reference() const { return ref_; }
+  const std::string& genome() const { return ref_.text(); }
   const MapperConfig& config() const { return config_; }
   const KmerIndex& index() const { return index_; }
 
@@ -81,12 +90,25 @@ class ReadMapper {
                         GateKeeperGpuEngine* filter,
                         std::vector<MappingRecord>* out = nullptr);
 
-  /// Seeding only: candidate locations for one read (deduplicated).
+  /// Streaming mode: drives seed lookup -> candidate filtration -> banded
+  /// verification through the candidate-mode StreamingPipeline instead of
+  /// lockstep batches, producing the same mappings as MapReads in the same
+  /// order under bounded memory.  Requires `filter` (the streaming path is
+  /// the filter integration); every read must match the engine's
+  /// configured read length.  `pcfg.reference_text`, `verify` and
+  /// `verify_threshold` are set by the mapper.
+  MappingStats MapReadsStreaming(const std::vector<std::string>& reads,
+                                 GateKeeperGpuEngine* filter,
+                                 pipeline::PipelineConfig pcfg = {},
+                                 std::vector<MappingRecord>* out = nullptr);
+
+  /// Seeding only: candidate locations for one read (deduplicated, global
+  /// coordinates, never spanning a chromosome junction).
   void CollectCandidates(std::string_view read,
                          std::vector<std::int64_t>* candidates) const;
 
  private:
-  std::string genome_;
+  ReferenceSet ref_;
   MapperConfig config_;
   KmerIndex index_;
   std::unique_ptr<ThreadPool> verify_pool_;

@@ -1,6 +1,7 @@
 #include "mapper/sam.hpp"
 
 #include <ostream>
+#include <stdexcept>
 
 #include "align/cigar.hpp"
 
@@ -13,12 +14,40 @@ void WriteSamHeader(std::ostream& out, std::string_view ref_name,
   out << "@PG\tID:gkgpu\tPN:gatekeeper-gpu-repro\tVN:1.0.0\n";
 }
 
+void WriteSamHeader(std::ostream& out, const ReferenceSet& ref) {
+  out << "@HD\tVN:1.6\tSO:unknown\n";
+  for (const ChromosomeInfo& c : ref.chromosomes()) {
+    out << "@SQ\tSN:" << c.name << "\tLN:" << c.length << '\n';
+  }
+  out << "@PG\tID:gkgpu\tPN:gatekeeper-gpu-repro\tVN:1.0.0\n";
+}
+
 void WriteSamRecord(std::ostream& out, std::string_view read_name,
                     std::string_view seq, std::int64_t pos, int edit_distance,
                     std::string_view ref_name) {
   out << read_name << "\t0\t" << ref_name << '\t' << (pos + 1) << "\t255\t"
       << seq.size() << "M\t*\t0\t0\t" << seq << "\t*\tNM:i:" << edit_distance
       << '\n';
+}
+
+void WriteSamLine(std::ostream& out, std::string_view read_name,
+                  std::string_view seq, std::string_view chrom_name,
+                  std::int64_t local_pos, int edit_distance,
+                  std::string_view cigar) {
+  out << read_name << "\t0\t" << chrom_name << '\t' << (local_pos + 1)
+      << "\t255\t" << cigar << "\t*\t0\t0\t" << seq
+      << "\t*\tNM:i:" << edit_distance << '\n';
+}
+
+void WriteSamAlignment(std::ostream& out, std::string_view read_name,
+                       std::string_view seq, std::string_view chrom_name,
+                       std::int64_t local_pos, int edit_distance,
+                       std::string_view ref_window) {
+  const Alignment aln = BandedAlign(seq, ref_window, edit_distance);
+  const std::string cigar =
+      aln.distance >= 0 ? aln.cigar : std::to_string(seq.size()) + "M";
+  WriteSamLine(out, read_name, seq, chrom_name, local_pos, edit_distance,
+               cigar);
 }
 
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
@@ -39,12 +68,31 @@ void WriteSamRecordsWithCigar(std::ostream& out,
     const std::string& seq = reads[m.read_index];
     const std::string_view segment =
         genome.substr(static_cast<std::size_t>(m.pos), seq.size());
-    const Alignment aln = BandedAlign(seq, segment, m.edit_distance);
-    const std::string cigar =
-        aln.distance >= 0 ? aln.cigar : std::to_string(seq.size()) + "M";
-    out << "read" << m.read_index << "\t0\t" << ref_name << '\t'
-        << (m.pos + 1) << "\t255\t" << cigar << "\t*\t0\t0\t" << seq
-        << "\t*\tNM:i:" << m.edit_distance << '\n';
+    WriteSamAlignment(out, "read" + std::to_string(m.read_index), seq,
+                      ref_name, m.pos, m.edit_distance, segment);
+  }
+}
+
+void WriteSamRecordsMultiChrom(std::ostream& out,
+                               const std::vector<std::string>& reads,
+                               const std::vector<std::string>& names,
+                               const std::vector<MappingRecord>& records,
+                               const ReferenceSet& ref) {
+  const std::string_view genome = ref.text();
+  for (const MappingRecord& m : records) {
+    const std::string& seq = reads[m.read_index];
+    const int chrom = ref.Locate(m.pos);
+    if (chrom < 0) {
+      throw std::runtime_error("SAM: mapping position outside the reference");
+    }
+    const std::string_view segment =
+        genome.substr(static_cast<std::size_t>(m.pos), seq.size());
+    const std::string fallback = "read" + std::to_string(m.read_index);
+    const std::string_view name =
+        names.empty() ? std::string_view(fallback) : names[m.read_index];
+    WriteSamAlignment(out, name, seq, ref.chromosome(
+                          static_cast<std::size_t>(chrom)).name,
+                      ref.ToLocal(chrom, m.pos), m.edit_distance, segment);
   }
 }
 

@@ -1,6 +1,8 @@
 // Minimal SAM output for mapping results (header + one alignment line per
 // mapping with an NM edit-distance tag), so the examples produce inspectable
-// mapper output.
+// mapper output.  Multi-chromosome aware: headers emit one @SQ line per
+// chromosome and records are addressed (chromosome, local position) through
+// a ReferenceSet.
 #ifndef GKGPU_MAPPER_SAM_HPP
 #define GKGPU_MAPPER_SAM_HPP
 
@@ -8,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "io/reference.hpp"
 #include "mapper/mapper.hpp"
 
 namespace gkgpu {
@@ -15,11 +18,30 @@ namespace gkgpu {
 void WriteSamHeader(std::ostream& out, std::string_view ref_name,
                     std::int64_t ref_length);
 
+/// Multi-chromosome header: one @SQ line per chromosome, in table order.
+void WriteSamHeader(std::ostream& out, const ReferenceSet& ref);
+
 /// One alignment line with an explicit read name — the streaming
 /// pipeline's SAM sink emits records incrementally as batches retire.
 void WriteSamRecord(std::ostream& out, std::string_view read_name,
                     std::string_view seq, std::int64_t pos, int edit_distance,
                     std::string_view ref_name);
+
+/// One alignment line with a caller-supplied CIGAR (e.g. produced by the
+/// pipeline's verification workers).
+void WriteSamLine(std::ostream& out, std::string_view read_name,
+                  std::string_view seq, std::string_view chrom_name,
+                  std::int64_t local_pos, int edit_distance,
+                  std::string_view cigar);
+
+/// Full-fidelity single record: recomputes the banded alignment of `seq`
+/// against `ref_window` (the reference bases the mapping covers) and emits
+/// the real CIGAR.  Shared by the blocking SAM writers and the streaming
+/// sink so both paths produce byte-identical records.
+void WriteSamAlignment(std::ostream& out, std::string_view read_name,
+                       std::string_view seq, std::string_view chrom_name,
+                       std::int64_t local_pos, int edit_distance,
+                       std::string_view ref_window);
 
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
                      const std::vector<MappingRecord>& records,
@@ -32,6 +54,15 @@ void WriteSamRecordsWithCigar(std::ostream& out,
                               const std::vector<MappingRecord>& records,
                               std::string_view ref_name,
                               std::string_view genome);
+
+/// Multi-chromosome variant: records carry global (concatenated) positions;
+/// each line is addressed chromosome-locally via `ref`.  `names` supplies
+/// the read names ("read<i>" when empty).
+void WriteSamRecordsMultiChrom(std::ostream& out,
+                               const std::vector<std::string>& reads,
+                               const std::vector<std::string>& names,
+                               const std::vector<MappingRecord>& records,
+                               const ReferenceSet& ref);
 
 }  // namespace gkgpu
 

@@ -1,0 +1,71 @@
+// Shared candidate-batch packing loop for the candidate-mode front ends
+// (ReadMapper::MapReadsStreaming and StreamFastqToSam).  Both stream reads
+// through seeding and pack the resulting (read, reference-offset)
+// candidates into PairBatches; the subtle invariants live here once:
+//
+//   * a read's sequence enters the batch's read table at most once per
+//     batch, immediately before its first candidate of that batch;
+//   * when a batch fills mid-read, the leftover candidates carry over to
+//     the next call and the read's sequence is repeated in the next
+//     batch's table — every batch stays self-contained;
+//   * reads whose seeding produced no candidates are skipped without
+//     touching the batch.
+#ifndef GKGPU_PIPELINE_CANDIDATE_PACKER_HPP
+#define GKGPU_PIPELINE_CANDIDATE_PACKER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/batch.hpp"
+
+namespace gkgpu::pipeline {
+
+/// Carry-over state of a candidate stream between source calls: the
+/// current read's remaining candidate positions and its sequence (owned
+/// by the caller; the pointer must stay valid until the next fetch — a
+/// reused buffer is fine).
+struct CandidateStream {
+  std::vector<std::int64_t> positions;
+  std::size_t offset = 0;
+  const std::string* read = nullptr;  // null = fetch the next read
+};
+
+/// Packs up to `target` candidates into `batch`.  `fetch` advances the
+/// stream: fill `positions` with the next read's candidate locations and
+/// return a pointer to its sequence, or null at end of stream.  `emit`
+/// runs after each candidate is appended, to add per-pair provenance
+/// columns for that position.
+template <typename Fetch, typename Emit>
+void PackCandidateBatch(PairBatch* batch, std::size_t target,
+                        CandidateStream* stream, Fetch&& fetch, Emit&& emit) {
+  // Whether the current read's sequence is already in *this* batch's
+  // table.  Deliberately not a pointer comparison: fetchers may reuse one
+  // sequence buffer for consecutive reads.
+  bool current_in_table = false;
+  while (batch->candidates.size() < target) {
+    if (stream->read == nullptr) {
+      stream->positions.clear();
+      stream->offset = 0;
+      stream->read = fetch(&stream->positions);
+      current_in_table = false;
+      if (stream->read == nullptr) break;
+    }
+    while (stream->offset < stream->positions.size() &&
+           batch->candidates.size() < target) {
+      if (!current_in_table) {
+        batch->cand_reads.push_back(*stream->read);
+        current_in_table = true;
+      }
+      const std::int64_t pos = stream->positions[stream->offset++];
+      batch->candidates.push_back(
+          {static_cast<std::uint32_t>(batch->cand_reads.size() - 1), pos});
+      emit(pos);
+    }
+    if (stream->offset >= stream->positions.size()) stream->read = nullptr;
+  }
+}
+
+}  // namespace gkgpu::pipeline
+
+#endif  // GKGPU_PIPELINE_CANDIDATE_PACKER_HPP

@@ -7,10 +7,13 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <utility>
 
 #include "align/banded.hpp"
+#include "align/cigar.hpp"
+#include "util/fingerprint.hpp"
 #include "util/timer.hpp"
 
 namespace gkgpu::pipeline {
@@ -33,16 +36,59 @@ StreamingPipeline::StreamingPipeline(GateKeeperGpuEngine* engine,
   config_.encode_workers = std::max(1, config_.encode_workers);
   config_.verify_workers = std::max(1, config_.verify_workers);
   config_.slots_per_device = std::max(1, config_.slots_per_device);
-  // The engine clamps slots to its kernel plan; the effective batch size is
-  // published back through config().
-  config_.batch_size =
-      engine_->PrepareStreaming(config_.batch_size, config_.slots_per_device);
+
+  const bool cand_mode = config_.reference_text != nullptr;
+  if (cand_mode) {
+    // Content check, not just length: an engine reused across same-length
+    // genomes would otherwise silently filter against the wrong one.
+    const std::uint64_t fp = config_.reference_fingerprint != 0
+                                 ? config_.reference_fingerprint
+                                 : FingerprintText(*config_.reference_text);
+    if (!engine_->HasReference() ||
+        engine_->reference_length() !=
+            static_cast<std::int64_t>(config_.reference_text->size()) ||
+        engine_->reference_fingerprint() != fp) {
+      throw std::invalid_argument(
+          "pipeline: candidate mode requires the engine's reference to be "
+          "loaded from the configured reference text");
+    }
+  }
+
+  // Slot buffers are provisioned for the largest batch the run can
+  // produce; the engine clamps the request to its kernel plan and the
+  // effective capacity is published back through config().batch_size.
+  std::size_t capacity_request = config_.batch_size;
+  if (config_.adaptive) {
+    AdaptiveBatcherConfig& a = config_.adaptive_config;
+    a.min_size = std::max<std::size_t>(1, a.min_size);
+    a.max_size = std::max(a.min_size, a.max_size);
+    a.initial = a.initial == 0 ? config_.batch_size : a.initial;
+    a.initial = std::clamp(a.initial, a.min_size, a.max_size);
+    capacity_request = a.max_size;
+  }
+  const std::size_t capacity =
+      cand_mode ? engine_->PrepareCandidateStreaming(capacity_request,
+                                                     capacity_request,
+                                                     config_.slots_per_device)
+                : engine_->PrepareStreaming(capacity_request,
+                                            config_.slots_per_device);
+  config_.batch_size = capacity;
+  if (config_.adaptive) {
+    AdaptiveBatcherConfig& a = config_.adaptive_config;
+    a.max_size = std::min(a.max_size, capacity);
+    a.min_size = std::min(a.min_size, a.max_size);
+    a.initial = std::clamp(a.initial, a.min_size, a.max_size);
+  }
 }
 
 PipelineStats StreamingPipeline::Run(const BatchSource& source,
                                      const BatchSink& sink) {
   const int ndev = engine_->device_count();
   const std::size_t capacity = config_.batch_size;
+  const bool cand_mode = config_.reference_text != nullptr;
+  const std::int64_t ref_len =
+      cand_mode ? static_cast<std::int64_t>(config_.reference_text->size())
+                : 0;
   const int verify_k = config_.verify_threshold >= 0
                            ? config_.verify_threshold
                            : engine_->config().error_threshold;
@@ -106,6 +152,7 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
   std::vector<std::thread> threads;
 
   // --- Stage 1: source --------------------------------------------------
+  AdaptiveBatcher batcher(config_.adaptive_config);
   threads.emplace_back([&] {
     try {
       std::uint64_t seq = 0;
@@ -113,39 +160,100 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
       double busy = 0.0;
       std::uint64_t batches = 0;
       std::uint64_t items = 0;
+      std::size_t size_min = 0;
+      std::size_t size_max = 0;
+      const auto expected =
+          static_cast<std::size_t>(engine_->config().read_length);
       for (;;) {
         PairBatch batch;
         batch.seq = seq;
         batch.first_pair = first_pair;
+        batch.target_size = capacity;
+        if (config_.adaptive) {
+          // Feed occupancy: batches buffered ahead of the devices (the
+          // source queue plus every per-device encoded queue).  Sink
+          // occupancy: the verified queue the ordered sink drains.
+          std::size_t feed_items = q_in.size();
+          std::size_t feed_cap = q_in.capacity();
+          for (const auto& q : q_ready) {
+            feed_items += q->size();
+            feed_cap += q->capacity();
+          }
+          const double feed_fill = feed_cap == 0
+                                       ? 1.0
+                                       : static_cast<double>(feed_items) /
+                                             static_cast<double>(feed_cap);
+          const double sink_fill = static_cast<double>(q_done.size()) /
+                                   static_cast<double>(q_done.capacity());
+          batch.target_size = batcher.Next(feed_fill, sink_fill);
+        }
         WallTimer t;
         const bool more = source(&batch);
         busy += t.Seconds();
         if (!more) break;
         if (batch.size() == 0) continue;
-        if (batch.refs.size() != batch.reads.size()) {
-          throw std::runtime_error("pipeline source: reads/refs length skew");
-        }
         if (batch.size() > capacity) {
           throw std::runtime_error("pipeline source: batch exceeds capacity");
         }
-        // The slot encoders stride buffers by the configured read length;
-        // a shorter or longer sequence would over-read or cross into the
-        // neighbouring pair's slot.
-        const auto expected =
-            static_cast<std::size_t>(engine_->config().read_length);
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (batch.reads[i].size() != expected ||
-              batch.refs[i].size() != expected) {
+        if (cand_mode) {
+          if (!batch.reads.empty() || !batch.refs.empty()) {
             throw std::runtime_error(
-                "pipeline source: pair " + std::to_string(first_pair + i) +
-                " length != configured read length " +
-                std::to_string(expected));
+                "pipeline source: pair batch in a candidate-mode pipeline");
+          }
+          if (batch.cand_reads.empty() || batch.cand_reads.size() > capacity) {
+            throw std::runtime_error(
+                "pipeline source: candidate batch read table empty or over "
+                "capacity");
+          }
+          // The slot encoders stride the read buffer by the configured
+          // read length, and the kernel slices [ref_pos, ref_pos + L) from
+          // the encoded genome; both must be validated before encoding.
+          for (const std::string& r : batch.cand_reads) {
+            if (r.size() != expected) {
+              throw std::runtime_error(
+                  "pipeline source: read length != configured read length " +
+                  std::to_string(expected));
+            }
+          }
+          const std::int64_t max_pos =
+              ref_len - static_cast<std::int64_t>(expected);
+          for (const CandidatePair& c : batch.candidates) {
+            if (c.read_index >= batch.cand_reads.size()) {
+              throw std::runtime_error(
+                  "pipeline source: candidate read_index out of range");
+            }
+            if (c.ref_pos < 0 || c.ref_pos > max_pos) {
+              throw std::runtime_error(
+                  "pipeline source: candidate reference offset out of range");
+            }
+          }
+        } else {
+          if (!batch.candidates.empty()) {
+            throw std::runtime_error(
+                "pipeline source: candidate batch in a pair-mode pipeline");
+          }
+          if (batch.refs.size() != batch.reads.size()) {
+            throw std::runtime_error("pipeline source: reads/refs length skew");
+          }
+          // A shorter or longer sequence would over-read or cross into the
+          // neighbouring pair's slot.
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (batch.reads[i].size() != expected ||
+                batch.refs[i].size() != expected) {
+              throw std::runtime_error(
+                  "pipeline source: pair " + std::to_string(first_pair + i) +
+                  " length != configured read length " +
+                  std::to_string(expected));
+            }
           }
         }
         ++seq;
         first_pair += batch.size();
         batches += 1;
         items += batch.size();
+        size_min = size_min == 0 ? batch.size()
+                                 : std::min(size_min, batch.size());
+        size_max = std::max(size_max, batch.size());
         if (!q_in.Push(std::move(batch))) break;  // aborted downstream
       }
       q_in.Close();
@@ -153,6 +261,8 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
       source_stage.busy_seconds += busy;
       source_stage.batches += batches;
       source_stage.items += items;
+      stats.batch_size_min = size_min;
+      stats.batch_size_max = size_max;
     } catch (...) {
       record_error(std::current_exception());
     }
@@ -171,9 +281,15 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
               batch->seq % static_cast<std::uint64_t>(ndev));
           const auto slot = q_free[d]->Pop();
           if (!slot) break;  // aborted
-          const double enc_s = engine_->EncodePairsSlot(
-              d, *slot, batch->reads.data(), batch->refs.data(),
-              batch->size());
+          const double enc_s =
+              cand_mode
+                  ? engine_->EncodeCandidatesSlot(
+                        d, *slot, batch->cand_reads.data(),
+                        batch->cand_reads.size(), batch->candidates.data(),
+                        batch->size())
+                  : engine_->EncodePairsSlot(d, *slot, batch->reads.data(),
+                                             batch->refs.data(),
+                                             batch->size());
           busy += enc_s;
           model_clock += enc_s;
           batch->device = d;
@@ -214,8 +330,11 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
           const std::size_t n = msg->batch.size();
           msg->batch.results.assign(n, PairResult{});
           WallTimer t;
-          const StreamBatchStats st = engine_->FilterPairsSlot(
-              d, msg->slot, n, msg->batch.results.data());
+          const StreamBatchStats st =
+              cand_mode ? engine_->FilterCandidatesSlot(
+                              d, msg->slot, n, msg->batch.results.data())
+                        : engine_->FilterPairsSlot(d, msg->slot, n,
+                                                   msg->batch.results.data());
           busy += t.Seconds();
           q_free[d]->Push(msg->slot);
           // Timeline: a prefetch-capable, double-buffered device overlaps
@@ -274,12 +393,39 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
           batch->edits.assign(n, -1);
           if (config_.verify) {
             WallTimer t;
+            const std::size_t L =
+                static_cast<std::size_t>(engine_->config().read_length);
+            if (config_.emit_cigar) batch->cigars.assign(n, {});
             for (std::size_t i = 0; i < n; ++i) {
               if (!batch->results[i].accept) continue;
               ++pairs_in;
-              batch->edits[i] =
-                  verifier.Distance(batch->reads[i], batch->refs[i], verify_k);
-              if (batch->edits[i] >= 0) ++confirmed;
+              std::string_view read;
+              std::string_view window;
+              if (cand_mode) {
+                // Verification windows are views into the reference text —
+                // the host never materializes per-candidate segments.
+                const CandidatePair c = batch->candidates[i];
+                read = batch->cand_reads[c.read_index];
+                window = std::string_view(*config_.reference_text)
+                             .substr(static_cast<std::size_t>(c.ref_pos), L);
+              } else {
+                read = batch->reads[i];
+                window = batch->refs[i];
+              }
+              batch->edits[i] = verifier.Distance(read, window, verify_k);
+              if (batch->edits[i] >= 0) {
+                ++confirmed;
+                if (config_.emit_cigar) {
+                  // Same computation as WriteSamAlignment (band = the
+                  // confirmed distance), so sinks emit identical bytes.
+                  const Alignment aln =
+                      BandedAlign(read, window, batch->edits[i]);
+                  batch->cigars[i] =
+                      aln.distance >= 0
+                          ? aln.cigar
+                          : std::to_string(read.size()) + "M";
+                }
+              }
             }
             busy += t.Seconds();
           }
@@ -340,6 +486,8 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
   }
   stats.encode_seconds = encode_stage.busy_seconds;
   stats.verify_seconds = verify_stage.busy_seconds;
+  stats.grow_decisions = batcher.grows();
+  stats.shrink_decisions = batcher.shrinks();
   stats.stages = {source_stage, encode_stage, filter_stage, verify_stage,
                   sink_stage};
   stats.queues.push_back({"source->encode", q_in.capacity(), q_in.stats()});

@@ -26,6 +26,14 @@
 // buffering the input set in memory — the property the blocking
 // FilterPairs path lacks.  A stage failure closes every queue, the
 // remaining stages drain, and the first exception is rethrown from Run().
+//
+// Two batch shapes flow through the same stages (PipelineConfig::
+// reference_text selects the mode): explicit (read, reference-segment)
+// string pairs, or candidate batches — distinct reads plus (read,
+// reference-offset) candidates filtered against the per-device encoded
+// genome and verified against windows of the host reference text, with no
+// per-candidate segment strings anywhere.  PipelineConfig::adaptive lets
+// the source resize batches from queue occupancy (see adaptive.hpp).
 #ifndef GKGPU_PIPELINE_PIPELINE_HPP
 #define GKGPU_PIPELINE_PIPELINE_HPP
 
@@ -35,6 +43,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "pipeline/adaptive.hpp"
 #include "pipeline/batch.hpp"
 #include "pipeline/queue.hpp"
 
@@ -53,6 +62,29 @@ struct PipelineConfig {
   bool verify = true;
   /// Banded-alignment threshold; -1 uses the engine's error threshold.
   int verify_threshold = -1;
+  /// Have the verification workers also produce each confirmed pair's
+  /// CIGAR (PairBatch::cigars), so SAM sinks write lines without redoing
+  /// the alignment on the single sink thread.
+  bool emit_cigar = false;
+
+  /// Candidate mode: the reference text backing the engine's encoded
+  /// reference (LoadReference must have been called with exactly this
+  /// text).  Batches then carry (read, reference-offset) candidates, the
+  /// filtration stage slices windows from the per-device encoded genome,
+  /// and verification slices the same windows from this text — no
+  /// per-candidate segment strings anywhere.  Null = pair mode.
+  const std::string* reference_text = nullptr;
+  /// Precomputed FingerprintText(*reference_text) (e.g. from
+  /// ReferenceSet::fingerprint()); 0 = the constructor hashes the text
+  /// itself.  Either way the value must match the engine's loaded
+  /// reference or construction throws.
+  std::uint64_t reference_fingerprint = 0;
+
+  /// Occupancy-driven batch sizing: the source consults an AdaptiveBatcher
+  /// (seeded from `adaptive_config`, initial = batch_size) before building
+  /// each batch.  Slot buffers are provisioned at adaptive_config.max_size.
+  bool adaptive = false;
+  AdaptiveBatcherConfig adaptive_config;
 };
 
 /// Throughput/occupancy counters of one pipeline stage.
@@ -96,6 +128,12 @@ struct PipelineStats {
   double transfer_seconds = 0.0;   // simulated PCIe, busiest device
   double encode_seconds = 0.0;     // host encode busy time, all workers
   double verify_seconds = 0.0;     // verification busy time, all workers
+
+  // Adaptive batch sizing (zeros when disabled).
+  std::uint64_t grow_decisions = 0;
+  std::uint64_t shrink_decisions = 0;
+  std::size_t batch_size_min = 0;  // smallest batch size used
+  std::size_t batch_size_max = 0;  // largest batch size used
 
   std::vector<StageStats> stages;
   std::vector<QueueReport> queues;

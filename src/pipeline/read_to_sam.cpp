@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <ostream>
 
 #include "io/fastq.hpp"
 #include "mapper/sam.hpp"
+#include "pipeline/candidate_packer.hpp"
 
 namespace gkgpu::pipeline {
 
@@ -14,48 +16,55 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
                                 const ReadToSamConfig& config,
                                 std::ostream* sam) {
   ReadToSamStats out;
-  StreamingPipeline pipeline(engine, config.pipeline);
-  const std::size_t capacity = pipeline.config().batch_size;
+  if (!engine->HasReference()) engine->LoadReference(mapper.genome());
+
+  PipelineConfig pcfg = config.pipeline;
+  pcfg.reference_text = &mapper.genome();
+  pcfg.reference_fingerprint = mapper.reference().fingerprint();
+  // The caller's verify flag is honored: with verification off the run is
+  // stats-only and no mapping is confirmed (no SAM lines), by design.
+  pcfg.verify_threshold = mapper.config().error_threshold;
+  pcfg.emit_cigar = sam != nullptr;
+  StreamingPipeline pipeline(engine, pcfg);
+
+  const ReferenceSet& ref = mapper.reference();
   const int read_length = engine->config().read_length;
-  const std::string& genome = mapper.genome();
 
   FastqStreamReader reader(fastq);
-  // Carry-over between source calls: a read whose candidates did not all
-  // fit in the previous batch.
+  // `rec` carries the current read between source calls (a read whose
+  // candidates split across batches; PackCandidateBatch repeats its
+  // sequence in each batch's read table).
   FastqRecord rec;
-  std::vector<std::int64_t> cand_positions;
-  std::size_t cand_offset = 0;
-  bool have_read = false;
+  CandidateStream stream;
   std::uint32_t read_counter = 0;
 
   const BatchSource source = [&](PairBatch* batch) {
-    while (batch->size() < capacity) {
-      if (!have_read) {
-        if (!reader.Next(&rec)) break;  // FASTQ exhausted
-        ++out.reads;
-        if (static_cast<int>(rec.seq.size()) != read_length) {
-          ++out.skipped_reads;
-          continue;
-        }
-        mapper.CollectCandidates(rec.seq, &cand_positions);
-        out.candidates += cand_positions.size();
-        cand_offset = 0;
-        have_read = true;
-        ++read_counter;
-      }
-      while (cand_offset < cand_positions.size() &&
-             batch->size() < capacity) {
-        const std::int64_t pos = cand_positions[cand_offset++];
-        batch->reads.push_back(rec.seq);
-        batch->refs.push_back(
-            genome.substr(static_cast<std::size_t>(pos),
-                          static_cast<std::size_t>(read_length)));
-        batch->read_index.push_back(read_counter - 1);
-        batch->read_names.push_back(rec.name);
-        batch->ref_pos.push_back(pos);
-      }
-      if (cand_offset >= cand_positions.size()) have_read = false;
-    }
+    const std::size_t target = std::max<std::size_t>(
+        1, std::min(batch->target_size, pipeline.config().batch_size));
+    PackCandidateBatch(
+        batch, target, &stream,
+        [&](std::vector<std::int64_t>* positions) -> const std::string* {
+          for (;;) {
+            if (!reader.Next(&rec)) return nullptr;  // FASTQ exhausted
+            ++out.reads;
+            if (static_cast<int>(rec.seq.size()) != read_length) {
+              ++out.skipped_reads;
+              continue;
+            }
+            mapper.CollectCandidates(rec.seq, positions);
+            out.candidates += positions->size();
+            ++read_counter;
+            return &rec.seq;
+          }
+        },
+        [&](std::int64_t pos) {
+          const int chrom = ref.Locate(pos);
+          assert(chrom >= 0);  // seeding only emits in-chromosome windows
+          batch->read_index.push_back(read_counter - 1);
+          batch->read_names.push_back(rec.name);
+          batch->ref_chrom.push_back(chrom);
+          batch->ref_pos.push_back(ref.ToLocal(chrom, pos));
+        });
     return batch->size() > 0;
   };
 
@@ -74,8 +83,13 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
         any_mapped = true;
       }
       if (sam != nullptr) {
-        WriteSamRecord(*sam, batch.read_names[i], batch.reads[i],
-                       batch.ref_pos[i], batch.edits[i], config.ref_name);
+        // The CIGAR was computed by the (parallel) verification workers;
+        // the ordered sink only formats the line.
+        const CandidatePair c = batch.candidates[i];
+        WriteSamLine(
+            *sam, batch.read_names[i], batch.cand_reads[c.read_index],
+            ref.chromosome(static_cast<std::size_t>(batch.ref_chrom[i])).name,
+            batch.ref_pos[i], batch.edits[i], batch.cigars[i]);
       }
     }
   };
@@ -100,7 +114,9 @@ PipelineStats FilterPairsStreaming(GateKeeperGpuEngine* engine,
   std::size_t offset = 0;
   const BatchSource source = [&](PairBatch* batch) {
     if (offset >= n) return false;
-    const std::size_t count = std::min(capacity, n - offset);
+    const std::size_t target = std::max<std::size_t>(
+        1, std::min(batch->target_size, capacity));
+    const std::size_t count = std::min(target, n - offset);
     batch->reads.assign(reads.begin() + offset,
                         reads.begin() + offset + count);
     batch->refs.assign(refs.begin() + offset, refs.begin() + offset + count);

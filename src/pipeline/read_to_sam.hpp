@@ -1,11 +1,14 @@
 // End-to-end streaming front ends over StreamingPipeline:
 //
-//   * StreamFastqToSam — FASTQ in, ordered SAM out.  Reads are chunked off
-//     the stream, seeded against the mapper's k-mer index, the candidate
-//     (read, reference-segment) pairs flow through the filtration and
-//     verification stages, and the ordered sink writes one SAM line per
-//     verified mapping.  Memory stays bounded by the queue depths no
-//     matter the input size.
+//   * StreamFastqToSam — FASTQ in, ordered SAM out, on the candidate-mode
+//     streaming path: reads are chunked off the stream, seeded against the
+//     mapper's k-mer index, and the (read, reference-offset) candidates
+//     flow through filtration (windows sliced from the per-device encoded
+//     reference — no per-candidate segment strings) and banded
+//     verification; the ordered sink writes one SAM line per verified
+//     mapping, addressed (chromosome, local position) through the mapper's
+//     ReferenceSet.  Memory stays bounded by the queue depths no matter
+//     the input size.
 //   * FilterPairsStreaming — the streaming analogue of
 //     GateKeeperGpuEngine::FilterPairs over an in-memory pair set, used by
 //     the equivalence tests and the pipeline bench.
@@ -24,7 +27,6 @@ namespace gkgpu::pipeline {
 
 struct ReadToSamConfig {
   PipelineConfig pipeline;
-  std::string ref_name = "synthetic_chr1";
 };
 
 struct ReadToSamStats {
@@ -36,10 +38,12 @@ struct ReadToSamStats {
   std::uint64_t mapped_reads = 0;
 };
 
-/// Streams `fastq` through seed -> filter -> verify -> SAM.  The engine's
-/// read length defines which reads are mappable; `sam` may be null to run
-/// the pipeline for its statistics only (the header is written by the
-/// caller so multiple streams can share one file).
+/// Streams `fastq` through seed -> candidate filtration -> verify -> SAM.
+/// The engine's read length defines which reads are mappable; its
+/// reference is loaded from the mapper's genome on first use.  `sam` may
+/// be null to run the pipeline for its statistics only (the header is
+/// written by the caller so multiple streams can share one file; use
+/// WriteSamHeader(out, mapper.reference()) for the matching @SQ lines).
 ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
                                 GateKeeperGpuEngine* engine,
                                 const ReadToSamConfig& config,

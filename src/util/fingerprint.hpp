@@ -1,0 +1,29 @@
+// Streaming FNV-1a content fingerprint, used to verify that two holders of
+// a reference genome (the engine's encoded copy, a pipeline's text view)
+// are really talking about the same bytes.  The hash is byte-sequential,
+// so hashing parts with the previous result as seed equals hashing the
+// concatenation — ReferenceSet exploits this to keep its fingerprint
+// current across incremental Add() calls.
+#ifndef GKGPU_UTIL_FINGERPRINT_HPP
+#define GKGPU_UTIL_FINGERPRINT_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace gkgpu {
+
+inline constexpr std::uint64_t kFingerprintSeed = 0xcbf29ce484222325ull;
+
+inline std::uint64_t FingerprintText(std::string_view text,
+                                     std::uint64_t seed = kFingerprintSeed) {
+  std::uint64_t h = seed;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_UTIL_FINGERPRINT_HPP

@@ -1,4 +1,6 @@
-// Tests for FASTA/FASTQ parsing and pair-set serialization round trips.
+// Tests for FASTA/FASTQ parsing (including malformed and hostile inputs —
+// truncation, CRLF line endings, empty sequences, N-heavy reads), the
+// multi-chromosome ReferenceSet, and pair-set serialization round trips.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -6,6 +8,7 @@
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
 #include "io/pairset.hpp"
+#include "io/reference.hpp"
 #include "sim/pairgen.hpp"
 
 namespace gkgpu {
@@ -71,6 +74,125 @@ TEST(FastqTest, RejectsMalformedRecords) {
   EXPECT_THROW(ReadFastq(truncated), std::runtime_error);
   std::istringstream bad_qual("@r1\nACGT\n+\nII\n");
   EXPECT_THROW(ReadFastq(bad_qual), std::runtime_error);
+}
+
+TEST(FastqTest, TruncationAtEveryRecordBoundary) {
+  // A record can be cut after any of its four lines; every prefix that
+  // ends mid-record must raise a clean error, never crash or return a
+  // partial record.
+  const std::string full = "@r1\nACGT\n+\nIIII\n@r2\nTTTT\n+\nIIII\n";
+  for (const std::size_t keep_lines : {5u, 6u, 7u}) {
+    std::size_t pos = 0;
+    for (std::size_t l = 0; l < keep_lines; ++l) pos = full.find('\n', pos) + 1;
+    std::istringstream in(full.substr(0, pos));
+    EXPECT_THROW(ReadFastq(in), std::runtime_error) << keep_lines << " lines";
+  }
+  // Cut exactly at a record boundary: the first record must survive.
+  std::size_t pos = 0;
+  for (int l = 0; l < 4; ++l) pos = full.find('\n', pos) + 1;
+  std::istringstream in(full.substr(0, pos));
+  const auto records = ReadFastq(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "r1");
+}
+
+TEST(FastqTest, HandlesCrlfLineEndings) {
+  std::istringstream in("@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nTTNN\r\n+\r\nIIII\r\n");
+  const auto records = ReadFastq(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, "ACGT");
+  EXPECT_EQ(records[0].qual, "IIII");
+  EXPECT_EQ(records[1].seq, "TTNN");
+}
+
+TEST(FastqTest, RejectsEmptySequence) {
+  std::istringstream in("@r1\n\n+\n\n");
+  EXPECT_THROW(ReadFastq(in), std::runtime_error);
+}
+
+TEST(FastqTest, NHeavyReadsParseIntact) {
+  const std::string n_read(150, 'N');
+  std::istringstream in("@allN\n" + n_read + "\n+\n" +
+                        std::string(150, 'I') + "\n");
+  const auto records = ReadFastq(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, n_read);
+}
+
+TEST(FastqTest, QualityLineStartingWithAtIsNotAHeader) {
+  // '@' is a legal quality character; the parser must consume four lines
+  // per record, not resynchronize on '@'.
+  std::istringstream in("@r1\nACGT\n+\n@@@@\n@r2\nTTTT\n+\nIIII\n");
+  const auto records = ReadFastq(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].qual, "@@@@");
+  EXPECT_EQ(records[1].name, "r2");
+}
+
+TEST(FastaTest, HandlesCrlfAndBlankLines) {
+  std::istringstream in(">chr1\r\nACGT\r\n\r\nACGT\r\n>chr2\r\nTT\r\n");
+  const auto records = ReadFasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, "ACGTACGT");
+  EXPECT_EQ(records[1].seq, "TT");
+}
+
+TEST(FastaTest, HeaderOnlyRecordYieldsEmptySequence) {
+  // ReadFasta keeps the record (defined handling); consumers that need a
+  // non-empty sequence reject it (see ReferenceSetTest below).
+  std::istringstream in(">empty\n>chr1\nACGT\n");
+  const auto records = ReadFasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].seq.empty());
+}
+
+// ------------------------------------------------------------ reference --
+
+TEST(ReferenceSetTest, ConcatenatesAndLocates) {
+  ReferenceSet ref;
+  ref.Add("chr1", "ACGTACGT");   // [0, 8)
+  ref.Add("chr2", "TTTT");       // [8, 12)
+  ref.Add("chr3", "GGGGGG");     // [12, 18)
+  EXPECT_EQ(ref.length(), 18);
+  ASSERT_EQ(ref.chromosome_count(), 3u);
+  EXPECT_EQ(ref.text(), "ACGTACGTTTTTGGGGGG");
+  EXPECT_EQ(ref.Locate(0), 0);
+  EXPECT_EQ(ref.Locate(7), 0);
+  EXPECT_EQ(ref.Locate(8), 1);
+  EXPECT_EQ(ref.Locate(11), 1);
+  EXPECT_EQ(ref.Locate(12), 2);
+  EXPECT_EQ(ref.Locate(17), 2);
+  EXPECT_EQ(ref.Locate(18), -1);
+  EXPECT_EQ(ref.Locate(-1), -1);
+  EXPECT_EQ(ref.ToLocal(1, 9), 1);
+}
+
+TEST(ReferenceSetTest, WindowsCrossingJunctionsAreRejected) {
+  ReferenceSet ref;
+  ref.Add("chr1", "ACGTACGT");
+  ref.Add("chr2", "TTTTTTTT");
+  EXPECT_TRUE(ref.WindowWithinChromosome(0, 8));
+  EXPECT_TRUE(ref.WindowWithinChromosome(8, 8));
+  EXPECT_FALSE(ref.WindowWithinChromosome(4, 8));   // spans the junction
+  EXPECT_FALSE(ref.WindowWithinChromosome(12, 8));  // runs off the end
+  EXPECT_FALSE(ref.WindowWithinChromosome(-1, 4));
+  EXPECT_FALSE(ref.WindowWithinChromosome(0, 0));
+}
+
+TEST(ReferenceSetTest, FromFastaTruncatesNamesAtWhitespace) {
+  const ReferenceSet ref = ReferenceSet::FromFasta(
+      {{"chr1 length=8 assembly=x", "ACGTACGT"}, {"chr2\tdesc", "TTTT"}});
+  EXPECT_EQ(ref.chromosome(0).name, "chr1");
+  EXPECT_EQ(ref.chromosome(1).name, "chr2");
+}
+
+TEST(ReferenceSetTest, RejectsMalformedRecordSets) {
+  EXPECT_THROW(ReferenceSet::FromFasta({}), std::runtime_error);
+  EXPECT_THROW(ReferenceSet::FromFasta({{"empty", ""}}), std::runtime_error);
+  EXPECT_THROW(ReferenceSet::FromFasta({{"", "ACGT"}}), std::runtime_error);
+  EXPECT_THROW(
+      ReferenceSet::FromFasta({{"dup", "ACGT"}, {"dup", "TTTT"}}),
+      std::runtime_error);
 }
 
 TEST(PairSetTest, RoundTrip) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -348,6 +349,314 @@ TEST(StreamingPipelineTest, StatsAreInternallyConsistent) {
     EXPECT_LE(q.stats.max_depth, q.capacity) << q.name;
     EXPECT_EQ(q.stats.pushed, q.stats.popped) << q.name;
   }
+}
+
+// ------------------------------------------------------- candidate mode --
+
+struct CandidateWorkload {
+  std::string genome;
+  std::vector<std::string> reads;
+  std::vector<CandidatePair> candidates;  // global read_index / global pos
+};
+
+CandidateWorkload MakeCandidateWorkload(std::size_t n_reads,
+                                        std::uint64_t seed) {
+  CandidateWorkload w;
+  w.genome = GenerateGenome(50000, seed);
+  MapperConfig mcfg;
+  mcfg.k = 12;
+  mcfg.read_length = 100;
+  mcfg.error_threshold = 5;
+  ReadMapper mapper(w.genome, mcfg);
+  const auto sim = SimulateReads(w.genome, n_reads, 100,
+                                 ReadErrorProfile::Illumina(), seed + 1);
+  std::vector<std::int64_t> positions;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    w.reads.push_back(sim[i].seq);
+    mapper.CollectCandidates(sim[i].seq, &positions);
+    for (const std::int64_t pos : positions) {
+      w.candidates.push_back({static_cast<std::uint32_t>(i), pos});
+    }
+  }
+  return w;
+}
+
+/// Streams `w.candidates` through a candidate-mode pipeline in chunks of
+/// `chunk`, building a per-batch read table the way the mapper front ends
+/// do, and returns per-candidate results in input order.
+PipelineStats RunCandidateStream(GateKeeperGpuEngine* engine,
+                                 PipelineConfig cfg,
+                                 const CandidateWorkload& w,
+                                 std::size_t chunk,
+                                 std::vector<PairResult>* results,
+                                 std::vector<int>* edits = nullptr) {
+  cfg.reference_text = &w.genome;
+  StreamingPipeline pipe(engine, cfg);
+  results->assign(w.candidates.size(), PairResult{});
+  if (edits != nullptr) edits->assign(w.candidates.size(), -1);
+  std::size_t offset = 0;
+  const pipeline::BatchSource source = [&](PairBatch* batch) {
+    if (offset >= w.candidates.size()) return false;
+    const std::size_t count = std::min(chunk, w.candidates.size() - offset);
+    std::uint32_t last_read = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t i = 0; i < count; ++i) {
+      const CandidatePair c = w.candidates[offset + i];
+      if (c.read_index != last_read) {
+        batch->cand_reads.push_back(w.reads[c.read_index]);
+        last_read = c.read_index;
+      }
+      batch->candidates.push_back(
+          {static_cast<std::uint32_t>(batch->cand_reads.size() - 1),
+           c.ref_pos});
+      batch->read_index.push_back(c.read_index);
+    }
+    offset += count;
+    return true;
+  };
+  const pipeline::BatchSink sink = [&](PairBatch&& batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      (*results)[batch.first_pair + i] = batch.results[i];
+      if (edits != nullptr) (*edits)[batch.first_pair + i] = batch.edits[i];
+    }
+  };
+  return pipe.Run(source, sink);
+}
+
+TEST(CandidateStreamingTest, MatchesBlockingFilterCandidatesBitForBit) {
+  const CandidateWorkload w = MakeCandidateWorkload(300, 5);
+  ASSERT_GT(w.candidates.size(), 1000u);
+
+  EngineFixture blocking(2, 100, 5);
+  blocking.engine->LoadReference(w.genome);
+  std::vector<PairResult> expected;
+  blocking.engine->FilterCandidates(w.reads, w.candidates, &expected);
+
+  for (const int ndev : {1, 2, 3}) {
+    EngineFixture streamed(ndev, 100, 5);
+    streamed.engine->LoadReference(w.genome);
+    PipelineConfig cfg;
+    cfg.batch_size = 256;  // many batches across the shards
+    cfg.verify = false;
+    std::vector<PairResult> results;
+    const PipelineStats stats = RunCandidateStream(
+        streamed.engine.get(), cfg, w, 256, &results);
+    ASSERT_EQ(results.size(), expected.size()) << ndev;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].accept, expected[i].accept)
+          << "ndev " << ndev << " candidate " << i;
+      ASSERT_EQ(results[i].bypassed, expected[i].bypassed) << i;
+      ASSERT_EQ(results[i].edits, expected[i].edits) << i;
+    }
+    EXPECT_EQ(stats.pairs, w.candidates.size());
+    EXPECT_GT(stats.kernel_seconds, 0.0);
+  }
+}
+
+TEST(CandidateStreamingTest, VerificationSlicesWindowsFromReferenceText) {
+  const CandidateWorkload w = MakeCandidateWorkload(120, 9);
+  EngineFixture fx(2, 100, 5);
+  fx.engine->LoadReference(w.genome);
+  PipelineConfig cfg;
+  cfg.batch_size = 128;
+  cfg.verify = true;
+  std::vector<PairResult> results;
+  std::vector<int> edits;
+  RunCandidateStream(fx.engine.get(), cfg, w, 128, &results, &edits);
+  std::uint64_t verified = 0;
+  for (std::size_t i = 0; i < w.candidates.size(); ++i) {
+    const CandidatePair c = w.candidates[i];
+    const std::string_view window(w.genome.data() + c.ref_pos, 100);
+    if (results[i].accept) {
+      EXPECT_EQ(edits[i],
+                BandedEditDistance(w.reads[c.read_index], window, 5))
+          << i;
+      verified += edits[i] >= 0;
+    } else {
+      EXPECT_EQ(edits[i], -1) << i;
+    }
+  }
+  EXPECT_GT(verified, 0u);
+}
+
+TEST(CandidateStreamingTest, AdaptiveCandidateRunStaysBitExact) {
+  const CandidateWorkload w = MakeCandidateWorkload(200, 13);
+  EngineFixture blocking(2, 100, 5);
+  blocking.engine->LoadReference(w.genome);
+  std::vector<PairResult> expected;
+  blocking.engine->FilterCandidates(w.reads, w.candidates, &expected);
+
+  EngineFixture streamed(2, 100, 5);
+  streamed.engine->LoadReference(w.genome);
+  PipelineConfig cfg;
+  cfg.batch_size = 256;
+  cfg.verify = false;
+  cfg.adaptive = true;
+  cfg.adaptive_config.min_size = 64;
+  cfg.adaptive_config.max_size = 512;
+  std::vector<PairResult> results;
+  // The source honors batch->target_size only loosely here (fixed chunks),
+  // which is legal: target_size is a hint, capacity the hard bound.
+  const PipelineStats stats =
+      RunCandidateStream(streamed.engine.get(), cfg, w, 200, &results);
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].accept, expected[i].accept) << i;
+    ASSERT_EQ(results[i].edits, expected[i].edits) << i;
+  }
+  EXPECT_LE(stats.batch_size_max, 512u);
+}
+
+TEST(CandidateStreamingTest, RejectsInvalidCandidates) {
+  const std::string genome = GenerateGenome(20000, 3);
+  EngineFixture fx(1, 100, 5);
+  fx.engine->LoadReference(genome);
+  PipelineConfig cfg;
+  cfg.batch_size = 64;
+  cfg.reference_text = &genome;
+
+  const auto run_one = [&](PairBatch prototype) {
+    StreamingPipeline pipe(fx.engine.get(), cfg);
+    bool sent = false;
+    const pipeline::BatchSource source = [&](PairBatch* batch) {
+      if (sent) return false;
+      sent = true;
+      PairBatch copy = prototype;
+      batch->reads = std::move(copy.reads);
+      batch->refs = std::move(copy.refs);
+      batch->cand_reads = std::move(copy.cand_reads);
+      batch->candidates = std::move(copy.candidates);
+      return true;
+    };
+    const pipeline::BatchSink sink = [](PairBatch&&) {};
+    pipe.Run(source, sink);
+  };
+
+  const std::string read(100, 'A');
+  {
+    PairBatch b;  // reference window would run off the genome end
+    b.cand_reads.push_back(read);
+    b.candidates.push_back({0, static_cast<std::int64_t>(genome.size()) - 50});
+    EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
+  }
+  {
+    PairBatch b;  // negative offset
+    b.cand_reads.push_back(read);
+    b.candidates.push_back({0, -1});
+    EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
+  }
+  {
+    PairBatch b;  // read_index outside the batch's read table
+    b.cand_reads.push_back(read);
+    b.candidates.push_back({7, 100});
+    EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
+  }
+  {
+    PairBatch b;  // pair batch fed into a candidate-mode pipeline
+    b.reads.assign(4, read);
+    b.refs.assign(4, read);
+    EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
+  }
+  {
+    PairBatch b;  // wrong-length read in the table
+    b.cand_reads.push_back(std::string(80, 'A'));
+    b.candidates.push_back({0, 100});
+    EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
+  }
+}
+
+TEST(CandidateStreamingTest, CandidateBatchInPairModeIsRejected) {
+  EngineFixture fx(1, 100, 5);
+  PipelineConfig cfg;
+  cfg.batch_size = 64;  // no reference_text: pair mode
+  StreamingPipeline pipe(fx.engine.get(), cfg);
+  bool sent = false;
+  const pipeline::BatchSource source = [&](PairBatch* batch) {
+    if (sent) return false;
+    sent = true;
+    batch->cand_reads.push_back(std::string(100, 'A'));
+    batch->candidates.push_back({0, 0});
+    return true;
+  };
+  const pipeline::BatchSink sink = [](PairBatch&&) {};
+  EXPECT_THROW(pipe.Run(source, sink), std::runtime_error);
+}
+
+TEST(CandidateStreamingTest, CandidateModeRequiresLoadedReference) {
+  EngineFixture fx(1, 100, 5);
+  const std::string genome = GenerateGenome(10000, 4);
+  PipelineConfig cfg;
+  cfg.reference_text = &genome;  // engine never loaded it
+  EXPECT_THROW(StreamingPipeline(fx.engine.get(), cfg), std::invalid_argument);
+}
+
+TEST(CandidateStreamingTest, CandidateModeDetectsWrongGenomeOfSameLength) {
+  // An engine reused across same-length genomes must fail loudly, not
+  // silently filter candidates against the previously loaded reference.
+  EngineFixture fx(1, 100, 5);
+  const std::string genome_a = GenerateGenome(10000, 4);
+  const std::string genome_b = GenerateGenome(10000, 8);
+  ASSERT_EQ(genome_a.size(), genome_b.size());
+  fx.engine->LoadReference(genome_a);
+  PipelineConfig cfg;
+  cfg.reference_text = &genome_b;
+  EXPECT_THROW(StreamingPipeline(fx.engine.get(), cfg), std::invalid_argument);
+  cfg.reference_text = &genome_a;
+  EXPECT_NO_THROW(StreamingPipeline(fx.engine.get(), cfg));
+}
+
+TEST(MapReadsStreamingTest, MatchesBlockingMapperOnMultiChromReference) {
+  ReferenceSet ref;
+  ref.Add("chr1", GenerateGenome(40000, 21));
+  ref.Add("chr2", GenerateGenome(25000, 22));
+  MapperConfig mcfg;
+  mcfg.k = 12;
+  mcfg.read_length = 100;
+  mcfg.error_threshold = 4;
+  ReadMapper mapper(ref, mcfg);
+  // Reads sampled across the whole concatenation: some straddle the
+  // chr1/chr2 junction and must simply fail to map, not crash.
+  std::vector<std::string> reads;
+  for (const auto& r : SimulateReads(ref.text(), 350, 100,
+                                     ReadErrorProfile::Illumina(), 77)) {
+    reads.push_back(r.seq);
+  }
+
+  EngineFixture blocking(2, 100, 4);
+  std::vector<MappingRecord> expected_records;
+  const MappingStats expected =
+      mapper.MapReads(reads, blocking.engine.get(), &expected_records);
+
+  EngineFixture streaming(2, 100, 4);
+  pipeline::PipelineConfig pcfg;
+  pcfg.batch_size = 256;
+  std::vector<MappingRecord> got_records;
+  const MappingStats got = mapper.MapReadsStreaming(
+      reads, streaming.engine.get(), pcfg, &got_records);
+
+  EXPECT_EQ(got.reads, expected.reads);
+  EXPECT_EQ(got.candidates_total, expected.candidates_total);
+  EXPECT_EQ(got.mappings, expected.mappings);
+  EXPECT_EQ(got.mapped_reads, expected.mapped_reads);
+  EXPECT_EQ(got.verification_pairs, expected.verification_pairs);
+  ASSERT_EQ(got_records.size(), expected_records.size());
+  for (std::size_t i = 0; i < got_records.size(); ++i) {
+    EXPECT_EQ(got_records[i].read_index, expected_records[i].read_index) << i;
+    EXPECT_EQ(got_records[i].pos, expected_records[i].pos) << i;
+    EXPECT_EQ(got_records[i].edit_distance,
+              expected_records[i].edit_distance)
+        << i;
+  }
+}
+
+TEST(MapReadsStreamingTest, RequiresEngineAndUniformReadLength) {
+  ReadMapper mapper(GenerateGenome(20000, 2), MapperConfig{});
+  std::vector<std::string> reads{std::string(100, 'A')};
+  EXPECT_THROW(mapper.MapReadsStreaming(reads, nullptr),
+               std::invalid_argument);
+  EngineFixture fx(1, 100, 5);
+  reads.push_back(std::string(80, 'A'));
+  EXPECT_THROW(mapper.MapReadsStreaming(reads, fx.engine.get()),
+               std::invalid_argument);
 }
 
 // ---------------------------------------------------------- read-to-SAM --

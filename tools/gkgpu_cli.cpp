@@ -41,6 +41,7 @@
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
 #include "io/pairset.hpp"
+#include "io/reference.hpp"
 #include "mapper/mapper.hpp"
 #include "mapper/sam.hpp"
 #include "pipeline/pipeline.hpp"
@@ -116,13 +117,17 @@ int Usage() {
       "  filter          --pairs FILE --e N [--algo NAME] [--setup 1|2]\n"
       "                  [--devices N] [--encode host|device] [--out FILE]\n"
       "  map             --ref FASTA --reads FASTQ --e N [--no-filter]\n"
-      "                  [--sam FILE] [--setup 1|2] [--devices N]\n"
+      "                  [--streaming] [--batch N] [--sam FILE]\n"
+      "                  [--setup 1|2] [--devices N]\n"
       "  pipeline        --reads FASTQ --ref FASTA --e N [--sam FILE]\n"
       "                  | --pairs FILE --e N [--out FILE]\n"
       "                  [--batch N] [--queue N] [--encode-workers N]\n"
       "                  [--verify-workers N] [--slots N] [--setup 1|2]\n"
       "                  [--devices N] [--encode host|device]\n"
-      "                  [--length N] [--no-verify]\n",
+      "                  [--length N] [--no-verify]\n"
+      "                  [--adaptive] [--batch-min N] [--batch-max N]\n"
+      "  (FASTA references may be multi-chromosome; SAM output carries one\n"
+      "   @SQ line per chromosome)\n",
       stderr);
   return 2;
 }
@@ -296,23 +301,34 @@ int MapCmd(const Args& args) {
   const std::string ref_path = args.Get("ref", "");
   const std::string reads_path = args.Get("reads", "");
   if (ref_path.empty() || reads_path.empty()) return Usage();
-  const auto fasta = ReadFastaFile(ref_path);
+  ReferenceSet refset = ReferenceSet::FromFastaFile(ref_path);
   const auto fastq = ReadFastqFile(reads_path);
-  if (fasta.empty() || fastq.empty()) {
-    std::fprintf(stderr, "empty reference or read set\n");
+  if (fastq.empty()) {
+    std::fprintf(stderr, "empty read set\n");
     return 1;
   }
   std::vector<std::string> reads;
+  std::vector<std::string> names;
   reads.reserve(fastq.size());
-  for (const auto& r : fastq) reads.push_back(r.seq);
+  for (const auto& r : fastq) {
+    reads.push_back(r.seq);
+    names.push_back(r.name);
+  }
   const int length = static_cast<int>(reads.front().size());
   const int e = static_cast<int>(args.GetInt("e", 5));
+  const bool streaming = args.Has("streaming");
+  if (streaming && args.Has("no-filter")) {
+    std::fprintf(stderr,
+                 "map: --streaming is the filter integration and cannot be "
+                 "combined with --no-filter\n");
+    return 2;
+  }
 
   MapperConfig mcfg;
   mcfg.k = 12;
   mcfg.read_length = length;
   mcfg.error_threshold = e;
-  ReadMapper mapper(fasta[0].seq, mcfg);
+  ReadMapper mapper(std::move(refset), mcfg);
 
   std::unique_ptr<GateKeeperGpuEngine> engine;
   DeviceSet set;
@@ -327,7 +343,14 @@ int MapCmd(const Args& args) {
   }
 
   std::vector<MappingRecord> records;
-  const MappingStats stats = mapper.MapReads(reads, engine.get(), &records);
+  MappingStats stats;
+  if (streaming) {
+    pipeline::PipelineConfig pcfg;
+    pcfg.batch_size = static_cast<std::size_t>(args.GetInt("batch", 8192));
+    stats = mapper.MapReadsStreaming(reads, engine.get(), pcfg, &records);
+  } else {
+    stats = mapper.MapReads(reads, engine.get(), &records);
+  }
 
   TablePrinter t({"metric", "value"});
   t.AddRow({"reads", TablePrinter::Count(stats.reads)});
@@ -346,10 +369,8 @@ int MapCmd(const Args& args) {
   const std::string sam_path = args.Get("sam", "");
   if (!sam_path.empty()) {
     std::ofstream sam(sam_path);
-    WriteSamHeader(sam, "synthetic_chr1",
-                   static_cast<std::int64_t>(fasta[0].seq.size()));
-    WriteSamRecordsWithCigar(sam, reads, records, "synthetic_chr1",
-                             fasta[0].seq);
+    WriteSamHeader(sam, mapper.reference());
+    WriteSamRecordsMultiChrom(sam, reads, names, records, mapper.reference());
     std::printf("SAM written to %s (%zu records)\n", sam_path.c_str(),
                 records.size());
   }
@@ -378,6 +399,14 @@ void PrintPipelineStats(const pipeline::PipelineStats& stats) {
       {"transfer (s)", TablePrinter::Num(stats.transfer_seconds, 4)});
   summary.AddRow({"encode busy (s)", TablePrinter::Num(stats.encode_seconds, 4)});
   summary.AddRow({"verify busy (s)", TablePrinter::Num(stats.verify_seconds, 4)});
+  if (stats.grow_decisions + stats.shrink_decisions > 0) {
+    summary.AddRow({"batch size range",
+                    TablePrinter::Count(stats.batch_size_min) + " - " +
+                        TablePrinter::Count(stats.batch_size_max)});
+    summary.AddRow({"adaptive grow/shrink",
+                    TablePrinter::Count(stats.grow_decisions) + " / " +
+                        TablePrinter::Count(stats.shrink_decisions)});
+  }
   summary.Print(std::cout);
 
   std::printf("\nstages:\n");
@@ -419,6 +448,13 @@ int PipelineCmd(const Args& args) {
   pcfg.verify_workers = static_cast<int>(args.GetInt("verify-workers", 2));
   pcfg.slots_per_device = static_cast<int>(args.GetInt("slots", 2));
   pcfg.verify = !args.Has("no-verify");
+  if (args.Has("adaptive")) {
+    pcfg.adaptive = true;
+    pcfg.adaptive_config.min_size = static_cast<std::size_t>(
+        args.GetInt("batch-min", static_cast<long>(pcfg.batch_size / 4)));
+    pcfg.adaptive_config.max_size = static_cast<std::size_t>(
+        args.GetInt("batch-max", static_cast<long>(pcfg.batch_size * 2)));
+  }
 
   const std::string pairs_path = args.Get("pairs", "");
   const std::string reads_path = args.Get("reads", "");
@@ -461,14 +497,10 @@ int PipelineCmd(const Args& args) {
     return 0;
   }
 
-  // Read-to-SAM mode.
+  // Read-to-SAM mode (candidate streaming over the mapper's reference).
   const std::string ref_path = args.Get("ref", "");
   if (ref_path.empty()) return Usage();
-  const auto fasta = ReadFastaFile(ref_path);
-  if (fasta.empty()) {
-    std::fprintf(stderr, "no sequences in %s\n", ref_path.c_str());
-    return 1;
-  }
+  ReferenceSet refset = ReferenceSet::FromFastaFile(ref_path);
   std::ifstream fastq(reads_path);
   if (!fastq) {
     std::fprintf(stderr, "cannot open %s\n", reads_path.c_str());
@@ -491,7 +523,7 @@ int PipelineCmd(const Args& args) {
   mcfg.k = 12;
   mcfg.read_length = length;
   mcfg.error_threshold = e;
-  ReadMapper mapper(fasta[0].seq, mcfg);
+  ReadMapper mapper(std::move(refset), mcfg);
 
   const DeviceSet set = MakeDeviceSet(setup, ndev);
   EngineConfig cfg;
@@ -507,8 +539,7 @@ int PipelineCmd(const Args& args) {
   std::ostream* sam = nullptr;
   if (!sam_path.empty()) {
     sam_file.open(sam_path);
-    WriteSamHeader(sam_file, scfg.ref_name,
-                   static_cast<std::int64_t>(fasta[0].seq.size()));
+    WriteSamHeader(sam_file, mapper.reference());
     sam = &sam_file;
   }
   const pipeline::ReadToSamStats stats =
