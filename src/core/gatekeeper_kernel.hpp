@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "encode/encoded.hpp"
+#include "encode/revcomp.hpp"
 #include "filters/gatekeeper_core.hpp"
 #include "gpusim/device.hpp"
 
@@ -100,10 +101,16 @@ struct DeviceEncodedPairsKernel {
   }
 };
 
-/// One candidate mapping: which read, and where its candidate reference
-/// segment starts on the genome.
+/// One candidate mapping: which read, where its candidate reference
+/// segment starts on the genome, and which strand the read matches on.
+/// strand 1 means the *reverse complement* of the read is compared against
+/// the forward reference window — the strand bit travels through the
+/// engine's candidate slots so the kernel can reorient the encoded read in
+/// registers and filtration still slices windows from the per-device
+/// encoded reference with no per-candidate strings anywhere.
 struct CandidatePair {
   std::uint32_t read_index = 0;
+  std::uint8_t strand = 0;  // 0 = forward, 1 = reverse complement
   std::int64_t ref_pos = 0;
 };
 
@@ -134,8 +141,17 @@ struct CandidatesKernel {
     ExtractSegmentRaw(ref_words, ref_len, c.ref_pos, length, ref_enc);
     const std::size_t off = static_cast<std::size_t>(c.read_index) *
                             static_cast<std::size_t>(words_per_seq);
+    const Word* read_enc = reads + off;
+    Word rc_enc[kMaxEncodedWords];
+    if (c.strand != 0) {
+      // Reverse-strand candidate: reorient the encoded read in thread-local
+      // storage (registers on a real GPU) — the read buffer itself stays
+      // forward, so one bus crossing serves both strands.
+      ReverseComplementEncoded(read_enc, length, rc_enc);
+      read_enc = rc_enc;
+    }
     const FilterResult r =
-        GateKeeperFiltration(reads + off, ref_enc, length, e, params);
+        GateKeeperFiltration(read_enc, ref_enc, length, e, params);
     results[i] = MakePairResult(r, /*bypassed=*/false);
   }
 };

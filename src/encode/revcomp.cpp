@@ -1,0 +1,28 @@
+#include "encode/revcomp.hpp"
+
+#include <cstring>
+
+namespace gkgpu {
+
+std::string ReverseComplement(std::string_view seq) {
+  std::string out;
+  ReverseComplementInto(seq, &out);
+  return out;
+}
+
+void ReverseComplementInto(std::string_view seq, std::string* out) {
+  out->resize(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    (*out)[i] = ComplementBase(seq[seq.size() - 1 - i]);
+  }
+}
+
+void ReverseComplementEncoded(const Word* in, int length, Word* out) {
+  const int nwords = EncodedWords(length);
+  std::memset(out, 0, static_cast<std::size_t>(nwords) * sizeof(Word));
+  for (int i = 0; i < length; ++i) {
+    SetBase2Bit(out, i, ComplementCode(GetBase2Bit(in, length - 1 - i)));
+  }
+}
+
+}  // namespace gkgpu

@@ -14,8 +14,16 @@ namespace gkgpu {
 
 class KmerIndex {
  public:
+  /// Largest indexable genome: positions are stored as uint32, so a text
+  /// past 2^32 - 1 bases cannot be addressed.  Construction throws
+  /// std::invalid_argument beyond this bound rather than silently
+  /// truncating positions; larger genomes are the per-chromosome index
+  /// sharding follow-up tracked in ROADMAP.md.
+  static constexpr std::size_t kMaxGenomeLength = 0xFFFFFFFFull;
+
   /// Builds the index; k <= 14 (the offset table is 4^k + 1 entries;
-  /// mrFAST uses 12).  k-mers containing 'N' are not indexed.
+  /// mrFAST uses 12).  k-mers containing 'N' are not indexed.  Throws
+  /// when `genome` exceeds kMaxGenomeLength.
   KmerIndex(std::string_view genome, int k = 12);
 
   int k() const { return k_; }

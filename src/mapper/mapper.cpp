@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "align/banded.hpp"
+#include "encode/revcomp.hpp"
 #include "pipeline/candidate_packer.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
@@ -56,6 +57,21 @@ void ReadMapper::CollectCandidates(std::string_view read,
                     candidates->end());
 }
 
+void ReadMapper::CollectCandidatesOriented(
+    std::string_view read, std::string* rc,
+    std::vector<std::int64_t>* scratch,
+    std::vector<OrientedCandidate>* candidates) const {
+  candidates->clear();
+  CollectCandidates(read, scratch);
+  for (const std::int64_t pos : *scratch) candidates->push_back({pos, 0});
+  // Reverse strand: a read sampled from the reverse strand equals the
+  // reverse complement of a forward window, so seeding rc(read) against
+  // the forward index finds exactly those loci.
+  ReverseComplementInto(read, rc);
+  CollectCandidates(*rc, scratch);
+  for (const std::int64_t pos : *scratch) candidates->push_back({pos, 1});
+}
+
 MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
                                   GateKeeperGpuEngine* filter,
                                   std::vector<MappingRecord>* out) {
@@ -73,23 +89,29 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
       1, filter != nullptr ? filter->config().max_reads_per_batch
                            : config_.max_reads_per_batch);
 
-  std::vector<std::string> batch;         // read sequences of this batch
-  std::vector<CandidatePair> candidates;  // (read-in-batch, position)
-  std::vector<std::int64_t> one_read_cands;
+  std::vector<std::string> batch;     // read sequences of this batch
+  std::vector<std::string> batch_rc;  // their reverse complements
+  std::vector<CandidatePair> candidates;  // (read-in-batch, strand, position)
+  std::vector<OrientedCandidate> one_read_cands;
+  std::vector<std::int64_t> seed_scratch;
 
   for (std::size_t base = 0; base < reads.size(); base += batch_reads) {
     const std::size_t count = std::min(batch_reads, reads.size() - base);
 
     // --- Seeding: fill the batch buffers (Sec. 3.5: "we fill the buffers
-    // with multiple reads and their candidate location indices"). ---
+    // with multiple reads and their candidate location indices"), both
+    // orientations per read. ---
     WallTimer seed_timer;
     batch.assign(reads.begin() + static_cast<std::ptrdiff_t>(base),
                  reads.begin() + static_cast<std::ptrdiff_t>(base + count));
+    batch_rc.resize(count);
     candidates.clear();
     for (std::size_t i = 0; i < count; ++i) {
-      CollectCandidates(batch[i], &one_read_cands);
-      for (const std::int64_t pos : one_read_cands) {
-        candidates.push_back({static_cast<std::uint32_t>(i), pos});
+      CollectCandidatesOriented(batch[i], &batch_rc[i], &seed_scratch,
+                                &one_read_cands);
+      for (const OrientedCandidate oc : one_read_cands) {
+        candidates.push_back(
+            {static_cast<std::uint32_t>(i), oc.strand, oc.pos});
       }
     }
     stats.seeding_seconds += seed_timer.Seconds();
@@ -108,10 +130,11 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
       stats.bypassed_pairs += fs.bypassed;
     }
 
-    // --- Verification: banded edit distance on surviving pairs. ---
+    // --- Verification: banded edit distance on surviving pairs, each on
+    // the strand it was seeded on. ---
     WallTimer verify_timer;
     std::vector<MappingRecord> found(candidates.size(),
-                                     MappingRecord{0, 0, -1});
+                                     MappingRecord{0, 0, -1, 0});
     std::atomic<std::uint64_t> verified{0};
     verify_pool_->ParallelFor(0, candidates.size(), 256, [&](std::size_t i0,
                                                              std::size_t i1) {
@@ -120,7 +143,8 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
         if (filter != nullptr && decisions[i].accept == 0) continue;
         ++local_verified;
         const CandidatePair c = candidates[i];
-        const std::string& read = batch[c.read_index];
+        const std::string& read =
+            c.strand != 0 ? batch_rc[c.read_index] : batch[c.read_index];
         const std::string_view segment(
             ref_.text().data() + c.ref_pos, read.size());
         const int dist =
@@ -128,7 +152,7 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
         if (dist >= 0) {
           found[i] = MappingRecord{
               static_cast<std::uint32_t>(base + c.read_index), c.ref_pos,
-              dist};
+              dist, c.strand};
         }
       }
       verified.fetch_add(local_verified, std::memory_order_relaxed);
@@ -191,6 +215,8 @@ MappingStats ReadMapper::MapReadsStreaming(
   std::size_t cur_read = 0;
   double seed_seconds = 0.0;
   std::uint64_t candidates_total = 0;
+  std::string rc_buf;
+  std::vector<std::int64_t> seed_scratch;
 
   const pipeline::BatchSource source = [&](pipeline::PairBatch* batch) {
     WallTimer seed_timer;
@@ -199,14 +225,15 @@ MappingStats ReadMapper::MapReadsStreaming(
                                           pipe.config().batch_size));
     pipeline::PackCandidateBatch(
         batch, target, &stream,
-        [&](std::vector<std::int64_t>* positions) -> const std::string* {
+        [&](std::vector<OrientedCandidate>* positions) -> const std::string* {
           if (next_read >= reads.size()) return nullptr;
           cur_read = next_read++;
-          CollectCandidates(reads[cur_read], positions);
+          CollectCandidatesOriented(reads[cur_read], &rc_buf, &seed_scratch,
+                                    positions);
           candidates_total += positions->size();
           return &reads[cur_read];
         },
-        [&](std::int64_t) {
+        [&](const OrientedCandidate&) {
           batch->read_index.push_back(static_cast<std::uint32_t>(cur_read));
         });
     seed_seconds += seed_timer.Seconds();
@@ -222,7 +249,8 @@ MappingStats ReadMapper::MapReadsStreaming(
       if (out != nullptr) {
         out->push_back(MappingRecord{batch.read_index[i],
                                      batch.candidates[i].ref_pos,
-                                     batch.edits[i]});
+                                     batch.edits[i],
+                                     batch.candidates[i].strand});
       }
     }
   };

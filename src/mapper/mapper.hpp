@@ -20,6 +20,7 @@
 #include "core/engine.hpp"
 #include "io/reference.hpp"
 #include "mapper/index.hpp"
+#include "pipeline/candidate_packer.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace gkgpu {
@@ -38,6 +39,9 @@ struct MappingRecord {
   std::uint32_t read_index = 0;
   std::int64_t pos = 0;
   int edit_distance = 0;
+  /// 0 = the read maps forward; 1 = its reverse complement does (SAM FLAG
+  /// 0x10, reverse-complemented SEQ in output).
+  std::uint8_t strand = 0;
 };
 
 /// The metrics of Table 3 / Sup. Tables S.24-S.26 plus stage timings.
@@ -102,10 +106,21 @@ class ReadMapper {
                                  pipeline::PipelineConfig pcfg = {},
                                  std::vector<MappingRecord>* out = nullptr);
 
-  /// Seeding only: candidate locations for one read (deduplicated, global
-  /// coordinates, never spanning a chromosome junction).
+  /// Seeding only, forward strand: candidate locations for one read
+  /// (deduplicated, global coordinates, never spanning a chromosome
+  /// junction).
   void CollectCandidates(std::string_view read,
                          std::vector<std::int64_t>* candidates) const;
+
+  /// Strand-aware seeding: both the read and its reverse complement are
+  /// seeded against the index; forward candidates come first (sorted,
+  /// deduplicated per strand).  `rc` receives the reverse complement (the
+  /// caller reuses it for verification and SAM output) and `scratch` is a
+  /// per-call position buffer, both amortized across a read loop.
+  void CollectCandidatesOriented(std::string_view read, std::string* rc,
+                                 std::vector<std::int64_t>* scratch,
+                                 std::vector<OrientedCandidate>* candidates)
+      const;
 
  private:
   ReferenceSet ref_;

@@ -4,58 +4,95 @@
 #include <stdexcept>
 
 #include "align/cigar.hpp"
+#include "encode/revcomp.hpp"
 
 namespace gkgpu {
 
+void WriteSam(std::ostream& out, const SamRecord& rec) {
+  out << rec.qname << '\t' << rec.flags << '\t' << rec.rname << '\t'
+      << (rec.pos < 0 ? 0 : rec.pos + 1) << '\t' << rec.mapq << '\t'
+      << rec.cigar << '\t' << rec.rnext << '\t'
+      << (rec.pnext < 0 ? 0 : rec.pnext + 1) << '\t' << rec.tlen << '\t'
+      << rec.seq << '\t' << rec.qual;
+  if (rec.nm >= 0) out << "\tNM:i:" << rec.nm;
+  if (!rec.read_group.empty()) out << "\tRG:Z:" << rec.read_group;
+  out << '\n';
+}
+
 void WriteSamHeader(std::ostream& out, std::string_view ref_name,
-                    std::int64_t ref_length) {
+                    std::int64_t ref_length, std::string_view read_group) {
   out << "@HD\tVN:1.6\tSO:unknown\n";
   out << "@SQ\tSN:" << ref_name << "\tLN:" << ref_length << '\n';
+  if (!read_group.empty()) out << "@RG\tID:" << read_group << '\n';
   out << "@PG\tID:gkgpu\tPN:gatekeeper-gpu-repro\tVN:1.0.0\n";
 }
 
-void WriteSamHeader(std::ostream& out, const ReferenceSet& ref) {
+void WriteSamHeader(std::ostream& out, const ReferenceSet& ref,
+                    std::string_view read_group) {
   out << "@HD\tVN:1.6\tSO:unknown\n";
   for (const ChromosomeInfo& c : ref.chromosomes()) {
     out << "@SQ\tSN:" << c.name << "\tLN:" << c.length << '\n';
   }
+  if (!read_group.empty()) out << "@RG\tID:" << read_group << '\n';
   out << "@PG\tID:gkgpu\tPN:gatekeeper-gpu-repro\tVN:1.0.0\n";
 }
 
-void WriteSamRecord(std::ostream& out, std::string_view read_name,
+void WriteSamRecord(std::ostream& out, std::string_view read_name, int flags,
                     std::string_view seq, std::int64_t pos, int edit_distance,
-                    std::string_view ref_name) {
-  out << read_name << "\t0\t" << ref_name << '\t' << (pos + 1) << "\t255\t"
-      << seq.size() << "M\t*\t0\t0\t" << seq << "\t*\tNM:i:" << edit_distance
-      << '\n';
+                    std::string_view ref_name, std::string_view read_group) {
+  const std::string cigar = std::to_string(seq.size()) + "M";
+  SamRecord rec;
+  rec.qname = read_name;
+  rec.flags = flags;
+  rec.rname = ref_name;
+  rec.pos = pos;
+  rec.cigar = cigar;
+  rec.seq = seq;
+  rec.nm = edit_distance;
+  rec.read_group = read_group;
+  WriteSam(out, rec);
 }
 
-void WriteSamLine(std::ostream& out, std::string_view read_name,
+void WriteSamLine(std::ostream& out, std::string_view read_name, int flags,
                   std::string_view seq, std::string_view chrom_name,
                   std::int64_t local_pos, int edit_distance,
-                  std::string_view cigar) {
-  out << read_name << "\t0\t" << chrom_name << '\t' << (local_pos + 1)
-      << "\t255\t" << cigar << "\t*\t0\t0\t" << seq
-      << "\t*\tNM:i:" << edit_distance << '\n';
+                  std::string_view cigar, std::string_view read_group) {
+  SamRecord rec;
+  rec.qname = read_name;
+  rec.flags = flags;
+  rec.rname = chrom_name;
+  rec.pos = local_pos;
+  rec.cigar = cigar;
+  rec.seq = seq;
+  rec.nm = edit_distance;
+  rec.read_group = read_group;
+  WriteSam(out, rec);
 }
 
 void WriteSamAlignment(std::ostream& out, std::string_view read_name,
-                       std::string_view seq, std::string_view chrom_name,
-                       std::int64_t local_pos, int edit_distance,
-                       std::string_view ref_window) {
+                       int flags, std::string_view seq,
+                       std::string_view chrom_name, std::int64_t local_pos,
+                       int edit_distance, std::string_view ref_window,
+                       std::string_view read_group) {
   const Alignment aln = BandedAlign(seq, ref_window, edit_distance);
   const std::string cigar =
       aln.distance >= 0 ? aln.cigar : std::to_string(seq.size()) + "M";
-  WriteSamLine(out, read_name, seq, chrom_name, local_pos, edit_distance,
-               cigar);
+  WriteSamLine(out, read_name, flags, seq, chrom_name, local_pos,
+               edit_distance, cigar, read_group);
 }
 
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
                      const std::vector<MappingRecord>& records,
                      std::string_view ref_name) {
+  std::string rc;
   for (const MappingRecord& m : records) {
-    WriteSamRecord(out, "read" + std::to_string(m.read_index),
-                   reads[m.read_index], m.pos, m.edit_distance, ref_name);
+    const std::string& read = reads[m.read_index];
+    const int flags = m.strand != 0 ? kSamReverse : 0;
+    if (m.strand != 0) ReverseComplementInto(read, &rc);
+    WriteSamRecord(out, "read" + std::to_string(m.read_index), flags,
+                   m.strand != 0 ? std::string_view(rc)
+                                 : std::string_view(read),
+                   m.pos, m.edit_distance, ref_name);
   }
 }
 
@@ -64,11 +101,16 @@ void WriteSamRecordsWithCigar(std::ostream& out,
                               const std::vector<MappingRecord>& records,
                               std::string_view ref_name,
                               std::string_view genome) {
+  std::string rc;
   for (const MappingRecord& m : records) {
-    const std::string& seq = reads[m.read_index];
+    const std::string& read = reads[m.read_index];
     const std::string_view segment =
-        genome.substr(static_cast<std::size_t>(m.pos), seq.size());
-    WriteSamAlignment(out, "read" + std::to_string(m.read_index), seq,
+        genome.substr(static_cast<std::size_t>(m.pos), read.size());
+    const int flags = m.strand != 0 ? kSamReverse : 0;
+    if (m.strand != 0) ReverseComplementInto(read, &rc);
+    WriteSamAlignment(out, "read" + std::to_string(m.read_index), flags,
+                      m.strand != 0 ? std::string_view(rc)
+                                    : std::string_view(read),
                       ref_name, m.pos, m.edit_distance, segment);
   }
 }
@@ -77,22 +119,31 @@ void WriteSamRecordsMultiChrom(std::ostream& out,
                                const std::vector<std::string>& reads,
                                const std::vector<std::string>& names,
                                const std::vector<MappingRecord>& records,
-                               const ReferenceSet& ref) {
+                               const ReferenceSet& ref,
+                               std::string_view read_group) {
   const std::string_view genome = ref.text();
+  std::string rc;
   for (const MappingRecord& m : records) {
-    const std::string& seq = reads[m.read_index];
+    const std::string& read = reads[m.read_index];
     const int chrom = ref.Locate(m.pos);
     if (chrom < 0) {
       throw std::runtime_error("SAM: mapping position outside the reference");
     }
     const std::string_view segment =
-        genome.substr(static_cast<std::size_t>(m.pos), seq.size());
+        genome.substr(static_cast<std::size_t>(m.pos), read.size());
     const std::string fallback = "read" + std::to_string(m.read_index);
     const std::string_view name =
         names.empty() ? std::string_view(fallback) : names[m.read_index];
-    WriteSamAlignment(out, name, seq, ref.chromosome(
-                          static_cast<std::size_t>(chrom)).name,
-                      ref.ToLocal(chrom, m.pos), m.edit_distance, segment);
+    // The record's SEQ is the strand the mapping verified: the read itself
+    // on the forward strand, its reverse complement (FLAG 0x10) otherwise.
+    const int flags = m.strand != 0 ? kSamReverse : 0;
+    if (m.strand != 0) ReverseComplementInto(read, &rc);
+    WriteSamAlignment(out, name, flags,
+                      m.strand != 0 ? std::string_view(rc)
+                                    : std::string_view(read),
+                      ref.chromosome(static_cast<std::size_t>(chrom)).name,
+                      ref.ToLocal(chrom, m.pos), m.edit_distance, segment,
+                      read_group);
   }
 }
 

@@ -1,11 +1,13 @@
-// Minimal SAM output for mapping results (header + one alignment line per
-// mapping with an NM edit-distance tag), so the examples produce inspectable
-// mapper output.  Multi-chromosome aware: headers emit one @SQ line per
-// chromosome and records are addressed (chromosome, local position) through
-// a ReferenceSet.
+// SAM output for mapping results: header (multi-chromosome @SQ lines, an
+// optional @RG read group) plus full-fidelity alignment records with FLAG
+// semantics — strand bits for reverse-complement mappings, the complete
+// paired-end bit set (0x1/0x2/0x4/0x8/0x10/0x20/0x40/0x80), RNEXT/PNEXT/
+// TLEN, and NM / RG:Z tags.  Records carrying FLAG 0x10 emit the
+// reverse-complemented SEQ and reversed QUAL, per the spec.
 #ifndef GKGPU_MAPPER_SAM_HPP
 #define GKGPU_MAPPER_SAM_HPP
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -15,33 +17,72 @@
 
 namespace gkgpu {
 
+// FLAG bits (SAM spec 1.4).
+inline constexpr int kSamPaired = 0x1;
+inline constexpr int kSamProperPair = 0x2;
+inline constexpr int kSamUnmapped = 0x4;
+inline constexpr int kSamMateUnmapped = 0x8;
+inline constexpr int kSamReverse = 0x10;
+inline constexpr int kSamMateReverse = 0x20;
+inline constexpr int kSamFirstInPair = 0x40;
+inline constexpr int kSamSecondInPair = 0x80;
+
+/// One alignment line, all eleven mandatory fields plus the tags this
+/// library emits.  Positions are 0-based (the writer adds the SAM +1);
+/// pos/pnext < 0 print as 0 (unplaced).  The caller supplies SEQ/QUAL
+/// already oriented to match FLAG 0x10 — the writer performs no
+/// reorientation of its own.
+struct SamRecord {
+  std::string_view qname;
+  int flags = 0;
+  std::string_view rname = "*";
+  std::int64_t pos = -1;
+  int mapq = 255;
+  std::string_view cigar = "*";
+  std::string_view rnext = "*";
+  std::int64_t pnext = -1;
+  std::int64_t tlen = 0;
+  std::string_view seq = "*";
+  std::string_view qual = "*";
+  int nm = -1;                  // NM:i: edit distance; < 0 omits the tag
+  std::string_view read_group;  // RG:Z:; empty omits the tag
+};
+
+void WriteSam(std::ostream& out, const SamRecord& rec);
+
+/// Headers; a non-empty `read_group` adds "@RG\tID:<read_group>".
 void WriteSamHeader(std::ostream& out, std::string_view ref_name,
-                    std::int64_t ref_length);
+                    std::int64_t ref_length, std::string_view read_group = {});
 
 /// Multi-chromosome header: one @SQ line per chromosome, in table order.
-void WriteSamHeader(std::ostream& out, const ReferenceSet& ref);
+void WriteSamHeader(std::ostream& out, const ReferenceSet& ref,
+                    std::string_view read_group = {});
 
-/// One alignment line with an explicit read name — the streaming
-/// pipeline's SAM sink emits records incrementally as batches retire.
-void WriteSamRecord(std::ostream& out, std::string_view read_name,
+/// One single-end alignment line with an explicit read name and a bare
+/// <len>M CIGAR — the streaming pipeline's SAM sink emits records
+/// incrementally as batches retire.  `seq` must already be oriented
+/// (reverse-complemented when flags carry 0x10).
+void WriteSamRecord(std::ostream& out, std::string_view read_name, int flags,
                     std::string_view seq, std::int64_t pos, int edit_distance,
-                    std::string_view ref_name);
+                    std::string_view ref_name,
+                    std::string_view read_group = {});
 
-/// One alignment line with a caller-supplied CIGAR (e.g. produced by the
-/// pipeline's verification workers).
-void WriteSamLine(std::ostream& out, std::string_view read_name,
+/// One single-end alignment line with a caller-supplied CIGAR (e.g.
+/// produced by the pipeline's verification workers).
+void WriteSamLine(std::ostream& out, std::string_view read_name, int flags,
                   std::string_view seq, std::string_view chrom_name,
                   std::int64_t local_pos, int edit_distance,
-                  std::string_view cigar);
+                  std::string_view cigar, std::string_view read_group = {});
 
-/// Full-fidelity single record: recomputes the banded alignment of `seq`
-/// against `ref_window` (the reference bases the mapping covers) and emits
-/// the real CIGAR.  Shared by the blocking SAM writers and the streaming
-/// sink so both paths produce byte-identical records.
+/// Full-fidelity single record: recomputes the banded alignment of the
+/// oriented `seq` against `ref_window` (the reference bases the mapping
+/// covers) and emits the real CIGAR.  Shared by the blocking SAM writers
+/// and the streaming sink so both paths produce byte-identical records.
 void WriteSamAlignment(std::ostream& out, std::string_view read_name,
-                       std::string_view seq, std::string_view chrom_name,
-                       std::int64_t local_pos, int edit_distance,
-                       std::string_view ref_window);
+                       int flags, std::string_view seq,
+                       std::string_view chrom_name, std::int64_t local_pos,
+                       int edit_distance, std::string_view ref_window,
+                       std::string_view read_group = {});
 
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
                      const std::vector<MappingRecord>& records,
@@ -49,6 +90,8 @@ void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
 
 /// Full-fidelity variant: recomputes each mapping's banded alignment
 /// against `genome` and emits the real CIGAR instead of a bare match run.
+/// Reverse-strand records (MappingRecord::strand) emit FLAG 0x10 and the
+/// reverse-complemented sequence.
 void WriteSamRecordsWithCigar(std::ostream& out,
                               const std::vector<std::string>& reads,
                               const std::vector<MappingRecord>& records,
@@ -62,7 +105,8 @@ void WriteSamRecordsMultiChrom(std::ostream& out,
                                const std::vector<std::string>& reads,
                                const std::vector<std::string>& names,
                                const std::vector<MappingRecord>& records,
-                               const ReferenceSet& ref);
+                               const ReferenceSet& ref,
+                               std::string_view read_group = {});
 
 }  // namespace gkgpu
 

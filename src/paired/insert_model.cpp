@@ -1,0 +1,12 @@
+#include "paired/insert_model.hpp"
+
+#include <cmath>
+
+namespace gkgpu {
+
+double InsertSizeModel::sigma() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+}  // namespace gkgpu

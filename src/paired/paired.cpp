@@ -1,0 +1,764 @@
+#include "paired/paired.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+#include "align/banded.hpp"
+#include "align/cigar.hpp"
+#include "encode/revcomp.hpp"
+#include "mapper/sam.hpp"
+#include "pipeline/candidate_packer.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace gkgpu {
+
+namespace {
+
+/// One pair's state from seeding to finalization, shared by the blocking
+/// and streaming drivers.  c1/c2 are the *pruned* oriented candidate
+/// lists; e1/e2 the banded edit distance per candidate (-1 = filter
+/// rejected or verification refuted), filled by whichever driver ran the
+/// filtration.
+struct PairTask {
+  FastqRecord r1, r2;
+  std::string rc1, rc2;  // reverse complements (verification + SAM)
+  std::vector<OrientedCandidate> c1, c2;
+  std::vector<int> e1, e2;
+  std::uint64_t seeded = 0;  // oriented candidates before pairing
+  bool skipped = false;      // mate length != read length
+};
+
+/// True when `a` has at least one concordant (opposite-strand, FR
+/// orientation, fragment <= max_insert, junction-free) partner in
+/// `other`.  `other` is laid out as CollectCandidatesOriented emits it:
+/// the forward candidates first, then the reverse ones, each sorted by
+/// position.
+bool HasConcordantPartner(const ReferenceSet& ref, int L,
+                          std::int64_t max_insert, const OrientedCandidate& a,
+                          const std::vector<OrientedCandidate>& other) {
+  const auto by_pos = [](const OrientedCandidate& c, std::int64_t pos) {
+    return c.pos < pos;
+  };
+  const auto split = std::partition_point(
+      other.begin(), other.end(),
+      [](const OrientedCandidate& c) { return c.strand == 0; });
+  if (a.strand == 0) {
+    // Forward candidate: a reverse partner downstream, fragment
+    // [a.pos, partner.pos + L) no longer than max_insert.
+    const std::int64_t hi = a.pos + max_insert - L;
+    for (auto it = std::lower_bound(split, other.end(), a.pos, by_pos);
+         it != other.end() && it->pos <= hi; ++it) {
+      const std::int64_t frag = it->pos + L - a.pos;
+      if (ref.WindowWithinChromosome(a.pos, static_cast<int>(frag))) {
+        return true;
+      }
+    }
+  } else {
+    // Reverse candidate: a forward partner upstream.
+    const std::int64_t lo = a.pos + L - max_insert;
+    for (auto it = std::lower_bound(other.begin(), split, lo, by_pos);
+         it != split && it->pos <= a.pos; ++it) {
+      const std::int64_t frag = a.pos + L - it->pos;
+      if (ref.WindowWithinChromosome(it->pos, static_cast<int>(frag))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// The pairing prune: keep only candidates that some opposite-strand mate
+/// candidate can complete into a concordant pair.  When no concordant
+/// combination exists at all (or a mate produced no candidates) the lists
+/// are left untouched — discordant and single-end mappings must stay
+/// reachable.
+void PruneConcordant(const ReferenceSet& ref, int L, std::int64_t max_insert,
+                     std::vector<OrientedCandidate>* c1,
+                     std::vector<OrientedCandidate>* c2) {
+  if (c1->empty() || c2->empty()) return;
+  std::vector<OrientedCandidate> keep1;
+  std::vector<OrientedCandidate> keep2;
+  for (const OrientedCandidate& a : *c1) {
+    if (HasConcordantPartner(ref, L, max_insert, a, *c2)) keep1.push_back(a);
+  }
+  if (keep1.empty()) return;  // no concordance possible: keep everything
+  for (const OrientedCandidate& a : *c2) {
+    if (HasConcordantPartner(ref, L, max_insert, a, *c1)) keep2.push_back(a);
+  }
+  assert(!keep2.empty());  // concordance is symmetric
+  *c1 = std::move(keep1);
+  *c2 = std::move(keep2);
+}
+
+/// Seeds both mates on both strands and applies the pairing prune.
+/// `scratch` amortizes the position buffer across a pair loop.
+void SeedPairTask(const ReadMapper& mapper, int L, std::int64_t max_insert,
+                  std::vector<std::int64_t>* scratch, PairTask* task) {
+  if (static_cast<int>(task->r1.seq.size()) != L ||
+      static_cast<int>(task->r2.seq.size()) != L) {
+    task->skipped = true;
+    return;
+  }
+  mapper.CollectCandidatesOriented(task->r1.seq, &task->rc1, scratch,
+                                   &task->c1);
+  mapper.CollectCandidatesOriented(task->r2.seq, &task->rc2, scratch,
+                                   &task->c2);
+  task->seeded = task->c1.size() + task->c2.size();
+  PruneConcordant(mapper.reference(), L, max_insert, &task->c1, &task->c2);
+  task->e1.assign(task->c1.size(), -1);
+  task->e2.assign(task->c2.size(), -1);
+}
+
+/// A mate's selected mapping (or lack of one) entering SAM emission.
+struct MateBest {
+  bool mapped = false;
+  std::int64_t pos = 0;  // global
+  std::uint8_t strand = 0;
+  int edit = -1;
+  bool rescued = false;
+};
+
+/// Everything FinalizePair needs besides the pair itself.  One instance
+/// per mapping run; finalization happens strictly in pair input order in
+/// both drivers, so the model evolves identically and the SAM output is
+/// byte-identical.
+struct PairFinalizer {
+  const ReadMapper* mapper = nullptr;
+  const PairedConfig* cfg = nullptr;
+  int L = 0;
+  int e = 0;
+  InsertSizeModel model{};
+  PairedStats* stats = nullptr;
+  std::ostream* sam = nullptr;
+
+  void Finalize(const PairTask& task);
+
+ private:
+  double InsertPenalty(std::int64_t frag) const;
+  MateBest Rescue(const MateBest& anchor, const std::string& fwd,
+                  const std::string& rc) const;
+  void EmitMate(const FastqRecord& rec, const std::string& rc, bool first,
+                const MateBest& me, const MateBest& mate, std::int64_t tlen,
+                bool proper);
+};
+
+/// Insert-size term of the pair score: squared z-distance from the fitted
+/// mean, scaled so 4 sigma costs two edits; zero until the model is
+/// fitted.  Capped so one outlier insert cannot beat an edit-distance gap
+/// of more than ~8.
+double PairFinalizer::InsertPenalty(std::int64_t frag) const {
+  if (!model.fitted()) return 0.0;
+  const double sd = std::max(model.sigma(), 1.0);
+  const double z = (static_cast<double>(frag) - model.mean()) / sd;
+  return std::min(z * z / 8.0, 8.0);
+}
+
+/// Banded scan of the insert window the model predicts for the lost mate;
+/// smallest edit wins, leftmost on ties.  Deterministic, so both drivers
+/// rescue identically.
+MateBest PairFinalizer::Rescue(const MateBest& anchor, const std::string& fwd,
+                               const std::string& rc) const {
+  const ReferenceSet& ref = mapper->reference();
+  std::int64_t frag_lo = L;
+  std::int64_t frag_hi = cfg->max_insert;
+  if (model.fitted()) {
+    const double mu = model.mean();
+    const double sd = model.sigma();
+    frag_lo = std::max<std::int64_t>(
+        L, static_cast<std::int64_t>(std::llround(mu - 4.0 * sd)));
+    frag_hi = std::min<std::int64_t>(
+        cfg->max_insert,
+        static_cast<std::int64_t>(std::llround(mu + 4.0 * sd)));
+    if (frag_hi < frag_lo) {
+      frag_lo = L;
+      frag_hi = cfg->max_insert;
+    }
+  }
+  MateBest best;
+  best.strand = anchor.strand == 0 ? 1 : 0;
+  std::int64_t lo, hi;
+  if (anchor.strand == 0) {
+    lo = anchor.pos + frag_lo - L;
+    hi = anchor.pos + frag_hi - L;
+  } else {
+    lo = anchor.pos + L - frag_hi;
+    hi = anchor.pos + L - frag_lo;
+  }
+  const int chrom = ref.Locate(anchor.pos);
+  assert(chrom >= 0);
+  const ChromosomeInfo& info = ref.chromosome(static_cast<std::size_t>(chrom));
+  lo = std::max(lo, info.offset);
+  hi = std::min(hi, info.offset + info.length - L);
+  const std::string& oriented = best.strand != 0 ? rc : fwd;
+  const std::string_view genome = mapper->genome();
+  BandedVerifier verifier;  // amortize band rows across the position scan
+  for (std::int64_t p = lo; p <= hi; ++p) {
+    const std::string_view window(genome.data() + p,
+                                  static_cast<std::size_t>(L));
+    const int d = verifier.Distance(oriented, window, e);
+    if (d >= 0 && (!best.mapped || d < best.edit)) {
+      best.mapped = true;
+      best.pos = p;
+      best.edit = d;
+      best.rescued = true;
+      if (d == 0) break;  // cannot improve; leftmost exact hit wins
+    }
+  }
+  return best;
+}
+
+void PairFinalizer::EmitMate(const FastqRecord& rec, const std::string& rc,
+                             bool first, const MateBest& me,
+                             const MateBest& mate, std::int64_t tlen,
+                             bool proper) {
+  if (sam == nullptr) return;
+  const ReferenceSet& ref = mapper->reference();
+
+  int flags = kSamPaired | (first ? kSamFirstInPair : kSamSecondInPair);
+  if (proper) flags |= kSamProperPair;
+  if (!me.mapped) flags |= kSamUnmapped;
+  if (!mate.mapped) flags |= kSamMateUnmapped;
+  if (me.mapped && me.strand != 0) flags |= kSamReverse;
+  if (mate.mapped && mate.strand != 0) flags |= kSamMateReverse;
+
+  SamRecord out;
+  out.qname = rec.name;
+  out.flags = flags;
+  out.tlen = tlen;
+  out.read_group = cfg->read_group;
+
+  int my_chrom = -1;
+  int mate_chrom = -1;
+  std::int64_t my_local = -1;
+  std::int64_t mate_local = -1;
+  if (me.mapped) {
+    my_chrom = ref.Locate(me.pos);
+    my_local = ref.ToLocal(my_chrom, me.pos);
+  }
+  if (mate.mapped) {
+    mate_chrom = ref.Locate(mate.pos);
+    mate_local = ref.ToLocal(mate_chrom, mate.pos);
+  }
+  // Placement: an unmapped mate is placed at its partner's coordinate
+  // (SAM recommended practice), keeping the pair adjacent in sorted
+  // output.
+  if (!me.mapped && mate.mapped) {
+    my_chrom = mate_chrom;
+    my_local = mate_local;
+  }
+  if (me.mapped || mate.mapped) {
+    out.rname = ref.chromosome(static_cast<std::size_t>(my_chrom)).name;
+    out.pos = my_local;
+    out.rnext = (!mate.mapped || !me.mapped || mate_chrom == my_chrom)
+                    ? std::string_view("=")
+                    : std::string_view(
+                          ref.chromosome(static_cast<std::size_t>(
+                                             mate.mapped ? mate_chrom
+                                                         : my_chrom))
+                              .name);
+    out.pnext = mate.mapped ? mate_local : my_local;
+  }
+  out.mapq = me.mapped ? 255 : 0;
+
+  // SEQ/QUAL follow the record's orientation: FLAG 0x10 emits the
+  // reverse-complemented sequence and reversed quality string.
+  std::string rqual;
+  std::string_view seq = rec.seq;
+  std::string_view qual = rec.qual.empty() ? std::string_view("*")
+                                           : std::string_view(rec.qual);
+  if (me.mapped && me.strand != 0) {
+    seq = rc;
+    if (!rec.qual.empty()) {
+      rqual.assign(rec.qual.rbegin(), rec.qual.rend());
+      qual = rqual;
+    }
+  }
+  out.seq = seq;
+  out.qual = qual;
+
+  std::string cigar;
+  if (me.mapped) {
+    const std::string_view window(mapper->genome().data() + me.pos,
+                                  static_cast<std::size_t>(L));
+    const Alignment aln = BandedAlign(seq, window, me.edit);
+    cigar = aln.distance >= 0 ? aln.cigar : std::to_string(seq.size()) + "M";
+    out.cigar = cigar;
+    out.nm = me.edit;
+  }
+  WriteSam(*sam, out);
+}
+
+void PairFinalizer::Finalize(const PairTask& task) {
+  PairedStats& st = *stats;
+  if (task.skipped) {
+    ++st.skipped_pairs;
+    EmitMate(task.r1, task.rc1, true, {}, {}, 0, false);
+    EmitMate(task.r2, task.rc2, false, {}, {}, 0, false);
+    return;
+  }
+
+  // Verified mappings per mate.
+  std::vector<MateBest> v1, v2;
+  for (std::size_t i = 0; i < task.c1.size(); ++i) {
+    if (task.e1[i] >= 0) {
+      v1.push_back({true, task.c1[i].pos, task.c1[i].strand, task.e1[i],
+                    false});
+    }
+  }
+  for (std::size_t i = 0; i < task.c2.size(); ++i) {
+    if (task.e2[i] >= 0) {
+      v2.push_back({true, task.c2[i].pos, task.c2[i].strand, task.e2[i],
+                    false});
+    }
+  }
+
+  // Best concordant combination under the insert model.
+  bool have_pair = false;
+  double best_score = 0.0;
+  MateBest b1, b2;
+  std::int64_t best_frag = 0;
+  int ties = 0;
+  const ReferenceSet& ref = mapper->reference();
+  for (const MateBest& m1 : v1) {
+    for (const MateBest& m2 : v2) {
+      if (m1.strand == m2.strand) continue;
+      const MateBest& f = m1.strand == 0 ? m1 : m2;
+      const MateBest& r = m1.strand == 0 ? m2 : m1;
+      if (r.pos < f.pos) continue;
+      const std::int64_t frag = r.pos + L - f.pos;
+      if (frag > cfg->max_insert) continue;
+      if (!ref.WindowWithinChromosome(f.pos, static_cast<int>(frag))) {
+        continue;
+      }
+      const double score = m1.edit + m2.edit + InsertPenalty(frag);
+      if (!have_pair || score < best_score) {
+        have_pair = true;
+        best_score = score;
+        b1 = m1;
+        b2 = m2;
+        best_frag = frag;
+        ties = 1;
+      } else if (score == best_score) {
+        ++ties;
+      }
+    }
+  }
+
+  if (have_pair) {
+    ++st.proper_pairs;
+    // Only unambiguous pairs train the model — a repeat-torn tie would
+    // feed it arbitrary fragment lengths.
+    if (ties == 1) model.Observe(static_cast<double>(best_frag));
+    const bool first_is_fwd = b1.strand == 0;
+    EmitMate(task.r1, task.rc1, true, b1, b2,
+             first_is_fwd ? best_frag : -best_frag, true);
+    EmitMate(task.r2, task.rc2, false, b2, b1,
+             first_is_fwd ? -best_frag : best_frag, true);
+    return;
+  }
+
+  // Best single-end mapping per mate (fewest edits, leftmost, forward
+  // first on ties) — deterministic.
+  const auto best_of = [](const std::vector<MateBest>& v) {
+    MateBest best;
+    for (const MateBest& m : v) {
+      if (!best.mapped || m.edit < best.edit ||
+          (m.edit == best.edit &&
+           (m.pos < best.pos ||
+            (m.pos == best.pos && m.strand < best.strand)))) {
+        best = m;
+      }
+    }
+    return best;
+  };
+  MateBest m1 = best_of(v1);
+  MateBest m2 = best_of(v2);
+
+  // Mate rescue: one mapped mate predicts where the other must lie.
+  if (cfg->mate_rescue && (m1.mapped != m2.mapped)) {
+    const MateBest& anchor = m1.mapped ? m1 : m2;
+    MateBest rescued = Rescue(anchor, m1.mapped ? task.r2.seq : task.r1.seq,
+                              m1.mapped ? task.rc2 : task.rc1);
+    if (rescued.mapped) {
+      ++st.rescued_mates;
+      (m1.mapped ? m2 : m1) = rescued;
+      ++st.proper_pairs;  // the window guarantees concordant geometry
+      const MateBest& f = m1.strand == 0 ? m1 : m2;
+      const MateBest& r = m1.strand == 0 ? m2 : m1;
+      const std::int64_t frag = r.pos + L - f.pos;
+      EmitMate(task.r1, task.rc1, true, m1, m2,
+               m1.strand == 0 ? frag : -frag, true);
+      EmitMate(task.r2, task.rc2, false, m2, m1,
+               m2.strand == 0 ? frag : -frag, true);
+      return;
+    }
+  }
+
+  if (m1.mapped && m2.mapped) {
+    ++st.discordant_pairs;
+    std::int64_t tlen1 = 0;
+    const int chrom1 = ref.Locate(m1.pos);
+    const int chrom2 = ref.Locate(m2.pos);
+    if (chrom1 == chrom2) {
+      const std::int64_t outer =
+          std::max(m1.pos, m2.pos) + L - std::min(m1.pos, m2.pos);
+      tlen1 = m1.pos < m2.pos || (m1.pos == m2.pos) ? outer : -outer;
+    }
+    EmitMate(task.r1, task.rc1, true, m1, m2, tlen1, false);
+    EmitMate(task.r2, task.rc2, false, m2, m1, -tlen1, false);
+    return;
+  }
+
+  if (m1.mapped || m2.mapped) {
+    ++st.single_end_pairs;
+    EmitMate(task.r1, task.rc1, true, m1, m2, 0, false);
+    EmitMate(task.r2, task.rc2, false, m2, m1, 0, false);
+    return;
+  }
+
+  ++st.unmapped_pairs;
+  EmitMate(task.r1, task.rc1, true, m1, m2, 0, false);
+  EmitMate(task.r2, task.rc2, false, m2, m1, 0, false);
+}
+
+}  // namespace
+
+PairedEndMapper::PairedEndMapper(const ReadMapper& mapper, PairedConfig config)
+    : mapper_(mapper),
+      config_(std::move(config)),
+      verify_pool_(std::make_unique<ThreadPool>(
+          mapper.config().verify_threads)) {
+  // A fragment must at least cover one read; a smaller bound would make
+  // every pair discordant and silently disable the prune.
+  config_.max_insert =
+      std::max<std::int64_t>(config_.max_insert, mapper.config().read_length);
+}
+
+PairedEndMapper::~PairedEndMapper() = default;
+
+PairedStats PairedEndMapper::MapPairs(const std::vector<FastqRecord>& r1,
+                                      const std::vector<FastqRecord>& r2,
+                                      GateKeeperGpuEngine* filter,
+                                      std::ostream* sam) {
+  if (r1.size() != r2.size()) {
+    throw std::invalid_argument(
+        "PairedEndMapper: R1 and R2 record counts differ (" +
+        std::to_string(r1.size()) + " vs " + std::to_string(r2.size()) + ")");
+  }
+  const int L = mapper_.config().read_length;
+  const int e = mapper_.config().error_threshold;
+  if (filter != nullptr && filter->config().read_length != L) {
+    throw std::invalid_argument(
+        "PairedEndMapper: engine read length != mapper read length");
+  }
+
+  PairedStats stats;
+  stats.pairs = r1.size();
+  WallTimer total;
+  if (filter != nullptr && !filter->HasReference()) {
+    filter->LoadReference(mapper_.genome());
+  }
+
+  PairFinalizer fin;
+  fin.mapper = &mapper_;
+  fin.cfg = &config_;
+  fin.L = L;
+  fin.e = e;
+  fin.model = InsertSizeModel(config_.min_model_observations);
+  fin.stats = &stats;
+  fin.sam = sam;
+
+  const std::size_t batch_pairs =
+      std::max<std::size_t>(1, config_.max_pairs_per_batch);
+  std::vector<PairTask> tasks;
+  std::vector<std::string> table;  // distinct mate sequences of the batch
+  std::vector<CandidatePair> candidates;
+  struct CandRef {
+    std::uint32_t task;
+    std::uint8_t mate;
+    std::uint32_t slot;  // index into the mate's candidate list
+  };
+  std::vector<CandRef> provenance;
+  std::vector<std::int64_t> seed_scratch;
+  const std::string_view genome = mapper_.genome();
+
+  for (std::size_t base = 0; base < r1.size(); base += batch_pairs) {
+    const std::size_t count = std::min(batch_pairs, r1.size() - base);
+    tasks.clear();
+    table.clear();
+    candidates.clear();
+    provenance.clear();
+
+    // --- Seeding + pairing prune. ---
+    WallTimer seed_timer;
+    for (std::size_t i = 0; i < count; ++i) {
+      PairTask t;
+      t.r1 = r1[base + i];
+      t.r2 = r2[base + i];
+      if (!PairedFastqReader::NamesMatch(t.r1.name, t.r2.name)) {
+        throw std::invalid_argument(
+            "PairedEndMapper: mate name mismatch at pair " +
+            std::to_string(base + i) + ": '" + t.r1.name + "' vs '" +
+            t.r2.name + "'");
+      }
+      SeedPairTask(mapper_, L, config_.max_insert, &seed_scratch, &t);
+      stats.candidates_seeded += t.seeded;
+      stats.candidates_paired += t.c1.size() + t.c2.size();
+      for (int mate = 0; mate < 2; ++mate) {
+        const std::vector<OrientedCandidate>& c = mate == 0 ? t.c1 : t.c2;
+        if (c.empty()) continue;
+        table.push_back(mate == 0 ? t.r1.seq : t.r2.seq);
+        const std::uint32_t ri = static_cast<std::uint32_t>(table.size() - 1);
+        for (std::size_t j = 0; j < c.size(); ++j) {
+          candidates.push_back({ri, c[j].strand, c[j].pos});
+          provenance.push_back({static_cast<std::uint32_t>(i),
+                                static_cast<std::uint8_t>(mate),
+                                static_cast<std::uint32_t>(j)});
+        }
+      }
+      tasks.push_back(std::move(t));
+    }
+    stats.seeding_seconds += seed_timer.Seconds();
+
+    // --- Pre-alignment filtering on the surviving candidates. ---
+    std::vector<PairResult> decisions;
+    if (filter != nullptr) {
+      const FilterRunStats fs =
+          filter->FilterCandidates(table, candidates, &decisions);
+      stats.filter_seconds += fs.filter_seconds;
+      stats.kernel_seconds += fs.kernel_seconds;
+      stats.rejected_pairs += fs.rejected;
+      stats.bypassed_pairs += fs.bypassed;
+    }
+
+    // --- Verification, each candidate on its seeded strand. ---
+    WallTimer verify_timer;
+    std::atomic<std::uint64_t> verified{0};
+    verify_pool_->ParallelFor(
+        0, candidates.size(), 256, [&](std::size_t i0, std::size_t i1) {
+          BandedVerifier verifier;
+          std::uint64_t local = 0;
+          for (std::size_t i = i0; i < i1; ++i) {
+            if (filter != nullptr && decisions[i].accept == 0) continue;
+            ++local;
+            const CandRef pr = provenance[i];
+            PairTask& t = tasks[pr.task];
+            const OrientedCandidate oc =
+                (pr.mate == 0 ? t.c1 : t.c2)[pr.slot];
+            const std::string& oriented =
+                oc.strand != 0 ? (pr.mate == 0 ? t.rc1 : t.rc2)
+                               : (pr.mate == 0 ? t.r1.seq : t.r2.seq);
+            const std::string_view window(
+                genome.data() + oc.pos, static_cast<std::size_t>(L));
+            (pr.mate == 0 ? t.e1 : t.e2)[pr.slot] =
+                verifier.Distance(oriented, window, e);
+          }
+          verified.fetch_add(local, std::memory_order_relaxed);
+        });
+    stats.verification_pairs += verified.load();
+    stats.verify_seconds += verify_timer.Seconds();
+
+    // --- Finalization, strictly in pair input order. ---
+    WallTimer fin_timer;
+    for (const PairTask& t : tasks) fin.Finalize(t);
+    stats.finalize_seconds += fin_timer.Seconds();
+  }
+
+  stats.insert_mean = fin.model.mean();
+  stats.insert_sigma = fin.model.sigma();
+  stats.insert_observations = fin.model.count();
+  stats.total_seconds = total.Seconds();
+  return stats;
+}
+
+PairedStats PairedEndMapper::MapPairsStreaming(PairedFastqReader& reader,
+                                               GateKeeperGpuEngine* engine,
+                                               pipeline::PipelineConfig pcfg,
+                                               std::ostream* sam) {
+  if (engine == nullptr) {
+    throw std::invalid_argument(
+        "MapPairsStreaming: the streaming path is the filter integration "
+        "and requires an engine");
+  }
+  const int L = mapper_.config().read_length;
+  const int e = mapper_.config().error_threshold;
+  if (engine->config().read_length != L) {
+    throw std::invalid_argument(
+        "MapPairsStreaming: engine read length != mapper read length");
+  }
+
+  PairedStats stats;
+  WallTimer total;
+  if (!engine->HasReference()) engine->LoadReference(mapper_.genome());
+
+  pcfg.reference_text = &mapper_.genome();
+  pcfg.reference_fingerprint = mapper_.reference().fingerprint();
+  pcfg.verify = true;
+  pcfg.verify_threshold = e;
+  pcfg.emit_cigar = false;  // the finalizer recomputes CIGARs per mate
+  pipeline::StreamingPipeline pipe(engine, pcfg);
+
+  PairFinalizer fin;
+  fin.mapper = &mapper_;
+  fin.cfg = &config_;
+  fin.L = L;
+  fin.e = e;
+  fin.model = InsertSizeModel(config_.min_model_observations);
+  fin.stats = &stats;
+  fin.sam = sam;
+
+  // Pairs in flight: pushed (fully seeded) by the source thread, filled
+  // and finalized strictly in input order by the ordered sink.  Entries
+  // are stable deque references; the mutex guards only the deque's
+  // structure (push/pop/index arithmetic).
+  struct Pending : PairTask {
+    std::size_t received1 = 0;  // edits delivered into e1
+    std::size_t received2 = 0;  // edits delivered into e2
+    bool complete() const {
+      return received1 == e1.size() && received2 == e2.size();
+    }
+  };
+  std::deque<Pending> pending;
+  std::mutex mu;
+  std::uint64_t base_index = 0;  // pair index of pending.front()
+
+  // Source-side state (source thread only).
+  struct MateFeed {
+    std::uint64_t pair;
+    std::uint8_t mate;
+  };
+  std::deque<MateFeed> feed;
+  std::uint64_t next_pair = 0;
+  std::uint64_t cur_pair = 0;
+  std::uint8_t cur_mate = 0;
+  std::uint64_t pairs_local = 0;
+  std::uint64_t seeded_local = 0;
+  std::uint64_t paired_local = 0;
+  double seed_seconds = 0.0;
+  std::vector<std::int64_t> seed_scratch;
+  pipeline::CandidateStream stream;
+
+  const pipeline::BatchSource source = [&](pipeline::PairBatch* batch) {
+    WallTimer seed_timer;
+    const std::size_t target = std::max<std::size_t>(
+        1, std::min(batch->target_size, pipe.config().batch_size));
+    pipeline::PackCandidateBatch(
+        batch, target, &stream,
+        [&](std::vector<OrientedCandidate>* positions) -> const std::string* {
+          for (;;) {
+            if (!feed.empty()) {
+              const MateFeed f = feed.front();
+              feed.pop_front();
+              Pending* p;
+              {
+                std::lock_guard<std::mutex> lk(mu);
+                p = &pending[static_cast<std::size_t>(f.pair - base_index)];
+              }
+              *positions = f.mate == 0 ? p->c1 : p->c2;
+              cur_pair = f.pair;
+              cur_mate = f.mate;
+              return f.mate == 0 ? &p->r1.seq : &p->r2.seq;
+            }
+            Pending p;
+            if (!reader.Next(&p.r1, &p.r2)) return nullptr;
+            ++pairs_local;
+            SeedPairTask(mapper_, L, config_.max_insert, &seed_scratch, &p);
+            seeded_local += p.seeded;
+            paired_local += p.c1.size() + p.c2.size();
+            const bool has1 = !p.c1.empty();
+            const bool has2 = !p.c2.empty();
+            {
+              std::lock_guard<std::mutex> lk(mu);
+              pending.push_back(std::move(p));
+            }
+            const std::uint64_t idx = next_pair++;
+            if (has1) feed.push_back({idx, 0});
+            if (has2) feed.push_back({idx, 1});
+            // Zero-candidate pairs never enter the pipeline; the sink
+            // finalizes them in order off the pending deque.
+          }
+        },
+        [&](const OrientedCandidate&) {
+          batch->read_index.push_back(static_cast<std::uint32_t>(cur_pair));
+          batch->mate.push_back(cur_mate);
+        });
+    seed_seconds += seed_timer.Seconds();
+    return batch->size() > 0;
+  };
+
+  const pipeline::BatchSink sink = [&](pipeline::PairBatch&& batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Pending* p;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        p = &pending[static_cast<std::size_t>(batch.read_index[i] -
+                                              base_index)];
+      }
+      // The mate column routes each edit to its list; within a mate,
+      // candidates arrive in packing (= seeding) order.
+      if (batch.mate[i] == 0) {
+        p->e1[p->received1++] = batch.edits[i];
+      } else {
+        p->e2[p->received2++] = batch.edits[i];
+      }
+    }
+    // Finalize every leading pair whose candidates all arrived — strict
+    // input order, exactly like the blocking driver.
+    for (;;) {
+      Pending done;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (pending.empty() || !pending.front().complete()) break;
+        done = std::move(pending.front());
+        pending.pop_front();
+        ++base_index;
+      }
+      fin.Finalize(done);
+    }
+  };
+
+  const pipeline::PipelineStats ps = pipe.Run(source, sink);
+
+  // Trailing pairs (zero-candidate tails the sink never saw a batch for).
+  while (!pending.empty()) {
+    assert(pending.front().complete());
+    fin.Finalize(pending.front());
+    pending.pop_front();
+    ++base_index;
+  }
+
+  stats.pairs = pairs_local;  // skipped_pairs is counted by the finalizer
+  stats.candidates_seeded = seeded_local;
+  stats.candidates_paired = paired_local;
+  stats.seeding_seconds = seed_seconds;
+  stats.verification_pairs = ps.verified_pairs;
+  stats.rejected_pairs = ps.rejected;
+  stats.bypassed_pairs = ps.bypassed;
+  stats.filter_seconds = ps.filter_seconds;
+  stats.kernel_seconds = ps.kernel_seconds;
+  stats.verify_seconds = ps.verify_seconds;
+  stats.insert_mean = fin.model.mean();
+  stats.insert_sigma = fin.model.sigma();
+  stats.insert_observations = fin.model.count();
+  stats.total_seconds = total.Seconds();
+  return stats;
+}
+
+PairedStats StreamPairedFastqToSam(PairedFastqReader& reader,
+                                   const ReadMapper& mapper,
+                                   GateKeeperGpuEngine* engine,
+                                   const PairedConfig& config,
+                                   pipeline::PipelineConfig pcfg,
+                                   std::ostream* sam) {
+  PairedEndMapper paired(mapper, config);
+  return paired.MapPairsStreaming(reader, engine, std::move(pcfg), sam);
+}
+
+}  // namespace gkgpu

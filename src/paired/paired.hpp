@@ -1,0 +1,146 @@
+// Strand-aware paired-end mapping subsystem.
+//
+// A read pair constrains itself: Illumina FR pairs map on opposite strands
+// of one chromosome with a fragment length drawn from a tight
+// distribution, so candidate locations that no opposite-strand mate
+// location can complete are pruned *before* pre-alignment filtering and
+// verification — pairing is itself a filter stage, composing with
+// GateKeeper-GPU (SOAP3-dp and GenPairX apply the same lever).  The
+// subsystem:
+//
+//   * seeds both mates on both strands (reverse-complement seeding against
+//     the one forward k-mer index);
+//   * prunes each mate's candidates to those with a concordant
+//     opposite-strand partner within the insert window;
+//   * filters survivors through the engine's candidate slots (the strand
+//     bit rides inside CandidatePair) and verifies with banded alignment;
+//   * selects the best concordant combination under a fitted insert-size
+//     model (mean/sigma learned online from confident pairs);
+//   * rescues a lost mate by banded scanning of the window the model
+//     predicts when only one mate maps;
+//   * emits full SAM pair semantics: FLAG 0x1/0x2/0x4/0x8/0x10/0x20/
+//     0x40/0x80, RNEXT/PNEXT/TLEN, reverse-complemented SEQ and reversed
+//     QUAL on strand-flipped records, NM and RG:Z tags.
+//
+// Two drivers share one finalization path, so their SAM output is
+// byte-identical: MapPairs (blocking, batch-at-a-time) and
+// MapPairsStreaming (the bounded-memory streaming pipeline with an
+// ordered pair sink).
+#ifndef GKGPU_PAIRED_PAIRED_HPP
+#define GKGPU_PAIRED_PAIRED_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "io/paired_fastq.hpp"
+#include "mapper/mapper.hpp"
+#include "paired/insert_model.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace gkgpu {
+
+struct PairedConfig {
+  /// Largest fragment length considered concordant (also the pruning
+  /// window and the un-fitted mate-rescue scan bound).
+  std::int64_t max_insert = 1000;
+  /// Confident pairs required before the fitted insert model replaces the
+  /// [read_length, max_insert] fallback window.
+  std::uint64_t min_model_observations = 64;
+  bool mate_rescue = true;
+  /// Read-group ID: adds RG:Z:<id> to every record ("" = none).  The @RG
+  /// header line is the caller's (WriteSamHeader's read_group parameter).
+  std::string read_group;
+  /// Pairs per blocking batch (both mates' candidates share one
+  /// filtration round).
+  std::size_t max_pairs_per_batch = 50000;
+};
+
+struct PairedStats {
+  std::uint64_t pairs = 0;
+  std::uint64_t skipped_pairs = 0;  // mate length != read length
+  std::uint64_t proper_pairs = 0;
+  std::uint64_t discordant_pairs = 0;
+  std::uint64_t single_end_pairs = 0;  // one mate mapped, rescue failed
+  std::uint64_t unmapped_pairs = 0;
+  std::uint64_t rescued_mates = 0;
+
+  std::uint64_t candidates_seeded = 0;  // oriented candidates before pairing
+  std::uint64_t candidates_paired = 0;  // survivors entering filtration
+  std::uint64_t verification_pairs = 0;
+  std::uint64_t rejected_pairs = 0;
+  std::uint64_t bypassed_pairs = 0;
+
+  double insert_mean = 0.0;
+  double insert_sigma = 0.0;
+  std::uint64_t insert_observations = 0;
+
+  double seeding_seconds = 0.0;
+  double filter_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double finalize_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// How many times fewer (read, reference) pairs the verifier faced than
+  /// independent single-end mapping would have produced — pairing's
+  /// candidate-pruning leverage (> 1 on concordant data).
+  double PruningRatio() const {
+    return candidates_paired == 0
+               ? 0.0
+               : static_cast<double>(candidates_seeded) /
+                     static_cast<double>(candidates_paired);
+  }
+};
+
+class PairedEndMapper {
+ public:
+  /// Borrows the single-end mapper for its reference, k-mer index and
+  /// seeding; both must outlive this object.  The mapper's read_length /
+  /// error_threshold govern both mates.
+  PairedEndMapper(const ReadMapper& mapper, PairedConfig config);
+  ~PairedEndMapper();
+
+  const PairedConfig& config() const { return config_; }
+
+  /// Blocking path: maps r1[i] with r2[i] (equal sizes; mate names must
+  /// match), optionally pre-filtering candidates through `filter`, and
+  /// writes two SAM records per pair to `sam` (may be null for stats
+  /// only; the header is the caller's).  Pairs whose mates are not the
+  /// configured read length are emitted unmapped.
+  PairedStats MapPairs(const std::vector<FastqRecord>& r1,
+                       const std::vector<FastqRecord>& r2,
+                       GateKeeperGpuEngine* filter, std::ostream* sam);
+
+  /// Streaming path: consumes `reader` through the candidate-mode
+  /// StreamingPipeline (filtration against the per-device encoded
+  /// reference, banded verification in the worker pool) with an ordered
+  /// pair sink — byte-identical SAM to MapPairs under bounded memory.
+  /// `engine` is required; `pcfg.reference_text`, `verify` and
+  /// `verify_threshold` are set by the mapper.
+  PairedStats MapPairsStreaming(PairedFastqReader& reader,
+                                GateKeeperGpuEngine* engine,
+                                pipeline::PipelineConfig pcfg,
+                                std::ostream* sam);
+
+ private:
+  const ReadMapper& mapper_;
+  PairedConfig config_;
+  std::unique_ptr<ThreadPool> verify_pool_;
+};
+
+/// Convenience front end mirroring StreamFastqToSam: paired FASTQ in,
+/// ordered paired SAM out, on the streaming pipeline.
+PairedStats StreamPairedFastqToSam(PairedFastqReader& reader,
+                                   const ReadMapper& mapper,
+                                   GateKeeperGpuEngine* engine,
+                                   const PairedConfig& config,
+                                   pipeline::PipelineConfig pcfg,
+                                   std::ostream* sam);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_PAIRED_PAIRED_HPP

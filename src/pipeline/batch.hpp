@@ -42,11 +42,17 @@ struct PairBatch {
 
   // Read-to-SAM provenance (empty in plain pair-stream mode).  One entry
   // per pair: which input read it came from, its name, the chromosome the
-  // candidate window lies on, and the chromosome-local position.
+  // candidate window lies on, and the chromosome-local position.  The
+  // candidate's strand bit lives inside CandidatePair and needs no extra
+  // column.
   std::vector<std::uint32_t> read_index;
   std::vector<std::string> read_names;
   std::vector<std::int32_t> ref_chrom;
   std::vector<std::int64_t> ref_pos;
+  // Paired-end provenance: which mate of the pair the candidate belongs to
+  // (0 = R1, 1 = R2); read_index then carries the *pair* index.  Empty on
+  // single-end streams.
+  std::vector<std::uint8_t> mate;
 
   /// Filled by the filtration stage.
   std::vector<PairResult> results;

@@ -1,7 +1,8 @@
 // Shared candidate-batch packing loop for the candidate-mode front ends
-// (ReadMapper::MapReadsStreaming and StreamFastqToSam).  Both stream reads
-// through seeding and pack the resulting (read, reference-offset)
-// candidates into PairBatches; the subtle invariants live here once:
+// (ReadMapper::MapReadsStreaming, StreamFastqToSam and the paired-end
+// streaming path).  All stream reads through seeding and pack the
+// resulting oriented (read, strand, reference-offset) candidates into
+// PairBatches; the subtle invariants live here once:
 //
 //   * a read's sequence enters the batch's read table at most once per
 //     batch, immediately before its first candidate of that batch;
@@ -19,23 +20,37 @@
 
 #include "pipeline/batch.hpp"
 
+namespace gkgpu {
+
+/// One seeding hit: a candidate mapping location plus the strand it was
+/// seeded on (0 = the read itself matches the forward reference window,
+/// 1 = its reverse complement does).  Shared between the mapper's seeding
+/// output and the pipeline's batch packing; the strand bit is carried into
+/// CandidatePair and travels through the engine's candidate slots.
+struct OrientedCandidate {
+  std::int64_t pos = 0;
+  std::uint8_t strand = 0;
+};
+
+}  // namespace gkgpu
+
 namespace gkgpu::pipeline {
 
 /// Carry-over state of a candidate stream between source calls: the
-/// current read's remaining candidate positions and its sequence (owned
+/// current read's remaining oriented candidates and its sequence (owned
 /// by the caller; the pointer must stay valid until the next fetch — a
 /// reused buffer is fine).
 struct CandidateStream {
-  std::vector<std::int64_t> positions;
+  std::vector<OrientedCandidate> positions;
   std::size_t offset = 0;
   const std::string* read = nullptr;  // null = fetch the next read
 };
 
 /// Packs up to `target` candidates into `batch`.  `fetch` advances the
-/// stream: fill `positions` with the next read's candidate locations and
-/// return a pointer to its sequence, or null at end of stream.  `emit`
-/// runs after each candidate is appended, to add per-pair provenance
-/// columns for that position.
+/// stream: fill `positions` with the next read's oriented candidate
+/// locations and return a pointer to its (forward) sequence, or null at
+/// end of stream.  `emit` runs after each candidate is appended, to add
+/// per-pair provenance columns for that candidate.
 template <typename Fetch, typename Emit>
 void PackCandidateBatch(PairBatch* batch, std::size_t target,
                         CandidateStream* stream, Fetch&& fetch, Emit&& emit) {
@@ -57,10 +72,11 @@ void PackCandidateBatch(PairBatch* batch, std::size_t target,
         batch->cand_reads.push_back(*stream->read);
         current_in_table = true;
       }
-      const std::int64_t pos = stream->positions[stream->offset++];
+      const OrientedCandidate oc = stream->positions[stream->offset++];
       batch->candidates.push_back(
-          {static_cast<std::uint32_t>(batch->cand_reads.size() - 1), pos});
-      emit(pos);
+          {static_cast<std::uint32_t>(batch->cand_reads.size() - 1), oc.strand,
+           oc.pos});
+      emit(oc);
     }
     if (stream->offset >= stream->positions.size()) stream->read = nullptr;
   }

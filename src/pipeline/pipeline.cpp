@@ -13,6 +13,7 @@
 
 #include "align/banded.hpp"
 #include "align/cigar.hpp"
+#include "encode/revcomp.hpp"
 #include "util/fingerprint.hpp"
 #include "util/timer.hpp"
 
@@ -226,6 +227,10 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
               throw std::runtime_error(
                   "pipeline source: candidate reference offset out of range");
             }
+            if (c.strand > 1) {
+              throw std::runtime_error(
+                  "pipeline source: candidate strand must be 0 or 1");
+            }
           }
         } else {
           if (!batch.candidates.empty()) {
@@ -387,10 +392,17 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
       std::uint64_t pairs_in = 0;
       std::uint64_t confirmed = 0;
       BandedVerifier verifier;
+      // Reverse-strand candidates verify the read's reverse complement
+      // against the forward window; one cached buffer per worker amortizes
+      // the revcomp over a read's contiguous run of reverse candidates.
+      std::string rc_buf;
+      std::uint32_t rc_read = 0;
+      bool rc_valid = false;
       try {
         while (auto batch = q_filtered.Pop()) {
           const std::size_t n = batch->size();
           batch->edits.assign(n, -1);
+          rc_valid = false;
           if (config_.verify) {
             WallTimer t;
             const std::size_t L =
@@ -405,7 +417,17 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
                 // Verification windows are views into the reference text —
                 // the host never materializes per-candidate segments.
                 const CandidatePair c = batch->candidates[i];
-                read = batch->cand_reads[c.read_index];
+                if (c.strand != 0) {
+                  if (!rc_valid || rc_read != c.read_index) {
+                    ReverseComplementInto(batch->cand_reads[c.read_index],
+                                          &rc_buf);
+                    rc_read = c.read_index;
+                    rc_valid = true;
+                  }
+                  read = rc_buf;
+                } else {
+                  read = batch->cand_reads[c.read_index];
+                }
                 window = std::string_view(*config_.reference_text)
                              .substr(static_cast<std::size_t>(c.ref_pos), L);
               } else {

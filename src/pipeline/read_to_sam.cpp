@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <ostream>
 
+#include "encode/revcomp.hpp"
 #include "io/fastq.hpp"
 #include "mapper/sam.hpp"
 #include "pipeline/candidate_packer.hpp"
@@ -37,13 +38,15 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
   FastqRecord rec;
   CandidateStream stream;
   std::uint32_t read_counter = 0;
+  std::string rc_buf;
+  std::vector<std::int64_t> seed_scratch;
 
   const BatchSource source = [&](PairBatch* batch) {
     const std::size_t target = std::max<std::size_t>(
         1, std::min(batch->target_size, pipeline.config().batch_size));
     PackCandidateBatch(
         batch, target, &stream,
-        [&](std::vector<std::int64_t>* positions) -> const std::string* {
+        [&](std::vector<OrientedCandidate>* positions) -> const std::string* {
           for (;;) {
             if (!reader.Next(&rec)) return nullptr;  // FASTQ exhausted
             ++out.reads;
@@ -51,19 +54,20 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
               ++out.skipped_reads;
               continue;
             }
-            mapper.CollectCandidates(rec.seq, positions);
+            mapper.CollectCandidatesOriented(rec.seq, &rc_buf, &seed_scratch,
+                                             positions);
             out.candidates += positions->size();
             ++read_counter;
             return &rec.seq;
           }
         },
-        [&](std::int64_t pos) {
-          const int chrom = ref.Locate(pos);
+        [&](const OrientedCandidate& oc) {
+          const int chrom = ref.Locate(oc.pos);
           assert(chrom >= 0);  // seeding only emits in-chromosome windows
           batch->read_index.push_back(read_counter - 1);
           batch->read_names.push_back(rec.name);
           batch->ref_chrom.push_back(chrom);
-          batch->ref_pos.push_back(ref.ToLocal(chrom, pos));
+          batch->ref_pos.push_back(ref.ToLocal(chrom, oc.pos));
         });
     return batch->size() > 0;
   };
@@ -73,6 +77,7 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
   // across a batch split).
   std::uint32_t last_mapped = 0;
   bool any_mapped = false;
+  std::string sink_rc;
   const BatchSink sink = [&](PairBatch&& batch) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (batch.edits[i] < 0) continue;
@@ -84,12 +89,22 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
       }
       if (sam != nullptr) {
         // The CIGAR was computed by the (parallel) verification workers;
-        // the ordered sink only formats the line.
+        // the ordered sink only formats the line.  Reverse-strand
+        // mappings emit FLAG 0x10 and the reverse-complemented sequence —
+        // the same bytes the blocking writers produce.
         const CandidatePair c = batch.candidates[i];
+        std::string_view seq = batch.cand_reads[c.read_index];
+        int flags = 0;
+        if (c.strand != 0) {
+          ReverseComplementInto(seq, &sink_rc);
+          seq = sink_rc;
+          flags = kSamReverse;
+        }
         WriteSamLine(
-            *sam, batch.read_names[i], batch.cand_reads[c.read_index],
+            *sam, batch.read_names[i], flags, seq,
             ref.chromosome(static_cast<std::size_t>(batch.ref_chrom[i])).name,
-            batch.ref_pos[i], batch.edits[i], batch.cigars[i]);
+            batch.ref_pos[i], batch.edits[i], batch.cigars[i],
+            config.read_group);
       }
     }
   };

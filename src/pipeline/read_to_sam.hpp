@@ -27,6 +27,9 @@ namespace gkgpu::pipeline {
 
 struct ReadToSamConfig {
   PipelineConfig pipeline;
+  /// Read-group ID: RG:Z:<id> on every record ("" = none); the matching
+  /// @RG header line is the caller's (WriteSamHeader's read_group).
+  std::string read_group;
 };
 
 struct ReadToSamStats {

@@ -46,6 +46,40 @@ std::vector<std::string> SimulateReadSequences(std::string_view genome,
                                                const ReadErrorProfile& profile,
                                                std::uint64_t seed);
 
+// ------------------------------------------------------------ paired-end --
+
+struct PairSimConfig {
+  int read_length = 100;
+  /// Fragment (insert) length distribution, Illumina-style: Gaussian,
+  /// clamped to [read_length, genome length].
+  double insert_mean = 350.0;
+  double insert_sd = 30.0;
+  ReadErrorProfile profile;
+};
+
+/// One simulated fragment: R1 reads the fragment's 5' end on the forward
+/// strand; R2 reads its 3' end and is reverse-complemented (the FR
+/// orientation an Illumina sequencer reports), so a correct mapper places
+/// R1 forward at origin1 and R2 reverse at origin2 with
+/// TLEN = fragment_length.
+struct SimulatedPair {
+  std::string seq1;           // forward orientation
+  std::string seq2;           // reverse-complemented
+  std::int64_t fragment_start = 0;
+  int fragment_length = 0;
+  std::int64_t origin1 = 0;   // forward-strand window start of R1
+  std::int64_t origin2 = 0;   // forward-strand window start of R2
+  int edits1 = 0;
+  int edits2 = 0;
+};
+
+/// Samples `count` fragments and sequences both ends.  Deterministic in
+/// `seed`.
+std::vector<SimulatedPair> SimulatePairs(std::string_view genome,
+                                         std::size_t count,
+                                         const PairSimConfig& config,
+                                         std::uint64_t seed);
+
 }  // namespace gkgpu
 
 #endif  // GKGPU_SIM_READ_SIM_HPP

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "encode/dna.hpp"
+#include "encode/revcomp.hpp"
 #include "sim/genome.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
@@ -150,6 +151,84 @@ TEST(ReferenceEncodingTest, ParallelEncodingMatchesSerial) {
   EXPECT_EQ(serial.words, parallel.words);
   EXPECT_EQ(serial.n_mask, parallel.n_mask);
   EXPECT_EQ(serial.length, parallel.length);
+}
+
+// -------------------------------------------------------------- revcomp --
+
+TEST(RevCompTest, ComplementsBasesAndCodes) {
+  EXPECT_EQ(ComplementBase('A'), 'T');
+  EXPECT_EQ(ComplementBase('C'), 'G');
+  EXPECT_EQ(ComplementBase('g'), 'C');
+  EXPECT_EQ(ComplementBase('t'), 'A');
+  EXPECT_EQ(ComplementBase('N'), 'N');
+  EXPECT_EQ(ComplementBase('x'), 'N');
+  for (unsigned code = 0; code < 4; ++code) {
+    EXPECT_EQ(BaseToCode(ComplementBase(CodeToBase(code))),
+              ComplementCode(code));
+  }
+}
+
+TEST(RevCompTest, KnownSequence) {
+  EXPECT_EQ(ReverseComplement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(ReverseComplement("AACCGGTT"), "AACCGGTT");
+  EXPECT_EQ(ReverseComplement("AAAT"), "ATTT");
+  EXPECT_EQ(ReverseComplement("GATTACA"), "TGTAATC");
+  EXPECT_EQ(ReverseComplement(""), "");
+}
+
+TEST(RevCompTest, StringRevCompIsAnInvolution) {
+  Rng rng(91);
+  for (const int length : {1, 7, 16, 33, 100, 257}) {
+    const std::string seq = RandomSeq(rng, static_cast<std::size_t>(length));
+    EXPECT_EQ(ReverseComplement(ReverseComplement(seq)), seq)
+        << "length " << length;
+  }
+}
+
+TEST(RevCompTest, UnknownBasesMirrorAsN) {
+  // 'N' has no complement; it stays 'N' at the mirrored position, so
+  // has-N tracking survives reorientation unchanged.
+  EXPECT_EQ(ReverseComplement("ANCG"), "CGNT");
+  EXPECT_EQ(ReverseComplement("NNNN"), "NNNN");
+  const std::string mixed = "ACGTNACGT";
+  const std::string rc = ReverseComplement(mixed);
+  ASSERT_EQ(rc.size(), mixed.size());
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    EXPECT_EQ(rc[i] == 'N', mixed[mixed.size() - 1 - i] == 'N') << i;
+  }
+}
+
+TEST(RevCompTest, EncodedMatchesStringRevComp) {
+  Rng rng(92);
+  for (const int length : {1, 15, 16, 17, 31, 100, 150, 300, 512}) {
+    const std::string seq = RandomSeq(rng, static_cast<std::size_t>(length));
+    Word enc[kMaxEncodedWords];
+    Word rc_enc[kMaxEncodedWords];
+    Word expect_enc[kMaxEncodedWords];
+    ASSERT_FALSE(EncodeSequence(seq, enc));
+    ReverseComplementEncoded(enc, length, rc_enc);
+    ASSERT_FALSE(EncodeSequence(ReverseComplement(seq), expect_enc));
+    for (int w = 0; w < EncodedWords(length); ++w) {
+      EXPECT_EQ(rc_enc[w], expect_enc[w]) << "length " << length
+                                          << " word " << w;
+    }
+    EXPECT_EQ(DecodeSequence(rc_enc, length), ReverseComplement(seq));
+  }
+}
+
+TEST(RevCompTest, EncodedRevCompIsAnInvolution) {
+  Rng rng(93);
+  const int length = 211;  // deliberately not word-aligned
+  const std::string seq = RandomSeq(rng, length);
+  Word enc[kMaxEncodedWords];
+  Word once[kMaxEncodedWords];
+  Word twice[kMaxEncodedWords];
+  ASSERT_FALSE(EncodeSequence(seq, enc));
+  ReverseComplementEncoded(enc, length, once);
+  ReverseComplementEncoded(once, length, twice);
+  for (int w = 0; w < EncodedWords(length); ++w) {
+    EXPECT_EQ(twice[w], enc[w]) << w;
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
+#include "io/paired_fastq.hpp"
 #include "io/pairset.hpp"
 #include "io/reference.hpp"
 #include "sim/pairgen.hpp"
@@ -193,6 +194,87 @@ TEST(ReferenceSetTest, RejectsMalformedRecordSets) {
   EXPECT_THROW(
       ReferenceSet::FromFasta({{"dup", "ACGT"}, {"dup", "TTTT"}}),
       std::runtime_error);
+}
+
+// --------------------------------------------------------- paired FASTQ --
+
+TEST(PairedFastqTest, DualFilePairsInOrder) {
+  std::istringstream r1("@p0/1\nACGT\n+\nIIII\n@p1/1\nTTTT\n+\nIIII\n");
+  std::istringstream r2("@p0/2\nGGGG\n+\nIIII\n@p1/2\nCCCC\n+\nIIII\n");
+  PairedFastqReader reader(r1, r2);
+  FastqRecord a, b;
+  ASSERT_TRUE(reader.Next(&a, &b));
+  EXPECT_EQ(a.name, "p0/1");
+  EXPECT_EQ(b.name, "p0/2");
+  EXPECT_EQ(a.seq, "ACGT");
+  EXPECT_EQ(b.seq, "GGGG");
+  ASSERT_TRUE(reader.Next(&a, &b));
+  EXPECT_EQ(a.seq, "TTTT");
+  EXPECT_FALSE(reader.Next(&a, &b));
+  EXPECT_EQ(reader.pairs_read(), 2u);
+}
+
+TEST(PairedFastqTest, InterleavedMatchesDualFile) {
+  std::istringstream inter(
+      "@p0/1\nACGT\n+\nIIII\n@p0/2\nGGGG\n+\nIIII\n"
+      "@p1/1\nTTTT\n+\nIIII\n@p1/2\nCCCC\n+\nIIII\n");
+  PairedFastqReader reader(inter);
+  FastqRecord a, b;
+  ASSERT_TRUE(reader.Next(&a, &b));
+  EXPECT_EQ(a.seq, "ACGT");
+  EXPECT_EQ(b.seq, "GGGG");
+  ASSERT_TRUE(reader.Next(&a, &b));
+  EXPECT_EQ(b.seq, "CCCC");
+  EXPECT_FALSE(reader.Next(&a, &b));
+}
+
+TEST(PairedFastqTest, TruncatedR2RaisesCleanError) {
+  // R2 holds one record fewer than R1 (a truncated mate file must never
+  // silently re-pair the remaining reads).
+  std::istringstream r1("@p0/1\nACGT\n+\nIIII\n@p1/1\nTTTT\n+\nIIII\n");
+  std::istringstream r2("@p0/2\nGGGG\n+\nIIII\n");
+  PairedFastqReader reader(r1, r2);
+  FastqRecord a, b;
+  ASSERT_TRUE(reader.Next(&a, &b));
+  EXPECT_THROW(reader.Next(&a, &b), std::runtime_error);
+}
+
+TEST(PairedFastqTest, TruncatedR1RaisesCleanError) {
+  std::istringstream r1("@p0/1\nACGT\n+\nIIII\n");
+  std::istringstream r2("@p0/2\nGGGG\n+\nIIII\n@p1/2\nTTTT\n+\nIIII\n");
+  PairedFastqReader reader(r1, r2);
+  FastqRecord a, b;
+  ASSERT_TRUE(reader.Next(&a, &b));
+  EXPECT_THROW(reader.Next(&a, &b), std::runtime_error);
+}
+
+TEST(PairedFastqTest, NameMismatchRaisesCleanError) {
+  std::istringstream r1("@p0/1\nACGT\n+\nIIII\n");
+  std::istringstream r2("@other/2\nGGGG\n+\nIIII\n");
+  PairedFastqReader reader(r1, r2);
+  FastqRecord a, b;
+  EXPECT_THROW(reader.Next(&a, &b), std::runtime_error);
+}
+
+TEST(PairedFastqTest, OddInterleavedCountRaisesCleanError) {
+  std::istringstream inter(
+      "@p0/1\nACGT\n+\nIIII\n@p0/2\nGGGG\n+\nIIII\n@p1/1\nTTTT\n+\nIIII\n");
+  PairedFastqReader reader(inter);
+  FastqRecord a, b;
+  ASSERT_TRUE(reader.Next(&a, &b));
+  EXPECT_THROW(reader.Next(&a, &b), std::runtime_error);
+}
+
+TEST(PairedFastqTest, BaseNameStripsMateSuffixAndDescription) {
+  EXPECT_EQ(PairedFastqReader::BaseName("read7/1"), "read7");
+  EXPECT_EQ(PairedFastqReader::BaseName("read7/2"), "read7");
+  EXPECT_EQ(PairedFastqReader::BaseName("read7.1"), "read7");
+  EXPECT_EQ(PairedFastqReader::BaseName("read7 1:N:0:ACGT"), "read7");
+  EXPECT_EQ(PairedFastqReader::BaseName("read7"), "read7");
+  // Identical names (no suffix convention) also pair.
+  EXPECT_TRUE(PairedFastqReader::NamesMatch("frag12", "frag12"));
+  EXPECT_TRUE(PairedFastqReader::NamesMatch("frag12/1", "frag12/2"));
+  EXPECT_FALSE(PairedFastqReader::NamesMatch("frag12/1", "frag13/2"));
 }
 
 TEST(PairSetTest, RoundTrip) {

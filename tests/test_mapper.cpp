@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
+#include "encode/revcomp.hpp"
 #include "mapper/sam.hpp"
 #include "sim/genome.hpp"
 #include "sim/read_sim.hpp"
@@ -194,6 +196,92 @@ TEST(MapperTest, BatchSizeDoesNotChangeResults) {
   }
   EXPECT_EQ(mapping_counts[0], mapping_counts[1]);
   EXPECT_EQ(mapping_counts[1], mapping_counts[2]);
+}
+
+// ---------------------------------------------------- strand awareness --
+
+TEST(MapperTest, ReverseStrandReadsMapAtParityWithForwardReads) {
+  // Reads drawn from the reverse strand are the reverse complements of
+  // forward-strand reads; strand-aware seeding must map both sets at
+  // exactly the same rate (the oriented comparison sets are identical).
+  MapperFixture f = MapperFixture::Make(100, 3, 300, 41);
+  std::vector<std::string> reverse_reads;
+  reverse_reads.reserve(f.reads.size());
+  for (const std::string& r : f.reads) {
+    reverse_reads.push_back(ReverseComplement(r));
+  }
+  ReadMapper mapper(f.genome, f.config);
+
+  std::vector<MappingRecord> fwd_records;
+  std::vector<MappingRecord> rev_records;
+  const MappingStats fwd = mapper.MapReads(f.reads, nullptr, &fwd_records);
+  const MappingStats rev =
+      mapper.MapReads(reverse_reads, nullptr, &rev_records);
+
+  EXPECT_GT(fwd.mapped_reads, 0u);
+  EXPECT_EQ(rev.mapped_reads, fwd.mapped_reads);
+  EXPECT_EQ(rev.mappings, fwd.mappings);
+  EXPECT_EQ(rev.candidates_total, fwd.candidates_total);
+
+  // Every mapping flips strand between the two runs but keeps its locus.
+  ASSERT_EQ(fwd_records.size(), rev_records.size());
+  auto key = [](const MappingRecord& m) {
+    return std::make_tuple(m.read_index, m.pos, m.edit_distance, m.strand);
+  };
+  auto sorted = [&](std::vector<MappingRecord> v) {
+    std::sort(v.begin(), v.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+    return v;
+  };
+  const auto a = sorted(fwd_records);
+  auto b = rev_records;
+  for (auto& m : b) m.strand = m.strand == 0 ? 1 : 0;  // undo the flip
+  b = sorted(b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(key(a[i]), key(b[i])) << i;
+  }
+}
+
+TEST(MapperTest, ReverseStrandMappingEmitsFlag16AndRevCompSeq) {
+  const std::string genome = GenerateGenome(100000, 47);
+  // An exact reverse-strand read: rc of a forward window.
+  const std::int64_t origin = 5000;
+  const std::string window = genome.substr(origin, 100);
+  ASSERT_EQ(window.find('N'), std::string::npos);
+  const std::string read = ReverseComplement(window);
+  MapperConfig cfg;
+  cfg.k = 10;
+  cfg.read_length = 100;
+  cfg.error_threshold = 2;
+  ReadMapper mapper(genome, cfg);
+  std::vector<MappingRecord> records;
+  mapper.MapReads({read}, nullptr, &records);
+  ASSERT_FALSE(records.empty());
+  const auto at_origin =
+      std::find_if(records.begin(), records.end(),
+                   [&](const MappingRecord& m) { return m.pos == origin; });
+  ASSERT_NE(at_origin, records.end());
+  EXPECT_EQ(at_origin->strand, 1);
+  EXPECT_EQ(at_origin->edit_distance, 0);
+
+  std::ostringstream out;
+  WriteSamRecordsMultiChrom(out, {read}, {"rev_read"}, {*at_origin},
+                            mapper.reference());
+  const std::string sam = out.str();
+  // FLAG 0x10, POS origin+1, and the reverse-complemented SEQ (= the
+  // forward window the read came from).
+  EXPECT_NE(sam.find("rev_read\t16\tsynthetic_chr1\t5001\t255\t100M"),
+            std::string::npos)
+      << sam;
+  EXPECT_NE(sam.find(window), std::string::npos) << sam;
+}
+
+TEST(KmerIndexTest, MaxGenomeLengthGuardsUint32Positions) {
+  // The guard itself needs a >4 Gbp allocation to trip, so assert the
+  // bound is exactly the uint32 ceiling the CSR payload can address.
+  static_assert(KmerIndex::kMaxGenomeLength ==
+                std::numeric_limits<std::uint32_t>::max());
+  SUCCEED();
 }
 
 TEST(SamTest, CigarVariantEmitsRealAlignments) {

@@ -40,10 +40,12 @@
 #include "filters/sneakysnake.hpp"
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
+#include "io/paired_fastq.hpp"
 #include "io/pairset.hpp"
 #include "io/reference.hpp"
 #include "mapper/mapper.hpp"
 #include "mapper/sam.hpp"
+#include "paired/paired.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/read_to_sam.hpp"
 #include "sim/genome.hpp"
@@ -65,26 +67,37 @@ class Args {
       key = key.substr(2);
       const auto eq = key.find('=');
       if (eq != std::string::npos) {
-        values_[key.substr(0, eq)] = key.substr(eq + 1);
-      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "1";  // boolean flag
+        values_[key.substr(0, eq)] = {key.substr(eq + 1)};
+        continue;
       }
+      // Consume every following non-flag token, so multi-operand options
+      // like `--paired r1.fq r2.fq` work; absent operands mean a boolean.
+      std::vector<std::string> operands;
+      while (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        operands.emplace_back(argv[++i]);
+      }
+      if (operands.empty()) operands.emplace_back("1");
+      values_[key] = std::move(operands);
     }
   }
   std::string Get(const std::string& key, const std::string& fallback) const {
     const auto it = values_.find(key);
-    return it != values_.end() ? it->second : fallback;
+    return it != values_.end() ? it->second.front() : fallback;
+  }
+  /// All operands of a multi-value option (empty when absent).
+  std::vector<std::string> GetList(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : std::vector<std::string>{};
   }
   long GetInt(const std::string& key, long fallback) const {
     const auto it = values_.find(key);
-    return it != values_.end() ? std::atol(it->second.c_str()) : fallback;
+    return it != values_.end() ? std::atol(it->second.front().c_str())
+                               : fallback;
   }
   bool Has(const std::string& key) const { return values_.count(key) != 0; }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
 };
 
 /// The simulated device set: paper Setup 1 (GTX 1080 Ti) or 2 (K20X).
@@ -112,19 +125,27 @@ int Usage() {
       "  generate-genome --length N --out FILE [--seed S]\n"
       "  generate-reads  --ref FASTA --count N --length L --out FILE\n"
       "                  [--profile illumina|richdel|lowindel] [--seed S]\n"
+      "  generate-paired-reads --ref FASTA --count N --length L\n"
+      "                  --out1 R1.fq --out2 R2.fq [--interleaved FILE]\n"
+      "                  [--insert-mean N] [--insert-sd N]\n"
+      "                  [--profile illumina|richdel|lowindel] [--seed S]\n"
       "  generate-pairs  --profile mrfast|lowedit|highedit|minimap2|bwamem\n"
       "                  --length L --count N --out FILE [--seed S]\n"
       "  filter          --pairs FILE --e N [--algo NAME] [--setup 1|2]\n"
       "                  [--devices N] [--encode host|device] [--out FILE]\n"
-      "  map             --ref FASTA --reads FASTQ --e N [--no-filter]\n"
-      "                  [--streaming] [--batch N] [--sam FILE]\n"
-      "                  [--setup 1|2] [--devices N]\n"
+      "  map             --ref FASTA --e N [--sam FILE] [--setup 1|2]\n"
+      "                  [--devices N] [--read-group ID] and one of:\n"
+      "                    --reads FASTQ [--no-filter] [--streaming]\n"
+      "                      [--batch N]\n"
+      "                    --paired R1.fq R2.fq | --interleaved FILE\n"
+      "                      [--max-insert N] [--no-filter] [--streaming]\n"
+      "                      [--no-rescue] [--batch N]\n"
       "  pipeline        --reads FASTQ --ref FASTA --e N [--sam FILE]\n"
       "                  | --pairs FILE --e N [--out FILE]\n"
       "                  [--batch N] [--queue N] [--encode-workers N]\n"
       "                  [--verify-workers N] [--slots N] [--setup 1|2]\n"
       "                  [--devices N] [--encode host|device]\n"
-      "                  [--length N] [--no-verify]\n"
+      "                  [--length N] [--no-verify] [--read-group ID]\n"
       "                  [--adaptive] [--batch-min N] [--batch-max N]\n"
       "  (FASTA references may be multi-chromosome; SAM output carries one\n"
       "   @SQ line per chromosome)\n",
@@ -171,6 +192,58 @@ int GenerateReadsCmd(const Args& args) {
   WriteFastqFile(out, fq);
   std::printf("wrote %s (%zu reads of %d bp)\n", out.c_str(), fq.size(),
               length);
+  return 0;
+}
+
+int GeneratePairedReadsCmd(const Args& args) {
+  const std::string ref_path = args.Get("ref", "");
+  if (ref_path.empty()) return Usage();
+  const auto records = ReadFastaFile(ref_path);
+  if (records.empty()) {
+    std::fprintf(stderr, "no sequences in %s\n", ref_path.c_str());
+    return 1;
+  }
+  const auto count = static_cast<std::size_t>(args.GetInt("count", 10000));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 45));
+  PairSimConfig cfg;
+  cfg.read_length = static_cast<int>(args.GetInt("length", 100));
+  cfg.insert_mean = static_cast<double>(args.GetInt("insert-mean", 350));
+  cfg.insert_sd = static_cast<double>(args.GetInt("insert-sd", 30));
+  const std::string profile_name = args.Get("profile", "illumina");
+  if (profile_name == "richdel") cfg.profile = ReadErrorProfile::RichDeletion();
+  if (profile_name == "lowindel") cfg.profile = ReadErrorProfile::LowIndel();
+  const auto pairs = SimulatePairs(records[0].seq, count, cfg, seed);
+
+  std::vector<FastqRecord> fq1, fq2;
+  fq1.reserve(pairs.size());
+  fq2.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const std::string stem = "pair_" + std::to_string(i) + "_frag_" +
+                             std::to_string(pairs[i].fragment_start) + "_" +
+                             std::to_string(pairs[i].fragment_length);
+    fq1.push_back({stem + "/1", pairs[i].seq1, ""});
+    fq2.push_back({stem + "/2", pairs[i].seq2, ""});
+  }
+  const std::string interleaved = args.Get("interleaved", "");
+  if (!interleaved.empty()) {
+    std::vector<FastqRecord> both;
+    both.reserve(2 * pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      both.push_back(fq1[i]);
+      both.push_back(fq2[i]);
+    }
+    WriteFastqFile(interleaved, both);
+    std::printf("wrote %s (%zu interleaved pairs of 2x%d bp)\n",
+                interleaved.c_str(), pairs.size(), cfg.read_length);
+    return 0;
+  }
+  const std::string out1 = args.Get("out1", "reads_1.fq");
+  const std::string out2 = args.Get("out2", "reads_2.fq");
+  WriteFastqFile(out1, fq1);
+  WriteFastqFile(out2, fq2);
+  std::printf("wrote %s + %s (%zu pairs of 2x%d bp, insert %.0f +/- %.0f)\n",
+              out1.c_str(), out2.c_str(), pairs.size(), cfg.read_length,
+              cfg.insert_mean, cfg.insert_sd);
   return 0;
 }
 
@@ -297,10 +370,140 @@ int FilterCmd(const Args& args) {
   return 0;
 }
 
+/// `map --paired R1 R2` / `map --interleaved FILE`: the paired-end
+/// subsystem — strand-aware seeding, insert-size pairing, mate rescue,
+/// full SAM flag semantics.
+int MapPairedCmd(const Args& args, ReferenceSet refset) {
+  const auto paired_files = args.GetList("paired");
+  const std::string interleaved = args.Get("interleaved", "");
+  if (interleaved.empty() && paired_files.size() != 2) {
+    std::fprintf(stderr,
+                 "map: --paired needs exactly two FASTQ operands "
+                 "(R1 and R2), or use --interleaved FILE\n");
+    return 2;
+  }
+  const bool streaming = args.Has("streaming");
+  if (args.Has("no-filter") && streaming) {
+    std::fprintf(stderr,
+                 "map: --streaming is the filter integration and cannot be "
+                 "combined with --no-filter\n");
+    return 2;
+  }
+
+  // Open the mate stream(s); read length comes from the first R1 record.
+  std::ifstream in1, in2;
+  if (interleaved.empty()) {
+    in1.open(paired_files[0]);
+    in2.open(paired_files[1]);
+    if (!in1 || !in2) {
+      std::fprintf(stderr, "cannot open %s / %s\n", paired_files[0].c_str(),
+                   paired_files[1].c_str());
+      return 1;
+    }
+  } else {
+    in1.open(interleaved);
+    if (!in1) {
+      std::fprintf(stderr, "cannot open %s\n", interleaved.c_str());
+      return 1;
+    }
+  }
+  int length = static_cast<int>(args.GetInt("length", 0));
+  if (length <= 0) {
+    std::ifstream peek(interleaved.empty() ? paired_files[0] : interleaved);
+    FastqStreamReader peek_reader(peek);
+    FastqRecord first;
+    if (!peek_reader.Next(&first)) {
+      std::fprintf(stderr, "no reads in the paired input\n");
+      return 1;
+    }
+    length = static_cast<int>(first.seq.size());
+  }
+
+  MapperConfig mcfg;
+  mcfg.k = 12;
+  mcfg.read_length = length;
+  mcfg.error_threshold = static_cast<int>(args.GetInt("e", 5));
+  ReadMapper mapper(std::move(refset), mcfg);
+
+  PairedConfig pconf;
+  pconf.max_insert = args.GetInt("max-insert", 1000);
+  pconf.mate_rescue = !args.Has("no-rescue");
+  pconf.read_group = args.Get("read-group", "");
+  PairedEndMapper paired(mapper, pconf);
+
+  std::unique_ptr<GateKeeperGpuEngine> engine;
+  DeviceSet set;
+  if (!args.Has("no-filter")) {
+    set = MakeDeviceSet(static_cast<int>(args.GetInt("setup", 1)),
+                        static_cast<int>(args.GetInt("devices", 1)));
+    EngineConfig cfg;
+    cfg.read_length = length;
+    cfg.error_threshold = mcfg.error_threshold;
+    engine = std::make_unique<GateKeeperGpuEngine>(cfg, set.ptrs);
+  }
+
+  const std::string sam_path = args.Get("sam", "");
+  std::ofstream sam_file;
+  std::ostream* sam = nullptr;
+  if (!sam_path.empty()) {
+    sam_file.open(sam_path);
+    WriteSamHeader(sam_file, mapper.reference(), pconf.read_group);
+    sam = &sam_file;
+  }
+
+  PairedStats stats;
+  if (streaming) {
+    pipeline::PipelineConfig pcfg;
+    pcfg.batch_size = static_cast<std::size_t>(args.GetInt("batch", 8192));
+    auto reader = interleaved.empty() ? PairedFastqReader(in1, in2)
+                                      : PairedFastqReader(in1);
+    stats = paired.MapPairsStreaming(reader, engine.get(), pcfg, sam);
+  } else {
+    auto reader = interleaved.empty() ? PairedFastqReader(in1, in2)
+                                      : PairedFastqReader(in1);
+    std::vector<FastqRecord> r1s, r2s;
+    FastqRecord a, b;
+    while (reader.Next(&a, &b)) {
+      r1s.push_back(std::move(a));
+      r2s.push_back(std::move(b));
+    }
+    stats = paired.MapPairs(r1s, r2s, engine.get(), sam);
+  }
+
+  TablePrinter t({"metric", "value"});
+  t.AddRow({"pairs", TablePrinter::Count(stats.pairs)});
+  t.AddRow({"proper pairs", TablePrinter::Count(stats.proper_pairs)});
+  t.AddRow({"discordant", TablePrinter::Count(stats.discordant_pairs)});
+  t.AddRow({"single-end", TablePrinter::Count(stats.single_end_pairs)});
+  t.AddRow({"unmapped pairs", TablePrinter::Count(stats.unmapped_pairs)});
+  t.AddRow({"rescued mates", TablePrinter::Count(stats.rescued_mates)});
+  t.AddRow({"candidates seeded", TablePrinter::Count(stats.candidates_seeded)});
+  t.AddRow({"after pairing", TablePrinter::Count(stats.candidates_paired)});
+  t.AddRow({"pruning ratio", TablePrinter::Num(stats.PruningRatio(), 2)});
+  t.AddRow({"verification pairs",
+            TablePrinter::Count(stats.verification_pairs)});
+  t.AddRow({"insert mean", TablePrinter::Num(stats.insert_mean, 1)});
+  t.AddRow({"insert sigma", TablePrinter::Num(stats.insert_sigma, 1)});
+  t.AddRow({"seeding (s)", TablePrinter::Num(stats.seeding_seconds, 3)});
+  t.AddRow({"filtering (s)", TablePrinter::Num(stats.filter_seconds, 3)});
+  t.AddRow({"verification (s)", TablePrinter::Num(stats.verify_seconds, 3)});
+  t.AddRow({"total (s)", TablePrinter::Num(stats.total_seconds, 3)});
+  t.Print(std::cout);
+  if (sam != nullptr) {
+    std::printf("SAM written to %s (%llu records)\n", sam_path.c_str(),
+                static_cast<unsigned long long>(2 * stats.pairs));
+  }
+  return 0;
+}
+
 int MapCmd(const Args& args) {
   const std::string ref_path = args.Get("ref", "");
+  if (ref_path.empty()) return Usage();
+  if (args.Has("paired") || args.Has("interleaved")) {
+    return MapPairedCmd(args, ReferenceSet::FromFastaFile(ref_path));
+  }
   const std::string reads_path = args.Get("reads", "");
-  if (ref_path.empty() || reads_path.empty()) return Usage();
+  if (reads_path.empty()) return Usage();
   ReferenceSet refset = ReferenceSet::FromFastaFile(ref_path);
   const auto fastq = ReadFastqFile(reads_path);
   if (fastq.empty()) {
@@ -368,9 +571,11 @@ int MapCmd(const Args& args) {
 
   const std::string sam_path = args.Get("sam", "");
   if (!sam_path.empty()) {
+    const std::string read_group = args.Get("read-group", "");
     std::ofstream sam(sam_path);
-    WriteSamHeader(sam, mapper.reference());
-    WriteSamRecordsMultiChrom(sam, reads, names, records, mapper.reference());
+    WriteSamHeader(sam, mapper.reference(), read_group);
+    WriteSamRecordsMultiChrom(sam, reads, names, records, mapper.reference(),
+                              read_group);
     std::printf("SAM written to %s (%zu records)\n", sam_path.c_str(),
                 records.size());
   }
@@ -534,12 +739,13 @@ int PipelineCmd(const Args& args) {
 
   pipeline::ReadToSamConfig scfg;
   scfg.pipeline = pcfg;
+  scfg.read_group = args.Get("read-group", "");
   const std::string sam_path = args.Get("sam", "");
   std::ofstream sam_file;
   std::ostream* sam = nullptr;
   if (!sam_path.empty()) {
     sam_file.open(sam_path);
-    WriteSamHeader(sam_file, mapper.reference());
+    WriteSamHeader(sam_file, mapper.reference(), scfg.read_group);
     sam = &sam_file;
   }
   const pipeline::ReadToSamStats stats =
@@ -570,6 +776,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "generate-genome") return GenerateGenomeCmd(args);
     if (cmd == "generate-reads") return GenerateReadsCmd(args);
+    if (cmd == "generate-paired-reads") return GeneratePairedReadsCmd(args);
     if (cmd == "generate-pairs") return GeneratePairsCmd(args);
     if (cmd == "filter") return FilterCmd(args);
     if (cmd == "map") return MapCmd(args);
