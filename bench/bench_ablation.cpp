@@ -27,7 +27,7 @@ struct Counts {
   double seconds = 0.0;
 };
 
-Counts Evaluate(const Dataset& data, int length, int e,
+Counts Evaluate(const Dataset& data, int /*length*/, int e,
                 const GateKeeperParams& params) {
   GateKeeperFilter filter(params);
   Counts c;

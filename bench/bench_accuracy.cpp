@@ -59,8 +59,10 @@ void RunSet(const char* title, const PairProfile& profile, int max_e,
                   TablePrinter::Count(oracle_reject),
                   TablePrinter::Count(gk_accept),
                   TablePrinter::Count(n - gk_accept), TablePrinter::Count(fa),
-                  TablePrinter::Percent(100.0 * static_cast<double>(fa) / denom),
-                  TablePrinter::Percent(100.0 * static_cast<double>(tr) / denom),
+                  TablePrinter::Percent(100.0 * static_cast<double>(fa) /
+                                        denom),
+                  TablePrinter::Percent(100.0 * static_cast<double>(tr) /
+                                        denom),
                   TablePrinter::Count(fr)});
   }
   table.Print(std::cout);

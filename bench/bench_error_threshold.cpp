@@ -18,7 +18,8 @@ int main() {
   const int length = 250;
   const Dataset data =
       MakeDataset(MrFastCandidateProfile(length), pairs, 9001);
-  std::printf("=== Fig. S.12 / Table S.16: error threshold vs filter time ===\n");
+  std::printf(
+      "=== Fig. S.12 / Table S.16: error threshold vs filter time ===\n");
   std::printf("(250 bp, %zu pairs, seconds)\n\n", pairs);
   TablePrinter table({"e", "S1 12-core CPU", "S1 dev-enc GPU",
                       "S1 host-enc GPU", "S2 12-core CPU", "S2 dev-enc GPU",

@@ -96,7 +96,8 @@ void RunSet(const char* title, const PairProfile& profile, int length,
 
 int main() {
   const std::size_t n = EnvSize("GKGPU_PAIRS", 10000);
-  std::printf("=== Fig. 5 / Tables S.7-S.12: false accepts across filters ===\n");
+  std::printf(
+      "=== Fig. 5 / Tables S.7-S.12: false accepts across filters ===\n");
   RunSet("Set 1-like (low edit, 100bp) [Fig. 5 / Table S.7]",
          LowEditProfile(100), 100, n, 101);
   RunSet("Set 4-like (high edit, 100bp) [Fig. S.7 / Table S.8]",

@@ -17,7 +17,8 @@ using namespace gkgpu::bench;
 
 int main() {
   const std::size_t pairs = EnvSize("GKGPU_PAIRS", 200000);
-  std::printf("=== Fig. 8 / Tables S.21-S.23: multi-GPU scaling (Setup 1) ===\n");
+  std::printf(
+      "=== Fig. 8 / Tables S.21-S.23: multi-GPU scaling (Setup 1) ===\n");
   struct Spec {
     int length;
     int e;

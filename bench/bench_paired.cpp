@@ -164,5 +164,24 @@ int main() {
     ok = false;
   }
   std::printf("%s\n", ok ? "OK" : "BENCH GATE FAILED");
+
+  // Machine-readable trajectory point (uploaded as a CI artifact).
+  BenchReport report("paired");
+  report.Add("pairs", n_pairs);
+  report.Add("reps", reps);
+  report.Add("read_length", kLength);
+  report.Add("error_threshold", kThreshold);
+  report.Add("pruning_ratio", prune);
+  report.Add("verification_reduction", verify_ratio);
+  report.Add("proper_pairs", pe.proper_pairs);
+  report.Add("rescued_mates", pe.rescued_mates);
+  report.Add("insert_mean", pe.insert_mean);
+  report.Add("insert_sigma", pe.insert_sigma);
+  report.Add("single_end_seconds", se_seconds);
+  report.Add("paired_seconds", pe_seconds);
+  report.Add("single_end_pairs_per_s", se_rate);
+  report.Add("paired_pairs_per_s", pe_rate);
+  report.Add("gate_pass", ok);
+  report.Write();
   return ok ? 0 : 1;
 }

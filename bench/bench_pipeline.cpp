@@ -103,6 +103,7 @@ int main() {
                       "streaming ft (s)", "blocking Mp/s", "streaming Mp/s",
                       "speedup"});
   double headline_speedup = 0.0;
+  RunResult headline_run;
   for (const EncodingActor actor :
        {EncodingActor::kDevice, EncodingActor::kHost}) {
     for (const int setup : {1, 2}) {
@@ -118,8 +119,10 @@ int main() {
                       TablePrinter::Num(r.speedup(), 2) + "x"});
         // Acceptance gate: the best device-encoded 2-GPU configuration
         // must clear 1.3x.
-        if (actor == EncodingActor::kDevice && ndev == 2) {
-          headline_speedup = std::max(headline_speedup, r.speedup());
+        if (actor == EncodingActor::kDevice && ndev == 2 &&
+            r.speedup() > headline_speedup) {
+          headline_speedup = r.speedup();
+          headline_run = r;
         }
       }
     }
@@ -127,6 +130,24 @@ int main() {
   table.Print(std::cout);
 
   const bool headline_ok = headline_speedup >= 1.3;
+
+  // Machine-readable trajectory point (uploaded as a CI artifact).
+  BenchReport report("pipeline");
+  report.Add("pairs", pairs);
+  report.Add("reps", reps);
+  report.Add("batch", batch);
+  report.Add("read_length", length);
+  report.Add("error_threshold", e);
+  report.Add("blocking_seconds", headline_run.sync_ft);
+  report.Add("streaming_seconds", headline_run.pipe_ft);
+  report.Add("blocking_mpairs_per_s",
+             MillionsPerSecond(pairs, headline_run.sync_ft));
+  report.Add("streaming_mpairs_per_s",
+             MillionsPerSecond(pairs, headline_run.pipe_ft));
+  report.Add("speedup", headline_speedup);
+  report.Add("gate_threshold", 1.3);
+  report.Add("gate_pass", headline_ok);
+  report.Write();
   std::printf(
       "\nheadline (best device-encoded 2-GPU config): %.2fx %s threshold "
       "1.3x\n",

@@ -128,10 +128,12 @@ void PrintSpeedups(const char* title, const RunOutcome s1,
                 TablePrinter::Num(fd2, 2),
                 TablePrinter::Num(o2.plain.verification_seconds / fd2, 1) + "x",
                 TablePrinter::Num(f1.total_seconds, 2),
-                TablePrinter::Num(o1.plain.total_seconds / f1.total_seconds, 1) +
+                TablePrinter::Num(
+                    o1.plain.total_seconds / f1.total_seconds, 1) +
                     "x",
                 TablePrinter::Num(f2.total_seconds, 2),
-                TablePrinter::Num(o2.plain.total_seconds / f2.total_seconds, 1) +
+                TablePrinter::Num(
+                    o2.plain.total_seconds / f2.total_seconds, 1) +
                     "x"});
     };
     t.AddRow({"No Filter", TablePrinter::Num(s1.plain.verification_seconds, 2),
@@ -151,7 +153,8 @@ int main() {
   const std::size_t n_reads = EnvSize("GKGPU_READS", 40000);
   std::printf("=== Tables 3/4/5, S.24-S.26: whole-genome mapping ===\n");
   std::printf("(synthetic genome %zu bp with repeat families)\n", genome_len);
-  const std::string genome = GenerateGenome(genome_len, 33, WholeGenomeProfile());
+  const std::string genome =
+      GenerateGenome(genome_len, 33, WholeGenomeProfile());
 
   // ---- ERR240727_1-like real-profile 100 bp set, e = 0 and e = 5. ----
   {

@@ -1,13 +1,18 @@
 // Shared helpers for the benchmark harnesses: environment-variable scaling
 // (every bench honours GKGPU_PAIRS / GKGPU_READS / GKGPU_GENOME to trade
-// fidelity for runtime), data-set construction, CPU-baseline timing, and
-// device bookkeeping.
+// fidelity for runtime), data-set construction, CPU-baseline timing,
+// device bookkeeping, and the machine-readable BENCH_<name>.json report
+// CI archives so the perf trajectory is recorded per commit instead of
+// evaporating into pass/fail exit codes.
 #ifndef GKGPU_BENCH_COMMON_HPP
 #define GKGPU_BENCH_COMMON_HPP
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -94,6 +99,57 @@ inline FilterRunStats RunEngine(const Dataset& data, int length, int e,
   std::vector<PairResult> results;
   return engine.FilterPairs(data.reads, data.refs, &results);
 }
+
+/// Flat machine-readable bench report, written as BENCH_<name>.json next
+/// to the binary (override the path with GKGPU_BENCH_JSON; an empty value
+/// suppresses the file).  Keys keep insertion order, values are emitted
+/// with enough precision to diff trajectories across commits; CI uploads
+/// the files as workflow artifacts.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+
+  /// Writes the report; returns the path written ("" when suppressed or
+  /// unwritable).
+  std::string Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* env = std::getenv("GKGPU_BENCH_JSON")) path = env;
+    if (path.empty()) return {};
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
+      return {};
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : fields_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("bench report written to %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  /// (key, pre-rendered JSON value) in insertion order.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace gkgpu::bench
 

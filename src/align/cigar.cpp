@@ -9,8 +9,9 @@ namespace gkgpu {
 
 namespace {
 constexpr int kInf = 1 << 29;
+}  // namespace
 
-std::string Compress(const std::string& ops) {
+std::string CompressCigarOps(const std::string& ops) {
   std::string out;
   std::size_t i = 0;
   while (i < ops.size()) {
@@ -22,8 +23,6 @@ std::string Compress(const std::string& ops) {
   }
   return out;
 }
-
-}  // namespace
 
 Alignment BandedAlign(std::string_view read, std::string_view ref, int k) {
   const int m = static_cast<int>(read.size());
@@ -99,7 +98,7 @@ Alignment BandedAlign(std::string_view read, std::string_view ref, int k) {
     --d;
   }
   std::reverse(ops.begin(), ops.end());
-  result.cigar = Compress(ops);
+  result.cigar = CompressCigarOps(ops);
   return result;
 }
 
@@ -111,7 +110,8 @@ int CigarEdits(std::string_view read, std::string_view ref,
   std::size_t p = 0;
   while (p < cigar.size()) {
     std::size_t q = p;
-    while (q < cigar.size() && std::isdigit(static_cast<unsigned char>(cigar[q]))) {
+    while (q < cigar.size() &&
+           std::isdigit(static_cast<unsigned char>(cigar[q]))) {
       ++q;
     }
     if (q == p || q >= cigar.size()) return -1;

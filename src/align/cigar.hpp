@@ -27,6 +27,11 @@ Alignment BandedAlign(std::string_view read, std::string_view ref, int k);
 int CigarEdits(std::string_view read, std::string_view ref,
                const std::string& cigar);
 
+/// Run-length encodes a per-column op string ("MMIDM" -> "2M1I1D1M") —
+/// the final step of every traceback that emits a CIGAR (BandedAlign,
+/// LocalAligner::BestFit).
+std::string CompressCigarOps(const std::string& ops);
+
 }  // namespace gkgpu
 
 #endif  // GKGPU_ALIGN_CIGAR_HPP

@@ -1,0 +1,117 @@
+#include "align/local.hpp"
+
+#include <algorithm>
+
+#include "align/cigar.hpp"
+
+namespace gkgpu {
+
+namespace {
+constexpr int kInf = 1 << 29;
+}  // namespace
+
+LocalAlignment LocalAligner::BestFit(std::string_view read,
+                                     std::string_view ref, int max_edits,
+                                     std::int64_t max_begin) {
+  if (max_edits < 0) return {};
+  const int m = static_cast<int>(read.size());
+  const int n = static_cast<int>(ref.size());
+  const std::size_t stride = static_cast<std::size_t>(n) + 1;
+  dp_.assign(static_cast<std::size_t>(m + 1) * stride, kInf);
+  auto at = [&](int i, int j) -> int& {
+    return dp_[static_cast<std::size_t>(i) * stride +
+               static_cast<std::size_t>(j)];
+  };
+
+  // Row 0 is free up to max_begin: a placement may start before any
+  // admissible reference base, but never past the bound.
+  const int begin_limit =
+      max_begin < 0
+          ? n
+          : static_cast<int>(std::min<std::int64_t>(n, max_begin));
+  for (int j = 0; j <= begin_limit; ++j) at(0, j) = 0;
+  for (int i = 1; i <= m; ++i) {
+    // Within the budget, i read bases consume at least i - max_edits
+    // reference bases; earlier columns cannot reach the answer row.
+    const int j_lo = std::max(0, i - max_edits);
+    if (j_lo == 0) at(i, 0) = i;
+    for (int j = std::max(1, j_lo); j <= n; ++j) {
+      int v = kInf;
+      if (at(i - 1, j - 1) < kInf) {
+        const int cost = read[static_cast<std::size_t>(i - 1)] ==
+                                 ref[static_cast<std::size_t>(j - 1)]
+                             ? 0
+                             : 1;
+        v = std::min(v, at(i - 1, j - 1) + cost);  // M
+      }
+      if (at(i - 1, j) < kInf) v = std::min(v, at(i - 1, j) + 1);  // I
+      if (at(i, j - 1) < kInf) v = std::min(v, at(i, j - 1) + 1);  // D
+      // Cells past the budget can never recover (costs are nonnegative);
+      // poisoning them keeps each row's live span O(max_edits) wide.
+      at(i, j) = v > max_edits ? kInf : v;
+    }
+  }
+
+  // Free end: the placement may stop before the window does.  Smallest
+  // final column on ties -> the leftmost-ending placement, deterministic.
+  int best_j = -1;
+  int best = kInf;
+  for (int j = 0; j <= n; ++j) {
+    if (at(m, j) < best) {
+      best = at(m, j);
+      best_j = j;
+    }
+  }
+  if (best_j < 0 || best > max_edits) return {};
+
+  LocalAlignment result;
+  result.edits = best;
+  // Placement multiplicity: cluster tied end columns — ends within
+  // max_edits of each other are variants of one placement (shifting an
+  // end by one column costs an edit), farther apart they are distinct
+  // loci of a repeat.
+  int last_tied = -1;
+  for (int j = 0; j <= n; ++j) {
+    if (at(m, j) != best) continue;
+    if (last_tied < 0 || j - last_tied > std::max(1, max_edits)) {
+      ++result.placements;
+    }
+    last_tied = j;
+  }
+  // Traceback to row 0, preferring M so runs stay long; the row-0 column
+  // reached is the placement's first reference base.
+  std::string ops;
+  int i = m;
+  int j = best_j;
+  while (i > 0) {
+    const int cur = at(i, j);
+    if (j > 0 && at(i - 1, j - 1) < kInf) {
+      const int cost = read[static_cast<std::size_t>(i - 1)] ==
+                               ref[static_cast<std::size_t>(j - 1)]
+                           ? 0
+                           : 1;
+      if (at(i - 1, j - 1) + cost == cur) {
+        ops.push_back('M');
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (at(i - 1, j) < kInf && at(i - 1, j) + 1 == cur) {
+      ops.push_back('I');
+      --i;
+      continue;
+    }
+    // Remaining possibility: a reference base inside the placement is
+    // unmatched.
+    ops.push_back('D');
+    --j;
+  }
+  std::reverse(ops.begin(), ops.end());
+  result.ref_begin = j;
+  result.ref_span = best_j - j;
+  result.cigar = CompressCigarOps(ops);
+  return result;
+}
+
+}  // namespace gkgpu

@@ -25,14 +25,16 @@ int MyersAligner::Distance(std::string_view a, std::string_view b) {
   if (n == 0) return m;
   const int nblocks = (m + kW - 1) / kW;
   BuildPeq(a, nblocks);
-  blocks_.assign(static_cast<std::size_t>(nblocks), Block{~std::uint64_t{0}, 0});
+  blocks_.assign(static_cast<std::size_t>(nblocks),
+                 Block{~std::uint64_t{0}, 0});
   // High bit of the last (possibly partial) block marks pattern row m.
   const std::uint64_t last_high =
       std::uint64_t{1} << ((m - 1) % kW);
   int score = m;
   for (int j = 0; j < n; ++j) {
     const auto c = static_cast<unsigned char>(b[static_cast<std::size_t>(j)]);
-    const std::uint64_t* peq_c = peq_.data() + static_cast<std::size_t>(c) * nblocks;
+    const std::uint64_t* peq_c =
+        peq_.data() + static_cast<std::size_t>(c) * nblocks;
     int hin = 1;  // D[0][j] = j boundary: +1 enters the top block each column
     for (int bi = 0; bi < nblocks; ++bi) {
       Block& blk = blocks_[static_cast<std::size_t>(bi)];

@@ -32,8 +32,9 @@ gpusim::KernelCost EstimateKernelCost(int length, int e,
   const double mask_words = MaskWords(length);
   const double masks = 2.0 * e + 1.0;
   gpusim::KernelCost cost;
-  cost.ops_per_thread = kOpsBase + masks * (kOpsPerEncWordPerMask * enc_words +
-                                            kOpsPerMaskWordPerMask * mask_words);
+  cost.ops_per_thread =
+      kOpsBase + masks * (kOpsPerEncWordPerMask * enc_words +
+                          kOpsPerMaskWordPerMask * mask_words);
   // PCIe-visible bytes: encoded read + encoded/extracted ref + result +
   // index; raw characters replace the encoded read when the device encodes.
   double bytes = 2.0 * enc_words * sizeof(Word) + 12.0;
@@ -85,7 +86,8 @@ SystemPlan ConfigureSystem(const gpusim::Device& device,
   std::size_t pairs = static_cast<std::size_t>(
       budget / static_cast<double>(plan.pair_buffer_bytes));
   // Round down to whole blocks and keep the grid within a sane bound.
-  const std::size_t per_block = static_cast<std::size_t>(plan.threads_per_block);
+  const std::size_t per_block =
+      static_cast<std::size_t>(plan.threads_per_block);
   pairs = std::max(per_block, pairs - pairs % per_block);
   constexpr std::size_t kMaxPairsPerLaunch = std::size_t{1} << 26;  // 67M
   plan.pairs_per_batch = std::min(pairs, kMaxPairsPerLaunch);

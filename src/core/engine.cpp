@@ -366,11 +366,9 @@ std::size_t GateKeeperGpuEngine::PrepareCandidateStreaming(
   return cand_streaming_capacity_;
 }
 
-double GateKeeperGpuEngine::EncodeCandidatesSlot(int device, int slot,
-                                                 const std::string* reads,
-                                                 std::size_t read_count,
-                                                 const CandidatePair* candidates,
-                                                 std::size_t count) {
+double GateKeeperGpuEngine::EncodeCandidatesSlot(
+    int device, int slot, const std::string* reads, std::size_t read_count,
+    const CandidatePair* candidates, std::size_t count) {
   assert(device >= 0 && device < device_count());
   assert(slot >= 0 && slot < cand_streaming_slots_);
   assert(count <= cand_streaming_capacity_);

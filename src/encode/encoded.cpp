@@ -37,8 +37,8 @@ EncodedBatch EncodeBatch(const std::vector<std::string>& seqs, int length,
   EncodedBatch batch;
   batch.length = length;
   batch.words_per_seq = EncodedWords(length);
-  batch.words.assign(seqs.size() * static_cast<std::size_t>(batch.words_per_seq),
-                     0);
+  batch.words.assign(
+      seqs.size() * static_cast<std::size_t>(batch.words_per_seq), 0);
   batch.has_n.assign(seqs.size(), 0);
   auto encode_range = [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
@@ -62,8 +62,8 @@ bool RangeHasUnknownRaw(const Word* n_mask, std::int64_t ref_len,
   while (p < end) {
     const std::int64_t word = p / kWordBits;
     const int first_bit = static_cast<int>(p % kWordBits);
-    const int bits_here =
-        static_cast<int>(std::min<std::int64_t>(kWordBits - first_bit, end - p));
+    const int bits_here = static_cast<int>(
+        std::min<std::int64_t>(kWordBits - first_bit, end - p));
     Word window = n_mask[static_cast<std::size_t>(word)];
     // Keep only bits [first_bit, first_bit + bits_here) (MSB-first).
     window <<= first_bit;
@@ -111,8 +111,8 @@ void ReferenceEncoding::ExtractSegment(std::int64_t start, int len,
 ReferenceEncoding EncodeReference(std::string_view text, ThreadPool* pool) {
   ReferenceEncoding ref;
   ref.length = static_cast<std::int64_t>(text.size());
-  const std::size_t enc_words =
-      static_cast<std::size_t>((ref.length + kBasesPerWord - 1) / kBasesPerWord);
+  const std::size_t enc_words = static_cast<std::size_t>(
+      (ref.length + kBasesPerWord - 1) / kBasesPerWord);
   const std::size_t mask_words =
       static_cast<std::size_t>((ref.length + kWordBits - 1) / kWordBits);
   ref.words.assign(enc_words, 0);

@@ -41,8 +41,8 @@ void GateKeeperCpu::FilterBatch(const PairView* pairs, std::size_t n,
       if (pairs[i].bypass != 0) {
         results[i] = {true, 0};
       } else {
-        results[i] =
-            GateKeeperFiltration(pairs[i].read, pairs[i].ref, length, e, params_);
+        results[i] = GateKeeperFiltration(pairs[i].read, pairs[i].ref,
+                                          length, e, params_);
       }
     }
   };

@@ -91,7 +91,8 @@ inline void GateKeeperMask(const Word* read_enc, const Word* ref_enc,
   }
   if (p.mode == GateKeeperMode::kImproved && shift != 0) {
     if (shift > 0) {
-      SetBitRange(mask, 0, shift);  // leading bits vacated by the deletion shift
+      // Leading bits vacated by the deletion shift.
+      SetBitRange(mask, 0, shift);
     } else {
       SetBitRange(mask, length + shift, length);  // trailing bits (insertion)
     }

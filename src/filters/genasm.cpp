@@ -46,7 +46,8 @@ bool BitapWithinEditDistance(std::string_view pattern, std::string_view text,
   // Peq[c] bit i: pattern[i] == c.
   std::uint64_t peq[256][kMaxBlocks] = {};
   for (int i = 0; i < m; ++i) {
-    const auto c = static_cast<unsigned char>(pattern[static_cast<std::size_t>(i)]);
+    const auto c =
+        static_cast<unsigned char>(pattern[static_cast<std::size_t>(i)]);
     peq[c][i / kW] |= std::uint64_t{1} << (i % kW);
   }
 
@@ -62,7 +63,8 @@ bool BitapWithinEditDistance(std::string_view pattern, std::string_view text,
   }
 
   for (int j = 0; j < n; ++j) {
-    const auto c = static_cast<unsigned char>(text[static_cast<std::size_t>(j)]);
+    const auto c =
+        static_cast<unsigned char>(text[static_cast<std::size_t>(j)]);
     // Empty-prefix ("bit -1") states: edit("", text[0..j']) = j' + 1.
     // Carried into shifts as the incoming LSB.
     // Before this character, j characters were consumed: dist = j.

@@ -20,8 +20,8 @@ void NeighborhoodMap::Build(std::string_view read, std::string_view ref,
     for (int j = 0; j < length_; ++j) {
       const int rj = j + d;
       const bool mismatch =
-          rj < 0 || rj >= length_ ||
-          read[static_cast<std::size_t>(j)] != ref[static_cast<std::size_t>(rj)];
+          rj < 0 || rj >= length_ || read[static_cast<std::size_t>(j)] !=
+                                         ref[static_cast<std::size_t>(rj)];
       if (mismatch) SetMaskBit(row, j);
     }
   }

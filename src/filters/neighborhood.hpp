@@ -25,8 +25,8 @@ class NeighborhoodMap {
 
   /// Bit-vector for diagonal d (-e <= d <= +e), MSB-first packed.
   const Word* Diagonal(int d) const {
-    return words_.data() +
-           static_cast<std::size_t>(d + e_) * static_cast<std::size_t>(mask_words_);
+    return words_.data() + static_cast<std::size_t>(d + e_) *
+                               static_cast<std::size_t>(mask_words_);
   }
 
   /// Length of the run of 0s (matches) on diagonal d starting at column j.

@@ -59,8 +59,9 @@ double Device::AccountKernel(const LaunchConfig& cfg, const KernelCost& cost,
   // sustained draw toward TDP, and lower-clocked parts draw a smaller
   // fraction of theirs — reproducing Table 6's 100-vs-250 bp gap and the
   // Setup 1 / Setup 2 split.  Calibrated against the paper's nvprof data.
-  const double activity = std::min(
-      1.0, (0.3 + cost.ops_per_thread / 11000.0) * (props_.core_clock_ghz / 1.6));
+  const double activity =
+      std::min(1.0, (0.3 + cost.ops_per_thread / 11000.0) *
+                        (props_.core_clock_ghz / 1.6));
   power_.SampleKernel(activity, busy);
   return busy;
 }

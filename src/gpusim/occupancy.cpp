@@ -44,7 +44,8 @@ OccupancyResult ComputeOccupancy(const DeviceProperties& props,
     by_smem = static_cast<int>(props.shared_mem_per_sm / shared_mem_per_block);
   }
 
-  r.blocks_per_sm = std::max(0, std::min({by_warps, by_blocks, by_regs, by_smem}));
+  r.blocks_per_sm =
+      std::max(0, std::min({by_warps, by_blocks, by_regs, by_smem}));
   r.active_warps_per_sm = r.blocks_per_sm * warps_per_block;
   r.occupancy = r.max_warps_per_sm > 0
                     ? static_cast<double>(r.active_warps_per_sm) /

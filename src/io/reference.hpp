@@ -43,7 +43,9 @@ class ReferenceSet {
   /// The concatenated text (what the k-mer index and the engine's encoded
   /// reference are built over).
   const std::string& text() const { return text_; }
-  std::int64_t length() const { return static_cast<std::int64_t>(text_.size()); }
+  std::int64_t length() const {
+    return static_cast<std::int64_t>(text_.size());
+  }
   /// FingerprintText(text()), maintained incrementally across Add() calls;
   /// lets candidate-mode pipelines check reference identity against
   /// GateKeeperGpuEngine::reference_fingerprint() without rescanning the

@@ -233,7 +233,7 @@ MappingStats ReadMapper::MapReadsStreaming(
           candidates_total += positions->size();
           return &reads[cur_read];
         },
-        [&](const OrientedCandidate&) {
+        [&](const OrientedCandidate&, bool) {
           batch->read_index.push_back(static_cast<std::uint32_t>(cur_read));
         });
     seed_seconds += seed_timer.Seconds();

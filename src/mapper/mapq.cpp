@@ -1,0 +1,58 @@
+#include "mapper/mapq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gkgpu {
+
+int ComputeMapq(double best, double second, std::size_t best_count, int cap) {
+  if (cap <= 0) return 0;
+  if (best_count >= 2) return 0;  // tied repeat placements: a coin flip
+  const int base =
+      cap - kEditDiscount * static_cast<int>(std::llround(best));
+  int mapq = base;
+  if (second >= 0.0) {
+    const int gap =
+        static_cast<int>(std::llround(kGapScale * (second - best)));
+    mapq = std::min(mapq, gap);
+  }
+  return std::clamp(mapq, 0, cap);
+}
+
+EditSummary SummarizeEdits(const std::vector<int>& edits) {
+  EditSummary s;
+  for (const int e : edits) {
+    if (s.best < 0 || e < s.best) {
+      if (s.best >= 0) {
+        s.second = s.second < 0 ? s.best : std::min(s.second, s.best);
+      }
+      s.best = e;
+      s.best_count = 1;
+    } else if (e == s.best) {
+      ++s.best_count;
+    } else if (s.second < 0 || e < s.second) {
+      s.second = e;
+    }
+  }
+  return s;
+}
+
+std::vector<int> AssignMapqs(const std::vector<int>& edits, int cap) {
+  std::vector<int> out(edits.size(), 0);
+  if (edits.empty()) return out;
+  const EditSummary s = SummarizeEdits(edits);
+  for (std::size_t i = 0; i < edits.size(); ++i) {
+    if (edits[i] == s.best) {
+      out[i] = ComputeMapq(s.best, s.second, s.best_count, cap);
+      break;
+    }
+  }
+  return out;
+}
+
+int RescueMapq(int anchor_mapq, int rescued_edits, int cap) {
+  const int own = cap - kEditDiscount * rescued_edits;
+  return std::clamp(std::min(anchor_mapq, own), 0, cap);
+}
+
+}  // namespace gkgpu

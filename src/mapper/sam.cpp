@@ -5,8 +5,35 @@
 
 #include "align/cigar.hpp"
 #include "encode/revcomp.hpp"
+#include "mapper/mapq.hpp"
 
 namespace gkgpu {
+
+namespace {
+
+/// Iterates `records` as contiguous per-read groups (the order every
+/// mapping driver emits) and hands each group to `emit` together with its
+/// per-record MAPQs, derived from the group's multiplicity and edit gap.
+template <typename Emit>
+void ForEachRecordWithMapq(const std::vector<MappingRecord>& records,
+                           int mapq_cap, Emit&& emit) {
+  std::vector<int> edits;
+  std::size_t i = 0;
+  while (i < records.size()) {
+    std::size_t j = i;
+    edits.clear();
+    while (j < records.size() &&
+           records[j].read_index == records[i].read_index) {
+      edits.push_back(records[j].edit_distance);
+      ++j;
+    }
+    const std::vector<int> mapqs = AssignMapqs(edits, mapq_cap);
+    for (std::size_t r = i; r < j; ++r) emit(records[r], mapqs[r - i]);
+    i = j;
+  }
+}
+
+}  // namespace
 
 void WriteSam(std::ostream& out, const SamRecord& rec) {
   out << rec.qname << '\t' << rec.flags << '\t' << rec.rname << '\t'
@@ -39,13 +66,15 @@ void WriteSamHeader(std::ostream& out, const ReferenceSet& ref,
 
 void WriteSamRecord(std::ostream& out, std::string_view read_name, int flags,
                     std::string_view seq, std::int64_t pos, int edit_distance,
-                    std::string_view ref_name, std::string_view read_group) {
+                    int mapq, std::string_view ref_name,
+                    std::string_view read_group) {
   const std::string cigar = std::to_string(seq.size()) + "M";
   SamRecord rec;
   rec.qname = read_name;
   rec.flags = flags;
   rec.rname = ref_name;
   rec.pos = pos;
+  rec.mapq = mapq;
   rec.cigar = cigar;
   rec.seq = seq;
   rec.nm = edit_distance;
@@ -55,13 +84,14 @@ void WriteSamRecord(std::ostream& out, std::string_view read_name, int flags,
 
 void WriteSamLine(std::ostream& out, std::string_view read_name, int flags,
                   std::string_view seq, std::string_view chrom_name,
-                  std::int64_t local_pos, int edit_distance,
+                  std::int64_t local_pos, int edit_distance, int mapq,
                   std::string_view cigar, std::string_view read_group) {
   SamRecord rec;
   rec.qname = read_name;
   rec.flags = flags;
   rec.rname = chrom_name;
   rec.pos = local_pos;
+  rec.mapq = mapq;
   rec.cigar = cigar;
   rec.seq = seq;
   rec.nm = edit_distance;
@@ -72,47 +102,50 @@ void WriteSamLine(std::ostream& out, std::string_view read_name, int flags,
 void WriteSamAlignment(std::ostream& out, std::string_view read_name,
                        int flags, std::string_view seq,
                        std::string_view chrom_name, std::int64_t local_pos,
-                       int edit_distance, std::string_view ref_window,
+                       int edit_distance, int mapq,
+                       std::string_view ref_window,
                        std::string_view read_group) {
   const Alignment aln = BandedAlign(seq, ref_window, edit_distance);
   const std::string cigar =
       aln.distance >= 0 ? aln.cigar : std::to_string(seq.size()) + "M";
   WriteSamLine(out, read_name, flags, seq, chrom_name, local_pos,
-               edit_distance, cigar, read_group);
+               edit_distance, mapq, cigar, read_group);
 }
 
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
                      const std::vector<MappingRecord>& records,
-                     std::string_view ref_name) {
+                     std::string_view ref_name, int mapq_cap) {
   std::string rc;
-  for (const MappingRecord& m : records) {
-    const std::string& read = reads[m.read_index];
-    const int flags = m.strand != 0 ? kSamReverse : 0;
-    if (m.strand != 0) ReverseComplementInto(read, &rc);
-    WriteSamRecord(out, "read" + std::to_string(m.read_index), flags,
-                   m.strand != 0 ? std::string_view(rc)
-                                 : std::string_view(read),
-                   m.pos, m.edit_distance, ref_name);
-  }
+  ForEachRecordWithMapq(
+      records, mapq_cap, [&](const MappingRecord& m, int mapq) {
+        const std::string& read = reads[m.read_index];
+        const int flags = m.strand != 0 ? kSamReverse : 0;
+        if (m.strand != 0) ReverseComplementInto(read, &rc);
+        WriteSamRecord(out, "read" + std::to_string(m.read_index), flags,
+                       m.strand != 0 ? std::string_view(rc)
+                                     : std::string_view(read),
+                       m.pos, m.edit_distance, mapq, ref_name);
+      });
 }
 
 void WriteSamRecordsWithCigar(std::ostream& out,
                               const std::vector<std::string>& reads,
                               const std::vector<MappingRecord>& records,
                               std::string_view ref_name,
-                              std::string_view genome) {
+                              std::string_view genome, int mapq_cap) {
   std::string rc;
-  for (const MappingRecord& m : records) {
-    const std::string& read = reads[m.read_index];
-    const std::string_view segment =
-        genome.substr(static_cast<std::size_t>(m.pos), read.size());
-    const int flags = m.strand != 0 ? kSamReverse : 0;
-    if (m.strand != 0) ReverseComplementInto(read, &rc);
-    WriteSamAlignment(out, "read" + std::to_string(m.read_index), flags,
-                      m.strand != 0 ? std::string_view(rc)
-                                    : std::string_view(read),
-                      ref_name, m.pos, m.edit_distance, segment);
-  }
+  ForEachRecordWithMapq(
+      records, mapq_cap, [&](const MappingRecord& m, int mapq) {
+        const std::string& read = reads[m.read_index];
+        const std::string_view segment =
+            genome.substr(static_cast<std::size_t>(m.pos), read.size());
+        const int flags = m.strand != 0 ? kSamReverse : 0;
+        if (m.strand != 0) ReverseComplementInto(read, &rc);
+        WriteSamAlignment(out, "read" + std::to_string(m.read_index), flags,
+                          m.strand != 0 ? std::string_view(rc)
+                                        : std::string_view(read),
+                          ref_name, m.pos, m.edit_distance, mapq, segment);
+      });
 }
 
 void WriteSamRecordsMultiChrom(std::ostream& out,
@@ -120,31 +153,34 @@ void WriteSamRecordsMultiChrom(std::ostream& out,
                                const std::vector<std::string>& names,
                                const std::vector<MappingRecord>& records,
                                const ReferenceSet& ref,
-                               std::string_view read_group) {
+                               std::string_view read_group, int mapq_cap) {
   const std::string_view genome = ref.text();
   std::string rc;
-  for (const MappingRecord& m : records) {
-    const std::string& read = reads[m.read_index];
-    const int chrom = ref.Locate(m.pos);
-    if (chrom < 0) {
-      throw std::runtime_error("SAM: mapping position outside the reference");
-    }
-    const std::string_view segment =
-        genome.substr(static_cast<std::size_t>(m.pos), read.size());
-    const std::string fallback = "read" + std::to_string(m.read_index);
-    const std::string_view name =
-        names.empty() ? std::string_view(fallback) : names[m.read_index];
-    // The record's SEQ is the strand the mapping verified: the read itself
-    // on the forward strand, its reverse complement (FLAG 0x10) otherwise.
-    const int flags = m.strand != 0 ? kSamReverse : 0;
-    if (m.strand != 0) ReverseComplementInto(read, &rc);
-    WriteSamAlignment(out, name, flags,
-                      m.strand != 0 ? std::string_view(rc)
-                                    : std::string_view(read),
-                      ref.chromosome(static_cast<std::size_t>(chrom)).name,
-                      ref.ToLocal(chrom, m.pos), m.edit_distance, segment,
-                      read_group);
-  }
+  ForEachRecordWithMapq(
+      records, mapq_cap, [&](const MappingRecord& m, int mapq) {
+        const std::string& read = reads[m.read_index];
+        const int chrom = ref.Locate(m.pos);
+        if (chrom < 0) {
+          throw std::runtime_error(
+              "SAM: mapping position outside the reference");
+        }
+        const std::string_view segment =
+            genome.substr(static_cast<std::size_t>(m.pos), read.size());
+        const std::string fallback = "read" + std::to_string(m.read_index);
+        const std::string_view name =
+            names.empty() ? std::string_view(fallback) : names[m.read_index];
+        // The record's SEQ is the strand the mapping verified: the read
+        // itself on the forward strand, its reverse complement (FLAG 0x10)
+        // otherwise.
+        const int flags = m.strand != 0 ? kSamReverse : 0;
+        if (m.strand != 0) ReverseComplementInto(read, &rc);
+        WriteSamAlignment(out, name, flags,
+                          m.strand != 0 ? std::string_view(rc)
+                                        : std::string_view(read),
+                          ref.chromosome(static_cast<std::size_t>(chrom)).name,
+                          ref.ToLocal(chrom, m.pos), m.edit_distance, mapq,
+                          segment, read_group);
+      });
 }
 
 }  // namespace gkgpu

@@ -1,9 +1,13 @@
 // SAM output for mapping results: header (multi-chromosome @SQ lines, an
 // optional @RG read group) plus full-fidelity alignment records with FLAG
 // semantics — strand bits for reverse-complement mappings, the complete
-// paired-end bit set (0x1/0x2/0x4/0x8/0x10/0x20/0x40/0x80), RNEXT/PNEXT/
-// TLEN, and NM / RG:Z tags.  Records carrying FLAG 0x10 emit the
-// reverse-complemented SEQ and reversed QUAL, per the spec.
+// paired-end bit set (0x1/0x2/0x4/0x8/0x10/0x20/0x40/0x80) plus the
+// duplicate bit (0x400), RNEXT/PNEXT/TLEN, and NM / RG:Z tags.  Records
+// carrying FLAG 0x10 emit the reverse-complemented SEQ and reversed QUAL,
+// per the spec.  Every record carries a computed MAPQ (mapper/mapq.hpp):
+// the record-list writers derive it from each read's candidate
+// multiplicity and best/second-best edit gap, and unmapped records carry
+// MAPQ 0 — 255 ("unavailable") is never emitted.
 #ifndef GKGPU_MAPPER_SAM_HPP
 #define GKGPU_MAPPER_SAM_HPP
 
@@ -14,6 +18,7 @@
 
 #include "io/reference.hpp"
 #include "mapper/mapper.hpp"
+#include "mapper/mapq.hpp"
 
 namespace gkgpu {
 
@@ -26,6 +31,7 @@ inline constexpr int kSamReverse = 0x10;
 inline constexpr int kSamMateReverse = 0x20;
 inline constexpr int kSamFirstInPair = 0x40;
 inline constexpr int kSamSecondInPair = 0x80;
+inline constexpr int kSamDuplicate = 0x400;
 
 /// One alignment line, all eleven mandatory fields plus the tags this
 /// library emits.  Positions are 0-based (the writer adds the SAM +1);
@@ -37,7 +43,9 @@ struct SamRecord {
   int flags = 0;
   std::string_view rname = "*";
   std::int64_t pos = -1;
-  int mapq = 255;
+  /// Computed mapping quality; 0 (not 255) for unmapped or unscored
+  /// records, so no emitted line ever claims "MAPQ unavailable".
+  int mapq = 0;
   std::string_view cigar = "*";
   std::string_view rnext = "*";
   std::int64_t pnext = -1;
@@ -64,14 +72,14 @@ void WriteSamHeader(std::ostream& out, const ReferenceSet& ref,
 /// (reverse-complemented when flags carry 0x10).
 void WriteSamRecord(std::ostream& out, std::string_view read_name, int flags,
                     std::string_view seq, std::int64_t pos, int edit_distance,
-                    std::string_view ref_name,
+                    int mapq, std::string_view ref_name,
                     std::string_view read_group = {});
 
 /// One single-end alignment line with a caller-supplied CIGAR (e.g.
 /// produced by the pipeline's verification workers).
 void WriteSamLine(std::ostream& out, std::string_view read_name, int flags,
                   std::string_view seq, std::string_view chrom_name,
-                  std::int64_t local_pos, int edit_distance,
+                  std::int64_t local_pos, int edit_distance, int mapq,
                   std::string_view cigar, std::string_view read_group = {});
 
 /// Full-fidelity single record: recomputes the banded alignment of the
@@ -81,12 +89,18 @@ void WriteSamLine(std::ostream& out, std::string_view read_name, int flags,
 void WriteSamAlignment(std::ostream& out, std::string_view read_name,
                        int flags, std::string_view seq,
                        std::string_view chrom_name, std::int64_t local_pos,
-                       int edit_distance, std::string_view ref_window,
+                       int edit_distance, int mapq,
+                       std::string_view ref_window,
                        std::string_view read_group = {});
 
+/// The record-list writers below require `records` grouped by read (each
+/// read's mappings contiguous) — the order every mapping driver produces —
+/// and compute per-record MAPQ from the group's multiplicity and edit gap
+/// (AssignMapqs), capped at `mapq_cap`.
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
                      const std::vector<MappingRecord>& records,
-                     std::string_view ref_name);
+                     std::string_view ref_name,
+                     int mapq_cap = kDefaultMapqCap);
 
 /// Full-fidelity variant: recomputes each mapping's banded alignment
 /// against `genome` and emits the real CIGAR instead of a bare match run.
@@ -96,7 +110,8 @@ void WriteSamRecordsWithCigar(std::ostream& out,
                               const std::vector<std::string>& reads,
                               const std::vector<MappingRecord>& records,
                               std::string_view ref_name,
-                              std::string_view genome);
+                              std::string_view genome,
+                              int mapq_cap = kDefaultMapqCap);
 
 /// Multi-chromosome variant: records carry global (concatenated) positions;
 /// each line is addressed chromosome-locally via `ref`.  `names` supplies
@@ -106,7 +121,8 @@ void WriteSamRecordsMultiChrom(std::ostream& out,
                                const std::vector<std::string>& names,
                                const std::vector<MappingRecord>& records,
                                const ReferenceSet& ref,
-                               std::string_view read_group = {});
+                               std::string_view read_group = {},
+                               int mapq_cap = kDefaultMapqCap);
 
 }  // namespace gkgpu
 

@@ -7,11 +7,15 @@
 #include <deque>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <stdexcept>
+#include <tuple>
 
 #include "align/banded.hpp"
 #include "align/cigar.hpp"
+#include "align/local.hpp"
 #include "encode/revcomp.hpp"
+#include "mapper/mapq.hpp"
 #include "mapper/sam.hpp"
 #include "pipeline/candidate_packer.hpp"
 #include "util/threadpool.hpp"
@@ -123,7 +127,32 @@ struct MateBest {
   std::uint8_t strand = 0;
   int edit = -1;
   bool rescued = false;
+  /// Computed mapping quality (mapper/mapq.hpp); 0 when unmapped.
+  int mapq = 0;
+  /// Rescue found >= 2 distinct minimum-edit placements in the window
+  /// (a repeat): the chosen one is a coin flip and must score MAPQ 0,
+  /// exactly like ties on every other path.
+  bool ambiguous = false;
+  /// Reference bases the placement consumes: the read length for
+  /// verified candidates (banded verification is length-vs-length), the
+  /// fit alignment's span for rescued placements — fragment lengths and
+  /// duplicate signatures must use this, not the read length, or indel
+  /// rescues understate TLEN.
+  int ref_span = 0;
+  /// Rescue-path CIGAR from the fit aligner's traceback (a rescued
+  /// placement may span != read-length reference bases, so the emitter
+  /// must not recompute it from a fixed window); empty = recompute.
+  std::string cigar;
 };
+
+/// Best / runner-up penalty summary of one mate's verified placements,
+/// via the shared scan in mapper/mapq.cpp.
+EditSummary Summarize(const std::vector<MateBest>& v) {
+  std::vector<int> edits;
+  edits.reserve(v.size());
+  for (const MateBest& m : v) edits.push_back(m.edit);
+  return SummarizeEdits(edits);
+}
 
 /// Everything FinalizePair needs besides the pair itself.  One instance
 /// per mapping run; finalization happens strictly in pair input order in
@@ -143,10 +172,24 @@ struct PairFinalizer {
  private:
   double InsertPenalty(std::int64_t frag) const;
   MateBest Rescue(const MateBest& anchor, const std::string& fwd,
-                  const std::string& rc) const;
+                  const std::string& rc);
+  /// True (and remembers the signature) when this proper pair's fragment —
+  /// keyed on (chromosome, position, strand, TLEN) — was already seen, so
+  /// the later copy is the duplicate.  Finalization runs strictly in pair
+  /// input order in both drivers, so marking is deterministic and
+  /// identical across them.
+  bool IsDuplicateFragment(const MateBest& fwd, std::uint8_t first_strand,
+                           std::int64_t frag);
   void EmitMate(const FastqRecord& rec, const std::string& rc, bool first,
                 const MateBest& me, const MateBest& mate, std::int64_t tlen,
-                bool proper);
+                bool proper, bool duplicate);
+
+  LocalAligner rescue_aligner_;
+  /// Fragment signatures of emitted proper pairs (mark_duplicates only):
+  /// global forward-mate position (chromosome + local position in one),
+  /// first-mate strand, fragment length (|TLEN|).
+  std::set<std::tuple<std::int64_t, std::uint8_t, std::int64_t>>
+      seen_fragments_;
 };
 
 /// Insert-size term of the pair score: squared z-distance from the fitted
@@ -160,11 +203,14 @@ double PairFinalizer::InsertPenalty(std::int64_t frag) const {
   return std::min(z * z / 8.0, 8.0);
 }
 
-/// Banded scan of the insert window the model predicts for the lost mate;
-/// smallest edit wins, leftmost on ties.  Deterministic, so both drivers
-/// rescue identically.
+/// Smith-Waterman-style fit alignment over the insert window the model
+/// predicts for the lost mate (align/local.hpp): one banded DP over the
+/// whole window replaces the per-offset banded scans, recovers placements
+/// whose reference span differs from the read length (indels the fixed
+/// L-wide windows could never fit), and yields the CIGAR directly from
+/// the traceback.  Deterministic, so both drivers rescue identically.
 MateBest PairFinalizer::Rescue(const MateBest& anchor, const std::string& fwd,
-                               const std::string& rc) const {
+                               const std::string& rc) {
   const ReferenceSet& ref = mapper->reference();
   std::int64_t frag_lo = L;
   std::int64_t frag_hi = cfg->max_insert;
@@ -183,6 +229,9 @@ MateBest PairFinalizer::Rescue(const MateBest& anchor, const std::string& fwd,
   }
   MateBest best;
   best.strand = anchor.strand == 0 ? 1 : 0;
+  // Bounds on the placement's first reference base, as before; the window
+  // handed to the aligner extends e bases past the last admissible start's
+  // read span so an indel-bearing placement is not clipped at the edge.
   std::int64_t lo, hi;
   if (anchor.strand == 0) {
     lo = anchor.pos + frag_lo - L;
@@ -196,33 +245,75 @@ MateBest PairFinalizer::Rescue(const MateBest& anchor, const std::string& fwd,
   const ChromosomeInfo& info = ref.chromosome(static_cast<std::size_t>(chrom));
   lo = std::max(lo, info.offset);
   hi = std::min(hi, info.offset + info.length - L);
+  if (hi < lo) return best;
+  const std::int64_t window_end =
+      std::min(info.offset + info.length, hi + L + e);
   const std::string& oriented = best.strand != 0 ? rc : fwd;
   const std::string_view genome = mapper->genome();
-  BandedVerifier verifier;  // amortize band rows across the position scan
-  for (std::int64_t p = lo; p <= hi; ++p) {
-    const std::string_view window(genome.data() + p,
-                                  static_cast<std::size_t>(L));
-    const int d = verifier.Distance(oriented, window, e);
-    if (d >= 0 && (!best.mapped || d < best.edit)) {
-      best.mapped = true;
-      best.pos = p;
-      best.edit = d;
-      best.rescued = true;
-      if (d == 0) break;  // cannot improve; leftmost exact hit wins
+
+  // The fit DP is O(read x window); a huge --max-insert window (before
+  // the insert model fits) would balloon that matrix, so the window is
+  // scanned in fixed-width chunks overlapping by L + 2e — wide enough
+  // that every placement lies wholly inside some chunk.  Starts are
+  // bounded to [lo, hi] inside the DP (max_begin): the e-base window
+  // extension only licenses an admissible start to *span* past hi + L,
+  // and a better placement beginning beyond hi cannot shadow an
+  // in-range one.
+  constexpr std::int64_t kFitChunk = 8192;
+  const std::int64_t step =
+      std::max<std::int64_t>(1, kFitChunk - (L + 2 * e));
+  LocalAlignment fit;
+  std::int64_t fit_pos = 0;
+  bool ambiguous = false;
+  for (std::int64_t cs = lo; cs < window_end && cs <= hi; cs += step) {
+    const std::int64_t ce = std::min(window_end, cs + kFitChunk);
+    const std::string_view chunk(genome.data() + cs,
+                                 static_cast<std::size_t>(ce - cs));
+    const LocalAlignment cf =
+        rescue_aligner_.BestFit(oriented, chunk, e, hi - cs);
+    if (cf.edits < 0) continue;
+    const std::int64_t pos = cs + cf.ref_begin;
+    if (fit.edits < 0 || cf.edits < fit.edits) {
+      fit = cf;
+      fit_pos = pos;
+      ambiguous = cf.placements > 1;
+    } else if (cf.edits == fit.edits) {
+      // Ambiguity at the tied-best level: a distinct locus in a later
+      // chunk, or multiple placements inside this chunk (an overlap
+      // re-find of the same placement alone is not ambiguity).
+      if (cf.placements > 1 || std::abs(pos - fit_pos) > std::max(1, e)) {
+        ambiguous = true;
+      }
     }
   }
+  if (fit.edits < 0) return best;
+  best.mapped = true;
+  best.rescued = true;
+  best.pos = fit_pos;
+  best.edit = fit.edits;
+  best.ref_span = fit.ref_span;
+  best.ambiguous = ambiguous;
+  best.cigar = fit.cigar;
   return best;
+}
+
+bool PairFinalizer::IsDuplicateFragment(const MateBest& fwd,
+                                        std::uint8_t first_strand,
+                                        std::int64_t frag) {
+  if (!cfg->mark_duplicates) return false;
+  return !seen_fragments_.emplace(fwd.pos, first_strand, frag).second;
 }
 
 void PairFinalizer::EmitMate(const FastqRecord& rec, const std::string& rc,
                              bool first, const MateBest& me,
                              const MateBest& mate, std::int64_t tlen,
-                             bool proper) {
+                             bool proper, bool duplicate) {
   if (sam == nullptr) return;
   const ReferenceSet& ref = mapper->reference();
 
   int flags = kSamPaired | (first ? kSamFirstInPair : kSamSecondInPair);
   if (proper) flags |= kSamProperPair;
+  if (duplicate) flags |= kSamDuplicate;
   if (!me.mapped) flags |= kSamUnmapped;
   if (!mate.mapped) flags |= kSamMateUnmapped;
   if (me.mapped && me.strand != 0) flags |= kSamReverse;
@@ -265,7 +356,9 @@ void PairFinalizer::EmitMate(const FastqRecord& rec, const std::string& rc,
                               .name);
     out.pnext = mate.mapped ? mate_local : my_local;
   }
-  out.mapq = me.mapped ? 255 : 0;
+  // Unmapped records carry MAPQ 0 (no placement to be confident in);
+  // mapped ones the computed value — never 255 ("unavailable").
+  out.mapq = me.mapped ? me.mapq : 0;
 
   // SEQ/QUAL follow the record's orientation: FLAG 0x10 emits the
   // reverse-complemented sequence and reversed quality string.
@@ -285,10 +378,18 @@ void PairFinalizer::EmitMate(const FastqRecord& rec, const std::string& rc,
 
   std::string cigar;
   if (me.mapped) {
-    const std::string_view window(mapper->genome().data() + me.pos,
-                                  static_cast<std::size_t>(L));
-    const Alignment aln = BandedAlign(seq, window, me.edit);
-    cigar = aln.distance >= 0 ? aln.cigar : std::to_string(seq.size()) + "M";
+    if (!me.cigar.empty()) {
+      // Rescue placements carry the fit aligner's traceback; their
+      // reference span may differ from the read length, so recomputing
+      // against a fixed L-wide window would be wrong.
+      cigar = me.cigar;
+    } else {
+      const std::string_view window(mapper->genome().data() + me.pos,
+                                    static_cast<std::size_t>(L));
+      const Alignment aln = BandedAlign(seq, window, me.edit);
+      cigar =
+          aln.distance >= 0 ? aln.cigar : std::to_string(seq.size()) + "M";
+    }
     out.cigar = cigar;
     out.nm = me.edit;
   }
@@ -299,29 +400,40 @@ void PairFinalizer::Finalize(const PairTask& task) {
   PairedStats& st = *stats;
   if (task.skipped) {
     ++st.skipped_pairs;
-    EmitMate(task.r1, task.rc1, true, {}, {}, 0, false);
-    EmitMate(task.r2, task.rc2, false, {}, {}, 0, false);
+    EmitMate(task.r1, task.rc1, true, {}, {}, 0, false, false);
+    EmitMate(task.r2, task.rc2, false, {}, {}, 0, false, false);
     return;
   }
 
   // Verified mappings per mate.
   std::vector<MateBest> v1, v2;
+  const auto verified_mate = [this](const OrientedCandidate& c, int edits) {
+    MateBest m;
+    m.mapped = true;
+    m.pos = c.pos;
+    m.strand = c.strand;
+    m.edit = edits;
+    m.ref_span = L;
+    return m;
+  };
   for (std::size_t i = 0; i < task.c1.size(); ++i) {
-    if (task.e1[i] >= 0) {
-      v1.push_back({true, task.c1[i].pos, task.c1[i].strand, task.e1[i],
-                    false});
-    }
+    if (task.e1[i] >= 0) v1.push_back(verified_mate(task.c1[i], task.e1[i]));
   }
   for (std::size_t i = 0; i < task.c2.size(); ++i) {
-    if (task.e2[i] >= 0) {
-      v2.push_back({true, task.c2[i].pos, task.c2[i].strand, task.e2[i],
-                    false});
-    }
+    if (task.e2[i] >= 0) v2.push_back(verified_mate(task.c2[i], task.e2[i]));
   }
 
-  // Best concordant combination under the insert model.
+  // Per-mate placement summaries: the single-end MAPQ evidence.
+  const EditSummary s1 = Summarize(v1);
+  const EditSummary s2 = Summarize(v2);
+
+  // Best concordant combination under the insert model, tracking the
+  // runner-up combination's score — the pair-level MAPQ evidence (both
+  // mates' edits plus the insert term enter the gap, so pairing can
+  // confidently place a mate whose solo placements are repeat-tied).
   bool have_pair = false;
   double best_score = 0.0;
+  double second_score = -1.0;
   MateBest b1, b2;
   std::int64_t best_frag = 0;
   int ties = 0;
@@ -339,6 +451,11 @@ void PairFinalizer::Finalize(const PairTask& task) {
       }
       const double score = m1.edit + m2.edit + InsertPenalty(frag);
       if (!have_pair || score < best_score) {
+        if (have_pair) {
+          second_score =
+              second_score < 0.0 ? best_score
+                                 : std::min(second_score, best_score);
+        }
         have_pair = true;
         best_score = score;
         b1 = m1;
@@ -347,6 +464,9 @@ void PairFinalizer::Finalize(const PairTask& task) {
         ties = 1;
       } else if (score == best_score) {
         ++ties;
+        second_score = best_score;
+      } else if (second_score < 0.0 || score < second_score) {
+        second_score = score;
       }
     }
   }
@@ -356,11 +476,21 @@ void PairFinalizer::Finalize(const PairTask& task) {
     // Only unambiguous pairs train the model — a repeat-torn tie would
     // feed it arbitrary fragment lengths.
     if (ties == 1) model.Observe(static_cast<double>(best_frag));
+    // Both placements stand or fall with the combination, so both mates
+    // carry the pair-level MAPQ.
+    const int pair_mapq =
+        ComputeMapq(best_score, second_score,
+                    static_cast<std::size_t>(ties), cfg->mapq_cap);
+    b1.mapq = pair_mapq;
+    b2.mapq = pair_mapq;
     const bool first_is_fwd = b1.strand == 0;
+    const bool dup = IsDuplicateFragment(first_is_fwd ? b1 : b2, b1.strand,
+                                         best_frag);
+    if (dup) ++st.duplicate_pairs;
     EmitMate(task.r1, task.rc1, true, b1, b2,
-             first_is_fwd ? best_frag : -best_frag, true);
+             first_is_fwd ? best_frag : -best_frag, true, dup);
     EmitMate(task.r2, task.rc2, false, b2, b1,
-             first_is_fwd ? -best_frag : best_frag, true);
+             first_is_fwd ? -best_frag : best_frag, true, dup);
     return;
   }
 
@@ -380,6 +510,13 @@ void PairFinalizer::Finalize(const PairTask& task) {
   };
   MateBest m1 = best_of(v1);
   MateBest m2 = best_of(v2);
+  // Solo evidence: each mate scored against its own placement set.
+  if (m1.mapped) {
+    m1.mapq = ComputeMapq(s1.best, s1.second, s1.best_count, cfg->mapq_cap);
+  }
+  if (m2.mapped) {
+    m2.mapq = ComputeMapq(s2.best, s2.second, s2.best_count, cfg->mapq_cap);
+  }
 
   // Mate rescue: one mapped mate predicts where the other must lie.
   if (cfg->mate_rescue && (m1.mapped != m2.mapped)) {
@@ -388,15 +525,37 @@ void PairFinalizer::Finalize(const PairTask& task) {
                               m1.mapped ? task.rc2 : task.rc1);
     if (rescued.mapped) {
       ++st.rescued_mates;
+      // A rescued placement exists only because of its anchor: its
+      // confidence is bounded by the anchor's and its own residue — and
+      // a repeat-torn rescue window is a tie like any other, score 0.
+      rescued.mapq =
+          rescued.ambiguous
+              ? 0
+              : RescueMapq(anchor.mapq, rescued.edit, cfg->mapq_cap);
+      // Outer fragment span: the rightmost mate's placement may consume
+      // more or fewer than L reference bases when rescue found an indel
+      // — which can push a start-at-the-bound placement past max_insert,
+      // or an insertion-rich one below the read length.  The scored
+      // concordant path can produce neither geometry (it enforces
+      // L <= frag <= max_insert), so such a pair keeps its mapping but
+      // is emitted discordant instead of proper.
+      const MateBest& f = anchor.strand == 0 ? anchor : rescued;
+      const MateBest& r = anchor.strand == 0 ? rescued : anchor;
+      const std::int64_t frag = r.pos + r.ref_span - f.pos;
+      const bool concordant = frag >= L && frag <= cfg->max_insert;
       (m1.mapped ? m2 : m1) = rescued;
-      ++st.proper_pairs;  // the window guarantees concordant geometry
-      const MateBest& f = m1.strand == 0 ? m1 : m2;
-      const MateBest& r = m1.strand == 0 ? m2 : m1;
-      const std::int64_t frag = r.pos + L - f.pos;
+      bool dup = false;
+      if (concordant) {
+        ++st.proper_pairs;
+        dup = IsDuplicateFragment(m1.strand == 0 ? m1 : m2, m1.strand, frag);
+        if (dup) ++st.duplicate_pairs;
+      } else {
+        ++st.discordant_pairs;
+      }
       EmitMate(task.r1, task.rc1, true, m1, m2,
-               m1.strand == 0 ? frag : -frag, true);
+               m1.strand == 0 ? frag : -frag, concordant, dup);
       EmitMate(task.r2, task.rc2, false, m2, m1,
-               m2.strand == 0 ? frag : -frag, true);
+               m2.strand == 0 ? frag : -frag, concordant, dup);
       return;
     }
   }
@@ -411,21 +570,21 @@ void PairFinalizer::Finalize(const PairTask& task) {
           std::max(m1.pos, m2.pos) + L - std::min(m1.pos, m2.pos);
       tlen1 = m1.pos < m2.pos || (m1.pos == m2.pos) ? outer : -outer;
     }
-    EmitMate(task.r1, task.rc1, true, m1, m2, tlen1, false);
-    EmitMate(task.r2, task.rc2, false, m2, m1, -tlen1, false);
+    EmitMate(task.r1, task.rc1, true, m1, m2, tlen1, false, false);
+    EmitMate(task.r2, task.rc2, false, m2, m1, -tlen1, false, false);
     return;
   }
 
   if (m1.mapped || m2.mapped) {
     ++st.single_end_pairs;
-    EmitMate(task.r1, task.rc1, true, m1, m2, 0, false);
-    EmitMate(task.r2, task.rc2, false, m2, m1, 0, false);
+    EmitMate(task.r1, task.rc1, true, m1, m2, 0, false, false);
+    EmitMate(task.r2, task.rc2, false, m2, m1, 0, false, false);
     return;
   }
 
   ++st.unmapped_pairs;
-  EmitMate(task.r1, task.rc1, true, m1, m2, 0, false);
-  EmitMate(task.r2, task.rc2, false, m2, m1, 0, false);
+  EmitMate(task.r1, task.rc1, true, m1, m2, 0, false, false);
+  EmitMate(task.r2, task.rc2, false, m2, m1, 0, false, false);
 }
 
 }  // namespace
@@ -685,7 +844,7 @@ PairedStats PairedEndMapper::MapPairsStreaming(PairedFastqReader& reader,
             // finalizes them in order off the pending deque.
           }
         },
-        [&](const OrientedCandidate&) {
+        [&](const OrientedCandidate&, bool) {
           batch->read_index.push_back(static_cast<std::uint32_t>(cur_pair));
           batch->mate.push_back(cur_mate);
         });

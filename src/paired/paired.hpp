@@ -16,11 +16,21 @@
 //     bit rides inside CandidatePair) and verifies with banded alignment;
 //   * selects the best concordant combination under a fitted insert-size
 //     model (mean/sigma learned online from confident pairs);
-//   * rescues a lost mate by banded scanning of the window the model
-//     predicts when only one mate maps;
+//   * rescues a lost mate with a Smith-Waterman-style fit alignment
+//     (align/local.hpp) over the window the model predicts when only one
+//     mate maps — recovering indel-bearing placements the per-offset
+//     banded scans it replaced could not see;
+//   * scores every record with a computed MAPQ (mapper/mapq.hpp): proper
+//     pairs from the best/second-best concordant-combination score gap
+//     (both mates' evidence combined), everything else from the mate's
+//     own placement multiplicity; tied placements score 0 and unmapped
+//     records 0 — never 255;
+//   * optionally marks PCR/optical duplicate pairs (FLAG 0x400), keyed on
+//     (chromosome, position, strand, TLEN): the first pair seen on a
+//     fragment signature keeps its flags, every later copy is marked;
 //   * emits full SAM pair semantics: FLAG 0x1/0x2/0x4/0x8/0x10/0x20/
-//     0x40/0x80, RNEXT/PNEXT/TLEN, reverse-complemented SEQ and reversed
-//     QUAL on strand-flipped records, NM and RG:Z tags.
+//     0x40/0x80 (+0x400), RNEXT/PNEXT/TLEN, reverse-complemented SEQ and
+//     reversed QUAL on strand-flipped records, NM and RG:Z tags.
 //
 // Two drivers share one finalization path, so their SAM output is
 // byte-identical: MapPairs (blocking, batch-at-a-time) and
@@ -38,6 +48,7 @@
 #include "core/engine.hpp"
 #include "io/paired_fastq.hpp"
 #include "mapper/mapper.hpp"
+#include "mapper/mapq.hpp"
 #include "paired/insert_model.hpp"
 #include "pipeline/pipeline.hpp"
 
@@ -51,6 +62,12 @@ struct PairedConfig {
   /// [read_length, max_insert] fallback window.
   std::uint64_t min_model_observations = 64;
   bool mate_rescue = true;
+  /// Mark duplicate pairs (FLAG 0x400) sharing a fragment signature —
+  /// (chromosome, position, strand, TLEN); the first occurrence stays
+  /// unmarked.  CLI --mark-duplicates.
+  bool mark_duplicates = false;
+  /// MAPQ ceiling (mapper/mapq.hpp).  CLI --mapq-cap.
+  int mapq_cap = kDefaultMapqCap;
   /// Read-group ID: adds RG:Z:<id> to every record ("" = none).  The @RG
   /// header line is the caller's (WriteSamHeader's read_group parameter).
   std::string read_group;
@@ -67,6 +84,9 @@ struct PairedStats {
   std::uint64_t single_end_pairs = 0;  // one mate mapped, rescue failed
   std::uint64_t unmapped_pairs = 0;
   std::uint64_t rescued_mates = 0;
+  /// Proper pairs flagged 0x400 (mark_duplicates only; later copies of an
+  /// already-seen fragment signature).
+  std::uint64_t duplicate_pairs = 0;
 
   std::uint64_t candidates_seeded = 0;  // oriented candidates before pairing
   std::uint64_t candidates_paired = 0;  // survivors entering filtration

@@ -49,6 +49,11 @@ struct PairBatch {
   std::vector<std::string> read_names;
   std::vector<std::int32_t> ref_chrom;
   std::vector<std::int64_t> ref_pos;
+  // Multiplicity plumbing for MAPQ: 1 on a read's final candidate, so the
+  // SAM sink knows when a read's verified-placement count is complete and
+  // can score its records (mapper/mapq.hpp) without waiting for the next
+  // read — a read's candidates may split across batches.
+  std::vector<std::uint8_t> last_of_read;
   // Paired-end provenance: which mate of the pair the candidate belongs to
   // (0 = R1, 1 = R2); read_index then carries the *pair* index.  Empty on
   // single-end streams.

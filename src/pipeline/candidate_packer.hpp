@@ -49,8 +49,12 @@ struct CandidateStream {
 /// Packs up to `target` candidates into `batch`.  `fetch` advances the
 /// stream: fill `positions` with the next read's oriented candidate
 /// locations and return a pointer to its (forward) sequence, or null at
-/// end of stream.  `emit` runs after each candidate is appended, to add
-/// per-pair provenance columns for that candidate.
+/// end of stream.  `emit(oc, last_of_read)` runs after each candidate is
+/// appended, to add per-pair provenance columns; `last_of_read` is true on
+/// the read's final candidate (known up front — seeding fills the whole
+/// position list before packing), so sinks can close a read's group the
+/// moment its multiplicity is complete, even when the read's candidates
+/// split across batches.
 template <typename Fetch, typename Emit>
 void PackCandidateBatch(PairBatch* batch, std::size_t target,
                         CandidateStream* stream, Fetch&& fetch, Emit&& emit) {
@@ -76,7 +80,7 @@ void PackCandidateBatch(PairBatch* batch, std::size_t target,
       batch->candidates.push_back(
           {static_cast<std::uint32_t>(batch->cand_reads.size() - 1), oc.strand,
            oc.pos});
-      emit(oc);
+      emit(oc, stream->offset == stream->positions.size());
     }
     if (stream->offset >= stream->positions.size()) stream->read = nullptr;
   }

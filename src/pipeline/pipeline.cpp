@@ -499,12 +499,14 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
   stats.wall_seconds = run_timer.Seconds();
   for (int d = 0; d < ndev; ++d) {
     stats.filter_seconds =
-        std::max(stats.filter_seconds, device_clock[static_cast<std::size_t>(d)]);
+        std::max(stats.filter_seconds,
+                 device_clock[static_cast<std::size_t>(d)]);
     stats.kernel_seconds =
         std::max(stats.kernel_seconds, device_kt[static_cast<std::size_t>(d)]);
     stats.kernel_seconds_total += device_kt[static_cast<std::size_t>(d)];
     stats.transfer_seconds =
-        std::max(stats.transfer_seconds, device_tr[static_cast<std::size_t>(d)]);
+        std::max(stats.transfer_seconds,
+                 device_tr[static_cast<std::size_t>(d)]);
   }
   stats.encode_seconds = encode_stage.busy_seconds;
   stats.verify_seconds = verify_stage.busy_seconds;

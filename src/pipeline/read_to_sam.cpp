@@ -61,55 +61,84 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
             return &rec.seq;
           }
         },
-        [&](const OrientedCandidate& oc) {
+        [&](const OrientedCandidate& oc, bool last) {
           const int chrom = ref.Locate(oc.pos);
           assert(chrom >= 0);  // seeding only emits in-chromosome windows
           batch->read_index.push_back(read_counter - 1);
           batch->read_names.push_back(rec.name);
           batch->ref_chrom.push_back(chrom);
           batch->ref_pos.push_back(ref.ToLocal(chrom, oc.pos));
+          batch->last_of_read.push_back(last ? 1 : 0);
         });
     return batch->size() > 0;
   };
 
   // The sink sees batches in input order, and within a batch pairs keep
   // the seeding order, so each read's mappings arrive contiguously (even
-  // across a batch split).
+  // across a batch split).  Verified mappings buffer in `group` until the
+  // read's last candidate retires (last_of_read) — only then is the
+  // read's multiplicity known and its records scorable (AssignMapqs),
+  // exactly like the blocking writers.
+  struct GroupRecord {
+    std::string name;
+    int flags = 0;
+    std::string seq;  // already oriented to match the flags
+    std::int32_t chrom = 0;
+    std::int64_t pos = 0;
+    int edits = 0;
+    std::string cigar;
+  };
+  std::vector<GroupRecord> group;
+  std::vector<int> group_edits;
   std::uint32_t last_mapped = 0;
   bool any_mapped = false;
   std::string sink_rc;
   const BatchSink sink = [&](PairBatch&& batch) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (batch.edits[i] < 0) continue;
-      ++out.mappings;
-      if (!any_mapped || batch.read_index[i] != last_mapped) {
-        ++out.mapped_reads;
-        last_mapped = batch.read_index[i];
-        any_mapped = true;
-      }
-      if (sam != nullptr) {
-        // The CIGAR was computed by the (parallel) verification workers;
-        // the ordered sink only formats the line.  Reverse-strand
-        // mappings emit FLAG 0x10 and the reverse-complemented sequence —
-        // the same bytes the blocking writers produce.
-        const CandidatePair c = batch.candidates[i];
-        std::string_view seq = batch.cand_reads[c.read_index];
-        int flags = 0;
-        if (c.strand != 0) {
-          ReverseComplementInto(seq, &sink_rc);
-          seq = sink_rc;
-          flags = kSamReverse;
+      if (batch.edits[i] >= 0) {
+        ++out.mappings;
+        if (!any_mapped || batch.read_index[i] != last_mapped) {
+          ++out.mapped_reads;
+          last_mapped = batch.read_index[i];
+          any_mapped = true;
         }
-        WriteSamLine(
-            *sam, batch.read_names[i], flags, seq,
-            ref.chromosome(static_cast<std::size_t>(batch.ref_chrom[i])).name,
-            batch.ref_pos[i], batch.edits[i], batch.cigars[i],
-            config.read_group);
+        if (sam != nullptr) {
+          // The CIGAR was computed by the (parallel) verification
+          // workers; the ordered sink only formats lines.  Reverse-strand
+          // mappings emit FLAG 0x10 and the reverse-complemented sequence
+          // — the same bytes the blocking writers produce.
+          const CandidatePair c = batch.candidates[i];
+          std::string_view seq = batch.cand_reads[c.read_index];
+          int flags = 0;
+          if (c.strand != 0) {
+            ReverseComplementInto(seq, &sink_rc);
+            seq = sink_rc;
+            flags = kSamReverse;
+          }
+          group.push_back({batch.read_names[i], flags, std::string(seq),
+                           batch.ref_chrom[i], batch.ref_pos[i],
+                           batch.edits[i], std::move(batch.cigars[i])});
+        }
+      }
+      if (sam != nullptr && batch.last_of_read[i] != 0) {
+        group_edits.clear();
+        for (const GroupRecord& g : group) group_edits.push_back(g.edits);
+        const std::vector<int> mapqs =
+            AssignMapqs(group_edits, config.mapq_cap);
+        for (std::size_t g = 0; g < group.size(); ++g) {
+          const GroupRecord& r = group[g];
+          WriteSamLine(
+              *sam, r.name, r.flags, r.seq,
+              ref.chromosome(static_cast<std::size_t>(r.chrom)).name, r.pos,
+              r.edits, mapqs[g], r.cigar, config.read_group);
+        }
+        group.clear();
       }
     }
   };
 
   out.pipeline = pipeline.Run(source, sink);
+  assert(group.empty());  // every read's last candidate flushes its group
   return out;
 }
 
@@ -140,7 +169,9 @@ PipelineStats FilterPairsStreaming(GateKeeperGpuEngine* engine,
   };
   const BatchSink sink = [&](PairBatch&& batch) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (results != nullptr) (*results)[batch.first_pair + i] = batch.results[i];
+      if (results != nullptr) {
+        (*results)[batch.first_pair + i] = batch.results[i];
+      }
       if (edits != nullptr) (*edits)[batch.first_pair + i] = batch.edits[i];
     }
   };

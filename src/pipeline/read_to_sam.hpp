@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mapper/mapper.hpp"
+#include "mapper/mapq.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace gkgpu::pipeline {
@@ -30,6 +31,12 @@ struct ReadToSamConfig {
   /// Read-group ID: RG:Z:<id> on every record ("" = none); the matching
   /// @RG header line is the caller's (WriteSamHeader's read_group).
   std::string read_group;
+  /// MAPQ ceiling (mapper/mapq.hpp): the sink buffers each read's
+  /// verified mappings until its multiplicity is complete
+  /// (PairBatch::last_of_read), scores them with AssignMapqs, and emits —
+  /// the same computation the blocking writers run, so golden SAMs stay
+  /// byte-identical across drivers.
+  int mapq_cap = kDefaultMapqCap;
 };
 
 struct ReadToSamStats {

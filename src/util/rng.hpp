@@ -33,7 +33,9 @@ class Rng {
     return result;
   }
 
-  std::uint32_t NextU32() { return static_cast<std::uint32_t>(NextU64() >> 32); }
+  std::uint32_t NextU32() {
+    return static_cast<std::uint32_t>(NextU64() >> 32);
+  }
 
   /// Uniform integer in [0, n) (n > 0); unbiased enough for simulation use.
   std::uint64_t Uniform(std::uint64_t n) { return NextU64() % n; }

@@ -41,7 +41,9 @@ void ThreadPool::WorkerLoop() {
     Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_job_.wait(lk, [&] { return shutdown_ || (job_ != nullptr && job_seq_ != seen); });
+      cv_job_.wait(lk, [&] {
+        return shutdown_ || (job_ != nullptr && job_seq_ != seen);
+      });
       if (shutdown_) return;
       job = job_;
       seen = job_seq_;

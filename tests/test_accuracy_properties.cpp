@@ -61,8 +61,8 @@ TEST_P(AccuracySweep, ImprovedNeverWorseThanOriginalOnFalseAccepts) {
   int fa_improved = 0;
   int fa_original = 0;
   for (int t = 0; t < 400; ++t) {
-    const int edits =
-        e + 1 + static_cast<int>(rng.Uniform(static_cast<std::uint64_t>(e) + 4));
+    const int edits = e + 1 + static_cast<int>(rng.Uniform(
+                                  static_cast<std::uint64_t>(e) + 4));
     const SequencePair p =
         MakePairWithEdits(length, edits, 0.3, rng.NextU64());
     if (oracle.Distance(p.read, p.ref) <= e) continue;  // not a reject case
@@ -90,7 +90,9 @@ TEST_P(AccuracySweep, AcceptedPairsReportEditsWithinThreshold) {
   GateKeeperFilter filter;
   for (int t = 0; t < 200; ++t) {
     const SequencePair p = MakePairWithEdits(
-        length, static_cast<int>(rng.Uniform(static_cast<std::uint64_t>(length) / 4 + 1)),
+        length,
+        static_cast<int>(
+            rng.Uniform(static_cast<std::uint64_t>(length) / 4 + 1)),
         0.3, rng.NextU64());
     const FilterResult r = filter.Filter(p.read, p.ref, e);
     if (r.accept) {

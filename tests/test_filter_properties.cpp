@@ -109,7 +109,8 @@ TEST_P(FilterSweep, DecisionsAreDeterministic) {
   Rng rng(20000 + static_cast<std::uint64_t>(length) * 97 + e);
   for (int t = 0; t < 60; ++t) {
     const SequencePair p = MakePairWithEdits(
-        length, static_cast<int>(rng.Uniform(static_cast<std::uint64_t>(2 * e) + 3)),
+        length,
+        static_cast<int>(rng.Uniform(static_cast<std::uint64_t>(2 * e) + 3)),
         0.3, rng.NextU64());
     const FilterResult a = f1->Filter(p.read, p.ref, e);
     const FilterResult b = f2->Filter(p.read, p.ref, e);

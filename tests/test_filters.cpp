@@ -201,8 +201,8 @@ TEST(FiltersTest, AccuracyOrderingOnNearThresholdPairs) {
   const int trials = 800;
   std::vector<SequencePair> hard;
   for (int t = 0; t < trials; ++t) {
-    hard.push_back(MakePairWithEdits(100, e + 2 + static_cast<int>(rng.Uniform(6)),
-                                     0.3, rng.NextU64()));
+    hard.push_back(MakePairWithEdits(
+        100, e + 2 + static_cast<int>(rng.Uniform(6)), 0.3, rng.NextU64()));
   }
   auto count_false_accepts = [&](PreAlignmentFilter& f) {
     int fa = 0;

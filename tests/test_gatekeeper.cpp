@@ -144,7 +144,8 @@ TEST(GateKeeperTest, BitParallelMatchesScalarReference) {
         MakePairWithEdits(length, edits, 0.3, rng.NextU64());
     for (const GateKeeperMode mode :
          {GateKeeperMode::kImproved, GateKeeperMode::kOriginal}) {
-      for (const CountMode count : {CountMode::kOneRuns, CountMode::kPopcount}) {
+      for (const CountMode count :
+           {CountMode::kOneRuns, CountMode::kPopcount}) {
         GateKeeperParams params;
         params.mode = mode;
         params.count = count;
@@ -231,7 +232,8 @@ TEST(GateKeeperCpuTest, BatchMatchesSingleFiltrations) {
     cpu.FilterBatch(views.data(), n, length, e, results.data());
     GateKeeperFilter single;
     for (std::size_t i = 0; i < n; ++i) {
-      const FilterResult expected = single.Filter(pairs[i].read, pairs[i].ref, e);
+      const FilterResult expected =
+          single.Filter(pairs[i].read, pairs[i].ref, e);
       ASSERT_EQ(results[i].accept, expected.accept) << "i " << i;
       ASSERT_EQ(results[i].estimated_edits, expected.estimated_edits);
     }

@@ -80,7 +80,8 @@ TEST(DeviceTest, KernelTimeScalesWithWork) {
 TEST(DeviceTest, FaultSecondsExtendKernelTime) {
   Device dev(MakeGtx1080Ti(), 2);
   const LaunchConfig cfg{16, 256};
-  const double clean = dev.Launch(cfg, KernelCost{}, 0.0, [](const ThreadCtx&) {});
+  const double clean =
+      dev.Launch(cfg, KernelCost{}, 0.0, [](const ThreadCtx&) {});
   const double stalled =
       dev.Launch(cfg, KernelCost{}, 0.5, [](const ThreadCtx&) {});
   EXPECT_NEAR(stalled - clean, 0.5, 1e-6);

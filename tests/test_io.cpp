@@ -98,7 +98,8 @@ TEST(FastqTest, TruncationAtEveryRecordBoundary) {
 }
 
 TEST(FastqTest, HandlesCrlfLineEndings) {
-  std::istringstream in("@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nTTNN\r\n+\r\nIIII\r\n");
+  std::istringstream in(
+      "@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nTTNN\r\n+\r\nIIII\r\n");
   const auto records = ReadFastq(in);
   ASSERT_EQ(records.size(), 2u);
   EXPECT_EQ(records[0].seq, "ACGT");

@@ -268,9 +268,10 @@ TEST(MapperTest, ReverseStrandMappingEmitsFlag16AndRevCompSeq) {
   WriteSamRecordsMultiChrom(out, {read}, {"rev_read"}, {*at_origin},
                             mapper.reference());
   const std::string sam = out.str();
-  // FLAG 0x10, POS origin+1, and the reverse-complemented SEQ (= the
-  // forward window the read came from).
-  EXPECT_NE(sam.find("rev_read\t16\tsynthetic_chr1\t5001\t255\t100M"),
+  // FLAG 0x10, POS origin+1, a computed MAPQ (unique exact placement =
+  // the cap), and the reverse-complemented SEQ (= the forward window the
+  // read came from).
+  EXPECT_NE(sam.find("rev_read\t16\tsynthetic_chr1\t5001\t60\t100M"),
             std::string::npos)
       << sam;
   EXPECT_NE(sam.find(window), std::string::npos) << sam;
@@ -306,7 +307,9 @@ TEST(SamTest, WritesWellFormedRecords) {
   WriteSamRecords(out, reads, records, "chrS");
   const std::string sam = out.str();
   EXPECT_NE(sam.find("@SQ\tSN:chrS\tLN:1000"), std::string::npos);
-  EXPECT_NE(sam.find("read0\t0\tchrS\t42\t255\t8M\t*\t0\t0\tACGTACGT"),
+  // A unique placement with 2 residual edits: MAPQ = cap - 2 * edit
+  // discount, never the old 255 placeholder.
+  EXPECT_NE(sam.find("read0\t0\tchrS\t42\t52\t8M\t*\t0\t0\tACGTACGT"),
             std::string::npos);
   EXPECT_NE(sam.find("NM:i:2"), std::string::npos);
 }

@@ -535,7 +535,8 @@ TEST(CandidateStreamingTest, RejectsInvalidCandidates) {
   {
     PairBatch b;  // reference window would run off the genome end
     b.cand_reads.push_back(read);
-    b.candidates.push_back({0, 0, static_cast<std::int64_t>(genome.size()) - 50});
+    b.candidates.push_back(
+        {0, 0, static_cast<std::int64_t>(genome.size()) - 50});
     EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
   }
   {

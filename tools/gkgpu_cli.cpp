@@ -44,6 +44,7 @@
 #include "io/pairset.hpp"
 #include "io/reference.hpp"
 #include "mapper/mapper.hpp"
+#include "mapper/mapq.hpp"
 #include "mapper/sam.hpp"
 #include "paired/paired.hpp"
 #include "pipeline/pipeline.hpp"
@@ -134,19 +135,21 @@ int Usage() {
       "  filter          --pairs FILE --e N [--algo NAME] [--setup 1|2]\n"
       "                  [--devices N] [--encode host|device] [--out FILE]\n"
       "  map             --ref FASTA --e N [--sam FILE] [--setup 1|2]\n"
-      "                  [--devices N] [--read-group ID] and one of:\n"
+      "                  [--devices N] [--read-group ID] [--mapq-cap N]\n"
+      "                  and one of:\n"
       "                    --reads FASTQ [--no-filter] [--streaming]\n"
       "                      [--batch N]\n"
       "                    --paired R1.fq R2.fq | --interleaved FILE\n"
       "                      [--max-insert N] [--no-filter] [--streaming]\n"
-      "                      [--no-rescue] [--batch N]\n"
+      "                      [--no-rescue] [--mark-duplicates] [--batch N]\n"
       "  pipeline        --reads FASTQ --ref FASTA --e N [--sam FILE]\n"
       "                  | --pairs FILE --e N [--out FILE]\n"
       "                  [--batch N] [--queue N] [--encode-workers N]\n"
       "                  [--verify-workers N] [--slots N] [--setup 1|2]\n"
       "                  [--devices N] [--encode host|device]\n"
       "                  [--length N] [--no-verify] [--read-group ID]\n"
-      "                  [--adaptive] [--batch-min N] [--batch-max N]\n"
+      "                  [--mapq-cap N] [--adaptive] [--batch-min N]\n"
+      "                  [--batch-max N]\n"
       "  (FASTA references may be multi-chromosome; SAM output carries one\n"
       "   @SQ line per chromosome)\n",
       stderr);
@@ -428,6 +431,9 @@ int MapPairedCmd(const Args& args, ReferenceSet refset) {
   PairedConfig pconf;
   pconf.max_insert = args.GetInt("max-insert", 1000);
   pconf.mate_rescue = !args.Has("no-rescue");
+  pconf.mark_duplicates = args.Has("mark-duplicates");
+  pconf.mapq_cap =
+      static_cast<int>(args.GetInt("mapq-cap", kDefaultMapqCap));
   pconf.read_group = args.Get("read-group", "");
   PairedEndMapper paired(mapper, pconf);
 
@@ -477,6 +483,9 @@ int MapPairedCmd(const Args& args, ReferenceSet refset) {
   t.AddRow({"single-end", TablePrinter::Count(stats.single_end_pairs)});
   t.AddRow({"unmapped pairs", TablePrinter::Count(stats.unmapped_pairs)});
   t.AddRow({"rescued mates", TablePrinter::Count(stats.rescued_mates)});
+  if (pconf.mark_duplicates) {
+    t.AddRow({"duplicate pairs", TablePrinter::Count(stats.duplicate_pairs)});
+  }
   t.AddRow({"candidates seeded", TablePrinter::Count(stats.candidates_seeded)});
   t.AddRow({"after pairing", TablePrinter::Count(stats.candidates_paired)});
   t.AddRow({"pruning ratio", TablePrinter::Num(stats.PruningRatio(), 2)});
@@ -560,12 +569,14 @@ int MapCmd(const Args& args) {
   t.AddRow({"mappings", TablePrinter::Count(stats.mappings)});
   t.AddRow({"mapped reads", TablePrinter::Count(stats.mapped_reads)});
   t.AddRow({"candidates", TablePrinter::Count(stats.candidates_total)});
-  t.AddRow({"verification pairs", TablePrinter::Count(stats.verification_pairs)});
+  t.AddRow({"verification pairs",
+            TablePrinter::Count(stats.verification_pairs)});
   t.AddRow({"rejected pairs", TablePrinter::Count(stats.rejected_pairs)});
   t.AddRow({"reduction", TablePrinter::Percent(stats.ReductionPercent(), 1)});
   t.AddRow({"seeding (s)", TablePrinter::Num(stats.seeding_seconds, 3)});
   t.AddRow({"filtering (s)", TablePrinter::Num(stats.filter_seconds, 3)});
-  t.AddRow({"verification (s)", TablePrinter::Num(stats.verification_seconds, 3)});
+  t.AddRow({"verification (s)",
+            TablePrinter::Num(stats.verification_seconds, 3)});
   t.AddRow({"total (s)", TablePrinter::Num(stats.total_seconds, 3)});
   t.Print(std::cout);
 
@@ -574,8 +585,9 @@ int MapCmd(const Args& args) {
     const std::string read_group = args.Get("read-group", "");
     std::ofstream sam(sam_path);
     WriteSamHeader(sam, mapper.reference(), read_group);
-    WriteSamRecordsMultiChrom(sam, reads, names, records, mapper.reference(),
-                              read_group);
+    WriteSamRecordsMultiChrom(
+        sam, reads, names, records, mapper.reference(), read_group,
+        static_cast<int>(args.GetInt("mapq-cap", kDefaultMapqCap)));
     std::printf("SAM written to %s (%zu records)\n", sam_path.c_str(),
                 records.size());
   }
@@ -602,8 +614,10 @@ void PrintPipelineStats(const pipeline::PipelineStats& stats) {
                   TablePrinter::Num(stats.kernel_seconds_total, 4)});
   summary.AddRow(
       {"transfer (s)", TablePrinter::Num(stats.transfer_seconds, 4)});
-  summary.AddRow({"encode busy (s)", TablePrinter::Num(stats.encode_seconds, 4)});
-  summary.AddRow({"verify busy (s)", TablePrinter::Num(stats.verify_seconds, 4)});
+  summary.AddRow(
+      {"encode busy (s)", TablePrinter::Num(stats.encode_seconds, 4)});
+  summary.AddRow(
+      {"verify busy (s)", TablePrinter::Num(stats.verify_seconds, 4)});
   if (stats.grow_decisions + stats.shrink_decisions > 0) {
     summary.AddRow({"batch size range",
                     TablePrinter::Count(stats.batch_size_min) + " - " +
@@ -740,6 +754,7 @@ int PipelineCmd(const Args& args) {
   pipeline::ReadToSamConfig scfg;
   scfg.pipeline = pcfg;
   scfg.read_group = args.Get("read-group", "");
+  scfg.mapq_cap = static_cast<int>(args.GetInt("mapq-cap", kDefaultMapqCap));
   const std::string sam_path = args.Get("sam", "");
   std::ofstream sam_file;
   std::ostream* sam = nullptr;
