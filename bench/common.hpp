@@ -67,21 +67,15 @@ inline CpuTimes RunGateKeeperCpu(const Dataset& data, int length, int e,
                                  unsigned threads) {
   GateKeeperCpu cpu({}, threads);
   const std::size_t n = data.size();
-  const std::size_t words = static_cast<std::size_t>(EncodedWords(length));
   CpuTimes t;
   WallTimer total;
-  std::vector<Word> reads(n * words);
-  std::vector<Word> refs(n * words);
-  std::vector<GateKeeperCpu::PairView> views(n);
+  PairBlockStorage block(length);
   for (std::size_t i = 0; i < n; ++i) {
-    const bool rn = EncodeSequence(data.reads[i], reads.data() + i * words);
-    const bool gn = EncodeSequence(data.refs[i], refs.data() + i * words);
-    views[i] = {reads.data() + i * words, refs.data() + i * words,
-                static_cast<std::uint8_t>((rn || gn) ? 1 : 0)};
+    block.Add(data.reads[i], data.refs[i]);
   }
-  std::vector<FilterResult> results(n);
+  std::vector<PairResult> results(n);
   WallTimer kernel;
-  cpu.FilterBatch(views.data(), n, length, e, results.data());
+  cpu.FilterBlock(block.view(), e, results.data());
   t.kernel_seconds = kernel.Seconds();
   t.filter_seconds = total.Seconds();
   return t;
@@ -122,6 +116,9 @@ class BenchReport {
   }
   void Add(const std::string& key, bool value) {
     fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void Add(const std::string& key, const char* value) {
+    fields_.emplace_back(key, "\"" + std::string(value) + "\"");
   }
 
   /// Writes the report; returns the path written ("" when suppressed or

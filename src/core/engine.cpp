@@ -201,29 +201,24 @@ StreamBatchStats GateKeeperGpuEngine::RunPairsKernel(Device* dev,
       static_cast<std::int64_t>((count + plan_.threads_per_block - 1) /
                                 plan_.threads_per_block),
       plan_.threads_per_block};
+  // The kernel is a thin view over the slot's unified-memory PairBlock;
+  // the block's shape (encoded vs raw) selects the encoding actor.
+  PairBlockKernel kernel;
+  kernel.block.size = count;
+  kernel.block.length = config_.read_length;
+  kernel.block.words_per_seq = static_cast<int>(words);
   if (config_.encoding == EncodingActor::kHost) {
-    HostEncodedPairsKernel kernel;
-    kernel.reads = b->reads_enc->as<Word>();
-    kernel.refs = b->refs_enc->as<Word>();
-    kernel.bypass = b->bypass->as<std::uint8_t>();
-    kernel.results = b->results->as<PairResult>();
-    kernel.n = static_cast<std::int64_t>(count);
-    kernel.length = config_.read_length;
-    kernel.words_per_seq = static_cast<int>(words);
-    kernel.e = config_.error_threshold;
-    kernel.params = config_.algorithm;
-    st.kernel_seconds = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
+    kernel.block.reads_enc = b->reads_enc->as<Word>();
+    kernel.block.refs_enc = b->refs_enc->as<Word>();
+    kernel.block.bypass = b->bypass->as<std::uint8_t>();
   } else {
-    DeviceEncodedPairsKernel kernel;
-    kernel.reads = b->raw_reads->as<char>();
-    kernel.refs = b->raw_refs->as<char>();
-    kernel.results = b->results->as<PairResult>();
-    kernel.n = static_cast<std::int64_t>(count);
-    kernel.length = config_.read_length;
-    kernel.e = config_.error_threshold;
-    kernel.params = config_.algorithm;
-    st.kernel_seconds = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
+    kernel.block.raw_reads = b->raw_reads->as<char>();
+    kernel.block.raw_refs = b->raw_refs->as<char>();
   }
+  kernel.results = b->results->as<PairResult>();
+  kernel.e = config_.error_threshold;
+  kernel.params = config_.algorithm;
+  st.kernel_seconds = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
   b->results->MarkDeviceResident();
   const double d2h_s = b->results->FaultToHost();
   st.transfer_seconds = prefetch_s + d2h_s;
@@ -306,17 +301,17 @@ StreamBatchStats GateKeeperGpuEngine::RunCandidatesKernel(std::size_t di,
       static_cast<std::int64_t>((count + plan_.threads_per_block - 1) /
                                 plan_.threads_per_block),
       plan_.threads_per_block};
-  CandidatesKernel kernel;
-  kernel.reads = b->reads_enc->as<Word>();
-  kernel.read_has_n = b->bypass->as<std::uint8_t>();
-  kernel.ref_words = ref_buffers_[di]->as<Word>();
-  kernel.ref_n_mask = ref_nmask_buffers_[di]->as<Word>();
-  kernel.ref_len = ref_length_;
-  kernel.candidates = b->cand->as<CandidatePair>();
+  PairBlockKernel kernel;
+  kernel.block.size = count;
+  kernel.block.length = config_.read_length;
+  kernel.block.words_per_seq = static_cast<int>(words);
+  kernel.block.reads_enc = b->reads_enc->as<Word>();
+  kernel.block.bypass = b->bypass->as<std::uint8_t>();
+  kernel.block.candidates = b->cand->as<CandidatePair>();
+  kernel.block.ref_words = ref_buffers_[di]->as<Word>();
+  kernel.block.ref_n_mask = ref_nmask_buffers_[di]->as<Word>();
+  kernel.block.ref_len = ref_length_;
   kernel.results = b->results->as<PairResult>();
-  kernel.n = static_cast<std::int64_t>(count);
-  kernel.length = config_.read_length;
-  kernel.words_per_seq = static_cast<int>(words);
   kernel.e = config_.error_threshold;
   kernel.params = config_.algorithm;
   st.kernel_seconds = dev->Launch(cfg, plan_.kernel_cost, fault_s, kernel);
@@ -603,6 +598,21 @@ FilterRunStats GateKeeperGpuEngine::FilterCandidates(
     const std::vector<std::string>& reads,
     const std::vector<CandidatePair>& candidates,
     std::vector<PairResult>* results) {
+  std::vector<std::string_view> views(reads.begin(), reads.end());
+  return FilterCandidatesImpl(views.data(), views.size(), candidates, results);
+}
+
+FilterRunStats GateKeeperGpuEngine::FilterCandidates(
+    const std::vector<std::string_view>& reads,
+    const std::vector<CandidatePair>& candidates,
+    std::vector<PairResult>* results) {
+  return FilterCandidatesImpl(reads.data(), reads.size(), candidates, results);
+}
+
+FilterRunStats GateKeeperGpuEngine::FilterCandidatesImpl(
+    const std::string_view* reads, std::size_t read_count,
+    const std::vector<CandidatePair>& candidates,
+    std::vector<PairResult>* results) {
   assert(HasReference());
   const std::size_t n = candidates.size();
   results->assign(n, PairResult{});
@@ -613,7 +623,7 @@ FilterRunStats GateKeeperGpuEngine::FilterCandidates(
   const std::size_t ndev = devices_.size();
   const std::size_t even_split = (n + ndev - 1) / ndev;
   const std::size_t slice_cap = std::min(plan_.pairs_per_batch, even_split);
-  EnsureCandidateBuffers(slice_cap, reads.size());
+  EnsureCandidateBuffers(slice_cap, read_count);
 
   const TransferLedger before = TransferLedger::Snapshot(devices_);
   const std::size_t words =
@@ -626,7 +636,7 @@ FilterRunStats GateKeeperGpuEngine::FilterCandidates(
     DeviceBuffers& b = *buffers_[di];
     Word* renc = b.reads_enc->as<Word>();
     std::uint8_t* byp = b.bypass->as<std::uint8_t>();
-    for (std::size_t i = 0; i < reads.size(); ++i) {
+    for (std::size_t i = 0; i < read_count; ++i) {
       byp[i] = EncodeSequence(reads[i], renc + i * words) ? 1 : 0;
     }
     b.reads_enc->MarkHostResident();

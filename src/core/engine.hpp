@@ -92,8 +92,14 @@ class GateKeeperGpuEngine {
   std::uint64_t reference_fingerprint() const { return ref_fingerprint_; }
 
   /// Candidate mode, step 2: filter candidate mappings of `reads` (each at
-  /// most config().read_length).  Candidates index into `reads`.
+  /// most config().read_length).  Candidates index into `reads`.  The
+  /// string_view overload lets callers hand a window into an existing read
+  /// set without per-batch string copies (the blocking mapper and the
+  /// paired driver build their batch read tables as views).
   FilterRunStats FilterCandidates(const std::vector<std::string>& reads,
+                                  const std::vector<CandidatePair>& candidates,
+                                  std::vector<PairResult>* results);
+  FilterRunStats FilterCandidates(const std::vector<std::string_view>& reads,
                                   const std::vector<CandidatePair>& candidates,
                                   std::vector<PairResult>* results);
 
@@ -167,6 +173,11 @@ class GateKeeperGpuEngine {
                             std::size_t read_count,
                             const CandidatePair* candidates,
                             std::size_t count);
+  FilterRunStats FilterCandidatesImpl(const std::string_view* reads,
+                                      std::size_t read_count,
+                                      const std::vector<CandidatePair>&
+                                          candidates,
+                                      std::vector<PairResult>* results);
   StreamBatchStats RunCandidatesKernel(std::size_t di, DeviceBuffers* b,
                                        std::size_t count, PairResult* out);
   void EncodePairsInto(DeviceBuffers* b, const std::string* reads,

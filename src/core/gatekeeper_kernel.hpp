@@ -1,158 +1,53 @@
-// The GateKeeper-GPU device kernels, written the way the CUDA __global__
-// functions are: each simulated thread performs one complete filtration
-// (Sec. 3.2: "each thread runs kernel function for a single filtration with
-// the least dependency possible") using only fixed-size stack arrays and
-// the unified-memory pointers passed as arguments.
+// The GateKeeper-GPU device kernel, written the way the CUDA __global__
+// function is: a thin view over the PairBlock sitting in unified memory
+// (filters/pair_block.hpp is the CPU mirror of that layout).  The block's
+// shape selects the paper's three input configurations:
+//   * encoded    — host pre-encoded read/ref pairs,
+//   * raw        — raw characters, the kernel encodes ("encoding in
+//                  device"),
+//   * candidates — mrFAST integration: encoded reads + candidate reference
+//     indices; the kernel extracts each reference segment from the encoded
+//     genome in unified memory ("starting with extracting the relevant
+//     reference segment based on the index", Sec. 3.5).
 //
-// Three variants, matching the paper's configurations:
-//   * HostEncodedPairsKernel   — host pre-encoded read/ref pairs,
-//   * DeviceEncodedPairsKernel — raw characters, the kernel encodes,
-//   * CandidatesKernel         — mrFAST integration: reads + candidate
-//     reference indices; the thread extracts the reference segment from the
-//     encoded genome in unified memory ("starting with extracting the
-//     relevant reference segment based on the index", Sec. 3.5).
+// Execution granularity: one simulated *block* runs its pair range through
+// the batched filtration kernel (simd/gatekeeper_batch.hpp — uint64_t
+// lanes, AVX2 behind runtime dispatch), which the first thread of the
+// block drives; per-pair results are bit-identical to the per-thread
+// formulation (asserted by the scalar-vs-SIMD equivalence tests), the
+// parallel grain (one task per block on the device's worker pool) is
+// unchanged, and the timing model still charges per-thread cost.
 #ifndef GKGPU_CORE_GATEKEEPER_KERNEL_HPP
 #define GKGPU_CORE_GATEKEEPER_KERNEL_HPP
 
+#include <algorithm>
 #include <cstdint>
-#include <string_view>
 
-#include "encode/encoded.hpp"
-#include "encode/revcomp.hpp"
 #include "filters/gatekeeper_core.hpp"
+#include "filters/pair_block.hpp"
 #include "gpusim/device.hpp"
+#include "simd/gatekeeper_batch.hpp"
 
 namespace gkgpu {
 
-/// Result slot written back to unified memory: the filtering decision
-/// ('1' accept / '0' reject) and the approximated edit distance (Sec. 3.5).
-struct PairResult {
-  std::uint8_t accept = 0;
-  std::uint8_t bypassed = 0;  // undefined ('N') pair skipped filtration
-  std::uint16_t edits = 0;
-};
-
-inline PairResult MakePairResult(const FilterResult& r, bool bypassed) {
-  PairResult out;
-  out.accept = r.accept ? 1 : 0;
-  out.bypassed = bypassed ? 1 : 0;
-  out.edits = static_cast<std::uint16_t>(
-      r.estimated_edits < 0
-          ? 0
-          : (r.estimated_edits > 0xFFFF ? 0xFFFF : r.estimated_edits));
-  return out;
-}
-
-struct HostEncodedPairsKernel {
-  const Word* reads = nullptr;        // n * words_per_seq
-  const Word* refs = nullptr;         // n * words_per_seq
-  const std::uint8_t* bypass = nullptr;
+struct PairBlockKernel {
+  PairBlock block;
   PairResult* results = nullptr;
-  std::int64_t n = 0;
-  int length = 0;
-  int words_per_seq = 0;
   int e = 0;
   GateKeeperParams params;
 
   void operator()(const gpusim::ThreadCtx& ctx) const {
-    const std::int64_t i = ctx.GlobalId();
-    if (i >= n) return;
-    if (bypass[i] != 0) {
-      results[i] = MakePairResult({true, 0}, /*bypassed=*/true);
-      return;
-    }
-    const std::size_t off =
-        static_cast<std::size_t>(i) * static_cast<std::size_t>(words_per_seq);
-    const FilterResult r =
-        GateKeeperFiltration(reads + off, refs + off, length, e, params);
-    results[i] = MakePairResult(r, /*bypassed=*/false);
-  }
-};
-
-struct DeviceEncodedPairsKernel {
-  const char* reads = nullptr;  // n * length raw characters
-  const char* refs = nullptr;
-  PairResult* results = nullptr;
-  std::int64_t n = 0;
-  int length = 0;
-  int e = 0;
-  GateKeeperParams params;
-
-  void operator()(const gpusim::ThreadCtx& ctx) const {
-    const std::int64_t i = ctx.GlobalId();
-    if (i >= n) return;
-    const std::size_t off =
-        static_cast<std::size_t>(i) * static_cast<std::size_t>(length);
-    Word read_enc[kMaxEncodedWords];
-    Word ref_enc[kMaxEncodedWords];
-    const bool read_n = EncodeSequence(
-        std::string_view(reads + off, static_cast<std::size_t>(length)),
-        read_enc);
-    const bool ref_n = EncodeSequence(
-        std::string_view(refs + off, static_cast<std::size_t>(length)),
-        ref_enc);
-    if (read_n || ref_n) {
-      results[i] = MakePairResult({true, 0}, /*bypassed=*/true);
-      return;
-    }
-    const FilterResult r =
-        GateKeeperFiltration(read_enc, ref_enc, length, e, params);
-    results[i] = MakePairResult(r, /*bypassed=*/false);
-  }
-};
-
-/// One candidate mapping: which read, where its candidate reference
-/// segment starts on the genome, and which strand the read matches on.
-/// strand 1 means the *reverse complement* of the read is compared against
-/// the forward reference window — the strand bit travels through the
-/// engine's candidate slots so the kernel can reorient the encoded read in
-/// registers and filtration still slices windows from the per-device
-/// encoded reference with no per-candidate strings anywhere.
-struct CandidatePair {
-  std::uint32_t read_index = 0;
-  std::uint8_t strand = 0;  // 0 = forward, 1 = reverse complement
-  std::int64_t ref_pos = 0;
-};
-
-struct CandidatesKernel {
-  const Word* reads = nullptr;  // encoded reads, words_per_seq stride
-  const std::uint8_t* read_has_n = nullptr;
-  const Word* ref_words = nullptr;   // encoded genome
-  const Word* ref_n_mask = nullptr;  // genome 'N' positions
-  std::int64_t ref_len = 0;
-  const CandidatePair* candidates = nullptr;
-  PairResult* results = nullptr;
-  std::int64_t n = 0;
-  int length = 0;
-  int words_per_seq = 0;
-  int e = 0;
-  GateKeeperParams params;
-
-  void operator()(const gpusim::ThreadCtx& ctx) const {
-    const std::int64_t i = ctx.GlobalId();
-    if (i >= n) return;
-    const CandidatePair c = candidates[i];
-    if (read_has_n[c.read_index] != 0 ||
-        RangeHasUnknownRaw(ref_n_mask, ref_len, c.ref_pos, length)) {
-      results[i] = MakePairResult({true, 0}, /*bypassed=*/true);
-      return;
-    }
-    Word ref_enc[kMaxEncodedWords];
-    ExtractSegmentRaw(ref_words, ref_len, c.ref_pos, length, ref_enc);
-    const std::size_t off = static_cast<std::size_t>(c.read_index) *
-                            static_cast<std::size_t>(words_per_seq);
-    const Word* read_enc = reads + off;
-    Word rc_enc[kMaxEncodedWords];
-    if (c.strand != 0) {
-      // Reverse-strand candidate: reorient the encoded read in thread-local
-      // storage (registers on a real GPU) — the read buffer itself stays
-      // forward, so one bus crossing serves both strands.
-      ReverseComplementEncoded(read_enc, length, rc_enc);
-      read_enc = rc_enc;
-    }
-    const FilterResult r =
-        GateKeeperFiltration(read_enc, ref_enc, length, e, params);
-    results[i] = MakePairResult(r, /*bypassed=*/false);
+    // Thread 0 of each simulated block filters the block's whole pair
+    // range as one batch; its sibling threads contribute no separate work
+    // (their per-pair cost is still accounted by the timing model).
+    if (ctx.thread_idx != 0) return;
+    const std::size_t begin = static_cast<std::size_t>(ctx.block_idx) *
+                              static_cast<std::size_t>(ctx.block_dim);
+    if (begin >= block.size) return;
+    const std::size_t end =
+        std::min(block.size,
+                 begin + static_cast<std::size_t>(ctx.block_dim));
+    simd::GateKeeperFilterRange(block, begin, end, e, params, results);
   }
 };
 

@@ -1,0 +1,31 @@
+#include "filters/filter.hpp"
+
+#include <string>
+
+namespace gkgpu {
+
+void PreAlignmentFilter::FilterBatch(const PairBlock& block, int e,
+                                     PairResult* results) const {
+  // Reference fallback: materialize each pair back into character space and
+  // run the per-pair scalar filtration.  Overriding filters keep the same
+  // observable behaviour while staying in the encoded domain.
+  Word read_scratch[kMaxEncodedWords];
+  Word ref_scratch[kMaxEncodedWords];
+  std::string read_str(static_cast<std::size_t>(block.length), 'A');
+  std::string ref_str(static_cast<std::size_t>(block.length), 'A');
+  for (std::size_t i = 0; i < block.size; ++i) {
+    const BlockPairView p = LoadBlockPair(block, i, read_scratch, ref_scratch);
+    if (p.bypass) {
+      results[i] = BypassedPairResult();
+      continue;
+    }
+    for (int j = 0; j < block.length; ++j) {
+      read_str[static_cast<std::size_t>(j)] =
+          CodeToBase(GetBase2Bit(p.read, j));
+      ref_str[static_cast<std::size_t>(j)] = CodeToBase(GetBase2Bit(p.ref, j));
+    }
+    results[i] = MakePairResult(Filter(read_str, ref_str, e), false);
+  }
+}
+
+}  // namespace gkgpu

@@ -4,19 +4,21 @@
 // threshold: accept (needs real verification) or reject (skip alignment).
 // Filters may over-accept (false accepts cost verification time) but should
 // never over-reject (false rejects lose mappings).
+//
+// The batch-first entry point is FilterBatch: one call filters a whole
+// PairBlock (structure-of-arrays, see filters/pair_block.hpp) with no
+// per-pair virtual dispatch on the hot path.  The per-pair Filter() remains
+// as the reference implementation and the default FilterBatch fallback;
+// GateKeeper, SHD and Shouji override FilterBatch with vectorized
+// encoded-domain implementations (src/simd/).
 #ifndef GKGPU_FILTERS_FILTER_HPP
 #define GKGPU_FILTERS_FILTER_HPP
 
 #include <string_view>
 
-namespace gkgpu {
+#include "filters/pair_block.hpp"
 
-struct FilterResult {
-  bool accept = true;
-  /// The filter's cheap approximation of the edit distance (GateKeeper-GPU
-  /// writes this next to the accept bit in the result buffer).
-  int estimated_edits = 0;
-};
+namespace gkgpu {
 
 class PreAlignmentFilter {
  public:
@@ -33,9 +35,22 @@ class PreAlignmentFilter {
   virtual bool lossless() const { return true; }
 
   /// Filters one read / candidate-reference-segment pair with error
-  /// threshold `e`.  Both sequences must have the same length.
+  /// threshold `e`.  Both sequences must have the same length.  This is
+  /// the reference implementation: batch paths must match it bit for bit
+  /// on pairs whose block bypass bit is clear.
   virtual FilterResult Filter(std::string_view read, std::string_view ref,
                               int e) const = 0;
+
+  /// Filters every pair of `block` with error threshold `e` into
+  /// `results[0..block.size)`.  Contract (shared with the device kernels):
+  /// pairs whose block bypass bit is set skip filtration and receive
+  /// {accept=1, bypassed=1, edits=0}; every other pair's result equals
+  /// Filter() on the pair's decoded sequences.  The default implementation
+  /// is a per-pair loop over Filter(); overriding filters provide real
+  /// batch kernels and must preserve the equivalence (asserted by the
+  /// differential harness and the scalar-vs-SIMD fuzz test).
+  virtual void FilterBatch(const PairBlock& block, int e,
+                           PairResult* results) const;
 };
 
 }  // namespace gkgpu

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "encode/encoded.hpp"
+#include "simd/gatekeeper_batch.hpp"
 #include "util/threadpool.hpp"
 
 namespace gkgpu {
@@ -23,6 +24,11 @@ FilterResult GateKeeperFilter::Filter(std::string_view read,
   return FilterEncoded(read_enc, ref_enc, static_cast<int>(read.size()), e);
 }
 
+void GateKeeperFilter::FilterBatch(const PairBlock& block, int e,
+                                   PairResult* results) const {
+  simd::GateKeeperFilterRange(block, 0, block.size, e, params_, results);
+}
+
 GateKeeperCpu::GateKeeperCpu(GateKeeperParams params, unsigned threads)
     : params_(params),
       pool_(threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr) {}
@@ -33,23 +39,15 @@ unsigned GateKeeperCpu::threads() const {
   return pool_ != nullptr ? pool_->size() : 1;
 }
 
-void GateKeeperCpu::FilterBatch(const PairView* pairs, std::size_t n,
-                                int length, int e,
-                                FilterResult* results) const {
+void GateKeeperCpu::FilterBlock(const PairBlock& block, int e,
+                                PairResult* results) const {
   auto run = [&](std::size_t b, std::size_t end) {
-    for (std::size_t i = b; i < end; ++i) {
-      if (pairs[i].bypass != 0) {
-        results[i] = {true, 0};
-      } else {
-        results[i] = GateKeeperFiltration(pairs[i].read, pairs[i].ref,
-                                          length, e, params_);
-      }
-    }
+    simd::GateKeeperFilterRange(block, b, end, e, params_, results);
   };
   if (pool_ != nullptr) {
-    pool_->ParallelFor(0, n, 4096, run);
+    pool_->ParallelFor(0, block.size, 4096, run);
   } else {
-    run(0, n);
+    run(0, block.size);
   }
 }
 

@@ -32,10 +32,17 @@ class GateKeeperFilter : public PreAlignmentFilter {
                                                      : "GateKeeper-FPGA";
   }
 
-  /// String-level entry point.  Pairs containing 'N' bypass filtration and
-  /// are accepted outright (GateKeeper-GPU Sec. 3.3 design choice).
+  /// String-level reference entry point.  Pairs containing 'N' bypass
+  /// filtration and are accepted outright (GateKeeper-GPU Sec. 3.3 design
+  /// choice).
   FilterResult Filter(std::string_view read, std::string_view ref,
                       int e) const override;
+
+  /// Batch entry point: the vectorized encoded-domain pipeline
+  /// (simd/gatekeeper_batch.hpp — uint64_t lanes, AVX2 behind runtime
+  /// dispatch), bit-identical to Filter() per pair.
+  void FilterBatch(const PairBlock& block, int e,
+                   PairResult* results) const override;
 
   /// Encoded-domain entry point used by batch runners.
   FilterResult FilterEncoded(const Word* read_enc, const Word* ref_enc,
@@ -49,23 +56,18 @@ class GateKeeperFilter : public PreAlignmentFilter {
   GateKeeperParams params_;
 };
 
-/// Multicore batched GateKeeper: the "GateKeeper-CPU" baseline.  Reads and
-/// candidate segments arrive pre-encoded (fixed stride); results land in a
-/// caller-provided buffer, one byte accept flag + estimated edits.
+/// Multicore batched GateKeeper: the "GateKeeper-CPU" baseline.  Work
+/// arrives as a PairBlock and is sharded across the pool, each shard
+/// running the runtime-dispatched batch kernel; results land in a
+/// caller-provided PairResult buffer, exactly like a device kernel's.
 class GateKeeperCpu {
  public:
   GateKeeperCpu(GateKeeperParams params, unsigned threads);
   ~GateKeeperCpu();
 
-  struct PairView {
-    const Word* read;
-    const Word* ref;
-    std::uint8_t bypass;  // undefined ('N') pair: auto-accept
-  };
-
-  /// Filters pairs[i] for i in [0, n); results[i] = {accept, edits}.
-  void FilterBatch(const PairView* pairs, std::size_t n, int length, int e,
-                   FilterResult* results) const;
+  /// Filters every pair of `block` with threshold `e` into
+  /// results[0..block.size).
+  void FilterBlock(const PairBlock& block, int e, PairResult* results) const;
 
   unsigned threads() const;
 

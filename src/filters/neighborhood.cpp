@@ -1,5 +1,6 @@
 #include "filters/neighborhood.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -23,6 +24,42 @@ void NeighborhoodMap::Build(std::string_view read, std::string_view ref,
           rj < 0 || rj >= length_ || read[static_cast<std::size_t>(j)] !=
                                          ref[static_cast<std::size_t>(rj)];
       if (mismatch) SetMaskBit(row, j);
+    }
+  }
+}
+
+void NeighborhoodMap::BuildEncoded(const Word* read_enc, const Word* ref_enc,
+                                   int length, int e) {
+  length_ = length;
+  e_ = e;
+  mask_words_ = MaskWords(length);
+  words_.assign(static_cast<std::size_t>(2 * e + 1) *
+                    static_cast<std::size_t>(mask_words_),
+                0);
+  const int enc_words = EncodedWords(length);
+  Word shifted[kMaxEncodedWords];
+  Word diff[kMaxEncodedWords];
+  for (int d = -e; d <= e; ++d) {
+    Word* row = words_.data() + static_cast<std::size_t>(d + e_) *
+                                    static_cast<std::size_t>(mask_words_);
+    // Column j of diagonal d compares read[j] with ref[j + d]: shift the
+    // *reference* by d bases so the comparison lands on column j.
+    const Word* rhs = ref_enc;
+    if (d > 0) {
+      ShiftToEarlier(ref_enc, shifted, enc_words, 2 * d);
+      rhs = shifted;
+    } else if (d < 0) {
+      ShiftToLater(ref_enc, shifted, enc_words, -2 * d);
+      rhs = shifted;
+    }
+    XorWords(read_enc, rhs, diff, enc_words);
+    ReducePairsOr(diff, length, row);
+    // Columns whose reference index falls outside [0, length) count as
+    // mismatches — the shifted-in zero bits would otherwise compare as 'A'.
+    if (d > 0) {
+      SetBitRange(row, std::max(0, length - d), length);
+    } else if (d < 0) {
+      SetBitRange(row, 0, std::min(length, -d));
     }
   }
 }

@@ -19,6 +19,14 @@ class NeighborhoodMap {
   /// reusable: Build() resizes internal storage as needed.
   void Build(std::string_view read, std::string_view ref, int e);
 
+  /// Bit-parallel build from 2-bit encoded sequences: each diagonal is one
+  /// shifted XOR + 2-bit->1-bit reduction instead of a per-character loop,
+  /// with out-of-range columns forced to mismatch.  Identical to Build()
+  /// on 'N'-free pairs (an encoded 'N' has no code of its own); the batch
+  /// filters bypass undefined pairs before reaching this.
+  void BuildEncoded(const Word* read_enc, const Word* ref_enc, int length,
+                    int e);
+
   int length() const { return length_; }
   int e() const { return e_; }
   int mask_words() const { return mask_words_; }

@@ -16,6 +16,10 @@ class ShdFilter : public PreAlignmentFilter {
   std::string_view name() const override { return "SHD"; }
   FilterResult Filter(std::string_view read, std::string_view ref,
                       int e) const override;
+  /// SHD is the SIMD formulation of this mask pipeline in the first
+  /// place; the batch path runs the shared vectorized kOriginal kernel.
+  void FilterBatch(const PairBlock& block, int e,
+                   PairResult* results) const override;
 };
 
 }  // namespace gkgpu

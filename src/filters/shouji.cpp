@@ -8,16 +8,14 @@
 namespace gkgpu {
 
 namespace {
+
 constexpr int kWindow = 4;
-}  // namespace
 
-FilterResult ShoujiFilter::Filter(std::string_view read, std::string_view ref,
-                                  int e) const {
-  assert(read.size() == ref.size());
-  const int length = static_cast<int>(read.size());
-  NeighborhoodMap map;
-  map.Build(read, ref, e);
-
+/// The sliding-window common-subsequence assembly over a built
+/// neighborhood map — shared by the per-pair reference path (character
+/// map) and the batch path (bit-parallel encoded map), so the two differ
+/// only in how the diagonals were produced.
+FilterResult ShoujiWalk(const NeighborhoodMap& map, int length, int e) {
   // Shouji bit-vector: starts all-mismatch; each sliding window stores the
   // best (fewest mismatches) diagonal segment it found, but only if doing
   // so strictly reduces the number of mismatches in that span of the
@@ -64,6 +62,37 @@ FilterResult ShoujiFilter::Filter(std::string_view read, std::string_view ref,
 
   const int edits = PopcountWords(common, mask_words);
   return {edits <= e, edits};
+}
+
+}  // namespace
+
+FilterResult ShoujiFilter::Filter(std::string_view read, std::string_view ref,
+                                  int e) const {
+  assert(read.size() == ref.size());
+  const int length = static_cast<int>(read.size());
+  NeighborhoodMap map;
+  map.Build(read, ref, e);
+  return ShoujiWalk(map, length, e);
+}
+
+void ShoujiFilter::FilterBatch(const PairBlock& block, int e,
+                               PairResult* results) const {
+  // Batch path: the neighborhood map builds bit-parallel from the encoded
+  // pair (one shifted XOR + reduction per diagonal, multi-word lanes)
+  // instead of per character — the map construction is where the scalar
+  // path burns its time; the window walk is shared above.
+  Word read_scratch[kMaxEncodedWords];
+  Word ref_scratch[kMaxEncodedWords];
+  NeighborhoodMap map;
+  for (std::size_t i = 0; i < block.size; ++i) {
+    const BlockPairView p = LoadBlockPair(block, i, read_scratch, ref_scratch);
+    if (p.bypass) {
+      results[i] = BypassedPairResult();
+      continue;
+    }
+    map.BuildEncoded(p.read, p.ref, block.length, e);
+    results[i] = MakePairResult(ShoujiWalk(map, block.length, e), false);
+  }
 }
 
 }  // namespace gkgpu

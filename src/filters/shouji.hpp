@@ -15,6 +15,10 @@ class ShoujiFilter : public PreAlignmentFilter {
   bool lossless() const override { return false; }  // window replacement FRs
   FilterResult Filter(std::string_view read, std::string_view ref,
                       int e) const override;
+  /// Batch path: bit-parallel encoded neighborhood-map construction
+  /// (NeighborhoodMap::BuildEncoded) + the same window walk as Filter().
+  void FilterBatch(const PairBlock& block, int e,
+                   PairResult* results) const override;
 };
 
 }  // namespace gkgpu

@@ -89,8 +89,12 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
       1, filter != nullptr ? filter->config().max_reads_per_batch
                            : config_.max_reads_per_batch);
 
-  std::vector<std::string> batch;     // read sequences of this batch
-  std::vector<std::string> batch_rc;  // their reverse complements
+  // Batch read tables are *views* into the caller's read set — the
+  // filtration layer consumes string_views end to end, so no per-batch
+  // read strings are materialized (only the reverse complements, which
+  // genuinely are new sequences).
+  std::vector<std::string_view> batch;
+  std::vector<std::string> batch_rc;      // reverse complements
   std::vector<CandidatePair> candidates;  // (read-in-batch, strand, position)
   std::vector<OrientedCandidate> one_read_cands;
   std::vector<std::int64_t> seed_scratch;
@@ -143,8 +147,9 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
         if (filter != nullptr && decisions[i].accept == 0) continue;
         ++local_verified;
         const CandidatePair c = candidates[i];
-        const std::string& read =
-            c.strand != 0 ? batch_rc[c.read_index] : batch[c.read_index];
+        const std::string_view read =
+            c.strand != 0 ? std::string_view(batch_rc[c.read_index])
+                          : batch[c.read_index];
         const std::string_view segment(
             ref_.text().data() + c.ref_pos, read.size());
         const int dist =

@@ -41,13 +41,21 @@ std::vector<int> AssignMapqs(const std::vector<int>& edits, int cap) {
   std::vector<int> out(edits.size(), 0);
   if (edits.empty()) return out;
   const EditSummary s = SummarizeEdits(edits);
-  for (std::size_t i = 0; i < edits.size(); ++i) {
-    if (edits[i] == s.best) {
-      out[i] = ComputeMapq(s.best, s.second, s.best_count, cap);
-      break;
-    }
-  }
+  out[PrimaryIndex(edits, s)] = ComputeMapq(s.best, s.second, s.best_count,
+                                            cap);
   return out;
+}
+
+std::size_t PrimaryIndex(const std::vector<int>& edits) {
+  return PrimaryIndex(edits, SummarizeEdits(edits));
+}
+
+std::size_t PrimaryIndex(const std::vector<int>& edits,
+                         const EditSummary& summary) {
+  for (std::size_t i = 0; i < edits.size(); ++i) {
+    if (edits[i] == summary.best) return i;
+  }
+  return 0;
 }
 
 int RescueMapq(int anchor_mapq, int rescued_edits, int cap) {

@@ -64,6 +64,17 @@ EditSummary SummarizeEdits(const std::vector<int>& edits);
 /// the best edit count zero the whole read.
 std::vector<int> AssignMapqs(const std::vector<int>& edits, int cap);
 
+/// Index of the read's primary placement — the record AssignMapqs scores
+/// (first to achieve the best edit count).  `edits` must be non-empty.
+/// The SAM writers emit exactly this record under the best-only output
+/// mode and flag every other one 0x100 under report-secondary, so the
+/// two notions can never drift apart.  The two-argument form reuses a
+/// summary the caller already computed (the group writers derive
+/// primary, MAPQ and flags from one SummarizeEdits scan).
+std::size_t PrimaryIndex(const std::vector<int>& edits);
+std::size_t PrimaryIndex(const std::vector<int>& edits,
+                         const EditSummary& summary);
+
 /// MAPQ of a mate placed by rescue: the placement exists only because of
 /// its anchor, so it cannot be more trusted than the anchor is, nor than
 /// its own residual edits allow.

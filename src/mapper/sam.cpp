@@ -12,11 +12,14 @@ namespace gkgpu {
 namespace {
 
 /// Iterates `records` as contiguous per-read groups (the order every
-/// mapping driver emits) and hands each group to `emit` together with its
-/// per-record MAPQs, derived from the group's multiplicity and edit gap.
+/// mapping driver emits) and hands each *emitted* record to `emit`
+/// together with its MAPQ (AssignMapqs) and the extra FLAG bits the
+/// output policy dictates: under kBestOnly only the group's primary
+/// record is seen; under kReportSecondary every record is, non-primary
+/// ones carrying 0x100 (their MAPQ is already 0 by AssignMapqs).
 template <typename Emit>
-void ForEachRecordWithMapq(const std::vector<MappingRecord>& records,
-                           int mapq_cap, Emit&& emit) {
+void ForEachEmittedRecord(const std::vector<MappingRecord>& records,
+                          int mapq_cap, SecondaryPolicy policy, Emit&& emit) {
   std::vector<int> edits;
   std::size_t i = 0;
   while (i < records.size()) {
@@ -27,8 +30,18 @@ void ForEachRecordWithMapq(const std::vector<MappingRecord>& records,
       edits.push_back(records[j].edit_distance);
       ++j;
     }
-    const std::vector<int> mapqs = AssignMapqs(edits, mapq_cap);
-    for (std::size_t r = i; r < j; ++r) emit(records[r], mapqs[r - i]);
+    // One summary scan yields everything the group needs: the primary
+    // record, its MAPQ, and zero for every other placement (AssignMapqs
+    // semantics, without rescanning per question).
+    const EditSummary s = SummarizeEdits(edits);
+    const std::size_t primary = i + PrimaryIndex(edits, s);
+    const int primary_mapq =
+        ComputeMapq(s.best, s.second, s.best_count, mapq_cap);
+    for (std::size_t r = i; r < j; ++r) {
+      if (r != primary && policy == SecondaryPolicy::kBestOnly) continue;
+      emit(records[r], r == primary ? primary_mapq : 0,
+           r == primary ? 0 : kSamSecondary);
+    }
     i = j;
   }
 }
@@ -114,12 +127,14 @@ void WriteSamAlignment(std::ostream& out, std::string_view read_name,
 
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
                      const std::vector<MappingRecord>& records,
-                     std::string_view ref_name, int mapq_cap) {
+                     std::string_view ref_name, int mapq_cap,
+                     SecondaryPolicy policy) {
   std::string rc;
-  ForEachRecordWithMapq(
-      records, mapq_cap, [&](const MappingRecord& m, int mapq) {
+  ForEachEmittedRecord(
+      records, mapq_cap, policy,
+      [&](const MappingRecord& m, int mapq, int extra_flags) {
         const std::string& read = reads[m.read_index];
-        const int flags = m.strand != 0 ? kSamReverse : 0;
+        const int flags = (m.strand != 0 ? kSamReverse : 0) | extra_flags;
         if (m.strand != 0) ReverseComplementInto(read, &rc);
         WriteSamRecord(out, "read" + std::to_string(m.read_index), flags,
                        m.strand != 0 ? std::string_view(rc)
@@ -132,14 +147,16 @@ void WriteSamRecordsWithCigar(std::ostream& out,
                               const std::vector<std::string>& reads,
                               const std::vector<MappingRecord>& records,
                               std::string_view ref_name,
-                              std::string_view genome, int mapq_cap) {
+                              std::string_view genome, int mapq_cap,
+                              SecondaryPolicy policy) {
   std::string rc;
-  ForEachRecordWithMapq(
-      records, mapq_cap, [&](const MappingRecord& m, int mapq) {
+  ForEachEmittedRecord(
+      records, mapq_cap, policy,
+      [&](const MappingRecord& m, int mapq, int extra_flags) {
         const std::string& read = reads[m.read_index];
         const std::string_view segment =
             genome.substr(static_cast<std::size_t>(m.pos), read.size());
-        const int flags = m.strand != 0 ? kSamReverse : 0;
+        const int flags = (m.strand != 0 ? kSamReverse : 0) | extra_flags;
         if (m.strand != 0) ReverseComplementInto(read, &rc);
         WriteSamAlignment(out, "read" + std::to_string(m.read_index), flags,
                           m.strand != 0 ? std::string_view(rc)
@@ -153,11 +170,13 @@ void WriteSamRecordsMultiChrom(std::ostream& out,
                                const std::vector<std::string>& names,
                                const std::vector<MappingRecord>& records,
                                const ReferenceSet& ref,
-                               std::string_view read_group, int mapq_cap) {
+                               std::string_view read_group, int mapq_cap,
+                               SecondaryPolicy policy) {
   const std::string_view genome = ref.text();
   std::string rc;
-  ForEachRecordWithMapq(
-      records, mapq_cap, [&](const MappingRecord& m, int mapq) {
+  ForEachEmittedRecord(
+      records, mapq_cap, policy,
+      [&](const MappingRecord& m, int mapq, int extra_flags) {
         const std::string& read = reads[m.read_index];
         const int chrom = ref.Locate(m.pos);
         if (chrom < 0) {
@@ -172,7 +191,7 @@ void WriteSamRecordsMultiChrom(std::ostream& out,
         // The record's SEQ is the strand the mapping verified: the read
         // itself on the forward strand, its reverse complement (FLAG 0x10)
         // otherwise.
-        const int flags = m.strand != 0 ? kSamReverse : 0;
+        const int flags = (m.strand != 0 ? kSamReverse : 0) | extra_flags;
         if (m.strand != 0) ReverseComplementInto(read, &rc);
         WriteSamAlignment(out, name, flags,
                           m.strand != 0 ? std::string_view(rc)

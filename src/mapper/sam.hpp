@@ -31,7 +31,19 @@ inline constexpr int kSamReverse = 0x10;
 inline constexpr int kSamMateReverse = 0x20;
 inline constexpr int kSamFirstInPair = 0x40;
 inline constexpr int kSamSecondInPair = 0x80;
+inline constexpr int kSamSecondary = 0x100;
 inline constexpr int kSamDuplicate = 0x400;
+
+/// Which records of a multi-mapping read the single-end writers emit.
+enum class SecondaryPolicy {
+  /// Only the primary placement — the record AssignMapqs scores (first at
+  /// the best edit count) — one record per mapped read.  The default.
+  kBestOnly,
+  /// Every verified placement: the primary as under kBestOnly, every
+  /// other placement flagged 0x100 with MAPQ 0 (a secondary placement is
+  /// by definition not the one to trust).  CLI --report-secondary.
+  kReportSecondary,
+};
 
 /// One alignment line, all eleven mandatory fields plus the tags this
 /// library emits.  Positions are 0-based (the writer adds the SAM +1);
@@ -95,12 +107,15 @@ void WriteSamAlignment(std::ostream& out, std::string_view read_name,
 
 /// The record-list writers below require `records` grouped by read (each
 /// read's mappings contiguous) — the order every mapping driver produces —
-/// and compute per-record MAPQ from the group's multiplicity and edit gap
-/// (AssignMapqs), capped at `mapq_cap`.
+/// compute per-record MAPQ from the group's multiplicity and edit gap
+/// (AssignMapqs), capped at `mapq_cap`, and emit the group under
+/// `policy`: the primary record only (kBestOnly, default) or every
+/// placement with secondaries flagged 0x100 at MAPQ 0.
 void WriteSamRecords(std::ostream& out, const std::vector<std::string>& reads,
                      const std::vector<MappingRecord>& records,
                      std::string_view ref_name,
-                     int mapq_cap = kDefaultMapqCap);
+                     int mapq_cap = kDefaultMapqCap,
+                     SecondaryPolicy policy = SecondaryPolicy::kBestOnly);
 
 /// Full-fidelity variant: recomputes each mapping's banded alignment
 /// against `genome` and emits the real CIGAR instead of a bare match run.
@@ -111,7 +126,9 @@ void WriteSamRecordsWithCigar(std::ostream& out,
                               const std::vector<MappingRecord>& records,
                               std::string_view ref_name,
                               std::string_view genome,
-                              int mapq_cap = kDefaultMapqCap);
+                              int mapq_cap = kDefaultMapqCap,
+                              SecondaryPolicy policy =
+                                  SecondaryPolicy::kBestOnly);
 
 /// Multi-chromosome variant: records carry global (concatenated) positions;
 /// each line is addressed chromosome-locally via `ref`.  `names` supplies
@@ -122,7 +139,9 @@ void WriteSamRecordsMultiChrom(std::ostream& out,
                                const std::vector<MappingRecord>& records,
                                const ReferenceSet& ref,
                                std::string_view read_group = {},
-                               int mapq_cap = kDefaultMapqCap);
+                               int mapq_cap = kDefaultMapqCap,
+                               SecondaryPolicy policy =
+                                   SecondaryPolicy::kBestOnly);
 
 }  // namespace gkgpu
 

@@ -180,6 +180,12 @@ struct PairFinalizer {
   /// identical across them.
   bool IsDuplicateFragment(const MateBest& fwd, std::uint8_t first_strand,
                            std::int64_t frag);
+  /// Discordant analogue: both ends' (position, strand), normalized
+  /// position-major so mate roles don't split a signature.
+  bool IsDuplicateDiscordant(const MateBest& a, const MateBest& b);
+  /// Single-end analogue: the mapped mate's (position, strand) — there is
+  /// no fragment length to key on when the partner is lost.
+  bool IsDuplicateSingleEnd(const MateBest& mapped);
   void EmitMate(const FastqRecord& rec, const std::string& rc, bool first,
                 const MateBest& me, const MateBest& mate, std::int64_t tlen,
                 bool proper, bool duplicate);
@@ -190,6 +196,13 @@ struct PairFinalizer {
   /// first-mate strand, fragment length (|TLEN|).
   std::set<std::tuple<std::int64_t, std::uint8_t, std::int64_t>>
       seen_fragments_;
+  /// Signatures of emitted discordant pairs and single-end records, kept
+  /// apart from each other and from the proper-pair set: a record class
+  /// says how the fragment was sequenced, and cross-class collisions
+  /// would mark records that share one locus by coincidence.
+  std::set<std::tuple<std::int64_t, std::uint8_t, std::int64_t, std::uint8_t>>
+      seen_discordant_;
+  std::set<std::tuple<std::int64_t, std::uint8_t>> seen_single_;
 };
 
 /// Insert-size term of the pair score: squared z-distance from the fitted
@@ -302,6 +315,23 @@ bool PairFinalizer::IsDuplicateFragment(const MateBest& fwd,
                                         std::int64_t frag) {
   if (!cfg->mark_duplicates) return false;
   return !seen_fragments_.emplace(fwd.pos, first_strand, frag).second;
+}
+
+bool PairFinalizer::IsDuplicateDiscordant(const MateBest& a,
+                                          const MateBest& b) {
+  if (!cfg->mark_duplicates) return false;
+  std::int64_t pos1 = a.pos, pos2 = b.pos;
+  std::uint8_t s1 = a.strand, s2 = b.strand;
+  if (std::tie(pos2, s2) < std::tie(pos1, s1)) {
+    std::swap(pos1, pos2);
+    std::swap(s1, s2);
+  }
+  return !seen_discordant_.emplace(pos1, s1, pos2, s2).second;
+}
+
+bool PairFinalizer::IsDuplicateSingleEnd(const MateBest& mapped) {
+  if (!cfg->mark_duplicates) return false;
+  return !seen_single_.emplace(mapped.pos, mapped.strand).second;
 }
 
 void PairFinalizer::EmitMate(const FastqRecord& rec, const std::string& rc,
@@ -551,6 +581,8 @@ void PairFinalizer::Finalize(const PairTask& task) {
         if (dup) ++st.duplicate_pairs;
       } else {
         ++st.discordant_pairs;
+        dup = IsDuplicateDiscordant(m1, m2);
+        if (dup) ++st.duplicate_discordant_pairs;
       }
       EmitMate(task.r1, task.rc1, true, m1, m2,
                m1.strand == 0 ? frag : -frag, concordant, dup);
@@ -562,6 +594,8 @@ void PairFinalizer::Finalize(const PairTask& task) {
 
   if (m1.mapped && m2.mapped) {
     ++st.discordant_pairs;
+    const bool dup = IsDuplicateDiscordant(m1, m2);
+    if (dup) ++st.duplicate_discordant_pairs;
     std::int64_t tlen1 = 0;
     const int chrom1 = ref.Locate(m1.pos);
     const int chrom2 = ref.Locate(m2.pos);
@@ -570,15 +604,19 @@ void PairFinalizer::Finalize(const PairTask& task) {
           std::max(m1.pos, m2.pos) + L - std::min(m1.pos, m2.pos);
       tlen1 = m1.pos < m2.pos || (m1.pos == m2.pos) ? outer : -outer;
     }
-    EmitMate(task.r1, task.rc1, true, m1, m2, tlen1, false, false);
-    EmitMate(task.r2, task.rc2, false, m2, m1, -tlen1, false, false);
+    EmitMate(task.r1, task.rc1, true, m1, m2, tlen1, false, dup);
+    EmitMate(task.r2, task.rc2, false, m2, m1, -tlen1, false, dup);
     return;
   }
 
   if (m1.mapped || m2.mapped) {
     ++st.single_end_pairs;
-    EmitMate(task.r1, task.rc1, true, m1, m2, 0, false, false);
-    EmitMate(task.r2, task.rc2, false, m2, m1, 0, false, false);
+    // Only the mapped record carries the duplicate bit: its unmapped
+    // partner makes no placement claim to deduplicate.
+    const bool dup = IsDuplicateSingleEnd(m1.mapped ? m1 : m2);
+    if (dup) ++st.duplicate_singletons;
+    EmitMate(task.r1, task.rc1, true, m1, m2, 0, false, m1.mapped && dup);
+    EmitMate(task.r2, task.rc2, false, m2, m1, 0, false, m2.mapped && dup);
     return;
   }
 
@@ -637,7 +675,10 @@ PairedStats PairedEndMapper::MapPairs(const std::vector<FastqRecord>& r1,
   const std::size_t batch_pairs =
       std::max<std::size_t>(1, config_.max_pairs_per_batch);
   std::vector<PairTask> tasks;
-  std::vector<std::string> table;  // distinct mate sequences of the batch
+  // Distinct mate sequences of the batch, as views into the (stable)
+  // seeded tasks — both mates' pruned candidates flow through one
+  // filtration round with no per-mate string materialization.
+  std::vector<std::string_view> table;
   std::vector<CandidatePair> candidates;
   struct CandRef {
     std::uint32_t task;
@@ -670,10 +711,17 @@ PairedStats PairedEndMapper::MapPairs(const std::vector<FastqRecord>& r1,
       SeedPairTask(mapper_, L, config_.max_insert, &seed_scratch, &t);
       stats.candidates_seeded += t.seeded;
       stats.candidates_paired += t.c1.size() + t.c2.size();
+      tasks.push_back(std::move(t));
+    }
+    // The table views point into `tasks`, so it is built only after the
+    // batch's tasks stopped moving (vector growth relocates elements).
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const PairTask& t = tasks[i];
       for (int mate = 0; mate < 2; ++mate) {
         const std::vector<OrientedCandidate>& c = mate == 0 ? t.c1 : t.c2;
         if (c.empty()) continue;
-        table.push_back(mate == 0 ? t.r1.seq : t.r2.seq);
+        table.push_back(mate == 0 ? std::string_view(t.r1.seq)
+                                  : std::string_view(t.r2.seq));
         const std::uint32_t ri = static_cast<std::uint32_t>(table.size() - 1);
         for (std::size_t j = 0; j < c.size(); ++j) {
           candidates.push_back({ri, c[j].strand, c[j].pos});
@@ -682,7 +730,6 @@ PairedStats PairedEndMapper::MapPairs(const std::vector<FastqRecord>& r1,
                                 static_cast<std::uint32_t>(j)});
         }
       }
-      tasks.push_back(std::move(t));
     }
     stats.seeding_seconds += seed_timer.Seconds();
 

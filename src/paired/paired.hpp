@@ -25,9 +25,12 @@
 //     (both mates' evidence combined), everything else from the mate's
 //     own placement multiplicity; tied placements score 0 and unmapped
 //     records 0 — never 255;
-//   * optionally marks PCR/optical duplicate pairs (FLAG 0x400), keyed on
-//     (chromosome, position, strand, TLEN): the first pair seen on a
-//     fragment signature keeps its flags, every later copy is marked;
+//   * optionally marks PCR/optical duplicates (FLAG 0x400) across every
+//     record class: proper pairs keyed on (chromosome, position, strand,
+//     TLEN), discordant pairs on both ends' (position, strand), and
+//     single-end records on the mapped mate's (position, strand); the
+//     first record seen on a signature keeps its flags, every later copy
+//     is marked;
 //   * emits full SAM pair semantics: FLAG 0x1/0x2/0x4/0x8/0x10/0x20/
 //     0x40/0x80 (+0x400), RNEXT/PNEXT/TLEN, reverse-complemented SEQ and
 //     reversed QUAL on strand-flipped records, NM and RG:Z tags.
@@ -87,6 +90,12 @@ struct PairedStats {
   /// Proper pairs flagged 0x400 (mark_duplicates only; later copies of an
   /// already-seen fragment signature).
   std::uint64_t duplicate_pairs = 0;
+  /// Discordant pairs flagged 0x400 — both ends' (position, strand)
+  /// already seen on an earlier discordant pair.
+  std::uint64_t duplicate_discordant_pairs = 0;
+  /// Single-end records flagged 0x400 — the mapped mate's
+  /// (position, strand) already seen on an earlier single-end record.
+  std::uint64_t duplicate_singletons = 0;
 
   std::uint64_t candidates_seeded = 0;  // oriented candidates before pairing
   std::uint64_t candidates_paired = 0;  // survivors entering filtration

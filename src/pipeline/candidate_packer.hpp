@@ -4,11 +4,16 @@
 // resulting oriented (read, strand, reference-offset) candidates into
 // PairBatches; the subtle invariants live here once:
 //
-//   * a read's sequence enters the batch's read table at most once per
-//     batch, immediately before its first candidate of that batch;
+//   * a *sequence* enters the batch's read table at most once per batch:
+//     candidates point into the table through their read index (the
+//     PairBlock indirection), so duplicate reads — PCR duplicates, a
+//     carried-over read re-entering a batch that already holds its
+//     sequence, identical mates — share one table entry and are encoded
+//     and shipped across the bus once;
 //   * when a batch fills mid-read, the leftover candidates carry over to
-//     the next call and the read's sequence is repeated in the next
-//     batch's table — every batch stays self-contained;
+//     the next call; the read's sequence reappears in the next batch's
+//     table only if no other read already contributed the same bytes —
+//     every batch stays self-contained;
 //   * reads whose seeding produced no candidates are skipped without
 //     touching the batch.
 #ifndef GKGPU_PIPELINE_CANDIDATE_PACKER_HPP
@@ -16,9 +21,11 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "pipeline/batch.hpp"
+#include "util/fingerprint.hpp"
 
 namespace gkgpu {
 
@@ -58,28 +65,48 @@ struct CandidateStream {
 template <typename Fetch, typename Emit>
 void PackCandidateBatch(PairBatch* batch, std::size_t target,
                         CandidateStream* stream, Fetch&& fetch, Emit&& emit) {
-  // Whether the current read's sequence is already in *this* batch's
-  // table.  Deliberately not a pointer comparison: fetchers may reuse one
-  // sequence buffer for consecutive reads.
-  bool current_in_table = false;
+  // Content index of this batch's read table: sequence fingerprint ->
+  // table indices (collisions verified by comparison).  Built per call —
+  // a batch arrives empty — so a sequence the batch already carries is
+  // reused instead of repeated, whatever read it came from.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> table_index;
+  // The current read's table slot.  Deliberately resolved by content, not
+  // pointer identity: fetchers may reuse one sequence buffer for
+  // consecutive reads.
+  std::uint32_t current_slot = 0;
+  bool current_resolved = false;
   while (batch->candidates.size() < target) {
     if (stream->read == nullptr) {
       stream->positions.clear();
       stream->offset = 0;
       stream->read = fetch(&stream->positions);
-      current_in_table = false;
+      current_resolved = false;
       if (stream->read == nullptr) break;
     }
     while (stream->offset < stream->positions.size() &&
            batch->candidates.size() < target) {
-      if (!current_in_table) {
-        batch->cand_reads.push_back(*stream->read);
-        current_in_table = true;
+      if (!current_resolved) {
+        const std::string& seq = *stream->read;
+        std::vector<std::uint32_t>& bucket =
+            table_index[FingerprintText(seq)];
+        bool found = false;
+        for (const std::uint32_t idx : bucket) {
+          if (batch->cand_reads[idx] == seq) {
+            current_slot = idx;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          batch->cand_reads.push_back(seq);
+          current_slot =
+              static_cast<std::uint32_t>(batch->cand_reads.size() - 1);
+          bucket.push_back(current_slot);
+        }
+        current_resolved = true;
       }
       const OrientedCandidate oc = stream->positions[stream->offset++];
-      batch->candidates.push_back(
-          {static_cast<std::uint32_t>(batch->cand_reads.size() - 1), oc.strand,
-           oc.pos});
+      batch->candidates.push_back({current_slot, oc.strand, oc.pos});
       emit(oc, stream->offset == stream->positions.size());
     }
     if (stream->offset >= stream->positions.size()) stream->read = nullptr;

@@ -121,16 +121,30 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
         }
       }
       if (sam != nullptr && batch.last_of_read[i] != 0) {
-        group_edits.clear();
-        for (const GroupRecord& g : group) group_edits.push_back(g.edits);
-        const std::vector<int> mapqs =
-            AssignMapqs(group_edits, config.mapq_cap);
-        for (std::size_t g = 0; g < group.size(); ++g) {
-          const GroupRecord& r = group[g];
-          WriteSamLine(
-              *sam, r.name, r.flags, r.seq,
-              ref.chromosome(static_cast<std::size_t>(r.chrom)).name, r.pos,
-              r.edits, mapqs[g], r.cigar, config.read_group);
+        // The output policy picks records exactly like the blocking
+        // writers: one summary scan gives the primary record and its
+        // MAPQ (every other placement scores 0), then primary-only or
+        // everything-with-secondaries-flagged.
+        if (!group.empty()) {
+          group_edits.clear();
+          for (const GroupRecord& g : group) group_edits.push_back(g.edits);
+          const EditSummary s = SummarizeEdits(group_edits);
+          const std::size_t primary = PrimaryIndex(group_edits, s);
+          const int primary_mapq =
+              ComputeMapq(s.best, s.second, s.best_count, config.mapq_cap);
+          for (std::size_t g = 0; g < group.size(); ++g) {
+            if (g != primary &&
+                config.secondary == SecondaryPolicy::kBestOnly) {
+              continue;
+            }
+            const GroupRecord& r = group[g];
+            const int flags = r.flags | (g == primary ? 0 : kSamSecondary);
+            WriteSamLine(
+                *sam, r.name, flags, r.seq,
+                ref.chromosome(static_cast<std::size_t>(r.chrom)).name,
+                r.pos, r.edits, g == primary ? primary_mapq : 0, r.cigar,
+                config.read_group);
+          }
         }
         group.clear();
       }

@@ -22,6 +22,7 @@
 
 #include "mapper/mapper.hpp"
 #include "mapper/mapq.hpp"
+#include "mapper/sam.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace gkgpu::pipeline {
@@ -37,6 +38,10 @@ struct ReadToSamConfig {
   /// the same computation the blocking writers run, so golden SAMs stay
   /// byte-identical across drivers.
   int mapq_cap = kDefaultMapqCap;
+  /// Multi-mapping output mode (mapper/sam.hpp): best-only (default) or
+  /// report-secondary (FLAG 0x100, MAPQ 0) — identical semantics to the
+  /// blocking record writers.  CLI --report-secondary.
+  SecondaryPolicy secondary = SecondaryPolicy::kBestOnly;
 };
 
 struct ReadToSamStats {

@@ -51,6 +51,15 @@ void ThreadPool::WorkerLoop() {
     }
     RunChunks(*job);
     if (job->active_workers.fetch_sub(1) == 1) {
+      // The notify must be ordered after the caller's waiter registration:
+      // without the mutex, the decrement + notify can land between the
+      // caller's predicate check (sees active_workers == 1) and its block
+      // on cv_done_, and the wakeup is lost — ParallelFor then sleeps
+      // forever on a finished job (observed on single-core hosts).
+      // Acquiring mu_ forces this notify to happen either before the
+      // caller evaluates the predicate (which then sees 0) or after it
+      // blocked (and so receives the signal).
+      std::lock_guard<std::mutex> lk(mu_);
       cv_done_.notify_all();
     }
   }

@@ -16,10 +16,17 @@
 //     reported per threshold (false accepts cost verification time, not
 //     correctness — the rate is the filter's quality metric).
 //
+// Every PreAlignmentFilter case additionally runs through the batch API
+// (FilterBatch over a PairBlock — the scalar-or-AVX2 vectorized path for
+// GateKeeper/SHD/Shouji, the decode fallback for the rest): the batch
+// decisions must match the per-pair scalar path bit for bit, so the
+// false-reject contracts transfer to the batch path by construction.
+//
 // Extending for a new filter: register it in MakeCases() (for a
 // PreAlignmentFilter subclass one AddFilter line suffices; free-function
 // implementations wrap in a lambda) and the grid, the zero-false-reject
-// assertion and the false-accept report apply unchanged.
+// assertion, the batch-equivalence sweep and the false-accept report
+// apply unchanged.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -56,6 +63,9 @@ struct FilterCase {
   std::string name;
   bool lossless = true;
   std::function<FilterResult(std::string_view, std::string_view, int)> run;
+  /// Set for PreAlignmentFilter cases: the batch sweep drives FilterBatch
+  /// through it (null for free-function reference implementations).
+  std::shared_ptr<PreAlignmentFilter> filter;
 };
 
 std::vector<FilterCase> MakeCases() {
@@ -64,7 +74,8 @@ std::vector<FilterCase> MakeCases() {
     cases.push_back({std::string(f->name()), f->lossless(),
                      [f](std::string_view r, std::string_view g, int e) {
                        return f->Filter(r, g, e);
-                     }});
+                     },
+                     f});
   };
   add_filter(std::make_shared<GateKeeperFilter>());
   // The scalar reference implementation of the GateKeeper filtration —
@@ -73,7 +84,8 @@ std::vector<FilterCase> MakeCases() {
   cases.push_back({"GateKeeperScalar", true,
                    [](std::string_view r, std::string_view g, int e) {
                      return GateKeeperScalar(r, g, e, GateKeeperParams{});
-                   }});
+                   },
+                   nullptr});
   {
     GateKeeperParams fpga;
     fpga.mode = GateKeeperMode::kOriginal;
@@ -193,6 +205,39 @@ TEST_P(DifferentialSweep, FalseRejectContractHolds) {
       "false_accept_per_mille",
       static_cast<int>(total.false_accepts * 1000 /
                        std::max<std::uint64_t>(1, total.true_negatives)));
+}
+
+// The batch path of every PreAlignmentFilter case must reproduce the
+// scalar path's decisions and edit estimates pair for pair across the
+// whole grid — so the FR/FA contracts asserted above transfer verbatim to
+// FilterBatch, whichever kernel (scalar uint64 lanes, AVX2, or the decode
+// fallback) dispatch selected.
+TEST_P(DifferentialSweep, BatchPathMatchesScalarPath) {
+  const FilterCase& fc = Case();
+  if (fc.filter == nullptr) {
+    GTEST_SKIP() << fc.name << " is a free-function reference (no batch API)";
+  }
+  std::uint64_t compared = 0;
+  for (const Cell& cell : Grid()) {
+    PairBlockStorage block(cell.length);
+    for (const SequencePair& p : cell.pairs) block.Add(p.read, p.ref);
+    std::vector<PairResult> results(block.size());
+    fc.filter->FilterBatch(block.view(), cell.e, results.data());
+    for (std::size_t i = 0; i < cell.pairs.size(); ++i) {
+      const SequencePair& p = cell.pairs[i];
+      const FilterResult scalar = fc.run(p.read, p.ref, cell.e);
+      ASSERT_EQ(results[i].accept, scalar.accept ? 1 : 0)
+          << fc.name << " length " << cell.length << " e " << cell.e
+          << " pair " << i;
+      ASSERT_EQ(results[i].bypassed, 0)
+          << fc.name << " pair " << i << " (grid pairs are N-free)";
+      ASSERT_EQ(results[i].edits, scalar.estimated_edits)
+          << fc.name << " length " << cell.length << " e " << cell.e
+          << " pair " << i;
+      ++compared;
+    }
+  }
+  ASSERT_GT(compared, 5000u);  // the whole grid really ran
 }
 
 // Not an assertion sweep: renders the per-threshold false-accept rates of

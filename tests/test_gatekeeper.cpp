@@ -208,34 +208,29 @@ TEST(GateKeeperTest, EstimatedEditsTrackTrueEditsLoosely) {
   }
 }
 
-TEST(GateKeeperCpuTest, BatchMatchesSingleFiltrations) {
+TEST(GateKeeperCpuTest, BlockMatchesSingleFiltrations) {
   Rng rng(37);
   const int length = 100;
   const int e = 5;
   const std::size_t n = 2000;
   std::vector<SequencePair> pairs;
-  std::vector<Word> reads(n * EncodedWords(length));
-  std::vector<Word> refs(n * EncodedWords(length));
-  std::vector<GateKeeperCpu::PairView> views(n);
+  PairBlockStorage block(length);
   for (std::size_t i = 0; i < n; ++i) {
     pairs.push_back(MakePairWithEdits(
         length, static_cast<int>(rng.Uniform(20)), 0.3, rng.NextU64()));
-    Word* re = reads.data() + i * EncodedWords(length);
-    Word* ge = refs.data() + i * EncodedWords(length);
-    const bool rn = EncodeSequence(pairs[i].read, re);
-    const bool gn = EncodeSequence(pairs[i].ref, ge);
-    views[i] = {re, ge, static_cast<std::uint8_t>((rn || gn) ? 1 : 0)};
+    block.Add(pairs[i].read, pairs[i].ref);
   }
   for (const unsigned threads : {1u, 4u, 12u}) {
     GateKeeperCpu cpu({}, threads);
-    std::vector<FilterResult> results(n);
-    cpu.FilterBatch(views.data(), n, length, e, results.data());
+    std::vector<PairResult> results(n);
+    cpu.FilterBlock(block.view(), e, results.data());
     GateKeeperFilter single;
     for (std::size_t i = 0; i < n; ++i) {
       const FilterResult expected =
           single.Filter(pairs[i].read, pairs[i].ref, e);
-      ASSERT_EQ(results[i].accept, expected.accept) << "i " << i;
-      ASSERT_EQ(results[i].estimated_edits, expected.estimated_edits);
+      ASSERT_EQ(results[i].accept, expected.accept ? 1 : 0) << "i " << i;
+      ASSERT_EQ(results[i].edits, expected.estimated_edits) << "i " << i;
+      ASSERT_EQ(results[i].bypassed, 0) << "i " << i;
     }
   }
 }

@@ -226,15 +226,23 @@ TEST(MapqPropertiesTest, UniquePlacementsScoreHighRepeatsScoreZero) {
 
   std::vector<MappingRecord> records;
   mapper.MapReads(reads, nullptr, &records);
+
+  // Report-secondary mode: every verified placement emits, the primary
+  // without 0x100 and everything else with it at MAPQ 0.
   std::ostringstream sam;
   WriteSamHeader(sam, mapper.reference());
-  WriteSamRecordsMultiChrom(sam, reads, names, records, mapper.reference());
+  WriteSamRecordsMultiChrom(sam, reads, names, records, mapper.reference(),
+                            /*read_group=*/{}, kDefaultMapqCap,
+                            SecondaryPolicy::kReportSecondary);
   const auto parsed = ParseSam(sam.str());
   ASSERT_FALSE(parsed.empty());
 
   std::map<std::string, std::vector<int>> by_read;
   for (const ParsedRecord& rec : parsed) {
     EXPECT_NE(rec.mapq, 255) << rec.qname;  // never "unavailable"
+    if ((rec.flag & kSamSecondary) != 0) {
+      EXPECT_EQ(rec.mapq, 0) << rec.qname;  // secondaries never score
+    }
     by_read[rec.qname].push_back(rec.mapq);
   }
 
@@ -254,6 +262,22 @@ TEST(MapqPropertiesTest, UniquePlacementsScoreHighRepeatsScoreZero) {
   ASSERT_NE(repeat_it, by_read.end());
   EXPECT_GE(repeat_it->second.size(), 5u);
   for (const int mapq : repeat_it->second) EXPECT_EQ(mapq, 0);
+
+  // Best-only (the default): exactly one record per mapped read, no
+  // 0x100 anywhere — the repeat read collapses to its (tied, MAPQ 0)
+  // primary.
+  std::ostringstream best;
+  WriteSamRecordsMultiChrom(best, reads, names, records, mapper.reference());
+  std::map<std::string, std::size_t> best_counts;
+  for (const ParsedRecord& rec : ParseSam(best.str())) {
+    EXPECT_EQ(rec.flag & kSamSecondary, 0) << rec.qname;
+    ++best_counts[rec.qname];
+  }
+  for (const auto& [name, count] : best_counts) {
+    EXPECT_EQ(count, 1u) << name;
+  }
+  ASSERT_EQ(best_counts.count("repeat_read"), 1u);
+  EXPECT_EQ(best_counts.size(), by_read.size());
 }
 
 TEST(DuplicateMarkingTest, LaterFragmentCopiesAreFlagged) {
@@ -314,6 +338,59 @@ TEST(DuplicateMarkingTest, LaterFragmentCopiesAreFlagged) {
   for (const ParsedRecord& rec : ParseSam(sam2.str())) {
     EXPECT_EQ(rec.flag & kSamDuplicate, 0) << rec.qname;
   }
+}
+
+TEST(DuplicateMarkingTest, SingleEndAndDiscordantCopiesAreFlagged) {
+  const std::string genome = GenerateGenome(80000, 92);
+  const std::string r1 = genome.substr(20000, kReadLength);
+  ASSERT_EQ(r1.find('N'), std::string::npos);
+  // A mate that maps nowhere: a 4-periodic pattern a random genome does
+  // not contain as a 100 bp near-match.
+  std::string junk;
+  while (junk.size() < kReadLength) junk += "ACGT";
+  junk.resize(kReadLength);
+  // A far-downstream reverse mate: both ends map, but the fragment is way
+  // past max_insert, so the pair is discordant.
+  const std::string far =
+      ReverseComplement(genome.substr(60000, kReadLength));
+  ASSERT_EQ(far.find('N'), std::string::npos);
+
+  // Three copies of the single-end pair, then three of the discordant
+  // pair: the first of each class stays unmarked, later copies are
+  // flagged — in their own signature spaces, not the proper-pair one.
+  const std::vector<FastqRecord> mates1 = {
+      {"seA", r1, ""}, {"seB", r1, ""}, {"seC", r1, ""},
+      {"dcA", r1, ""}, {"dcB", r1, ""}, {"dcC", r1, ""}};
+  const std::vector<FastqRecord> mates2 = {
+      {"seA", junk, ""}, {"seB", junk, ""}, {"seC", junk, ""},
+      {"dcA", far, ""}, {"dcB", far, ""}, {"dcC", far, ""}};
+
+  ReadMapper mapper(genome, MakeMapperConfig());
+  PairedConfig pconf;
+  pconf.max_insert = 500;
+  pconf.mark_duplicates = true;
+  pconf.mate_rescue = false;  // keep the unmappable mate single-end
+  PairedEndMapper paired(mapper, pconf);
+  std::ostringstream sam;
+  const PairedStats stats = paired.MapPairs(mates1, mates2, nullptr, &sam);
+  ASSERT_EQ(stats.single_end_pairs, 3u);
+  ASSERT_EQ(stats.discordant_pairs, 3u);
+  EXPECT_EQ(stats.duplicate_pairs, 0u);
+  EXPECT_EQ(stats.duplicate_singletons, 2u);
+  EXPECT_EQ(stats.duplicate_discordant_pairs, 2u);
+
+  std::map<std::string, int> dup_records;
+  for (const ParsedRecord& rec : ParseSam(sam.str())) {
+    if ((rec.flag & kSamDuplicate) != 0) ++dup_records[rec.qname];
+  }
+  // Later single-end copies: only the mapped record carries the bit.
+  EXPECT_EQ(dup_records.count("seA"), 0u);
+  EXPECT_EQ(dup_records["seB"], 1);
+  EXPECT_EQ(dup_records["seC"], 1);
+  // Later discordant copies: both ends restate the same fragment claim.
+  EXPECT_EQ(dup_records.count("dcA"), 0u);
+  EXPECT_EQ(dup_records["dcB"], 2);
+  EXPECT_EQ(dup_records["dcC"], 2);
 }
 
 TEST(SwRescueTest, RecoversAnIndelMateTheBandedScanMissed) {

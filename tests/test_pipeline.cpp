@@ -17,6 +17,7 @@
 #include "align/banded.hpp"
 #include "io/fastq.hpp"
 #include "mapper/mapper.hpp"
+#include "pipeline/candidate_packer.hpp"
 #include "pipeline/queue.hpp"
 #include "pipeline/read_to_sam.hpp"
 #include "sim/genome.hpp"
@@ -422,6 +423,47 @@ PipelineStats RunCandidateStream(GateKeeperGpuEngine* engine,
   return pipe.Run(source, sink);
 }
 
+TEST(CandidatePackerTest, DuplicateSequencesShareOneTableEntry) {
+  // Five reads, three distinct sequences, two candidates each, fetched
+  // through one reused buffer — the packer must key the table by content
+  // and route every candidate's read_index to the shared entry.
+  const std::string seq_a(100, 'A');
+  const std::string seq_b = seq_a.substr(0, 50) + std::string(50, 'C');
+  const std::string seq_c = std::string(50, 'G') + seq_a.substr(0, 50);
+  const std::vector<std::string> reads = {seq_a, seq_b, seq_a, seq_c, seq_b};
+
+  PairBatch batch;
+  pipeline::CandidateStream stream;
+  std::size_t next = 0;
+  std::string buf;
+  pipeline::PackCandidateBatch(
+      &batch, 100, &stream,
+      [&](std::vector<OrientedCandidate>* positions) -> const std::string* {
+        if (next >= reads.size()) return nullptr;
+        positions->push_back({static_cast<std::int64_t>(next) * 10, 0});
+        positions->push_back({static_cast<std::int64_t>(next) * 10 + 3, 1});
+        buf = reads[next++];
+        return &buf;
+      },
+      [](const OrientedCandidate&, bool) {});
+
+  ASSERT_EQ(batch.candidates.size(), 10u);
+  // Read table deduplicated to the three distinct sequences, in first-use
+  // order.
+  ASSERT_EQ(batch.cand_reads.size(), 3u);
+  EXPECT_EQ(batch.cand_reads[0], seq_a);
+  EXPECT_EQ(batch.cand_reads[1], seq_b);
+  EXPECT_EQ(batch.cand_reads[2], seq_c);
+  for (std::size_t i = 0; i < batch.candidates.size(); ++i) {
+    const CandidatePair& c = batch.candidates[i];
+    EXPECT_EQ(batch.cand_reads[c.read_index], reads[i / 2]) << i;
+    EXPECT_EQ(c.ref_pos,
+              static_cast<std::int64_t>(i / 2) * 10 +
+                  (i % 2 == 0 ? 0 : 3))
+        << i;
+  }
+}
+
 TEST(CandidateStreamingTest, MatchesBlockingFilterCandidatesBitForBit) {
   const CandidateWorkload w = MakeCandidateWorkload(300, 5);
   ASSERT_GT(w.candidates.size(), 1000u);
@@ -694,6 +736,9 @@ TEST(ReadToSamTest, MatchesBlockingMapper) {
   EngineFixture streaming(2, length, e);
   pipeline::ReadToSamConfig scfg;
   scfg.pipeline.batch_size = 512;
+  // Report-secondary keeps every verified mapping in the output, so the
+  // SAM lines align 1:1 with the blocking mapper's record list.
+  scfg.secondary = SecondaryPolicy::kReportSecondary;
   std::stringstream sam;
   const pipeline::ReadToSamStats got = pipeline::StreamFastqToSam(
       fastq, mapper, streaming.engine.get(), scfg, &sam);

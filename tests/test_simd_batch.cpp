@@ -1,0 +1,335 @@
+// Scalar-vs-SIMD equivalence for the batch filtration core.
+//
+// The contracts asserted here are the refactor's safety net:
+//   * the uint64_t-lane pipeline (simd::GateKeeperFiltration64) is
+//     bit-identical — decisions *and* estimated edits — to the 32-bit
+//     reference core over random lengths (including every tail-word
+//     shape), thresholds, and both algorithm modes;
+//   * the scalar and AVX2 range kernels produce identical PairResult
+//     arrays on every block shape, including 'N'-bypass pairs and odd
+//     group remainders (the AVX2 kernel runs 4 lanes + scalar tail);
+//   * FilterBatch on every overriding filter equals its per-pair
+//     Filter() on non-bypassed pairs and the bypass slot otherwise;
+//   * candidate-shape blocks (encoded genome, strand bits, reference 'N'
+//     windows) reproduce the per-candidate kernel semantics exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "encode/encoded.hpp"
+#include "encode/revcomp.hpp"
+#include "filters/gatekeeper.hpp"
+#include "filters/pair_block.hpp"
+#include "filters/shd.hpp"
+#include "filters/shouji.hpp"
+#include "simd/bitops64.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/gatekeeper_batch.hpp"
+#include "util/rng.hpp"
+
+namespace gkgpu {
+namespace {
+
+// Lengths chosen to hit every tail-word geometry: 16-base encoded-word
+// boundaries, 32-base mask-word boundaries, 64-bit lane boundaries, the
+// singleton, the paper's 100 bp, and the library maximum.
+constexpr int kLengths[] = {1,  5,   15,  16,  17,  31,  32,  33,
+                            47, 63,  64,  65,  99,  100, 127, 128,
+                            200, 256, 300, 511, 512};
+
+std::string RandomSeq(Rng& rng, int length) {
+  std::string s(static_cast<std::size_t>(length), 'A');
+  for (char& c : s) c = kBases[rng.Uniform(4)];
+  return s;
+}
+
+/// A reference-like partner: mostly the read with a few substitutions, so
+/// accept and reject paths both occur; occasionally fully random.
+std::string MutatePartner(Rng& rng, const std::string& read, int edits) {
+  if (rng.Uniform(4) == 0) return RandomSeq(rng, static_cast<int>(read.size()));
+  std::string ref = read;
+  for (int k = 0; k < edits; ++k) {
+    const std::size_t p = rng.Uniform(ref.size());
+    ref[p] = kBases[rng.Uniform(4)];
+  }
+  return ref;
+}
+
+void InjectN(Rng& rng, std::string* s) {
+  (*s)[rng.Uniform(s->size())] = 'N';
+}
+
+int RandomThreshold(Rng& rng, int length) {
+  const int bound = std::min(kMaxErrorThreshold, length - 1);
+  return bound <= 0 ? 0 : static_cast<int>(rng.Uniform(
+                              static_cast<std::uint64_t>(bound) + 1));
+}
+
+void ExpectSameResult(const PairResult& a, const PairResult& b,
+                      const char* what, std::size_t i) {
+  ASSERT_EQ(a.accept, b.accept) << what << " pair " << i;
+  ASSERT_EQ(a.bypassed, b.bypassed) << what << " pair " << i;
+  ASSERT_EQ(a.edits, b.edits) << what << " pair " << i;
+}
+
+TEST(Simd64Test, Filtration64MatchesReferenceCoreOverTheGrid) {
+  Rng rng(90001);
+  for (const int length : kLengths) {
+    for (int trial = 0; trial < 24; ++trial) {
+      const int e = RandomThreshold(rng, length);
+      const std::string read = RandomSeq(rng, length);
+      const std::string ref =
+          MutatePartner(rng, read, static_cast<int>(rng.Uniform(
+                                       static_cast<std::uint64_t>(e) + 4)));
+      Word read_enc[kMaxEncodedWords];
+      Word ref_enc[kMaxEncodedWords];
+      EncodeSequence(read, read_enc);
+      EncodeSequence(ref, ref_enc);
+      GateKeeperParams params;
+      for (const GateKeeperMode mode :
+           {GateKeeperMode::kImproved, GateKeeperMode::kOriginal}) {
+        for (const CountMode count :
+             {CountMode::kOneRuns, CountMode::kPopcount}) {
+          params.mode = mode;
+          params.count = count;
+          const FilterResult expected =
+              GateKeeperFiltration(read_enc, ref_enc, length, e, params);
+          const FilterResult got =
+              simd::GateKeeperFiltration64(read_enc, ref_enc, length, e,
+                                           params);
+          ASSERT_EQ(got.accept, expected.accept)
+              << "length " << length << " e " << e << " mode "
+              << static_cast<int>(mode);
+          ASSERT_EQ(got.estimated_edits, expected.estimated_edits)
+              << "length " << length << " e " << e << " mode "
+              << static_cast<int>(mode);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBatchTest, ScalarAndAvx2RangesBitIdentical) {
+  // When dispatch resolves to scalar — kernels not compiled (non-x86
+  // build), CPU without AVX2, or the GKGPU_NO_AVX2 escape hatch (the CI
+  // forced-scalar job) — the AVX2 leg must not run at all: the point of
+  // that job is proving the portable path alone, and on a vector-less
+  // machine the call would be illegal anyway.  The real comparison runs
+  // on every AVX2-dispatching CI machine.
+  if (simd::ActiveLevel() != simd::Level::kAvx2) {
+    GTEST_SKIP() << "AVX2 kernels not dispatched on this build/machine";
+  }
+  Rng rng(90002);
+  for (const int length : kLengths) {
+    const int e = RandomThreshold(rng, length);
+    PairBlockStorage block(length);
+    // 23 pairs: five AVX2 groups plus a 3-pair scalar tail; sprinkle 'N'
+    // pairs so bypassed lanes mix with live lanes inside one group.
+    std::vector<std::string> reads, refs;
+    for (int i = 0; i < 23; ++i) {
+      std::string read = RandomSeq(rng, length);
+      std::string ref = MutatePartner(rng, read, static_cast<int>(
+                                                     rng.Uniform(6)));
+      if (rng.Uniform(5) == 0) InjectN(rng, rng.Uniform(2) == 0 ? &read : &ref);
+      block.Add(read, ref);
+      reads.push_back(std::move(read));
+      refs.push_back(std::move(ref));
+    }
+    for (const GateKeeperMode mode :
+         {GateKeeperMode::kImproved, GateKeeperMode::kOriginal}) {
+      GateKeeperParams params;
+      params.mode = mode;
+      std::vector<PairResult> scalar(block.size());
+      std::vector<PairResult> avx2(block.size());
+      simd::GateKeeperFilterRangeScalar(block.view(), 0, block.size(), e,
+                                        params, scalar.data());
+      simd::GateKeeperFilterRangeAvx2(block.view(), 0, block.size(), e,
+                                      params, avx2.data());
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        ExpectSameResult(avx2[i], scalar[i], "scalar-vs-avx2", i);
+      }
+    }
+  }
+}
+
+TEST(FilterBatchTest, OverridingFiltersMatchTheirScalarReference) {
+  Rng rng(90003);
+  const GateKeeperFilter gk;
+  GateKeeperParams fpga;
+  fpga.mode = GateKeeperMode::kOriginal;
+  fpga.bypass_undefined = false;
+  const GateKeeperFilter gk_fpga(fpga);
+  const ShdFilter shd;
+  const ShoujiFilter shouji;
+  struct Case {
+    const PreAlignmentFilter* filter;
+    bool mark_undefined;  // block builder's bypass policy
+  };
+  const Case cases[] = {
+      {&gk, true},
+      // The FPGA baseline has no bypass mechanism: blocks built without
+      // bypass bits, 'N' filters as its 'A' substitution — exactly what
+      // the scalar Filter() does with bypass_undefined=false.
+      {&gk_fpga, false},
+      {&shd, true},
+      {&shouji, true},
+  };
+  for (const int length : {17, 64, 100, 150}) {
+    for (const Case& c : cases) {
+      const int e = std::min(8, std::max(0, length / 12));
+      PairBlockStorage block(length);
+      std::vector<std::string> reads, refs;
+      for (int i = 0; i < 40; ++i) {
+        std::string read = RandomSeq(rng, length);
+        std::string ref = MutatePartner(
+            rng, read, static_cast<int>(rng.Uniform(
+                           static_cast<std::uint64_t>(e) + 3)));
+        if (i % 7 == 0) InjectN(rng, i % 14 == 0 ? &read : &ref);
+        block.Add(read, ref, c.mark_undefined);
+        reads.push_back(std::move(read));
+        refs.push_back(std::move(ref));
+      }
+      std::vector<PairResult> results(block.size());
+      c.filter->FilterBatch(block.view(), e, results.data());
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        const bool undefined =
+            ContainsUnknown(reads[i]) || ContainsUnknown(refs[i]);
+        if (c.mark_undefined && undefined) {
+          EXPECT_EQ(results[i].accept, 1) << c.filter->name() << " " << i;
+          EXPECT_EQ(results[i].bypassed, 1) << c.filter->name() << " " << i;
+          continue;
+        }
+        // Non-bypassed pairs must equal the scalar reference.  Under a
+        // no-bypass builder an undefined pair filters on its encoded
+        // ('N' -> 'A') form, which is what the FPGA-mode scalar Filter()
+        // computes too.
+        const FilterResult expected =
+            c.filter->Filter(reads[i], refs[i], e);
+        EXPECT_EQ(results[i].accept, expected.accept ? 1 : 0)
+            << c.filter->name() << " " << i;
+        EXPECT_EQ(results[i].bypassed, 0) << c.filter->name() << " " << i;
+        EXPECT_EQ(results[i].edits, expected.estimated_edits)
+            << c.filter->name() << " " << i;
+      }
+    }
+  }
+}
+
+TEST(CandidateBlockTest, WindowsStrandsAndGenomeNMatchPerPairSemantics) {
+  Rng rng(90004);
+  const int length = 100;
+  const int e = 5;
+  // A genome with an 'N' patch in the middle: windows overlapping it must
+  // bypass, windows elsewhere must filter.
+  std::string genome = RandomSeq(rng, 4000);
+  for (int i = 1500; i < 1530; ++i) genome[static_cast<std::size_t>(i)] = 'N';
+  const ReferenceEncoding ref = EncodeReference(genome);
+
+  const int n_reads = 12;
+  std::vector<std::string> reads;
+  std::vector<Word> read_table(static_cast<std::size_t>(n_reads) *
+                               static_cast<std::size_t>(EncodedWords(length)));
+  std::vector<std::uint8_t> read_has_n(n_reads, 0);
+  for (int r = 0; r < n_reads; ++r) {
+    std::string s = RandomSeq(rng, length);
+    if (r == 5) InjectN(rng, &s);
+    read_has_n[static_cast<std::size_t>(r)] =
+        EncodeSequence(s, read_table.data() +
+                              static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(
+                                      EncodedWords(length)))
+            ? 1
+            : 0;
+    reads.push_back(std::move(s));
+  }
+
+  std::vector<CandidatePair> candidates;
+  for (int i = 0; i < 200; ++i) {
+    CandidatePair c;
+    c.read_index = static_cast<std::uint32_t>(rng.Uniform(n_reads));
+    c.strand = static_cast<std::uint8_t>(rng.Uniform(2));
+    c.ref_pos = static_cast<std::int64_t>(
+        rng.Uniform(static_cast<std::uint64_t>(genome.size()) - length));
+    candidates.push_back(c);
+  }
+
+  PairBlock block;
+  block.size = candidates.size();
+  block.length = length;
+  block.words_per_seq = EncodedWords(length);
+  block.reads_enc = read_table.data();
+  block.bypass = read_has_n.data();
+  block.candidates = candidates.data();
+  block.ref_words = ref.words.data();
+  block.ref_n_mask = ref.n_mask.data();
+  block.ref_len = ref.length;
+
+  GateKeeperParams params;
+  std::vector<PairResult> results(block.size);
+  simd::GateKeeperFilterRange(block, 0, block.size, e, params,
+                              results.data());
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const CandidatePair c = candidates[i];
+    if (read_has_n[c.read_index] != 0 ||
+        ref.RangeHasUnknown(c.ref_pos, length)) {
+      EXPECT_EQ(results[i].bypassed, 1) << i;
+      EXPECT_EQ(results[i].accept, 1) << i;
+      continue;
+    }
+    Word window[kMaxEncodedWords];
+    ref.ExtractSegment(c.ref_pos, length, window);
+    const Word* read_enc =
+        read_table.data() + static_cast<std::size_t>(c.read_index) *
+                                static_cast<std::size_t>(EncodedWords(length));
+    Word rc_enc[kMaxEncodedWords];
+    if (c.strand != 0) {
+      ReverseComplementEncoded(read_enc, length, rc_enc);
+      read_enc = rc_enc;
+    }
+    const FilterResult expected =
+        GateKeeperFiltration(read_enc, window, length, e, params);
+    EXPECT_EQ(results[i].accept, expected.accept ? 1 : 0) << i;
+    EXPECT_EQ(results[i].edits, expected.estimated_edits) << i;
+    EXPECT_EQ(results[i].bypassed, 0) << i;
+  }
+}
+
+TEST(RawBlockTest, DeviceSideEncodingMatchesHostEncodedBlocks) {
+  Rng rng(90005);
+  const int length = 100;
+  const int e = 4;
+  const int n = 30;
+  std::string raw_reads, raw_refs;
+  PairBlockStorage encoded(length);
+  for (int i = 0; i < n; ++i) {
+    std::string read = RandomSeq(rng, length);
+    std::string ref = MutatePartner(rng, read,
+                                    static_cast<int>(rng.Uniform(7)));
+    if (i % 9 == 0) InjectN(rng, &read);
+    encoded.Add(read, ref);
+    raw_reads += read;
+    raw_refs += ref;
+  }
+  PairBlock raw;
+  raw.size = n;
+  raw.length = length;
+  raw.words_per_seq = EncodedWords(length);
+  raw.raw_reads = raw_reads.data();
+  raw.raw_refs = raw_refs.data();
+
+  GateKeeperParams params;
+  std::vector<PairResult> from_raw(n);
+  std::vector<PairResult> from_encoded(n);
+  simd::GateKeeperFilterRange(raw, 0, raw.size, e, params, from_raw.data());
+  simd::GateKeeperFilterRange(encoded.view(), 0, encoded.size(), e, params,
+                              from_encoded.data());
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    ExpectSameResult(from_raw[i], from_encoded[i], "raw-vs-encoded", i);
+  }
+}
+
+}  // namespace
+}  // namespace gkgpu

@@ -49,6 +49,7 @@
 #include "paired/paired.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/read_to_sam.hpp"
+#include "simd/dispatch.hpp"
 #include "sim/genome.hpp"
 #include "sim/pairgen.hpp"
 #include "sim/read_sim.hpp"
@@ -138,7 +139,7 @@ int Usage() {
       "                  [--devices N] [--read-group ID] [--mapq-cap N]\n"
       "                  and one of:\n"
       "                    --reads FASTQ [--no-filter] [--streaming]\n"
-      "                      [--batch N]\n"
+      "                      [--batch N] [--report-secondary]\n"
       "                    --paired R1.fq R2.fq | --interleaved FILE\n"
       "                      [--max-insert N] [--no-filter] [--streaming]\n"
       "                      [--no-rescue] [--mark-duplicates] [--batch N]\n"
@@ -149,7 +150,7 @@ int Usage() {
       "                  [--devices N] [--encode host|device]\n"
       "                  [--length N] [--no-verify] [--read-group ID]\n"
       "                  [--mapq-cap N] [--adaptive] [--batch-min N]\n"
-      "                  [--batch-max N]\n"
+      "                  [--batch-max N] [--report-secondary]\n"
       "  (FASTA references may be multi-chromosome; SAM output carries one\n"
       "   @SQ line per chromosome)\n",
       stderr);
@@ -340,11 +341,20 @@ int FilterCmd(const Args& args) {
       std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
       return 1;
     }
+    // Host filters run the batch API: one PairBlock, no per-pair virtual
+    // dispatch.  Undefined ('N') pairs carry bypass bits except for the
+    // FPGA baseline, which has no such mechanism and filters the
+    // 'A'-substituted encoding instead.
     WallTimer timer;
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-      const bool a = filter->Filter(pairs[i].read, pairs[i].ref, e).accept;
-      accepts[i] = a ? 1 : 0;
-      accepted += a;
+    PairBlockStorage block(length);
+    for (const auto& p : pairs) {
+      block.Add(p.read, p.ref, /*mark_undefined=*/algo != "fpga");
+    }
+    std::vector<PairResult> results(pairs.size());
+    filter->FilterBatch(block.view(), e, results.data());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      accepts[i] = results[i].accept;
+      accepted += results[i].accept;
     }
     ft = timer.Seconds();
   }
@@ -370,6 +380,8 @@ int FilterCmd(const Args& args) {
   } else {
     std::printf("filter time %.4f s (host)\n", ft);
   }
+  std::printf("batch kernels: %s (GKGPU_NO_AVX2=1 forces scalar)\n",
+              simd::LevelName(simd::ActiveLevel()));
   return 0;
 }
 
@@ -485,6 +497,10 @@ int MapPairedCmd(const Args& args, ReferenceSet refset) {
   t.AddRow({"rescued mates", TablePrinter::Count(stats.rescued_mates)});
   if (pconf.mark_duplicates) {
     t.AddRow({"duplicate pairs", TablePrinter::Count(stats.duplicate_pairs)});
+    t.AddRow({"duplicate discordant",
+              TablePrinter::Count(stats.duplicate_discordant_pairs)});
+    t.AddRow({"duplicate singletons",
+              TablePrinter::Count(stats.duplicate_singletons)});
   }
   t.AddRow({"candidates seeded", TablePrinter::Count(stats.candidates_seeded)});
   t.AddRow({"after pairing", TablePrinter::Count(stats.candidates_paired)});
@@ -583,13 +599,19 @@ int MapCmd(const Args& args) {
   const std::string sam_path = args.Get("sam", "");
   if (!sam_path.empty()) {
     const std::string read_group = args.Get("read-group", "");
+    const SecondaryPolicy policy = args.Has("report-secondary")
+                                       ? SecondaryPolicy::kReportSecondary
+                                       : SecondaryPolicy::kBestOnly;
     std::ofstream sam(sam_path);
     WriteSamHeader(sam, mapper.reference(), read_group);
     WriteSamRecordsMultiChrom(
         sam, reads, names, records, mapper.reference(), read_group,
-        static_cast<int>(args.GetInt("mapq-cap", kDefaultMapqCap)));
-    std::printf("SAM written to %s (%zu records)\n", sam_path.c_str(),
-                records.size());
+        static_cast<int>(args.GetInt("mapq-cap", kDefaultMapqCap)), policy);
+    std::printf("SAM written to %s (%zu verified mappings%s)\n",
+                sam_path.c_str(), records.size(),
+                policy == SecondaryPolicy::kBestOnly
+                    ? ", primary records only"
+                    : ", secondaries flagged 0x100");
   }
   return 0;
 }
@@ -755,6 +777,9 @@ int PipelineCmd(const Args& args) {
   scfg.pipeline = pcfg;
   scfg.read_group = args.Get("read-group", "");
   scfg.mapq_cap = static_cast<int>(args.GetInt("mapq-cap", kDefaultMapqCap));
+  scfg.secondary = args.Has("report-secondary")
+                       ? SecondaryPolicy::kReportSecondary
+                       : SecondaryPolicy::kBestOnly;
   const std::string sam_path = args.Get("sam", "");
   std::ofstream sam_file;
   std::ostream* sam = nullptr;
@@ -776,7 +801,8 @@ int PipelineCmd(const Args& args) {
   std::printf("\n");
   PrintPipelineStats(stats.pipeline);
   if (sam != nullptr) {
-    std::printf("SAM written to %s (%llu records)\n", sam_path.c_str(),
+    std::printf("SAM written to %s (%llu verified mappings)\n",
+                sam_path.c_str(),
                 static_cast<unsigned long long>(stats.mappings));
   }
   return 0;
