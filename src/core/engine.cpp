@@ -549,13 +549,18 @@ FilterRunStats GateKeeperGpuEngine::FilterPairs(
   return stats;
 }
 
-void GateKeeperGpuEngine::LoadReference(const std::string& genome) {
+void GateKeeperGpuEngine::LoadReference(std::string_view genome) {
   // Multithreaded host encoding of the reference (Sec. 3.5, Box R of the
   // workflow figure), then one resident copy per device.
-  ReferenceEncoding enc =
+  const ReferenceEncoding enc =
       EncodeReference(genome, &devices_.front()->pool());
+  LoadReference(enc.view(), FingerprintText(genome));
+}
+
+void GateKeeperGpuEngine::LoadReference(const ReferenceEncodingView& enc,
+                                        std::uint64_t fingerprint) {
   ref_length_ = enc.length;
-  ref_fingerprint_ = FingerprintText(genome);
+  ref_fingerprint_ = fingerprint;
   ref_buffers_.clear();
   ref_nmask_buffers_.clear();
   for (Device* dev : devices_) {

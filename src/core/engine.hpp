@@ -81,7 +81,12 @@ class GateKeeperGpuEngine {
 
   /// Candidate mode, step 1: encode the reference into unified memory on
   /// every device (multithreaded host encoding, Sec. 3.5) and prefetch it.
-  void LoadReference(const std::string& genome);
+  void LoadReference(std::string_view genome);
+  /// Same, from a pre-built encoding (an mmap'd index file) — skips the
+  /// host encoding pass entirely.  `fingerprint` must be FingerprintText
+  /// of the genome the encoding was built from.
+  void LoadReference(const ReferenceEncodingView& enc,
+                     std::uint64_t fingerprint);
   bool HasReference() const { return !ref_buffers_.empty(); }
   /// Length of the loaded reference (0 when none).
   std::int64_t reference_length() const { return ref_length_; }

@@ -7,6 +7,7 @@
 #define GKGPU_ENCODE_ENCODED_HPP
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,6 +57,16 @@ bool RangeHasUnknownRaw(const Word* n_mask, std::int64_t ref_len,
 void ExtractSegmentRaw(const Word* ref_words, std::int64_t ref_len,
                        std::int64_t start, int len, Word* out);
 
+/// Non-owning view of a reference encoding — spans into externally owned
+/// word arrays (an mmap'd index file or a ReferenceEncoding's vectors).
+/// Lets the engine upload a persisted encoding without re-encoding the
+/// FASTA text.
+struct ReferenceEncodingView {
+  std::int64_t length = 0;
+  std::span<const Word> words;   // 2-bit encoding, 16 bases/word
+  std::span<const Word> n_mask;  // 1 bit/base, MSB-first
+};
+
 /// A whole reference genome, 2-bit encoded once up front, with a 1-bit-per-
 /// base mask of 'N' positions so segments overlapping unknown bases can be
 /// given a free pass without re-reading the text.
@@ -63,6 +74,8 @@ struct ReferenceEncoding {
   std::int64_t length = 0;
   std::vector<Word> words;   // 2-bit encoding, 16 bases/word
   std::vector<Word> n_mask;  // 1 bit/base, MSB-first
+
+  ReferenceEncodingView view() const { return {length, words, n_mask}; }
 
   /// True if any base in [start, start+len) is unknown or out of range.
   bool RangeHasUnknown(std::int64_t start, int len) const;

@@ -1,0 +1,353 @@
+#include "io/index_io.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/bitops.hpp"
+#include "util/fingerprint.hpp"
+
+namespace gkgpu {
+
+namespace {
+
+// Fixed little-endian header.  All fields naturally aligned; the struct is
+// written/read by memcpy, so the layout is the format.  Bumping
+// kIndexFormatVersion is mandatory for any change here.
+struct IndexFileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t k;
+  std::uint64_t genome_length;
+  std::uint64_t ref_fingerprint;
+  std::uint64_t index_fingerprint;  // IndexFingerprint(ref_fp, k, version)
+  std::uint64_t chrom_count;
+  // Section geometry: byte offset from the start of the file + byte size.
+  std::uint64_t chrom_table_offset, chrom_table_bytes;
+  std::uint64_t text_offset, text_bytes;
+  std::uint64_t offsets_offset, offsets_bytes;
+  std::uint64_t positions_offset, positions_bytes;
+  std::uint64_t enc_words_offset, enc_words_bytes;
+  std::uint64_t n_mask_offset, n_mask_bytes;
+  std::uint64_t payload_checksum;  // FNV over every byte after the header
+  std::uint64_t header_checksum;   // FNV over the header, this field zeroed
+};
+static_assert(sizeof(IndexFileHeader) == 160,
+              "header layout is the on-disk format; bump "
+              "kIndexFormatVersion when it changes");
+
+std::uint64_t HeaderChecksum(IndexFileHeader h) {
+  h.header_checksum = 0;
+  return FingerprintBytes(&h, sizeof(h));
+}
+
+[[noreturn]] void Fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error("index file " + path + ": " + why);
+}
+
+/// Aligned section sizes so every array starts on an 8-byte boundary.
+std::uint64_t AlignUp8(std::uint64_t n) { return (n + 7) & ~std::uint64_t{7}; }
+
+class SectionWriter {
+ public:
+  explicit SectionWriter(std::ofstream& out) : out_(out) {}
+
+  /// Writes `bytes` of `data` padded to the next 8-byte boundary, folds
+  /// them (padding included) into the payload checksum, and returns the
+  /// section's file offset.
+  std::uint64_t Write(const void* data, std::uint64_t bytes) {
+    const std::uint64_t offset = cursor_;
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+    checksum_ = FingerprintBytes(data, bytes, checksum_);
+    const std::uint64_t padded = AlignUp8(bytes);
+    static constexpr char kZeros[8] = {};
+    if (padded != bytes) {
+      out_.write(kZeros, static_cast<std::streamsize>(padded - bytes));
+      checksum_ = FingerprintBytes(kZeros, padded - bytes, checksum_);
+    }
+    cursor_ += padded;
+    return offset;
+  }
+
+  std::uint64_t cursor() const { return cursor_; }
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::ofstream& out_;
+  std::uint64_t cursor_ = sizeof(IndexFileHeader);
+  std::uint64_t checksum_ = kFingerprintSeed;
+};
+
+std::uint64_t ExpectedOffsetsBytes(int k) {
+  return ((std::uint64_t{1} << (2 * k)) + 1) * sizeof(std::uint32_t);
+}
+
+}  // namespace
+
+std::uint64_t WriteIndexFile(const std::string& path, const ReferenceSet& ref,
+                             const KmerIndex& index,
+                             const ReferenceEncoding& encoding) {
+  if (ref.empty()) Fail(path, "refusing to write an empty reference");
+  if (index.genome_length() != static_cast<std::size_t>(ref.length()) ||
+      encoding.length != ref.length()) {
+    Fail(path, "index/encoding were not built from this reference");
+  }
+
+  // Serialize the chromosome table: per chromosome u64 name length, the
+  // name bytes, then i64 offset + i64 length.
+  std::string chrom_table;
+  for (const ChromosomeInfo& c : ref.chromosomes()) {
+    const std::uint64_t name_len = c.name.size();
+    chrom_table.append(reinterpret_cast<const char*>(&name_len),
+                       sizeof(name_len));
+    chrom_table.append(c.name);
+    chrom_table.append(reinterpret_cast<const char*>(&c.offset),
+                       sizeof(c.offset));
+    chrom_table.append(reinterpret_cast<const char*>(&c.length),
+                       sizeof(c.length));
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) Fail(path, "cannot open for writing");
+
+  IndexFileHeader h{};
+  std::memcpy(h.magic, kIndexMagic, sizeof(kIndexMagic));
+  h.version = kIndexFormatVersion;
+  h.k = static_cast<std::uint32_t>(index.k());
+  h.genome_length = static_cast<std::uint64_t>(ref.length());
+  h.ref_fingerprint = ref.fingerprint();
+  h.index_fingerprint =
+      IndexFingerprint(h.ref_fingerprint, index.k(), h.version);
+  h.chrom_count = ref.chromosome_count();
+
+  // Header placeholder; rewritten once the section offsets are known.
+  out.write(reinterpret_cast<const char*>(&h),
+            static_cast<std::streamsize>(sizeof(h)));
+
+  SectionWriter w(out);
+  const std::string_view text = ref.text();
+  const auto offsets = index.offsets();
+  const auto positions = index.positions();
+  h.chrom_table_bytes = chrom_table.size();
+  h.chrom_table_offset = w.Write(chrom_table.data(), chrom_table.size());
+  h.text_bytes = text.size();
+  h.text_offset = w.Write(text.data(), text.size());
+  h.offsets_bytes = offsets.size_bytes();
+  h.offsets_offset = w.Write(offsets.data(), offsets.size_bytes());
+  h.positions_bytes = positions.size_bytes();
+  h.positions_offset = w.Write(positions.data(), positions.size_bytes());
+  h.enc_words_bytes = encoding.words.size() * sizeof(Word);
+  h.enc_words_offset = w.Write(encoding.words.data(), h.enc_words_bytes);
+  h.n_mask_bytes = encoding.n_mask.size() * sizeof(Word);
+  h.n_mask_offset = w.Write(encoding.n_mask.data(), h.n_mask_bytes);
+  h.payload_checksum = w.checksum();
+  h.header_checksum = HeaderChecksum(h);
+
+  out.seekp(0);
+  out.write(reinterpret_cast<const char*>(&h),
+            static_cast<std::streamsize>(sizeof(h)));
+  out.flush();
+  if (!out) Fail(path, "write failed (disk full?)");
+  return w.cursor();
+}
+
+std::uint64_t BuildAndWriteIndexFile(const std::string& path,
+                                     const ReferenceSet& ref, int k) {
+  const KmerIndex index(ref.text(), k);
+  const ReferenceEncoding encoding = EncodeReference(ref.text());
+  return WriteIndexFile(path, ref, index, encoding);
+}
+
+MappedIndexFile MappedIndexFile::Open(const std::string& path,
+                                      const IndexLoadOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) Fail(path, std::string("cannot open: ") + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    Fail(path, std::string("fstat failed: ") + std::strerror(err));
+  }
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes < sizeof(IndexFileHeader)) {
+    ::close(fd);
+    Fail(path, "truncated: smaller than the index header");
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    Fail(path, std::string("mmap failed: ") + std::strerror(map_err));
+  }
+
+  MappedIndexFile f;
+  f.map_ = map;
+  f.map_bytes_ = file_bytes;
+  const char* base = static_cast<const char*>(map);
+
+  IndexFileHeader h{};
+  std::memcpy(&h, base, sizeof(h));
+  if (std::memcmp(h.magic, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    Fail(path, "bad magic (not a GKGPUIDX index file)");
+  }
+  if (h.version != kIndexFormatVersion) {
+    Fail(path, "format version " + std::to_string(h.version) +
+                   " does not match this build's version " +
+                   std::to_string(kIndexFormatVersion) +
+                   " — rebuild the index with `gkgpu index`");
+  }
+  if (HeaderChecksum(h) != h.header_checksum) {
+    Fail(path, "header checksum mismatch (corrupt header)");
+  }
+  if (h.k < 4 || h.k > 14) {
+    Fail(path, "seed length k=" + std::to_string(h.k) + " out of range");
+  }
+  if (h.genome_length == 0 || h.genome_length > KmerIndex::kMaxGenomeLength) {
+    Fail(path, "genome length out of range");
+  }
+  if (h.index_fingerprint !=
+      IndexFingerprint(h.ref_fingerprint, static_cast<int>(h.k), h.version)) {
+    Fail(path, "fingerprint mismatch: the index does not correspond to the "
+               "reference it claims to cover");
+  }
+
+  const auto section = [&](std::uint64_t offset, std::uint64_t bytes,
+                           const char* what) -> const char* {
+    if (offset < sizeof(IndexFileHeader) || offset % 8 != 0 ||
+        bytes > file_bytes || offset > file_bytes - bytes) {
+      Fail(path, std::string("truncated or corrupt: ") + what +
+                     " section exceeds the file");
+    }
+    return base + offset;
+  };
+
+  const char* chrom_table =
+      section(h.chrom_table_offset, h.chrom_table_bytes, "chromosome-table");
+  const char* text = section(h.text_offset, h.text_bytes, "reference-text");
+  const char* offsets_raw =
+      section(h.offsets_offset, h.offsets_bytes, "kmer-offsets");
+  const char* positions_raw =
+      section(h.positions_offset, h.positions_bytes, "kmer-positions");
+  const char* enc_raw =
+      section(h.enc_words_offset, h.enc_words_bytes, "encoded-reference");
+  const char* nmask_raw = section(h.n_mask_offset, h.n_mask_bytes, "n-mask");
+
+  if (h.text_bytes != h.genome_length) {
+    Fail(path, "reference-text section does not match the genome length");
+  }
+  if (h.offsets_bytes != ExpectedOffsetsBytes(static_cast<int>(h.k))) {
+    Fail(path, "kmer-offset table has the wrong size for k=" +
+                   std::to_string(h.k));
+  }
+  if (h.positions_bytes % sizeof(std::uint32_t) != 0 ||
+      h.enc_words_bytes !=
+          ((h.genome_length + kBasesPerWord - 1) / kBasesPerWord) *
+              sizeof(Word) ||
+      h.n_mask_bytes !=
+          ((h.genome_length + kWordBits - 1) / kWordBits) * sizeof(Word)) {
+    Fail(path, "section sizes are inconsistent with the genome length");
+  }
+
+  if (options.verify_checksum) {
+    const std::uint64_t payload = FingerprintBytes(
+        base + sizeof(IndexFileHeader), file_bytes - sizeof(IndexFileHeader));
+    if (payload != h.payload_checksum) {
+      Fail(path, "payload checksum mismatch (corrupt index data)");
+    }
+  }
+
+  // Parse the chromosome table (bounds-checked byte cursor).
+  std::vector<ChromosomeInfo> chroms;
+  chroms.reserve(h.chrom_count);
+  std::uint64_t cur = 0;
+  const auto take = [&](void* out, std::uint64_t n) {
+    if (cur + n > h.chrom_table_bytes) {
+      Fail(path, "truncated or corrupt: chromosome-table entries exceed "
+                 "their section");
+    }
+    std::memcpy(out, chrom_table + cur, n);
+    cur += n;
+  };
+  for (std::uint64_t i = 0; i < h.chrom_count; ++i) {
+    std::uint64_t name_len = 0;
+    take(&name_len, sizeof(name_len));
+    if (name_len == 0 || name_len > h.chrom_table_bytes) {
+      Fail(path, "corrupt chromosome name length");
+    }
+    ChromosomeInfo c;
+    c.name.resize(name_len);
+    take(c.name.data(), name_len);
+    take(&c.offset, sizeof(c.offset));
+    take(&c.length, sizeof(c.length));
+    chroms.push_back(std::move(c));
+  }
+
+  try {
+    f.reference_ =
+        ReferenceSet::View(std::move(chroms),
+                           std::string_view(text, h.text_bytes),
+                           h.ref_fingerprint);
+    f.index_ = KmerIndex::View(
+        static_cast<int>(h.k), h.genome_length,
+        std::span<const std::uint32_t>(
+            reinterpret_cast<const std::uint32_t*>(offsets_raw),
+            h.offsets_bytes / sizeof(std::uint32_t)),
+        std::span<const std::uint32_t>(
+            reinterpret_cast<const std::uint32_t*>(positions_raw),
+            h.positions_bytes / sizeof(std::uint32_t)));
+  } catch (const std::invalid_argument& e) {
+    Fail(path, std::string("corrupt index structure: ") + e.what());
+  }
+  f.encoding_ = ReferenceEncodingView{
+      static_cast<std::int64_t>(h.genome_length),
+      std::span<const Word>(reinterpret_cast<const Word*>(enc_raw),
+                            h.enc_words_bytes / sizeof(Word)),
+      std::span<const Word>(reinterpret_cast<const Word*>(nmask_raw),
+                            h.n_mask_bytes / sizeof(Word))};
+  f.k_ = static_cast<int>(h.k);
+  f.ref_fingerprint_ = h.ref_fingerprint;
+  return f;
+}
+
+MappedIndexFile::MappedIndexFile(MappedIndexFile&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      k_(other.k_),
+      ref_fingerprint_(other.ref_fingerprint_),
+      reference_(std::move(other.reference_)),
+      index_(std::move(other.index_)),
+      encoding_(other.encoding_) {}
+
+MappedIndexFile& MappedIndexFile::operator=(MappedIndexFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    map_ = std::exchange(other.map_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    k_ = other.k_;
+    ref_fingerprint_ = other.ref_fingerprint_;
+    reference_ = std::move(other.reference_);
+    index_ = std::move(other.index_);
+    encoding_ = other.encoding_;
+  }
+  return *this;
+}
+
+MappedIndexFile::~MappedIndexFile() { Unmap(); }
+
+void MappedIndexFile::Unmap() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+    map_bytes_ = 0;
+  }
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,100 @@
+// Persistent on-disk index ("GKGPUIDX"): one file holding everything a
+// mapper needs at startup — the k-mer CSR index, the 2-bit encoded
+// reference with its N-mask, the raw reference text, and the chromosome
+// table.  `gkgpu index` writes it once; every later `map`/`pipeline`/
+// `serve` invocation mmaps it and is ready in microseconds, with the page
+// cache sharing the hot arrays across processes.
+//
+// Layout: a fixed little-endian header (magic, format version, k, sizes,
+// fingerprints, per-section offset/size table, checksums) followed by
+// 8-byte-aligned sections.  Loading never copies the big arrays — the
+// KmerIndex and ReferenceSet come back in view mode, spanning straight
+// into the mapping.  Validation is layered: the header (magic, version,
+// section geometry, header checksum, fingerprint consistency) is always
+// checked; the full payload checksum is opt-in (IndexLoadOptions) because
+// hashing gigabytes would forfeit the instant-load property.
+#ifndef GKGPU_IO_INDEX_IO_HPP
+#define GKGPU_IO_INDEX_IO_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "encode/encoded.hpp"
+#include "io/reference.hpp"
+#include "mapper/index.hpp"
+
+namespace gkgpu {
+
+inline constexpr char kIndexMagic[8] = {'G', 'K', 'G', 'P',
+                                        'U', 'I', 'D', 'X'};
+inline constexpr std::uint32_t kIndexFormatVersion = 1;
+
+/// Builds the three persisted artifacts from a reference and writes the
+/// index file.  `k` is the seed length the CSR index is built with.
+/// Returns the number of bytes written; throws std::runtime_error on I/O
+/// failure.
+std::uint64_t WriteIndexFile(const std::string& path, const ReferenceSet& ref,
+                             const KmerIndex& index,
+                             const ReferenceEncoding& encoding);
+
+/// Convenience: build index + encoding from `ref` and write in one step.
+std::uint64_t BuildAndWriteIndexFile(const std::string& path,
+                                     const ReferenceSet& ref, int k);
+
+struct IndexLoadOptions {
+  /// Hash the whole payload and compare against the stored checksum.
+  /// Catches bit rot and truncation-past-the-header; costs a full scan of
+  /// the file, so the default trusts the header checks.
+  bool verify_checksum = false;
+};
+
+/// An open, validated, mmap'd index file.  The accessors return views into
+/// the mapping — the MappedIndexFile must outlive every ReferenceSet /
+/// KmerIndex / encoding view handed out.  Movable, not copyable; the
+/// destructor unmaps.
+class MappedIndexFile {
+ public:
+  /// Opens + validates; throws std::runtime_error with a diagnosis of
+  /// exactly what is wrong (bad magic, version skew, truncation, checksum
+  /// or fingerprint mismatch) rather than producing silent garbage.
+  static MappedIndexFile Open(const std::string& path,
+                              const IndexLoadOptions& options = {});
+
+  MappedIndexFile(MappedIndexFile&&) noexcept;
+  MappedIndexFile& operator=(MappedIndexFile&&) noexcept;
+  MappedIndexFile(const MappedIndexFile&) = delete;
+  MappedIndexFile& operator=(const MappedIndexFile&) = delete;
+  ~MappedIndexFile();
+
+  int k() const { return k_; }
+  std::uint64_t reference_fingerprint() const { return ref_fingerprint_; }
+  std::uint64_t file_bytes() const { return map_bytes_; }
+
+  /// View-mode reference over the mapped text + parsed chromosome table.
+  const ReferenceSet& reference() const { return reference_; }
+  /// View-mode CSR index spanning the mapped offset/position arrays.
+  const KmerIndex& index() const { return index_; }
+  /// Spans over the persisted 2-bit encoding — feed straight to
+  /// GateKeeperGpuEngine::LoadReference to skip host re-encoding.
+  const ReferenceEncodingView& encoding() const { return encoding_; }
+
+ private:
+  MappedIndexFile() = default;
+  void Unmap() noexcept;
+
+  void* map_ = nullptr;
+  std::uint64_t map_bytes_ = 0;
+  int k_ = 0;
+  std::uint64_t ref_fingerprint_ = 0;
+  ReferenceSet reference_;
+  KmerIndex index_;  // view mode, set in Open
+  ReferenceEncodingView encoding_;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_IO_INDEX_IO_HPP

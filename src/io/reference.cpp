@@ -26,7 +26,38 @@ ReferenceSet::ReferenceSet(std::string name, std::string sequence) {
   fingerprint_ = FingerprintText(text_);
 }
 
+ReferenceSet ReferenceSet::View(std::vector<ChromosomeInfo> chromosomes,
+                                std::string_view text,
+                                std::uint64_t fingerprint) {
+  if (chromosomes.empty()) {
+    throw std::invalid_argument("ReferenceSet::View: empty chromosome table");
+  }
+  std::int64_t cursor = 0;
+  for (const ChromosomeInfo& c : chromosomes) {
+    if (c.name.empty() || c.length <= 0 || c.offset != cursor) {
+      throw std::invalid_argument(
+          "ReferenceSet::View: chromosome table does not tile the text");
+    }
+    cursor += c.length;
+  }
+  if (cursor != static_cast<std::int64_t>(text.size())) {
+    throw std::invalid_argument(
+        "ReferenceSet::View: chromosome lengths sum to " +
+        std::to_string(cursor) + " but the text holds " +
+        std::to_string(text.size()) + " bases");
+  }
+  ReferenceSet set;
+  set.view_ = text;
+  set.chromosomes_ = std::move(chromosomes);
+  set.fingerprint_ = fingerprint;
+  return set;
+}
+
 void ReferenceSet::Add(std::string name, std::string_view sequence) {
+  if (view_.data() != nullptr) {
+    throw std::logic_error(
+        "ReferenceSet: cannot Add() to a view over an mmap'd index");
+  }
   if (name.empty()) {
     throw std::runtime_error("reference: chromosome with empty name");
   }

@@ -37,14 +37,25 @@ class ReferenceSet {
   static ReferenceSet FromFasta(const std::vector<FastaRecord>& records);
   static ReferenceSet FromFastaFile(const std::string& path);
 
-  /// Appends a chromosome; same validation as FromFasta.
+  /// Non-owning view over externally owned text (an mmap'd index file,
+  /// which must outlive the view).  `chromosomes` must tile `text` exactly
+  /// in offset order; throws std::invalid_argument otherwise.  `fingerprint`
+  /// is trusted (the index loader validates it against the file header).
+  static ReferenceSet View(std::vector<ChromosomeInfo> chromosomes,
+                           std::string_view text, std::uint64_t fingerprint);
+
+  /// Appends a chromosome; same validation as FromFasta.  Throws
+  /// std::logic_error on a View() instance (its text is immutable).
   void Add(std::string name, std::string_view sequence);
 
   /// The concatenated text (what the k-mer index and the engine's encoded
-  /// reference are built over).
-  const std::string& text() const { return text_; }
+  /// reference are built over).  For View() instances this aliases the
+  /// external storage; otherwise it views the owned string.
+  std::string_view text() const {
+    return view_.data() != nullptr ? view_ : std::string_view(text_);
+  }
   std::int64_t length() const {
-    return static_cast<std::int64_t>(text_.size());
+    return static_cast<std::int64_t>(text().size());
   }
   /// FingerprintText(text()), maintained incrementally across Add() calls;
   /// lets candidate-mode pipelines check reference identity against
@@ -77,7 +88,10 @@ class ReferenceSet {
   }
 
  private:
-  std::string text_;
+  std::string text_;  // owned storage (empty in views)
+  // Set only in view mode; never points at text_ (a self-referential view
+  // would dangle across moves under SSO).
+  std::string_view view_;
   std::vector<ChromosomeInfo> chromosomes_;
   std::uint64_t fingerprint_ = kFingerprintSeed;
 };

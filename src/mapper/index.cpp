@@ -32,7 +32,11 @@ KmerIndex::KmerIndex(std::string_view genome, int k)
   }
   const std::size_t buckets = std::size_t{1} << (2 * k);
   offsets_.assign(buckets + 1, 0);
-  if (genome.size() < static_cast<std::size_t>(k)) return;
+  if (genome.size() < static_cast<std::size_t>(k)) {
+    offsets_view_ = offsets_;
+    positions_view_ = positions_;
+    return;
+  }
   const std::size_t n_kmers = genome.size() - static_cast<std::size_t>(k) + 1;
 
   // Pass 1: counts.  A rolling code with an "invalid until" marker skips
@@ -75,6 +79,37 @@ KmerIndex::KmerIndex(std::string_view genome, int k)
     }
   }
   (void)n_kmers;
+  offsets_view_ = offsets_;
+  positions_view_ = positions_;
+}
+
+KmerIndex KmerIndex::View(int k, std::size_t genome_length,
+                          std::span<const std::uint32_t> offsets,
+                          std::span<const std::uint32_t> positions) {
+  if (k < 4 || k > 14) {
+    throw std::invalid_argument("KmerIndex::View: k out of range [4, 14]");
+  }
+  if (genome_length > kMaxGenomeLength) {
+    throw std::invalid_argument(
+        "KmerIndex::View: genome length exceeds the uint32 position limit");
+  }
+  const std::size_t buckets = std::size_t{1} << (2 * k);
+  if (offsets.size() != buckets + 1) {
+    throw std::invalid_argument(
+        "KmerIndex::View: offset table holds " +
+        std::to_string(offsets.size()) + " entries, expected 4^k + 1 = " +
+        std::to_string(buckets + 1));
+  }
+  if (offsets.front() != 0 || offsets.back() != positions.size()) {
+    throw std::invalid_argument(
+        "KmerIndex::View: CSR offsets do not span the position array");
+  }
+  KmerIndex idx;
+  idx.k_ = k;
+  idx.genome_length_ = genome_length;
+  idx.offsets_view_ = offsets;
+  idx.positions_view_ = positions;
+  return idx;
 }
 
 std::int64_t KmerIndex::Encode(std::string_view kmer) const {
@@ -94,12 +129,12 @@ std::span<const std::uint32_t> KmerIndex::Lookup(std::string_view kmer) const {
 
 std::span<const std::uint32_t> KmerIndex::LookupCode(std::int64_t code) const {
   if (code < 0 ||
-      static_cast<std::size_t>(code) + 1 >= offsets_.size()) {
+      static_cast<std::size_t>(code) + 1 >= offsets_view_.size()) {
     return {};
   }
-  const std::uint32_t b = offsets_[static_cast<std::size_t>(code)];
-  const std::uint32_t e = offsets_[static_cast<std::size_t>(code) + 1];
-  return std::span<const std::uint32_t>(positions_.data() + b, e - b);
+  const std::uint32_t b = offsets_view_[static_cast<std::size_t>(code)];
+  const std::uint32_t e = offsets_view_[static_cast<std::size_t>(code) + 1];
+  return positions_view_.subspan(b, e - b);
 }
 
 }  // namespace gkgpu

@@ -22,6 +22,26 @@ ReadMapper::ReadMapper(ReferenceSet reference, MapperConfig config)
 ReadMapper::ReadMapper(std::string genome, MapperConfig config)
     : ReadMapper(ReferenceSet("synthetic_chr1", std::move(genome)), config) {}
 
+ReadMapper::ReadMapper(ReferenceSet reference, KmerIndex index,
+                       MapperConfig config)
+    : ref_(std::move(reference)),
+      config_(config),
+      index_(std::move(index)),
+      verify_pool_(std::make_unique<ThreadPool>(config.verify_threads)) {
+  if (index_.k() != config_.k) {
+    throw std::invalid_argument(
+        "ReadMapper: preloaded index was built with k=" +
+        std::to_string(index_.k()) + " but the mapper is configured for k=" +
+        std::to_string(config_.k));
+  }
+  if (index_.genome_length() != static_cast<std::size_t>(ref_.length())) {
+    throw std::invalid_argument(
+        "ReadMapper: preloaded index covers " +
+        std::to_string(index_.genome_length()) +
+        " bases but the reference holds " + std::to_string(ref_.length()));
+  }
+}
+
 ReadMapper::~ReadMapper() = default;
 
 void ReadMapper::CollectCandidates(std::string_view read,
@@ -206,7 +226,7 @@ MappingStats ReadMapper::MapReadsStreaming(
     stats.preprocess_seconds += prep.Seconds();
   }
 
-  pcfg.reference_text = &ref_.text();
+  pcfg.reference_text = ref_.text();
   pcfg.reference_fingerprint = ref_.fingerprint();
   pcfg.verify = true;
   pcfg.verify_threshold = config_.error_threshold;

@@ -80,10 +80,17 @@ class ReadMapper {
   /// Single-sequence convenience (the chromosome is named
   /// "synthetic_chr1", matching the synthetic-genome tooling).
   ReadMapper(std::string genome, MapperConfig config);
+  /// Preloaded-index mapper: adopts an already-built (typically mmap'd,
+  /// view-mode) index instead of scanning the genome.  `index.k()` must
+  /// equal `config.k` and `index.genome_length()` the reference length;
+  /// throws std::invalid_argument otherwise.  When either the reference
+  /// or the index is a view, the backing storage (the MappedIndexFile)
+  /// must outlive the mapper.
+  ReadMapper(ReferenceSet reference, KmerIndex index, MapperConfig config);
   ~ReadMapper();
 
   const ReferenceSet& reference() const { return ref_; }
-  const std::string& genome() const { return ref_.text(); }
+  std::string_view genome() const { return ref_.text(); }
   const MapperConfig& config() const { return config_; }
   const KmerIndex& index() const { return index_; }
 

@@ -804,7 +804,7 @@ PairedStats PairedEndMapper::MapPairsStreaming(PairedFastqReader& reader,
   WallTimer total;
   if (!engine->HasReference()) engine->LoadReference(mapper_.genome());
 
-  pcfg.reference_text = &mapper_.genome();
+  pcfg.reference_text = mapper_.genome();
   pcfg.reference_fingerprint = mapper_.reference().fingerprint();
   pcfg.verify = true;
   pcfg.verify_threshold = e;

@@ -38,16 +38,16 @@ StreamingPipeline::StreamingPipeline(GateKeeperGpuEngine* engine,
   config_.verify_workers = std::max(1, config_.verify_workers);
   config_.slots_per_device = std::max(1, config_.slots_per_device);
 
-  const bool cand_mode = config_.reference_text != nullptr;
+  const bool cand_mode = !config_.reference_text.empty();
   if (cand_mode) {
     // Content check, not just length: an engine reused across same-length
     // genomes would otherwise silently filter against the wrong one.
     const std::uint64_t fp = config_.reference_fingerprint != 0
                                  ? config_.reference_fingerprint
-                                 : FingerprintText(*config_.reference_text);
+                                 : FingerprintText(config_.reference_text);
     if (!engine_->HasReference() ||
         engine_->reference_length() !=
-            static_cast<std::int64_t>(config_.reference_text->size()) ||
+            static_cast<std::int64_t>(config_.reference_text.size()) ||
         engine_->reference_fingerprint() != fp) {
       throw std::invalid_argument(
           "pipeline: candidate mode requires the engine's reference to be "
@@ -86,9 +86,9 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
                                      const BatchSink& sink) {
   const int ndev = engine_->device_count();
   const std::size_t capacity = config_.batch_size;
-  const bool cand_mode = config_.reference_text != nullptr;
+  const bool cand_mode = !config_.reference_text.empty();
   const std::int64_t ref_len =
-      cand_mode ? static_cast<std::int64_t>(config_.reference_text->size())
+      cand_mode ? static_cast<std::int64_t>(config_.reference_text.size())
                 : 0;
   const int verify_k = config_.verify_threshold >= 0
                            ? config_.verify_threshold
@@ -428,8 +428,8 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
                 } else {
                   read = batch->cand_reads[c.read_index];
                 }
-                window = std::string_view(*config_.reference_text)
-                             .substr(static_cast<std::size_t>(c.ref_pos), L);
+                window = config_.reference_text.substr(
+                    static_cast<std::size_t>(c.ref_pos), L);
               } else {
                 read = batch->reads[i];
                 window = batch->refs[i];

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -69,12 +70,13 @@ struct PipelineConfig {
 
   /// Candidate mode: the reference text backing the engine's encoded
   /// reference (LoadReference must have been called with exactly this
-  /// text).  Batches then carry (read, reference-offset) candidates, the
+  /// text; the storage behind the view must outlive the pipeline).
+  /// Batches then carry (read, reference-offset) candidates, the
   /// filtration stage slices windows from the per-device encoded genome,
   /// and verification slices the same windows from this text — no
-  /// per-candidate segment strings anywhere.  Null = pair mode.
-  const std::string* reference_text = nullptr;
-  /// Precomputed FingerprintText(*reference_text) (e.g. from
+  /// per-candidate segment strings anywhere.  Empty = pair mode.
+  std::string_view reference_text;
+  /// Precomputed FingerprintText(reference_text) (e.g. from
   /// ReferenceSet::fingerprint()); 0 = the constructor hashes the text
   /// itself.  Either way the value must match the engine's loaded
   /// reference or construction throws.

@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <ostream>
 
-#include "encode/revcomp.hpp"
 #include "io/fastq.hpp"
 #include "mapper/sam.hpp"
 #include "pipeline/candidate_packer.hpp"
+#include "pipeline/sam_group.hpp"
 
 namespace gkgpu::pipeline {
 
@@ -20,7 +20,7 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
   if (!engine->HasReference()) engine->LoadReference(mapper.genome());
 
   PipelineConfig pcfg = config.pipeline;
-  pcfg.reference_text = &mapper.genome();
+  pcfg.reference_text = mapper.genome();
   pcfg.reference_fingerprint = mapper.reference().fingerprint();
   // The caller's verify flag is honored: with verification off the run is
   // stats-only and no mapping is confirmed (no SAM lines), by design.
@@ -75,24 +75,12 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
 
   // The sink sees batches in input order, and within a batch pairs keep
   // the seeding order, so each read's mappings arrive contiguously (even
-  // across a batch split).  Verified mappings buffer in `group` until the
-  // read's last candidate retires (last_of_read) — only then is the
-  // read's multiplicity known and its records scorable (AssignMapqs),
-  // exactly like the blocking writers.
-  struct GroupRecord {
-    std::string name;
-    int flags = 0;
-    std::string seq;  // already oriented to match the flags
-    std::int32_t chrom = 0;
-    std::int64_t pos = 0;
-    int edits = 0;
-    std::string cigar;
-  };
-  std::vector<GroupRecord> group;
-  std::vector<int> group_edits;
+  // across a batch split).  The grouping, scoring, and formatting live in
+  // SamGroupBuffer, shared with the daemon's per-session demultiplexer.
+  SamGroupBuffer groups(
+      SamGroupOptions{config.read_group, config.mapq_cap, config.secondary});
   std::uint32_t last_mapped = 0;
   bool any_mapped = false;
-  std::string sink_rc;
   const BatchSink sink = [&](PairBatch&& batch) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (batch.edits[i] >= 0) {
@@ -102,57 +90,16 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
           last_mapped = batch.read_index[i];
           any_mapped = true;
         }
-        if (sam != nullptr) {
-          // The CIGAR was computed by the (parallel) verification
-          // workers; the ordered sink only formats lines.  Reverse-strand
-          // mappings emit FLAG 0x10 and the reverse-complemented sequence
-          // — the same bytes the blocking writers produce.
-          const CandidatePair c = batch.candidates[i];
-          std::string_view seq = batch.cand_reads[c.read_index];
-          int flags = 0;
-          if (c.strand != 0) {
-            ReverseComplementInto(seq, &sink_rc);
-            seq = sink_rc;
-            flags = kSamReverse;
-          }
-          group.push_back({batch.read_names[i], flags, std::string(seq),
-                           batch.ref_chrom[i], batch.ref_pos[i],
-                           batch.edits[i], std::move(batch.cigars[i])});
-        }
+        if (sam != nullptr) groups.AddMapping(batch, i);
       }
       if (sam != nullptr && batch.last_of_read[i] != 0) {
-        // The output policy picks records exactly like the blocking
-        // writers: one summary scan gives the primary record and its
-        // MAPQ (every other placement scores 0), then primary-only or
-        // everything-with-secondaries-flagged.
-        if (!group.empty()) {
-          group_edits.clear();
-          for (const GroupRecord& g : group) group_edits.push_back(g.edits);
-          const EditSummary s = SummarizeEdits(group_edits);
-          const std::size_t primary = PrimaryIndex(group_edits, s);
-          const int primary_mapq =
-              ComputeMapq(s.best, s.second, s.best_count, config.mapq_cap);
-          for (std::size_t g = 0; g < group.size(); ++g) {
-            if (g != primary &&
-                config.secondary == SecondaryPolicy::kBestOnly) {
-              continue;
-            }
-            const GroupRecord& r = group[g];
-            const int flags = r.flags | (g == primary ? 0 : kSamSecondary);
-            WriteSamLine(
-                *sam, r.name, flags, r.seq,
-                ref.chromosome(static_cast<std::size_t>(r.chrom)).name,
-                r.pos, r.edits, g == primary ? primary_mapq : 0, r.cigar,
-                config.read_group);
-          }
-        }
-        group.clear();
+        groups.FlushGroup(*sam, ref);
       }
     }
   };
 
   out.pipeline = pipeline.Run(source, sink);
-  assert(group.empty());  // every read's last candidate flushes its group
+  assert(groups.empty());  // every read's last candidate flushes its group
   return out;
 }
 

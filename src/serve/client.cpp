@@ -1,0 +1,174 @@
+#include "serve/client.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace gkgpu::serve {
+
+namespace {
+
+constexpr std::size_t kChunkBytes = 256u << 10;
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  const std::uint32_t prelude[2] = {
+      static_cast<std::uint32_t>(type),
+      static_cast<std::uint32_t>(payload.size()),
+  };
+  out->append(reinterpret_cast<const char*>(prelude), sizeof(prelude));
+  out->append(payload);
+}
+
+[[noreturn]] void Fail(const std::string& why) {
+  throw std::runtime_error("map-client: " + why);
+}
+
+std::uint64_t StatValue(std::string_view payload, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    const std::string_view line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t eq = line.find('=');
+    if (eq != std::string_view::npos && line.substr(0, eq) == key) {
+      return std::stoull(std::string(line.substr(eq + 1)));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+ClientStats MapOverSocket(const std::string& socket_path, std::istream& fastq,
+                          std::ostream& sam, const JobSpec& job) {
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Fail("invalid socket path");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) Fail("cannot create socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    Fail("cannot connect to " + socket_path + ": " + err);
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  ClientStats stats;
+  std::string outbound;
+  AppendFrame(&outbound, FrameType::kJob, SerializeJobSpec(job));
+  std::string inbound;
+  std::string chunk(kChunkBytes, '\0');
+  bool input_done = false;
+  bool done = false;
+
+  try {
+    while (!done) {
+      // Refill the outbound buffer from the FASTQ stream; kEnd follows
+      // the final chunk.
+      if (!input_done && outbound.size() < kChunkBytes) {
+        fastq.read(chunk.data(),
+                   static_cast<std::streamsize>(chunk.size()));
+        const std::streamsize got = fastq.gcount();
+        if (got > 0) {
+          AppendFrame(&outbound, FrameType::kData,
+                      std::string_view(chunk.data(),
+                                       static_cast<std::size_t>(got)));
+        }
+        if (got == 0 || fastq.eof()) {
+          AppendFrame(&outbound, FrameType::kEnd, {});
+          input_done = true;
+        }
+      }
+
+      pollfd pfd{fd, POLLIN, 0};
+      if (!outbound.empty()) pfd.events |= POLLOUT;
+      const int n = ::poll(&pfd, 1, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Fail(std::string("poll: ") + std::strerror(errno));
+      }
+
+      if ((pfd.revents & POLLOUT) != 0 && !outbound.empty()) {
+        const ssize_t sent =
+            ::send(fd, outbound.data(), outbound.size(), MSG_NOSIGNAL);
+        if (sent < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+            Fail(std::string("send: ") + std::strerror(errno));
+          }
+        } else {
+          outbound.erase(0, static_cast<std::size_t>(sent));
+        }
+      }
+
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char buf[64 << 10];
+        const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+        if (got < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+            Fail(std::string("recv: ") + std::strerror(errno));
+          }
+        } else if (got == 0) {
+          Fail("server closed the connection before kDone");
+        } else {
+          inbound.append(buf, static_cast<std::size_t>(got));
+        }
+      }
+
+      // Parse every complete frame in the inbound buffer.
+      std::size_t pos = 0;
+      while (inbound.size() - pos >= kFramePreludeBytes) {
+        std::uint32_t prelude[2];
+        std::memcpy(prelude, inbound.data() + pos, sizeof(prelude));
+        if (prelude[1] > kMaxFramePayload) {
+          Fail("oversized response frame (corrupt stream?)");
+        }
+        if (inbound.size() - pos - kFramePreludeBytes < prelude[1]) break;
+        const std::string_view payload(
+            inbound.data() + pos + kFramePreludeBytes, prelude[1]);
+        pos += kFramePreludeBytes + prelude[1];
+        switch (static_cast<FrameType>(prelude[0])) {
+          case FrameType::kSamHeader:
+          case FrameType::kSamRecords:
+            sam.write(payload.data(),
+                      static_cast<std::streamsize>(payload.size()));
+            break;
+          case FrameType::kStats:
+            stats.reads = StatValue(payload, "reads");
+            stats.records = StatValue(payload, "records");
+            break;
+          case FrameType::kError:
+            Fail("server error: " + std::string(payload));
+          case FrameType::kDone:
+            done = true;
+            break;
+          default:
+            Fail("unexpected response frame type");
+        }
+      }
+      inbound.erase(0, pos);
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return stats;
+}
+
+}  // namespace gkgpu::serve

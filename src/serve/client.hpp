@@ -1,0 +1,31 @@
+// Client side of the mapping daemon: submits one job over the Unix-domain
+// socket and streams the SAM response.  The implementation is a poll()-
+// based duplex loop — it keeps reading response frames while the FASTQ
+// payload is still being sent, so a server flushing records early can
+// never deadlock against a client that is still uploading.
+#ifndef GKGPU_SERVE_CLIENT_HPP
+#define GKGPU_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace gkgpu::serve {
+
+struct ClientStats {
+  std::uint64_t reads = 0;    // admitted by the server
+  std::uint64_t records = 0;  // SAM records received
+};
+
+/// Maps `fastq` through the daemon at `socket_path` and writes the full
+/// SAM output (header + records) to `sam`.  Returns the job statistics
+/// from the server's kStats frame.  Throws std::runtime_error on
+/// connection failure, a kError frame, or a protocol violation.
+ClientStats MapOverSocket(const std::string& socket_path, std::istream& fastq,
+                          std::ostream& sam, const JobSpec& job = {});
+
+}  // namespace gkgpu::serve
+
+#endif  // GKGPU_SERVE_CLIENT_HPP

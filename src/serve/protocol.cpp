@@ -1,0 +1,125 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace gkgpu::serve {
+
+namespace {
+
+[[noreturn]] void FailErrno(const char* what) {
+  const int err = errno;
+  if (err == EAGAIN || err == EWOULDBLOCK) {
+    throw std::runtime_error(std::string(what) + ": timed out");
+  }
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(err));
+}
+
+void SendAll(int fd, const void* data, std::size_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not process death.
+    const ssize_t n = ::send(fd, p, bytes, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailErrno("serve: send");
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns bytes read; 0 only on EOF before the first byte.
+std::size_t RecvAll(int fd, void* data, std::size_t bytes) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < bytes) {
+    const ssize_t n = ::recv(fd, p + got, bytes - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailErrno("serve: recv");
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+void WriteFrame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::runtime_error("serve: frame payload exceeds the 64 MiB cap");
+  }
+  std::uint32_t prelude[2] = {
+      static_cast<std::uint32_t>(type),
+      static_cast<std::uint32_t>(payload.size()),
+  };
+  SendAll(fd, prelude, sizeof(prelude));
+  if (!payload.empty()) SendAll(fd, payload.data(), payload.size());
+}
+
+bool ReadFrame(int fd, Frame* out) {
+  std::uint32_t prelude[2] = {0, 0};
+  const std::size_t got = RecvAll(fd, prelude, sizeof(prelude));
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof(prelude)) {
+    throw std::runtime_error("serve: connection closed mid-frame");
+  }
+  if (prelude[1] > kMaxFramePayload) {
+    throw std::runtime_error("serve: frame length prefix exceeds the cap "
+                             "(corrupt stream?)");
+  }
+  out->type = static_cast<FrameType>(prelude[0]);
+  out->payload.resize(prelude[1]);
+  if (prelude[1] > 0 &&
+      RecvAll(fd, out->payload.data(), prelude[1]) != prelude[1]) {
+    throw std::runtime_error("serve: connection closed mid-frame");
+  }
+  return true;
+}
+
+std::string SerializeJobSpec(const JobSpec& job) {
+  std::string out;
+  if (!job.read_group.empty()) {
+    out += "read_group=" + job.read_group + "\n";
+  }
+  if (job.mapq_cap >= 0) {
+    out += "mapq_cap=" + std::to_string(job.mapq_cap) + "\n";
+  }
+  if (job.report_secondary) out += "secondary=1\n";
+  return out;
+}
+
+JobSpec ParseJobSpec(std::string_view payload) {
+  JobSpec job;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    const std::string_view line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("serve: malformed job option (want key=value)");
+    }
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
+    if (key == "read_group") {
+      job.read_group = std::string(value);
+    } else if (key == "mapq_cap") {
+      job.mapq_cap = std::stoi(std::string(value));
+    } else if (key == "secondary") {
+      job.report_secondary = value == "1";
+    }
+    // Unknown keys: ignored, so older servers accept newer clients.
+  }
+  return job;
+}
+
+}  // namespace gkgpu::serve

@@ -1,0 +1,69 @@
+// Wire protocol of the mapping daemon: length-prefixed frames over a
+// Unix-domain stream socket.  Every frame is an 8-byte little-endian
+// prelude — u32 type, u32 payload length — followed by the payload.
+//
+//   client -> server   kJob         key=value job options, one per line
+//                      kData        a chunk of raw FASTQ bytes
+//                      kEnd         no more input for this job
+//   server -> client   kSamHeader   the @HD/@SQ/@RG/@PG header bytes
+//                      kSamRecords  a chunk of SAM record lines
+//                      kStats       key=value job statistics
+//                      kError       human-readable failure; job is dead
+//                      kDone        job complete, no further frames
+//
+// FASTQ chunks may split records anywhere (the server reassembles);
+// SAM chunks always split on line boundaries.  Frames are capped at
+// kMaxFramePayload so a corrupt length prefix cannot allocate the moon.
+#ifndef GKGPU_SERVE_PROTOCOL_HPP
+#define GKGPU_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gkgpu::serve {
+
+enum class FrameType : std::uint32_t {
+  kJob = 1,
+  kData = 2,
+  kEnd = 3,
+  kSamHeader = 10,
+  kSamRecords = 11,
+  kStats = 12,
+  kError = 13,
+  kDone = 14,
+};
+
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+inline constexpr std::size_t kFramePreludeBytes = 8;
+
+struct Frame {
+  FrameType type = FrameType::kJob;
+  std::string payload;
+};
+
+/// Blocking frame write (loops over partial writes, EINTR-safe, no
+/// SIGPIPE).  Throws std::runtime_error on I/O failure.
+void WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Blocking frame read.  Returns false on clean EOF at a frame boundary;
+/// throws std::runtime_error on mid-frame EOF, I/O failure, a timeout
+/// (EAGAIN from SO_RCVTIMEO surfaces as "timed out"), or an oversized
+/// length prefix.
+bool ReadFrame(int fd, Frame* out);
+
+/// Per-job options carried in the kJob frame.
+struct JobSpec {
+  std::string read_group;        // RG:Z tag ("" = none)
+  int mapq_cap = -1;             // -1 = server default
+  bool report_secondary = false;
+};
+
+std::string SerializeJobSpec(const JobSpec& job);
+/// Parses a kJob payload; unknown keys are ignored (forward compatible).
+/// Throws std::runtime_error on malformed lines.
+JobSpec ParseJobSpec(std::string_view payload);
+
+}  // namespace gkgpu::serve
+
+#endif  // GKGPU_SERVE_PROTOCOL_HPP

@@ -1,0 +1,624 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "io/fastq.hpp"
+#include "mapper/sam.hpp"
+#include "pipeline/candidate_packer.hpp"
+#include "pipeline/sam_group.hpp"
+#include "serve/protocol.hpp"
+
+namespace gkgpu::serve {
+
+namespace {
+
+/// Reassembles FASTQ records from arbitrarily split kData chunks, with the
+/// same validation and name semantics as FastqStreamReader (so a served
+/// run parses the identical record set a file-based run would).
+class FastqAssembler {
+ public:
+  void Append(std::string_view chunk) { buf_.append(chunk); }
+
+  /// At end of input a final record may lack its trailing newline, exactly
+  /// like a file whose last line has no '\n'.
+  void Finish() {
+    if (!buf_.empty() && buf_.back() != '\n') buf_.push_back('\n');
+    finished_ = true;
+  }
+
+  /// Extracts the next complete record; false when more bytes are needed.
+  /// Throws std::runtime_error on malformed input.
+  bool Next(FastqRecord* rec) {
+    for (;;) {
+      const std::size_t record_start = pos_;
+      std::string header;
+      if (!NextLine(&header)) return false;
+      if (header.empty()) continue;  // blank lines between records
+      if (header[0] != '@') {
+        throw std::runtime_error("FASTQ: expected '@' header, got: " + header);
+      }
+      std::string seq, plus, qual;
+      if (!NextLine(&seq) || !NextLine(&plus) || !NextLine(&qual)) {
+        if (finished_) {
+          throw std::runtime_error("FASTQ: truncated record: " + header);
+        }
+        // The record's remaining lines are still in flight: rewind to the
+        // header and wait for more data.
+        pos_ = record_start;
+        return false;
+      }
+      if (plus.empty() || plus[0] != '+') {
+        throw std::runtime_error("FASTQ: expected '+' separator: " + header);
+      }
+      if (seq.empty()) {
+        throw std::runtime_error("FASTQ: empty sequence: " + header);
+      }
+      if (qual.size() != seq.size()) {
+        throw std::runtime_error("FASTQ: quality length mismatch: " + header);
+      }
+      rec->name = header.substr(1);
+      rec->seq = std::move(seq);
+      rec->qual = std::move(qual);
+      Compact();
+      return true;
+    }
+  }
+
+  /// Unparsed bytes left after Finish() + a draining Next() loop mean the
+  /// client sent garbage past its last record.
+  bool HasLeftover() const { return pos_ < buf_.size(); }
+
+ private:
+  bool NextLine(std::string* line) {
+    const std::size_t eol = buf_.find('\n', pos_);
+    if (eol == std::string::npos) return false;
+    line->assign(buf_, pos_, eol - pos_);
+    if (!line->empty() && line->back() == '\r') line->pop_back();
+    pos_ = eol + 1;
+    return true;
+  }
+
+  void Compact() {
+    if (pos_ > (64u << 10)) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool finished_ = false;
+};
+
+/// SAM bytes staged per session before a kSamRecords frame departs.
+constexpr std::size_t kSendThreshold = 64u << 10;
+
+struct Session {
+  explicit Session(int fd_in, std::uint64_t id_in) : fd(fd_in), id(id_in) {}
+  ~Session() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  const int fd;
+  const std::uint64_t id;
+
+  std::mutex write_mu;  // serializes frame writes on fd
+  std::atomic<bool> dead{false};
+  std::atomic<bool> input_done{false};
+  std::atomic<bool> done_sent{false};
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> retired{0};
+
+  // Output side (sink thread + whichever thread completes the session).
+  std::mutex out_mu;
+  std::optional<pipeline::SamGroupBuffer> groups;
+  std::ostringstream staged;
+  std::uint64_t reads = 0;    // admitted to the queue (session thread)
+  std::uint64_t records = 0;  // SAM records staged (under out_mu)
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+/// A read admitted to the shared cross-session queue.
+struct QueuedRead {
+  SessionPtr session;
+  std::string name;
+  std::string seq;
+};
+
+}  // namespace
+
+struct MapServer::Impl {
+  Impl(const ReadMapper& mapper, GateKeeperGpuEngine* engine,
+       ServeConfig config, pipeline::PipelineConfig pipeline_config)
+      : mapper_(mapper),
+        engine_(engine),
+        config_(std::move(config)),
+        pcfg_(std::move(pipeline_config)) {}
+
+  // --- configuration ----------------------------------------------------
+  const ReadMapper& mapper_;
+  GateKeeperGpuEngine* engine_;
+  ServeConfig config_;
+  pipeline::PipelineConfig pcfg_;
+
+  // --- lifecycle --------------------------------------------------------
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> serving_{false};
+  std::mutex threads_mu_;
+  std::vector<std::thread> session_threads_;
+
+  // --- the shared read queue (the cross-request coalescer's input) ------
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;        // consumer: work available
+  std::condition_variable queue_space_cv_;  // producers: room available
+  std::deque<QueuedRead> queue_;
+  bool input_closed_ = false;  // no producer will ever push again
+
+  // --- read ownership (source registers, sink retires) ------------------
+  std::mutex owners_mu_;
+  std::unordered_map<std::uint32_t, SessionPtr> owners_;
+
+  // --- statistics -------------------------------------------------------
+  std::atomic<std::uint64_t> sessions_accepted_{0};
+  std::atomic<std::uint64_t> sessions_completed_{0};
+  std::atomic<std::uint64_t> sessions_failed_{0};
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> skipped_reads_{0};
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> coalesced_batches_{0};
+
+  std::size_t QueueCapacity() const {
+    return std::max<std::size_t>(1024, config_.batch_size * 4);
+  }
+
+  // Sends one frame under the session's write lock; a failed send (stalled
+  // or vanished client, SO_SNDTIMEO) marks the session dead.
+  void TrySend(const SessionPtr& s, FrameType type, std::string_view payload) {
+    if (s->dead.load(std::memory_order_acquire)) return;
+    try {
+      std::lock_guard<std::mutex> lock(s->write_mu);
+      WriteFrame(s->fd, type, payload);
+    } catch (const std::exception&) {
+      s->dead.store(true, std::memory_order_release);
+    }
+  }
+
+  void FailSession(const SessionPtr& s, const std::string& why) {
+    TrySend(s, FrameType::kError, why);
+    s->dead.store(true, std::memory_order_release);
+    s->input_done.store(true, std::memory_order_release);
+    ::shutdown(s->fd, SHUT_RDWR);
+    ++sessions_failed_;
+  }
+
+  /// Completes the session once every admitted read has retired: flushes
+  /// staged SAM bytes, sends kStats + kDone.  Callable from the session,
+  /// source, or sink thread — whoever retires the last read wins the
+  /// done_sent exchange.
+  void MaybeComplete(const SessionPtr& s) {
+    if (!s->input_done.load(std::memory_order_acquire)) return;
+    if (s->retired.load(std::memory_order_acquire) !=
+        s->enqueued.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (s->done_sent.exchange(true)) return;
+    if (s->dead.load(std::memory_order_acquire)) return;
+    std::string tail;
+    std::uint64_t reads = 0, records = 0;
+    {
+      std::lock_guard<std::mutex> lock(s->out_mu);
+      tail = std::move(s->staged).str();
+      s->staged.str({});
+      reads = s->reads;
+      records = s->records;
+    }
+    if (!tail.empty()) TrySend(s, FrameType::kSamRecords, tail);
+    TrySend(s, FrameType::kStats,
+            "reads=" + std::to_string(reads) +
+                "\nrecords=" + std::to_string(records) + "\n");
+    TrySend(s, FrameType::kDone, {});
+    if (!s->dead.load(std::memory_order_acquire)) ++sessions_completed_;
+  }
+
+  void RetireRead(const SessionPtr& s) {
+    s->retired.fetch_add(1, std::memory_order_acq_rel);
+    MaybeComplete(s);
+  }
+
+  // --- session thread ---------------------------------------------------
+
+  void SessionMain(SessionPtr s) {
+    try {
+      Frame frame;
+      if (!ReadFrame(s->fd, &frame) || frame.type != FrameType::kJob) {
+        throw std::runtime_error("expected a kJob frame first");
+      }
+      const JobSpec job = ParseJobSpec(frame.payload);
+      const std::string read_group =
+          job.read_group.empty() ? config_.read_group : job.read_group;
+      const int mapq_cap =
+          job.mapq_cap >= 0 ? job.mapq_cap : config_.mapq_cap;
+      const SecondaryPolicy policy = job.report_secondary
+                                         ? SecondaryPolicy::kReportSecondary
+                                         : SecondaryPolicy::kBestOnly;
+      {
+        std::lock_guard<std::mutex> lock(s->out_mu);
+        s->groups.emplace(
+            pipeline::SamGroupOptions{read_group, mapq_cap, policy});
+      }
+      std::ostringstream header;
+      WriteSamHeader(header, mapper_.reference(), read_group);
+      TrySend(s, FrameType::kSamHeader, std::move(header).str());
+
+      const int read_length = engine_->config().read_length;
+      FastqAssembler fastq;
+      FastqRecord rec;
+      bool ended = false;
+      while (!ended) {
+        if (!ReadFrame(s->fd, &frame)) {
+          throw std::runtime_error("client disconnected before kEnd");
+        }
+        switch (frame.type) {
+          case FrameType::kData:
+            fastq.Append(frame.payload);
+            break;
+          case FrameType::kEnd:
+            fastq.Finish();
+            ended = true;
+            break;
+          default:
+            throw std::runtime_error("unexpected frame type mid-job");
+        }
+        while (fastq.Next(&rec)) {
+          if (static_cast<int>(rec.seq.size()) != read_length) {
+            ++skipped_reads_;
+            continue;
+          }
+          AdmitRead(s, std::move(rec));
+        }
+      }
+      if (fastq.HasLeftover()) {
+        throw std::runtime_error("trailing bytes after the last record");
+      }
+      s->input_done.store(true, std::memory_order_release);
+      MaybeComplete(s);
+    } catch (const std::exception& e) {
+      FailSession(s, e.what());
+    }
+  }
+
+  void AdmitRead(const SessionPtr& s, FastqRecord rec) {
+    // enqueued counts before the push so retired can never catch an
+    // undercounted total.
+    s->enqueued.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(s->out_mu);
+      ++s->reads;
+    }
+    ++reads_;
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_space_cv_.wait(
+        lock, [&] { return queue_.size() < QueueCapacity(); });
+    queue_.push_back({s, std::move(rec.name), std::move(rec.seq)});
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+
+  // --- the pipeline thread (coalescing source + demultiplexing sink) ----
+
+  void PipelineLoop() {
+    pipeline::PipelineConfig pcfg = pcfg_;
+    pcfg.reference_text = mapper_.genome();
+    pcfg.reference_fingerprint = mapper_.reference().fingerprint();
+    pcfg.verify = true;
+    pcfg.verify_threshold = mapper_.config().error_threshold;
+    pcfg.emit_cigar = true;
+    pcfg.batch_size = config_.batch_size;
+    const int threads = std::max(1, config_.threads);
+    pcfg.encode_workers = std::max(1, threads / 2);
+    pcfg.verify_workers = std::max(1, threads - threads / 2);
+    pipeline::StreamingPipeline pipe(engine_, pcfg);
+
+    const ReferenceSet& ref = mapper_.reference();
+    pipeline::CandidateStream stream;
+    QueuedRead current;
+    std::uint32_t read_counter = 0;
+    std::string rc_buf;
+    std::vector<std::int64_t> seed_scratch;
+    std::vector<const Session*> batch_sessions;  // distinct, per batch
+
+    const pipeline::BatchSource source = [&](pipeline::PairBatch* batch) {
+      batch_sessions.clear();
+      const std::size_t target = std::max<std::size_t>(
+          1, std::min(batch->target_size, pipe.config().batch_size));
+      PackCandidateBatch(
+          batch, target, &stream,
+          [&](std::vector<OrientedCandidate>* positions)
+              -> const std::string* {
+            for (;;) {
+              {
+                std::unique_lock<std::mutex> lock(queue_mu_);
+                const bool first = batch->candidates.empty();
+                const auto ready = [&] {
+                  return !queue_.empty() || input_closed_;
+                };
+                if (first) {
+                  // An empty batch waits as long as it takes — the daemon
+                  // idles here between jobs.
+                  queue_cv_.wait(lock, ready);
+                } else if (!queue_cv_.wait_for(
+                               lock,
+                               std::chrono::milliseconds(
+                                   std::max(0, config_.linger_ms)),
+                               ready)) {
+                  // Linger expired: the partial batch departs rather than
+                  // holding one client's reads hostage to another's pace.
+                  return nullptr;
+                }
+                if (queue_.empty()) return nullptr;  // input closed
+                current = std::move(queue_.front());
+                queue_.pop_front();
+              }
+              queue_space_cv_.notify_one();
+              if (current.session->dead.load(std::memory_order_acquire)) {
+                RetireRead(current.session);
+                continue;
+              }
+              mapper_.CollectCandidatesOriented(current.seq, &rc_buf,
+                                                &seed_scratch, positions);
+              if (positions->empty()) {
+                // No candidate anywhere in the genome: the read completes
+                // right here, with no SAM records.
+                RetireRead(current.session);
+                continue;
+              }
+              {
+                std::lock_guard<std::mutex> lock(owners_mu_);
+                owners_.emplace(read_counter, current.session);
+              }
+              ++read_counter;
+              return &current.seq;
+            }
+          },
+          [&](const OrientedCandidate& oc, bool last) {
+            const int chrom = ref.Locate(oc.pos);
+            assert(chrom >= 0);
+            batch->read_index.push_back(read_counter - 1);
+            batch->read_names.push_back(current.name);
+            batch->ref_chrom.push_back(chrom);
+            batch->ref_pos.push_back(ref.ToLocal(chrom, oc.pos));
+            batch->last_of_read.push_back(last ? 1 : 0);
+            // Distinct-session tracking lives in emit, not fetch, so a
+            // read carried over from the previous batch still counts
+            // toward this batch's coalescing.
+            const Session* cur = current.session.get();
+            if (batch_sessions.empty() || batch_sessions.back() != cur) {
+              bool seen = false;
+              for (const Session* p : batch_sessions) {
+                if (p == cur) {
+                  seen = true;
+                  break;
+                }
+              }
+              if (!seen) batch_sessions.push_back(cur);
+            }
+          });
+      if (batch->size() == 0) return false;  // input closed and drained
+      ++batches_;
+      if (batch_sessions.size() >= 2) ++coalesced_batches_;
+      return true;
+    };
+
+    // The ordered sink: batches arrive in submission order, each read's
+    // pairs contiguous, so per-read groups close exactly as in a
+    // standalone run — just routed to the owning session.
+    SessionPtr sink_session;
+    std::uint32_t sink_read = 0;
+    const auto owner_of = [&](std::uint32_t read) -> SessionPtr {
+      if (sink_session == nullptr || sink_read != read) {
+        std::lock_guard<std::mutex> lock(owners_mu_);
+        const auto it = owners_.find(read);
+        assert(it != owners_.end());
+        sink_session = it->second;
+        sink_read = read;
+      }
+      return sink_session;
+    };
+    const pipeline::BatchSink sink = [&](pipeline::PairBatch&& batch) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::uint32_t read = batch.read_index[i];
+        if (batch.edits[i] >= 0) {
+          const SessionPtr s = owner_of(read);
+          if (!s->dead.load(std::memory_order_acquire)) {
+            std::lock_guard<std::mutex> lock(s->out_mu);
+            s->groups->AddMapping(batch, i);
+          }
+        }
+        if (batch.last_of_read[i] != 0) {
+          const SessionPtr s = owner_of(read);
+          std::string ready;
+          {
+            std::lock_guard<std::mutex> lock(s->out_mu);
+            const std::size_t n = s->groups->FlushGroup(s->staged, ref);
+            s->records += n;
+            records_ += n;
+            if (static_cast<std::size_t>(s->staged.tellp()) >=
+                kSendThreshold) {
+              ready = std::move(s->staged).str();
+              s->staged.str({});
+            }
+          }
+          if (!ready.empty()) TrySend(s, FrameType::kSamRecords, ready);
+          {
+            std::lock_guard<std::mutex> lock(owners_mu_);
+            owners_.erase(read);
+          }
+          sink_session.reset();
+          RetireRead(s);
+        }
+      }
+    };
+
+    pipe.Run(source, sink);
+  }
+
+  // --- accept loop ------------------------------------------------------
+
+  void Run() {
+    if (!engine_->HasReference()) {
+      throw std::runtime_error(
+          "serve: the engine has no reference loaded (load the index "
+          "before starting the server)");
+    }
+    if (config_.socket_path.empty() ||
+        config_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::runtime_error("serve: invalid socket path");
+    }
+    if (::pipe(stop_pipe_) != 0) {
+      throw std::runtime_error("serve: cannot create the stop pipe");
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error("serve: cannot create the listening socket");
+    }
+    ::unlink(config_.socket_path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      const std::string err = std::strerror(errno);
+      Cleanup();
+      throw std::runtime_error("serve: cannot bind " + config_.socket_path +
+                               ": " + err);
+    }
+
+    std::thread pipeline_thread([this] { PipelineLoop(); });
+    serving_.store(true, std::memory_order_release);
+
+    while (!stopping_.load(std::memory_order_acquire)) {
+      pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+      const int n = ::poll(fds, 2, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if ((fds[1].revents & POLLIN) != 0) break;  // shutdown requested
+      if ((fds[0].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      if (config_.request_timeout_sec > 0) {
+        timeval tv{};
+        tv.tv_sec = config_.request_timeout_sec;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      }
+      auto session = std::make_shared<Session>(fd, ++sessions_accepted_);
+      std::lock_guard<std::mutex> lock(threads_mu_);
+      session_threads_.emplace_back(
+          [this, session = std::move(session)]() mutable {
+            SessionMain(std::move(session));
+          });
+    }
+    serving_.store(false, std::memory_order_release);
+
+    // Drain: stop accepting, let in-flight sessions finish feeding the
+    // queue (bounded by the per-request timeout), then close the queue so
+    // the pipeline retires what remains and exits.
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+    {
+      std::lock_guard<std::mutex> lock(threads_mu_);
+      for (std::thread& t : session_threads_) t.join();
+      session_threads_.clear();
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      input_closed_ = true;
+    }
+    queue_cv_.notify_all();
+    pipeline_thread.join();
+    Cleanup();
+  }
+
+  void Shutdown() noexcept {
+    stopping_.store(true, std::memory_order_release);
+    if (stop_pipe_[1] >= 0) {
+      const char byte = 1;
+      // Async-signal-safe: a single write to the self-pipe.
+      [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+    }
+  }
+
+  void Cleanup() noexcept {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (int& fd : stop_pipe_) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+  }
+};
+
+MapServer::MapServer(const ReadMapper& mapper, GateKeeperGpuEngine* engine,
+                     ServeConfig config,
+                     pipeline::PipelineConfig pipeline_config)
+    : impl_(std::make_unique<Impl>(mapper, engine, std::move(config),
+                                   std::move(pipeline_config))) {}
+
+MapServer::~MapServer() = default;
+
+void MapServer::Run() { impl_->Run(); }
+
+void MapServer::Shutdown() noexcept { impl_->Shutdown(); }
+
+bool MapServer::serving() const noexcept {
+  return impl_->serving_.load(std::memory_order_acquire);
+}
+
+ServeStats MapServer::stats() const {
+  ServeStats s;
+  s.sessions_accepted = impl_->sessions_accepted_.load();
+  s.sessions_completed = impl_->sessions_completed_.load();
+  s.sessions_failed = impl_->sessions_failed_.load();
+  s.reads = impl_->reads_.load();
+  s.skipped_reads = impl_->skipped_reads_.load();
+  s.records = impl_->records_.load();
+  s.batches = impl_->batches_.load();
+  s.coalesced_batches = impl_->coalesced_batches_.load();
+  return s;
+}
+
+}  // namespace gkgpu::serve

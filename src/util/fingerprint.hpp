@@ -7,6 +7,7 @@
 #ifndef GKGPU_UTIL_FINGERPRINT_HPP
 #define GKGPU_UTIL_FINGERPRINT_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -21,6 +22,31 @@ inline std::uint64_t FingerprintText(std::string_view text,
     h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ull;
   }
+  return h;
+}
+
+/// Raw-byte variant for non-text payloads (index-file sections).
+inline std::uint64_t FingerprintBytes(const void* data, std::size_t bytes,
+                                      std::uint64_t seed = kFingerprintSeed) {
+  return FingerprintText(
+      std::string_view(static_cast<const char*>(data), bytes), seed);
+}
+
+/// Fingerprint of a persisted k-mer index: reference content, seed length
+/// and on-disk format version all feed the hash, so an index built from a
+/// different genome, a different k, or an incompatible serializer is
+/// rejected at load time instead of producing silently wrong candidates.
+inline std::uint64_t IndexFingerprint(std::uint64_t reference_fingerprint,
+                                      int k, std::uint32_t format_version) {
+  std::uint64_t h = reference_fingerprint;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(k));
+  mix(static_cast<std::uint64_t>(format_version));
   return h;
 }
 

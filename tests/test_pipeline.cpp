@@ -391,7 +391,7 @@ PipelineStats RunCandidateStream(GateKeeperGpuEngine* engine,
                                  std::size_t chunk,
                                  std::vector<PairResult>* results,
                                  std::vector<int>* edits = nullptr) {
-  cfg.reference_text = &w.genome;
+  cfg.reference_text = w.genome;
   StreamingPipeline pipe(engine, cfg);
   results->assign(w.candidates.size(), PairResult{});
   if (edits != nullptr) edits->assign(w.candidates.size(), -1);
@@ -554,7 +554,7 @@ TEST(CandidateStreamingTest, RejectsInvalidCandidates) {
   fx.engine->LoadReference(genome);
   PipelineConfig cfg;
   cfg.batch_size = 64;
-  cfg.reference_text = &genome;
+  cfg.reference_text = genome;
 
   const auto run_one = [&](PairBatch prototype) {
     StreamingPipeline pipe(fx.engine.get(), cfg);
@@ -628,7 +628,7 @@ TEST(CandidateStreamingTest, CandidateModeRequiresLoadedReference) {
   EngineFixture fx(1, 100, 5);
   const std::string genome = GenerateGenome(10000, 4);
   PipelineConfig cfg;
-  cfg.reference_text = &genome;  // engine never loaded it
+  cfg.reference_text = genome;  // engine never loaded it
   EXPECT_THROW(StreamingPipeline(fx.engine.get(), cfg), std::invalid_argument);
 }
 
@@ -641,9 +641,9 @@ TEST(CandidateStreamingTest, CandidateModeDetectsWrongGenomeOfSameLength) {
   ASSERT_EQ(genome_a.size(), genome_b.size());
   fx.engine->LoadReference(genome_a);
   PipelineConfig cfg;
-  cfg.reference_text = &genome_b;
+  cfg.reference_text = genome_b;
   EXPECT_THROW(StreamingPipeline(fx.engine.get(), cfg), std::invalid_argument);
-  cfg.reference_text = &genome_a;
+  cfg.reference_text = genome_a;
   EXPECT_NO_THROW(StreamingPipeline(fx.engine.get(), cfg));
 }
 

@@ -1,0 +1,275 @@
+// In-process tests for the mapping daemon (serve/server.hpp +
+// serve/client.hpp): byte parity with the standalone streaming pipeline,
+// concurrent clients demultiplexed onto their own byte-identical SAM
+// streams (with cross-request batch coalescing observed in the stats),
+// wrong-length and malformed inputs, and shutdown drain.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "io/reference.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/sam.hpp"
+#include "pipeline/read_to_sam.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
+
+namespace gkgpu {
+namespace {
+
+constexpr int kReadLength = 64;
+constexpr int kErrors = 3;
+
+std::string MakeFastq(const std::string& prefix,
+                      const std::vector<std::string>& seqs) {
+  std::string out;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    out += "@" + prefix + std::to_string(i) + "\n" + seqs[i] + "\n+\n" +
+           std::string(seqs[i].size(), 'I') + "\n";
+  }
+  return out;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest()
+      : ref_("chr_serve", GenerateGenome(20000, 31)),
+        mapper_(MakeMapper()),
+        devices_(gpusim::MakeSetup1(1)) {
+    for (auto& d : devices_) device_ptrs_.push_back(d.get());
+    EngineConfig cfg;
+    cfg.read_length = kReadLength;
+    cfg.error_threshold = kErrors;
+    engine_ = std::make_unique<GateKeeperGpuEngine>(cfg, device_ptrs_);
+    engine_->LoadReference(ref_.text());
+  }
+
+  ReadMapper MakeMapper() {
+    MapperConfig mcfg;
+    mcfg.k = 8;
+    mcfg.read_length = kReadLength;
+    mcfg.error_threshold = kErrors;
+    mcfg.verify_threads = 2;
+    return ReadMapper(ReferenceSet(ref_), mcfg);
+  }
+
+  /// The standalone answer for one FASTQ payload: header + streamed
+  /// records, exactly what the daemon must reproduce byte for byte.
+  std::string Golden(const std::string& fastq_text,
+                     const std::string& read_group = "") {
+    ReadMapper mapper = MakeMapper();
+    std::unique_ptr<GateKeeperGpuEngine> engine;
+    {
+      EngineConfig cfg;
+      cfg.read_length = kReadLength;
+      cfg.error_threshold = kErrors;
+      engine = std::make_unique<GateKeeperGpuEngine>(cfg, device_ptrs_);
+      engine->LoadReference(ref_.text());
+    }
+    pipeline::ReadToSamConfig scfg;
+    scfg.read_group = read_group;
+    std::ostringstream sam;
+    WriteSamHeader(sam, mapper.reference(), read_group);
+    std::istringstream fastq(fastq_text);
+    pipeline::StreamFastqToSam(fastq, mapper, engine.get(), scfg, &sam);
+    return sam.str();
+  }
+
+  serve::ServeConfig BaseConfig() {
+    serve::ServeConfig scfg;
+    scfg.socket_path =
+        (std::filesystem::temp_directory_path() /
+         ("gkgpu_serve_test_" + std::to_string(::getpid()) + "_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+          ".sock"))
+            .string();
+    scfg.threads = 2;
+    scfg.request_timeout_sec = 20;
+    return scfg;
+  }
+
+  /// Runs `body(socket_path)` against a live server, then drains it.
+  template <typename Body>
+  serve::ServeStats WithServer(const serve::ServeConfig& scfg, Body body) {
+    serve::MapServer server(mapper_, engine_.get(), scfg);
+    std::thread run([&] { server.Run(); });
+    for (int i = 0; i < 2000 && !server.serving(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(server.serving());
+    body(scfg.socket_path);
+    server.Shutdown();
+    run.join();
+    return server.stats();
+  }
+
+  ReferenceSet ref_;
+  ReadMapper mapper_;
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::vector<gpusim::Device*> device_ptrs_;
+  std::unique_ptr<GateKeeperGpuEngine> engine_;
+};
+
+TEST_F(ServeTest, SingleClientMatchesStandalonePipeline) {
+  const auto seqs = SimulateReadSequences(
+      ref_.text(), 200, kReadLength, ReadErrorProfile::Illumina(), 7);
+  const std::string fastq_text = MakeFastq("a", seqs);
+  const std::string golden = Golden(fastq_text);
+
+  std::string served;
+  serve::ClientStats cstats;
+  const serve::ServeStats stats =
+      WithServer(BaseConfig(), [&](const std::string& socket) {
+        std::istringstream fastq(fastq_text);
+        std::ostringstream sam;
+        cstats = serve::MapOverSocket(socket, fastq, sam);
+        served = sam.str();
+      });
+  EXPECT_EQ(served, golden);
+  EXPECT_EQ(cstats.reads, 200u);
+  EXPECT_EQ(stats.sessions_completed, 1u);
+  EXPECT_EQ(stats.sessions_failed, 0u);
+  EXPECT_EQ(stats.reads, 200u);
+  EXPECT_EQ(stats.records, cstats.records);
+}
+
+TEST_F(ServeTest, JobOptionsReachTheSamStream) {
+  const auto seqs = SimulateReadSequences(
+      ref_.text(), 50, kReadLength, ReadErrorProfile::Illumina(), 8);
+  const std::string fastq_text = MakeFastq("rg", seqs);
+  const std::string golden = Golden(fastq_text, "lane1");
+
+  std::string served;
+  WithServer(BaseConfig(), [&](const std::string& socket) {
+    serve::JobSpec job;
+    job.read_group = "lane1";
+    std::istringstream fastq(fastq_text);
+    std::ostringstream sam;
+    serve::MapOverSocket(socket, fastq, sam, job);
+    served = sam.str();
+  });
+  EXPECT_EQ(served, golden);
+  EXPECT_NE(served.find("@RG\tID:lane1"), std::string::npos);
+}
+
+TEST_F(ServeTest, ConcurrentClientsAreDemuxedAndCoalesced) {
+  const auto seqs_a = SimulateReadSequences(
+      ref_.text(), 150, kReadLength, ReadErrorProfile::Illumina(), 9);
+  const auto seqs_b = SimulateReadSequences(
+      ref_.text(), 150, kReadLength, ReadErrorProfile::Illumina(), 10);
+  const std::string fastq_a = MakeFastq("alpha", seqs_a);
+  const std::string fastq_b = MakeFastq("beta", seqs_b);
+  const std::string golden_a = Golden(fastq_a);
+  const std::string golden_b = Golden(fastq_b);
+
+  serve::ServeConfig scfg = BaseConfig();
+  // A long linger makes the shared batch wait for both sessions, so the
+  // coalesced-batch counter must observe cross-request batching.
+  scfg.linger_ms = 200;
+  scfg.batch_size = 4096;
+
+  std::string served_a, served_b;
+  const serve::ServeStats stats =
+      WithServer(scfg, [&](const std::string& socket) {
+        std::thread ta([&] {
+          std::istringstream fastq(fastq_a);
+          std::ostringstream sam;
+          serve::MapOverSocket(socket, fastq, sam);
+          served_a = sam.str();
+        });
+        std::thread tb([&] {
+          std::istringstream fastq(fastq_b);
+          std::ostringstream sam;
+          serve::MapOverSocket(socket, fastq, sam);
+          served_b = sam.str();
+        });
+        ta.join();
+        tb.join();
+      });
+  // Each client gets exactly its own records, in its own order.
+  EXPECT_EQ(served_a, golden_a);
+  EXPECT_EQ(served_b, golden_b);
+  EXPECT_EQ(stats.sessions_completed, 2u);
+  EXPECT_EQ(stats.reads, 300u);
+  EXPECT_GE(stats.coalesced_batches, 1u);
+}
+
+TEST_F(ServeTest, WrongLengthReadsAreSkippedNotFatal) {
+  auto seqs = SimulateReadSequences(ref_.text(), 20, kReadLength,
+                                    ReadErrorProfile::Illumina(), 11);
+  std::string fastq_text = MakeFastq("ok", seqs);
+  fastq_text += "@short0\nACGTACGT\n+\nIIIIIIII\n";  // wrong length
+  const std::string golden = Golden(MakeFastq("ok", seqs));
+
+  std::string served;
+  serve::ClientStats cstats;
+  const serve::ServeStats stats =
+      WithServer(BaseConfig(), [&](const std::string& socket) {
+        std::istringstream fastq(fastq_text);
+        std::ostringstream sam;
+        cstats = serve::MapOverSocket(socket, fastq, sam);
+        served = sam.str();
+      });
+  EXPECT_EQ(served, golden);
+  EXPECT_EQ(cstats.reads, 20u);
+  EXPECT_EQ(stats.skipped_reads, 1u);
+  EXPECT_EQ(stats.sessions_completed, 1u);
+}
+
+TEST_F(ServeTest, MalformedFastqFailsOnlyThatSession) {
+  const auto seqs = SimulateReadSequences(ref_.text(), 20, kReadLength,
+                                          ReadErrorProfile::Illumina(), 12);
+  const std::string good_text = MakeFastq("g", seqs);
+  const std::string golden = Golden(good_text);
+
+  std::string served;
+  const serve::ServeStats stats =
+      WithServer(BaseConfig(), [&](const std::string& socket) {
+        {
+          std::istringstream fastq("this is not FASTQ\n");
+          std::ostringstream sam;
+          EXPECT_THROW(serve::MapOverSocket(socket, fastq, sam),
+                       std::runtime_error);
+        }
+        // The daemon keeps serving after a failed session.
+        std::istringstream fastq(good_text);
+        std::ostringstream sam;
+        serve::MapOverSocket(socket, fastq, sam);
+        served = sam.str();
+      });
+  EXPECT_EQ(served, golden);
+  EXPECT_EQ(stats.sessions_failed, 1u);
+  EXPECT_EQ(stats.sessions_completed, 1u);
+}
+
+TEST_F(ServeTest, ShutdownWithoutClientsDrainsCleanly) {
+  const serve::ServeStats stats =
+      WithServer(BaseConfig(), [](const std::string&) {});
+  EXPECT_EQ(stats.sessions_accepted, 0u);
+}
+
+TEST(ServeProtocolTest, JobSpecRoundTripIgnoresUnknownKeys) {
+  serve::JobSpec job;
+  job.read_group = "rg7";
+  job.mapq_cap = 42;
+  job.report_secondary = true;
+  const serve::JobSpec back =
+      serve::ParseJobSpec(serve::SerializeJobSpec(job) + "future_key=1\n");
+  EXPECT_EQ(back.read_group, "rg7");
+  EXPECT_EQ(back.mapq_cap, 42);
+  EXPECT_TRUE(back.report_secondary);
+}
+
+}  // namespace
+}  // namespace gkgpu

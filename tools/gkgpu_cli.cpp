@@ -15,6 +15,9 @@
 //                  [--verify-workers N] [--slots N] [--setup 1|2]
 //                  [--devices N] [--no-verify]
 //   gkgpu pipeline --pairs set.pairs.tsv --e 5 [--out decisions.tsv] ...
+//   gkgpu index  --ref ref.fa --out ref.gki [--k 12] [--verify]
+//   gkgpu serve  --index ref.gki --socket /tmp/gk.sock [--threads N]
+//   gkgpu map-client --socket /tmp/gk.sock --reads r.fq [--sam out.sam]
 //
 // `filter --algo gkgpu` runs the full engine (simulated GPU, batching,
 // unified memory); the other algorithms run as host filters.  `map` runs
@@ -23,6 +26,11 @@
 // subsystem: FASTQ (or a pair set) is chunked, encoded, sharded across
 // the simulated devices with double buffering, verified, and emitted in
 // input order, with per-stage throughput and queue-occupancy tables.
+// `index` persists the reference + k-mer index + 2-bit encoding to one
+// mmap-able file; `serve` is the resident mapping daemon and
+// `map-client` submits jobs to it.  Reference-consuming commands accept
+// `--index FILE` in place of `--ref FASTA` to start instantly.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,6 +48,7 @@
 #include "filters/sneakysnake.hpp"
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
+#include "io/index_io.hpp"
 #include "io/paired_fastq.hpp"
 #include "io/pairset.hpp"
 #include "io/reference.hpp"
@@ -49,6 +58,8 @@
 #include "paired/paired.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/read_to_sam.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "simd/dispatch.hpp"
 #include "sim/genome.hpp"
 #include "sim/pairgen.hpp"
@@ -121,6 +132,86 @@ EncodingActor ParseEncodingActor(const Args& args) {
                                                 : EncodingActor::kHost;
 }
 
+/// The shared load-or-mmap entry point: every subcommand that needs a
+/// reference resolves it here, so `--index ref.gki` (instant mmap of the
+/// persisted reference + CSR index + 2-bit encoding) and `--ref ref.fa`
+/// (parse FASTA, build everything) behave identically downstream and no
+/// command path re-parses or re-encodes on its own.
+struct ReferenceInput {
+  std::unique_ptr<MappedIndexFile> mapped;  // set iff --index
+  ReferenceSet owned;                       // set iff --ref
+
+  bool FromIndex() const { return mapped != nullptr; }
+  const ReferenceSet& reference() const {
+    return mapped != nullptr ? mapped->reference() : owned;
+  }
+  /// A ReferenceSet the caller may move into a mapper.  For mapped input
+  /// this is a view copy aliasing the mapping (the ReferenceInput must
+  /// outlive the mapper); for FASTA input the owned set moves out.
+  ReferenceSet TakeReference() {
+    return mapped != nullptr ? mapped->reference() : std::move(owned);
+  }
+  /// Builds the mapper without re-deriving anything that is already on
+  /// disk: mapped input reuses the persisted CSR index (and forces `k` to
+  /// the index's, which is what the file was built with); FASTA input
+  /// builds the index from the text.
+  ReadMapper MakeMapper(MapperConfig mcfg) {
+    if (mapped != nullptr) {
+      mcfg.k = mapped->k();
+      KmerIndex view = KmerIndex::View(
+          mapped->k(), mapped->index().genome_length(),
+          mapped->index().offsets(), mapped->index().positions());
+      return ReadMapper(TakeReference(), std::move(view), mcfg);
+    }
+    return ReadMapper(TakeReference(), mcfg);
+  }
+  /// Loads the engine's reference: from the persisted 2-bit encoding when
+  /// mapped (no host re-encode), from the mapper's genome view otherwise
+  /// (`owned` may already have moved into the mapper).
+  void LoadEngine(GateKeeperGpuEngine* engine,
+                  const ReadMapper& mapper) const {
+    if (mapped != nullptr) {
+      engine->LoadReference(mapped->encoding(),
+                            mapped->reference_fingerprint());
+    } else {
+      engine->LoadReference(mapper.genome());
+    }
+  }
+};
+
+/// Resolves `--index FILE` or `--ref FASTA` (exactly one; `*ok` is false
+/// when neither or both are present).  Throws on open/validation failure.
+ReferenceInput LoadReferenceInput(const Args& args, bool* ok) {
+  ReferenceInput input;
+  const std::string index_path = args.Get("index", "");
+  const std::string ref_path = args.Get("ref", "");
+  *ok = index_path.empty() != ref_path.empty();
+  if (!*ok) return input;
+  if (!index_path.empty()) {
+    IndexLoadOptions options;
+    options.verify_checksum = args.Has("verify");
+    input.mapped = std::make_unique<MappedIndexFile>(
+        MappedIndexFile::Open(index_path, options));
+  } else {
+    input.owned = ReferenceSet::FromFastaFile(ref_path);
+  }
+  return input;
+}
+
+/// Splits `--threads N` across the two pipeline pools the way the daemon
+/// does; explicit --encode-workers / --verify-workers still win.
+void ApplyThreads(const Args& args, pipeline::PipelineConfig* pcfg) {
+  const int threads = static_cast<int>(args.GetInt("threads", 0));
+  if (threads <= 0) return;
+  if (!args.Has("encode-workers")) {
+    pcfg->encode_workers = threads / 2 > 1 ? threads / 2 : 1;
+  }
+  if (!args.Has("verify-workers")) {
+    const int rest = threads - threads / 2;
+    pcfg->verify_workers = rest > 1 ? rest : 1;
+  }
+}
+
 int Usage() {
   std::fputs(
       "usage: gkgpu <command> [options]\n"
@@ -135,22 +226,30 @@ int Usage() {
       "                  --length L --count N --out FILE [--seed S]\n"
       "  filter          --pairs FILE --e N [--algo NAME] [--setup 1|2]\n"
       "                  [--devices N] [--encode host|device] [--out FILE]\n"
-      "  map             --ref FASTA --e N [--sam FILE] [--setup 1|2]\n"
-      "                  [--devices N] [--read-group ID] [--mapq-cap N]\n"
-      "                  and one of:\n"
+      "  map             (--ref FASTA | --index FILE) --e N [--sam FILE]\n"
+      "                  [--setup 1|2] [--devices N] [--read-group ID]\n"
+      "                  [--mapq-cap N] [--threads N] and one of:\n"
       "                    --reads FASTQ [--no-filter] [--streaming]\n"
       "                      [--batch N] [--report-secondary]\n"
       "                    --paired R1.fq R2.fq | --interleaved FILE\n"
       "                      [--max-insert N] [--no-filter] [--streaming]\n"
       "                      [--no-rescue] [--mark-duplicates] [--batch N]\n"
-      "  pipeline        --reads FASTQ --ref FASTA --e N [--sam FILE]\n"
-      "                  | --pairs FILE --e N [--out FILE]\n"
+      "  pipeline        --reads FASTQ (--ref FASTA | --index FILE) --e N\n"
+      "                  [--sam FILE] | --pairs FILE --e N [--out FILE]\n"
       "                  [--batch N] [--queue N] [--encode-workers N]\n"
-      "                  [--verify-workers N] [--slots N] [--setup 1|2]\n"
-      "                  [--devices N] [--encode host|device]\n"
+      "                  [--verify-workers N] [--threads N] [--slots N]\n"
+      "                  [--setup 1|2] [--devices N] [--encode host|device]\n"
       "                  [--length N] [--no-verify] [--read-group ID]\n"
       "                  [--mapq-cap N] [--adaptive] [--batch-min N]\n"
       "                  [--batch-max N] [--report-secondary]\n"
+      "  index           --ref FASTA [--out FILE] [--k N] [--verify]\n"
+      "  serve           (--ref FASTA | --index FILE) --socket PATH\n"
+      "                  [--length N] [--e N] [--threads N] [--batch N]\n"
+      "                  [--setup 1|2] [--devices N] [--timeout SEC]\n"
+      "                  [--linger MS] [--read-group ID] [--mapq-cap N]\n"
+      "  map-client      --socket PATH --reads FASTQ [--sam FILE]\n"
+      "                  [--read-group ID] [--mapq-cap N]\n"
+      "                  [--report-secondary]\n"
       "  (FASTA references may be multi-chromosome; SAM output carries one\n"
       "   @SQ line per chromosome)\n",
       stderr);
@@ -522,14 +621,14 @@ int MapPairedCmd(const Args& args, ReferenceSet refset) {
 }
 
 int MapCmd(const Args& args) {
-  const std::string ref_path = args.Get("ref", "");
-  if (ref_path.empty()) return Usage();
+  bool ok = false;
+  ReferenceInput input = LoadReferenceInput(args, &ok);
+  if (!ok) return Usage();
   if (args.Has("paired") || args.Has("interleaved")) {
-    return MapPairedCmd(args, ReferenceSet::FromFastaFile(ref_path));
+    return MapPairedCmd(args, input.TakeReference());
   }
   const std::string reads_path = args.Get("reads", "");
   if (reads_path.empty()) return Usage();
-  ReferenceSet refset = ReferenceSet::FromFastaFile(ref_path);
   const auto fastq = ReadFastqFile(reads_path);
   if (fastq.empty()) {
     std::fprintf(stderr, "empty read set\n");
@@ -556,7 +655,10 @@ int MapCmd(const Args& args) {
   mcfg.k = 12;
   mcfg.read_length = length;
   mcfg.error_threshold = e;
-  ReadMapper mapper(std::move(refset), mcfg);
+  const long map_threads = args.GetInt("threads", 0);
+  mcfg.verify_threads =
+      map_threads > 0 ? static_cast<unsigned>(map_threads) : 0;
+  ReadMapper mapper = input.MakeMapper(mcfg);
 
   std::unique_ptr<GateKeeperGpuEngine> engine;
   DeviceSet set;
@@ -568,6 +670,7 @@ int MapCmd(const Args& args) {
     cfg.read_length = length;
     cfg.error_threshold = e;
     engine = std::make_unique<GateKeeperGpuEngine>(cfg, set.ptrs);
+    input.LoadEngine(engine.get(), mapper);
   }
 
   std::vector<MappingRecord> records;
@@ -575,6 +678,7 @@ int MapCmd(const Args& args) {
   if (streaming) {
     pipeline::PipelineConfig pcfg;
     pcfg.batch_size = static_cast<std::size_t>(args.GetInt("batch", 8192));
+    ApplyThreads(args, &pcfg);
     stats = mapper.MapReadsStreaming(reads, engine.get(), pcfg, &records);
   } else {
     stats = mapper.MapReads(reads, engine.get(), &records);
@@ -688,6 +792,7 @@ int PipelineCmd(const Args& args) {
   pcfg.encode_workers = static_cast<int>(args.GetInt("encode-workers", 2));
   pcfg.verify_workers = static_cast<int>(args.GetInt("verify-workers", 2));
   pcfg.slots_per_device = static_cast<int>(args.GetInt("slots", 2));
+  ApplyThreads(args, &pcfg);
   pcfg.verify = !args.Has("no-verify");
   if (args.Has("adaptive")) {
     pcfg.adaptive = true;
@@ -739,9 +844,9 @@ int PipelineCmd(const Args& args) {
   }
 
   // Read-to-SAM mode (candidate streaming over the mapper's reference).
-  const std::string ref_path = args.Get("ref", "");
-  if (ref_path.empty()) return Usage();
-  ReferenceSet refset = ReferenceSet::FromFastaFile(ref_path);
+  bool ok = false;
+  ReferenceInput input = LoadReferenceInput(args, &ok);
+  if (!ok) return Usage();
   std::ifstream fastq(reads_path);
   if (!fastq) {
     std::fprintf(stderr, "cannot open %s\n", reads_path.c_str());
@@ -764,7 +869,7 @@ int PipelineCmd(const Args& args) {
   mcfg.k = 12;
   mcfg.read_length = length;
   mcfg.error_threshold = e;
-  ReadMapper mapper(std::move(refset), mcfg);
+  ReadMapper mapper = input.MakeMapper(mcfg);
 
   const DeviceSet set = MakeDeviceSet(setup, ndev);
   EngineConfig cfg;
@@ -772,6 +877,7 @@ int PipelineCmd(const Args& args) {
   cfg.error_threshold = e;
   cfg.encoding = ParseEncodingActor(args);
   GateKeeperGpuEngine engine(cfg, set.ptrs);
+  input.LoadEngine(&engine, mapper);
 
   pipeline::ReadToSamConfig scfg;
   scfg.pipeline = pcfg;
@@ -808,6 +914,151 @@ int PipelineCmd(const Args& args) {
   return 0;
 }
 
+/// `gkgpu index`: build the persistent index once; `map`/`pipeline`/
+/// `serve` then start in microseconds via --index.
+int IndexCmd(const Args& args) {
+  const std::string ref_path = args.Get("ref", "");
+  if (ref_path.empty()) return Usage();
+  const std::string out = args.Get("out", "ref.gki");
+  const int k = static_cast<int>(args.GetInt("k", 12));
+  WallTimer parse_timer;
+  const ReferenceSet refset = ReferenceSet::FromFastaFile(ref_path);
+  const double parse_s = parse_timer.Seconds();
+  WallTimer build_timer;
+  const std::uint64_t bytes = BuildAndWriteIndexFile(out, refset, k);
+  const double build_s = build_timer.Seconds();
+  std::printf(
+      "wrote %s: %llu bytes, k=%d, %zu chromosome(s), %lld bp "
+      "(parse %.3f s, build+write %.3f s)\n",
+      out.c_str(), static_cast<unsigned long long>(bytes), k,
+      refset.chromosome_count(), static_cast<long long>(refset.length()),
+      parse_s, build_s);
+  if (args.Has("verify")) {
+    IndexLoadOptions options;
+    options.verify_checksum = true;
+    WallTimer load_timer;
+    const MappedIndexFile mapped = MappedIndexFile::Open(out, options);
+    std::printf("verified in %.3f s: payload checksum OK, "
+                "reference fingerprint %016llx\n",
+                load_timer.Seconds(),
+                static_cast<unsigned long long>(
+                    mapped.reference_fingerprint()));
+  }
+  return 0;
+}
+
+serve::MapServer* g_server = nullptr;
+
+void HandleServeSignal(int) {
+  if (g_server != nullptr) g_server->Shutdown();  // async-signal-safe
+}
+
+/// `gkgpu serve`: the mapping daemon.  Loads the reference once (ideally
+/// via --index), then serves concurrent map jobs over a Unix-domain
+/// socket, coalescing reads from simultaneous clients into shared
+/// filter batches.  SIGTERM/SIGINT drain and exit.
+int ServeCmd(const Args& args) {
+  bool ok = false;
+  ReferenceInput input = LoadReferenceInput(args, &ok);
+  if (!ok) return Usage();
+  const std::string socket_path = args.Get("socket", "");
+  if (socket_path.empty()) return Usage();
+  const int length = static_cast<int>(args.GetInt("length", 100));
+  const int e = static_cast<int>(args.GetInt("e", 5));
+  const int threads = static_cast<int>(args.GetInt("threads", 2));
+
+  MapperConfig mcfg;
+  mcfg.k = 12;
+  mcfg.read_length = length;
+  mcfg.error_threshold = e;
+  mcfg.verify_threads = static_cast<unsigned>(threads > 0 ? threads : 1);
+  ReadMapper mapper = input.MakeMapper(mcfg);
+
+  const DeviceSet set =
+      MakeDeviceSet(static_cast<int>(args.GetInt("setup", 1)),
+                    static_cast<int>(args.GetInt("devices", 1)));
+  EngineConfig cfg;
+  cfg.read_length = length;
+  cfg.error_threshold = e;
+  GateKeeperGpuEngine engine(cfg, set.ptrs);
+  input.LoadEngine(&engine, mapper);
+
+  serve::ServeConfig scfg;
+  scfg.socket_path = socket_path;
+  scfg.threads = threads > 0 ? threads : 1;
+  scfg.batch_size = static_cast<std::size_t>(args.GetInt("batch", 8192));
+  scfg.linger_ms = static_cast<int>(args.GetInt("linger", 2));
+  scfg.request_timeout_sec = static_cast<int>(args.GetInt("timeout", 30));
+  scfg.mapq_cap = static_cast<int>(args.GetInt("mapq-cap", kDefaultMapqCap));
+  scfg.read_group = args.Get("read-group", "");
+
+  serve::MapServer server(mapper, &engine, scfg);
+  g_server = &server;
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGINT, HandleServeSignal);
+  std::printf("serving on %s (%s reference, read length %d, e=%d, "
+              "%d threads); SIGTERM drains\n",
+              socket_path.c_str(),
+              input.FromIndex() ? "mmap'd" : "in-memory", length, e,
+              scfg.threads);
+  std::fflush(stdout);
+  server.Run();
+  g_server = nullptr;
+
+  const serve::ServeStats stats = server.stats();
+  TablePrinter t({"metric", "value"});
+  t.AddRow({"sessions accepted", TablePrinter::Count(stats.sessions_accepted)});
+  t.AddRow(
+      {"sessions completed", TablePrinter::Count(stats.sessions_completed)});
+  t.AddRow({"sessions failed", TablePrinter::Count(stats.sessions_failed)});
+  t.AddRow({"reads", TablePrinter::Count(stats.reads)});
+  t.AddRow({"skipped reads", TablePrinter::Count(stats.skipped_reads)});
+  t.AddRow({"SAM records", TablePrinter::Count(stats.records)});
+  t.AddRow({"batches", TablePrinter::Count(stats.batches)});
+  t.AddRow({"coalesced batches", TablePrinter::Count(stats.coalesced_batches)});
+  t.Print(std::cout);
+  return 0;
+}
+
+/// `gkgpu map-client`: submit one FASTQ to a running daemon and stream
+/// the SAM back (stdout unless --sam).
+int MapClientCmd(const Args& args) {
+  const std::string socket_path = args.Get("socket", "");
+  const std::string reads_path = args.Get("reads", "");
+  if (socket_path.empty() || reads_path.empty()) return Usage();
+  std::ifstream fastq(reads_path);
+  if (!fastq) {
+    std::fprintf(stderr, "cannot open %s\n", reads_path.c_str());
+    return 1;
+  }
+  serve::JobSpec job;
+  job.read_group = args.Get("read-group", "");
+  if (args.Has("mapq-cap")) {
+    job.mapq_cap = static_cast<int>(args.GetInt("mapq-cap", -1));
+  }
+  job.report_secondary = args.Has("report-secondary");
+
+  const std::string sam_path = args.Get("sam", "");
+  std::ofstream sam_file;
+  std::ostream* sam = &std::cout;
+  if (!sam_path.empty()) {
+    sam_file.open(sam_path);
+    if (!sam_file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", sam_path.c_str());
+      return 1;
+    }
+    sam = &sam_file;
+  }
+  const serve::ClientStats stats =
+      serve::MapOverSocket(socket_path, fastq, *sam, job);
+  // Stats go to stderr: stdout may be the SAM stream.
+  std::fprintf(stderr, "map-client: %llu reads -> %llu records via %s\n",
+               static_cast<unsigned long long>(stats.reads),
+               static_cast<unsigned long long>(stats.records),
+               socket_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -822,6 +1073,9 @@ int main(int argc, char** argv) {
     if (cmd == "filter") return FilterCmd(args);
     if (cmd == "map") return MapCmd(args);
     if (cmd == "pipeline") return PipelineCmd(args);
+    if (cmd == "index") return IndexCmd(args);
+    if (cmd == "serve") return ServeCmd(args);
+    if (cmd == "map-client") return MapClientCmd(args);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 1;
