@@ -19,11 +19,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 
 #include "common.hpp"
 #include "io/fastq.hpp"
+#include "io/paired_fastq.hpp"
 #include "mapper/mapper.hpp"
 #include "paired/paired.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sim/genome.hpp"
 #include "sim/read_sim.hpp"
 #include "util/table.hpp"
@@ -119,6 +122,33 @@ int main() {
         rep == 0 ? pe.total_seconds : std::min(pe_seconds, pe.total_seconds);
   }
 
+  // --- Streaming driver with the paired adaptive preset (bounded
+  // memory; MapPairsStreaming swaps in PairedAdaptiveDefaults for knobs
+  // left at the generic single-end values). ---
+  double st_seconds = 0.0;
+  PairedStats st;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto devices = gpusim::MakeSetup1(2);
+    auto ptrs = Ptrs(devices);
+    EngineConfig ecfg;
+    ecfg.read_length = kLength;
+    ecfg.error_threshold = kThreshold;
+    GateKeeperGpuEngine engine(ecfg, ptrs);
+    ReadMapper mapper(w.genome, MakeMapperConfig());
+    PairedConfig pconf;
+    pconf.max_insert = 800;
+    std::stringstream fq1, fq2;
+    WriteFastq(fq1, w.r1);
+    WriteFastq(fq2, w.r2);
+    PairedFastqReader reader(fq1, fq2);
+    pipeline::PipelineConfig pcfg;
+    pcfg.adaptive = true;
+    st = StreamPairedFastqToSam(reader, mapper, &engine, pconf, pcfg,
+                                nullptr);
+    st_seconds = rep == 0 ? st.total_seconds
+                          : std::min(st_seconds, st.total_seconds);
+  }
+
   const double prune = pe.PruningRatio();
   const double verify_ratio =
       pe.verification_pairs > 0
@@ -131,18 +161,25 @@ int main() {
   const double pe_rate = pe_seconds > 0.0
                              ? static_cast<double>(n_pairs) / pe_seconds
                              : 0.0;
+  const double st_rate = st_seconds > 0.0
+                             ? static_cast<double>(n_pairs) / st_seconds
+                             : 0.0;
 
-  TablePrinter t({"metric", "single-end x2", "paired"});
+  TablePrinter t({"metric", "single-end x2", "paired", "paired streaming"});
   t.AddRow({"candidates", TablePrinter::Count(se_candidates),
-            TablePrinter::Count(pe.candidates_paired)});
+            TablePrinter::Count(pe.candidates_paired),
+            TablePrinter::Count(st.candidates_paired)});
   t.AddRow({"verification pairs", TablePrinter::Count(se_verify),
-            TablePrinter::Count(pe.verification_pairs)});
+            TablePrinter::Count(pe.verification_pairs),
+            TablePrinter::Count(st.verification_pairs)});
   t.AddRow({"mapped reads / proper pairs", TablePrinter::Count(se_mapped),
-            TablePrinter::Count(pe.proper_pairs)});
+            TablePrinter::Count(pe.proper_pairs),
+            TablePrinter::Count(st.proper_pairs)});
   t.AddRow({"wall (s)", TablePrinter::Num(se_seconds, 3),
-            TablePrinter::Num(pe_seconds, 3)});
+            TablePrinter::Num(pe_seconds, 3),
+            TablePrinter::Num(st_seconds, 3)});
   t.AddRow({"pairs/s", TablePrinter::Num(se_rate, 0),
-            TablePrinter::Num(pe_rate, 0)});
+            TablePrinter::Num(pe_rate, 0), TablePrinter::Num(st_rate, 0)});
   t.Print(std::cout);
   std::printf(
       "\npruning ratio (seeded/after-pairing): %.2fx\n"
@@ -163,6 +200,16 @@ int main() {
                 static_cast<unsigned long long>(pe.proper_pairs), n_pairs);
     ok = false;
   }
+  // The drivers are pinned byte-identical by the golden test; the
+  // adaptive preset must not perturb what the streaming driver maps.
+  if (st.proper_pairs != pe.proper_pairs ||
+      st.duplicate_pairs != pe.duplicate_pairs) {
+    std::printf("FAIL: streaming (adaptive preset) diverged from blocking "
+                "(proper %llu vs %llu)\n",
+                static_cast<unsigned long long>(st.proper_pairs),
+                static_cast<unsigned long long>(pe.proper_pairs));
+    ok = false;
+  }
   std::printf("%s\n", ok ? "OK" : "BENCH GATE FAILED");
 
   // Machine-readable trajectory point (uploaded as a CI artifact).
@@ -179,8 +226,10 @@ int main() {
   report.Add("insert_sigma", pe.insert_sigma);
   report.Add("single_end_seconds", se_seconds);
   report.Add("paired_seconds", pe_seconds);
+  report.Add("streaming_adaptive_seconds", st_seconds);
   report.Add("single_end_pairs_per_s", se_rate);
   report.Add("paired_pairs_per_s", pe_rate);
+  report.Add("streaming_adaptive_pairs_per_s", st_rate);
   report.Add("gate_pass", ok);
   report.Write();
   return ok ? 0 : 1;

@@ -17,7 +17,12 @@ LocalAlignment LocalAligner::BestFit(std::string_view read,
   const int m = static_cast<int>(read.size());
   const int n = static_cast<int>(ref.size());
   const std::size_t stride = static_cast<std::size_t>(n) + 1;
-  dp_.assign(static_cast<std::size_t>(m + 1) * stride, kInf);
+  const std::size_t cells = static_cast<std::size_t>(m + 1) * stride;
+  // The matrix is never cleared: every cell the recurrence, the answer
+  // scan, or the traceback reads lies inside a row's written band (live
+  // cells plus one kInf sentinel on each side), so stale values from a
+  // previous call are unreachable.
+  if (dp_.size() < cells) dp_.resize(cells);
   auto at = [&](int i, int j) -> int& {
     return dp_[static_cast<std::size_t>(i) * stride +
                static_cast<std::size_t>(j)];
@@ -29,13 +34,33 @@ LocalAlignment LocalAligner::BestFit(std::string_view read,
       max_begin < 0
           ? n
           : static_cast<int>(std::min<std::int64_t>(n, max_begin));
+  // Adaptive band: a within-budget path into (i, j) starts at a row-0
+  // column <= begin_limit, and its column drift obeys
+  // |j - start - i| <= edits, so i - max_edits <= j <= begin_limit + i +
+  // max_edits.  Cells outside that band cannot hold a value <= max_edits
+  // — the budget poisoning below would kInf them anyway — so each row
+  // only computes its band and the band widens with the window length
+  // instead of every row sweeping all n columns.
+  const auto hi_of = [&](int i) {
+    return static_cast<int>(std::min<std::int64_t>(
+        n, static_cast<std::int64_t>(begin_limit) + i + max_edits));
+  };
   for (int j = 0; j <= begin_limit; ++j) at(0, j) = 0;
+  for (int j = begin_limit + 1; j <= std::min(n, hi_of(1)); ++j) {
+    at(0, j) = kInf;  // row 1 reads this far past the free prefix
+  }
   for (int i = 1; i <= m; ++i) {
     // Within the budget, i read bases consume at least i - max_edits
     // reference bases; earlier columns cannot reach the answer row.
     const int j_lo = std::max(0, i - max_edits);
-    if (j_lo == 0) at(i, 0) = i;
-    for (int j = std::max(1, j_lo); j <= n; ++j) {
+    if (j_lo > n) continue;  // the read no longer fits; rows stay dead
+    const int j_hi = hi_of(i);
+    if (j_lo == 0) {
+      at(i, 0) = i;
+    } else {
+      at(i, j_lo - 1) = kInf;  // lower sentinel
+    }
+    for (int j = std::max(1, j_lo); j <= j_hi; ++j) {
       int v = kInf;
       if (at(i - 1, j - 1) < kInf) {
         const int cost = read[static_cast<std::size_t>(i - 1)] ==
@@ -50,13 +75,16 @@ LocalAlignment LocalAligner::BestFit(std::string_view read,
       // poisoning them keeps each row's live span O(max_edits) wide.
       at(i, j) = v > max_edits ? kInf : v;
     }
+    if (j_hi < n) at(i, j_hi + 1) = kInf;  // upper sentinel
   }
 
   // Free end: the placement may stop before the window does.  Smallest
   // final column on ties -> the leftmost-ending placement, deterministic.
+  const int final_lo = std::max(0, m - max_edits);
+  const int final_hi = final_lo > n ? -1 : hi_of(m);
   int best_j = -1;
   int best = kInf;
-  for (int j = 0; j <= n; ++j) {
+  for (int j = final_lo; j <= final_hi; ++j) {
     if (at(m, j) < best) {
       best = at(m, j);
       best_j = j;
@@ -71,7 +99,7 @@ LocalAlignment LocalAligner::BestFit(std::string_view read,
   // end by one column costs an edit), farther apart they are distinct
   // loci of a repeat.
   int last_tied = -1;
-  for (int j = 0; j <= n; ++j) {
+  for (int j = final_lo; j <= final_hi; ++j) {
     if (at(m, j) != best) continue;
     if (last_tied < 0 || j - last_tied > std::max(1, max_edits)) {
       ++result.placements;

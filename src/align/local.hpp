@@ -55,13 +55,19 @@ class LocalAligner {
   /// admitting starts beyond it.  Deterministic tie-breaks: among
   /// minimum-edit placements the one ending leftmost in `ref` wins, and
   /// the traceback prefers diagonal (M) moves so runs stay long.
-  /// O(|read| * |ref|) time, banded per row by the Ukkonen argument to
-  /// cells reachable within the budget.
+  /// Banded per row by the Ukkonen argument on both sides — columns
+  /// [i - max_edits, max_begin + i + max_edits] are the only reachable
+  /// cells — so a tight `max_begin` makes each row O(max_begin +
+  /// max_edits) instead of O(|ref|), and the matrix is re-sentineled
+  /// rather than cleared between calls.
   LocalAlignment BestFit(std::string_view read, std::string_view ref,
                          int max_edits, std::int64_t max_begin = -1);
 
  private:
-  std::vector<int> dp_;  // (m + 1) x (n + 1) edit matrix
+  // (m + 1) x (n + 1) edit matrix; only each row's band (plus kInf
+  // sentinels) is rewritten per call, so cells outside it hold stale
+  // values by design.
+  std::vector<int> dp_;
 };
 
 /// Match-scaled alignment score shared by the MAPQ model: +2 per aligned

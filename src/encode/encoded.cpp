@@ -81,17 +81,23 @@ void ExtractSegmentRaw(const Word* ref_words, std::int64_t ref_len,
       (ref_len + kBasesPerWord - 1) / kBasesPerWord;
   const int out_words = EncodedWords(len);
   const std::int64_t first_word = start / kBasesPerWord;
-  const int base_off = static_cast<int>(start % kBasesPerWord);
-  // Copy enough raw words to cover the segment after realignment, then
-  // shift the whole window toward earlier positions by the base offset.
-  const int span = EncodedWords(len + base_off);
-  Word tmp[kMaxEncodedWords + 1];
-  for (int i = 0; i < span; ++i) {
-    const std::int64_t idx = first_word + i;
-    tmp[i] = idx < total_words ? ref_words[static_cast<std::size_t>(idx)] : 0;
+  const int bit_off = 2 * static_cast<int>(start % kBasesPerWord);
+  // Single pass: out word k funnels the tail of raw word (first_word + k)
+  // and the head of the next one — no temporary copy, no second shifting
+  // pass.  start + len <= ref_len guarantees first_word + k < total_words
+  // for every out word; only the k+1 neighbour can run off the end.
+  for (int k = 0; k < out_words; ++k) {
+    const std::int64_t idx = first_word + k;
+    const Word a = ref_words[static_cast<std::size_t>(idx)];
+    if (bit_off == 0) {
+      out[k] = a;
+    } else {
+      const Word b = idx + 1 < total_words
+                         ? ref_words[static_cast<std::size_t>(idx + 1)]
+                         : 0;
+      out[k] = (a << bit_off) | (b >> (kWordBits - bit_off));
+    }
   }
-  ShiftToEarlier(tmp, tmp, span, 2 * base_off);
-  for (int i = 0; i < out_words; ++i) out[i] = i < span ? tmp[i] : 0;
   // Zero pad bases past the segment so encoded comparisons are exact.
   const int pad_bits = out_words * kWordBits - 2 * len;
   if (pad_bits > 0) {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "filters/neighborhood.hpp"
+#include "simd/snake_batch.hpp"
 
 namespace gkgpu {
 
@@ -29,6 +30,11 @@ FilterResult SneakySnakeFilter::Filter(std::string_view read,
     if (edits > e) return {false, edits};
   }
   return {edits <= e, edits};
+}
+
+void SneakySnakeFilter::FilterBatch(const PairBlock& block, int e,
+                                    PairResult* results) const {
+  simd::SneakySnakeFilterRange(block, 0, block.size, e, results);
 }
 
 }  // namespace gkgpu

@@ -15,6 +15,11 @@ class SneakySnakeFilter : public PreAlignmentFilter {
   std::string_view name() const override { return "SneakySnake"; }
   FilterResult Filter(std::string_view read, std::string_view ref,
                       int e) const override;
+  /// Batch path: neighborhood mazes built bit-parallel from the encoded
+  /// pairs on 64-bit words (AVX2 lane-parallel where dispatched), greedy
+  /// traversal over the bitmap rows.  Bit-identical to Filter().
+  void FilterBatch(const PairBlock& block, int e,
+                   PairResult* results) const override;
 };
 
 }  // namespace gkgpu

@@ -4,11 +4,14 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <set>
 #include <stdexcept>
+#include <string_view>
 #include <tuple>
 
 #include "align/banded.hpp"
@@ -145,6 +148,59 @@ struct MateBest {
   std::string cigar;
 };
 
+/// Flow-cell coordinates parsed from an Illumina-style read name, for
+/// the optical-duplicate pixel distance.
+struct TileCoord {
+  bool valid = false;
+  std::int64_t tile = 0;
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+};
+
+/// Parses the trailing tile:x:y of a colon-delimited read name (both the
+/// 5-field "machine:lane:tile:x:y" and 7-field CASAVA 1.8+
+/// "machine:run:flowcell:lane:tile:x:y" layouts end the same way).  The
+/// name's first whitespace token is used, with any "/1" / "/2" mate
+/// suffix stripped.  Anything that doesn't fit returns invalid — such
+/// reads simply never classify as optical.
+TileCoord ParseTileCoord(std::string_view name) {
+  const std::size_t ws = name.find_first_of(" \t");
+  if (ws != std::string_view::npos) name = name.substr(0, ws);
+  if (name.size() >= 2 && name[name.size() - 2] == '/' &&
+      (name.back() == '1' || name.back() == '2')) {
+    name = name.substr(0, name.size() - 2);
+  }
+  std::int64_t fields[3] = {0, 0, 0};  // tile, x, y (last three fields)
+  int parsed = 0;
+  TileCoord out;
+  while (parsed < 3) {
+    const std::size_t colon = name.rfind(':');
+    const std::string_view field =
+        colon == std::string_view::npos ? name : name.substr(colon + 1);
+    if (field.empty()) return out;
+    std::int64_t value = 0;
+    for (const char c : field) {
+      if (c < '0' || c > '9') return out;
+      value = value * 10 + (c - '0');
+    }
+    fields[2 - parsed] = value;
+    ++parsed;
+    if (colon == std::string_view::npos) {
+      // Fewer than 5 fields total: tile:x:y alone (a bare "100:8:9") is
+      // not an Illumina name, just three numbers.
+      return out;
+    }
+    name = name.substr(0, colon);
+  }
+  // At least two more fields must precede tile:x:y (machine + lane).
+  if (std::count(name.begin(), name.end(), ':') < 1) return out;
+  out.valid = true;
+  out.tile = fields[0];
+  out.x = fields[1];
+  out.y = fields[2];
+  return out;
+}
+
 /// Best / runner-up penalty summary of one mate's verified placements,
 /// via the shared scan in mapper/mapq.cpp.
 EditSummary Summarize(const std::vector<MateBest>& v) {
@@ -178,8 +234,12 @@ struct PairFinalizer {
   /// the later copy is the duplicate.  Finalization runs strictly in pair
   /// input order in both drivers, so marking is deterministic and
   /// identical across them.
+  /// When optical_dup_distance > 0 and the later copy's tile:x:y sits
+  /// within that many pixels of an earlier copy on the same tile, *optical
+  /// is set (the record is still a duplicate either way).
   bool IsDuplicateFragment(const MateBest& fwd, std::uint8_t first_strand,
-                           std::int64_t frag);
+                           std::int64_t frag, const std::string& r1_name,
+                           bool* optical);
   /// Discordant analogue: both ends' (position, strand), normalized
   /// position-major so mate roles don't split a signature.
   bool IsDuplicateDiscordant(const MateBest& a, const MateBest& b);
@@ -193,8 +253,12 @@ struct PairFinalizer {
   LocalAligner rescue_aligner_;
   /// Fragment signatures of emitted proper pairs (mark_duplicates only):
   /// global forward-mate position (chromosome + local position in one),
-  /// first-mate strand, fragment length (|TLEN|).
-  std::set<std::tuple<std::int64_t, std::uint8_t, std::int64_t>>
+  /// first-mate strand, fragment length (|TLEN|) — mapped to the flow-cell
+  /// coordinates of every copy seen so far (coordinates are only parsed
+  /// and stored when optical_dup_distance > 0; the vector stays empty
+  /// otherwise, so plain duplicate marking costs what the old set did).
+  std::map<std::tuple<std::int64_t, std::uint8_t, std::int64_t>,
+           std::vector<TileCoord>>
       seen_fragments_;
   /// Signatures of emitted discordant pairs and single-end records, kept
   /// apart from each other and from the proper-pair set: a record class
@@ -312,9 +376,29 @@ MateBest PairFinalizer::Rescue(const MateBest& anchor, const std::string& fwd,
 
 bool PairFinalizer::IsDuplicateFragment(const MateBest& fwd,
                                         std::uint8_t first_strand,
-                                        std::int64_t frag) {
+                                        std::int64_t frag,
+                                        const std::string& r1_name,
+                                        bool* optical) {
+  *optical = false;
   if (!cfg->mark_duplicates) return false;
-  return !seen_fragments_.emplace(fwd.pos, first_strand, frag).second;
+  const auto [it, inserted] = seen_fragments_.try_emplace(
+      std::make_tuple(fwd.pos, first_strand, frag));
+  if (cfg->optical_dup_distance <= 0) return !inserted;
+  const TileCoord mine = ParseTileCoord(r1_name);
+  if (!inserted && mine.valid) {
+    const std::int64_t d = cfg->optical_dup_distance;
+    for (const TileCoord& prev : it->second) {
+      if (prev.valid && prev.tile == mine.tile &&
+          std::abs(prev.x - mine.x) <= d && std::abs(prev.y - mine.y) <= d) {
+        *optical = true;
+        break;
+      }
+    }
+  }
+  // Every copy's coordinates join the cluster, so a chain of adjacent
+  // well-copies classifies optical even when only neighbours are close.
+  it->second.push_back(mine);
+  return !inserted;
 }
 
 bool PairFinalizer::IsDuplicateDiscordant(const MateBest& a,
@@ -514,9 +598,11 @@ void PairFinalizer::Finalize(const PairTask& task) {
     b1.mapq = pair_mapq;
     b2.mapq = pair_mapq;
     const bool first_is_fwd = b1.strand == 0;
+    bool optical = false;
     const bool dup = IsDuplicateFragment(first_is_fwd ? b1 : b2, b1.strand,
-                                         best_frag);
+                                         best_frag, task.r1.name, &optical);
     if (dup) ++st.duplicate_pairs;
+    if (optical) ++st.optical_duplicate_pairs;
     EmitMate(task.r1, task.rc1, true, b1, b2,
              first_is_fwd ? best_frag : -best_frag, true, dup);
     EmitMate(task.r2, task.rc2, false, b2, b1,
@@ -577,8 +663,11 @@ void PairFinalizer::Finalize(const PairTask& task) {
       bool dup = false;
       if (concordant) {
         ++st.proper_pairs;
-        dup = IsDuplicateFragment(m1.strand == 0 ? m1 : m2, m1.strand, frag);
+        bool optical = false;
+        dup = IsDuplicateFragment(m1.strand == 0 ? m1 : m2, m1.strand, frag,
+                                  task.r1.name, &optical);
         if (dup) ++st.duplicate_pairs;
+        if (optical) ++st.optical_duplicate_pairs;
       } else {
         ++st.discordant_pairs;
         dup = IsDuplicateDiscordant(m1, m2);
@@ -809,6 +898,23 @@ PairedStats PairedEndMapper::MapPairsStreaming(PairedFastqReader& reader,
   pcfg.verify = true;
   pcfg.verify_threshold = e;
   pcfg.emit_cigar = false;  // the finalizer recomputes CIGARs per mate
+  if (pcfg.adaptive) {
+    // Retune adaptive knobs the caller left at the generic single-end
+    // defaults to the paired preset; explicitly-set values stand.
+    const pipeline::AdaptiveBatcherConfig generic;
+    const pipeline::AdaptiveBatcherConfig tuned =
+        pipeline::PairedAdaptiveDefaults();
+    pipeline::AdaptiveBatcherConfig& a = pcfg.adaptive_config;
+    if (a.grow_factor == generic.grow_factor) {
+      a.grow_factor = tuned.grow_factor;
+    }
+    if (a.starve_watermark == generic.starve_watermark) {
+      a.starve_watermark = tuned.starve_watermark;
+    }
+    if (a.backpressure_watermark == generic.backpressure_watermark) {
+      a.backpressure_watermark = tuned.backpressure_watermark;
+    }
+  }
   pipeline::StreamingPipeline pipe(engine, pcfg);
 
   PairFinalizer fin;

@@ -69,6 +69,13 @@ struct PairedConfig {
   /// (chromosome, position, strand, TLEN); the first occurrence stays
   /// unmarked.  CLI --mark-duplicates.
   bool mark_duplicates = false;
+  /// Pixel-distance component of duplicate marking (mark_duplicates
+  /// only): a later copy of a proper-pair signature whose read name
+  /// carries Illumina tile:x:y coordinates within this many pixels of an
+  /// earlier copy on the same tile classifies as an *optical* duplicate
+  /// (counted apart from PCR duplicates — both still flag 0x400).
+  /// <= 0 disables the classification.  CLI --optical-dup-distance.
+  int optical_dup_distance = 0;
   /// MAPQ ceiling (mapper/mapq.hpp).  CLI --mapq-cap.
   int mapq_cap = kDefaultMapqCap;
   /// Read-group ID: adds RG:Z:<id> to every record ("" = none).  The @RG
@@ -90,6 +97,10 @@ struct PairedStats {
   /// Proper pairs flagged 0x400 (mark_duplicates only; later copies of an
   /// already-seen fragment signature).
   std::uint64_t duplicate_pairs = 0;
+  /// Subset of duplicate_pairs whose tile:x:y read-name coordinates sit
+  /// within optical_dup_distance pixels of an earlier copy on the same
+  /// tile (optical_dup_distance > 0 only).
+  std::uint64_t optical_duplicate_pairs = 0;
   /// Discordant pairs flagged 0x400 — both ends' (position, strand)
   /// already seen on an earlier discordant pair.
   std::uint64_t duplicate_discordant_pairs = 0;

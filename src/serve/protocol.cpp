@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -33,18 +34,38 @@ void SendAll(int fd, const void* data, std::size_t bytes) {
   }
 }
 
-/// Returns bytes read; 0 only on EOF before the first byte.
-std::size_t RecvAll(int fd, void* data, std::size_t bytes) {
+enum class RecvStatus { kOk, kEof, kAgain };
+
+/// Receives into data[*got, bytes); advances *got.  kAgain means the
+/// socket's SO_RCVTIMEO tick expired with the range still incomplete —
+/// the caller decides whether that is a resume or a timeout.  Throws only
+/// on genuine I/O failure.
+RecvStatus RecvChunk(int fd, void* data, std::size_t bytes,
+                     std::size_t* got) {
   char* p = static_cast<char*>(data);
-  std::size_t got = 0;
-  while (got < bytes) {
-    const ssize_t n = ::recv(fd, p + got, bytes - got, 0);
+  while (*got < bytes) {
+    const ssize_t n = ::recv(fd, p + *got, bytes - *got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::kAgain;
       FailErrno("serve: recv");
     }
-    if (n == 0) break;  // EOF
-    got += static_cast<std::size_t>(n);
+    if (n == 0) return RecvStatus::kEof;
+    *got += static_cast<std::size_t>(n);
+  }
+  return RecvStatus::kOk;
+}
+
+/// Returns bytes read; 0 only on EOF before the first byte.  The
+/// non-resumable legacy path: a receive timeout anywhere throws.
+std::size_t RecvAll(int fd, void* data, std::size_t bytes) {
+  std::size_t got = 0;
+  switch (RecvChunk(fd, data, bytes, &got)) {
+    case RecvStatus::kAgain:
+      throw std::runtime_error("serve: recv: timed out");
+    case RecvStatus::kEof:
+    case RecvStatus::kOk:
+      break;
   }
   return got;
 }
@@ -79,6 +100,59 @@ bool ReadFrame(int fd, Frame* out) {
   if (prelude[1] > 0 &&
       RecvAll(fd, out->payload.data(), prelude[1]) != prelude[1]) {
     throw std::runtime_error("serve: connection closed mid-frame");
+  }
+  return true;
+}
+
+bool ReadFrame(int fd, Frame* out, const FrameReadLimits& limits) {
+  using Clock = std::chrono::steady_clock;
+  const auto wait_start = Clock::now();
+  Clock::time_point frame_start{};
+  bool frame_started = false;
+  const auto secs_since = [](Clock::time_point t) {
+    return std::chrono::duration<double>(Clock::now() - t).count();
+  };
+  const auto on_tick = [&] {
+    if (!frame_started) {
+      if (secs_since(wait_start) >= limits.idle_timeout_sec) {
+        throw std::runtime_error("serve: recv: timed out");
+      }
+    } else if (secs_since(frame_start) >= limits.frame_deadline_sec) {
+      throw std::runtime_error(
+          "serve: frame stalled mid-transfer: timed out");
+    }
+  };
+
+  std::uint32_t prelude[2] = {0, 0};
+  std::size_t got = 0;
+  for (;;) {
+    const RecvStatus s = RecvChunk(fd, prelude, sizeof(prelude), &got);
+    if (got > 0 && !frame_started) {
+      frame_started = true;
+      frame_start = Clock::now();
+    }
+    if (s == RecvStatus::kOk) break;
+    if (s == RecvStatus::kEof) {
+      if (got == 0) return false;  // clean EOF between frames
+      throw std::runtime_error("serve: connection closed mid-frame");
+    }
+    on_tick();  // kAgain: resume unless a limit is exhausted
+  }
+  if (prelude[1] > kMaxFramePayload) {
+    throw std::runtime_error("serve: frame length prefix exceeds the cap "
+                             "(corrupt stream?)");
+  }
+  out->type = static_cast<FrameType>(prelude[0]);
+  out->payload.resize(prelude[1]);
+  std::size_t pgot = 0;
+  while (pgot < prelude[1]) {
+    const RecvStatus s =
+        RecvChunk(fd, out->payload.data(), prelude[1], &pgot);
+    if (s == RecvStatus::kOk) break;
+    if (s == RecvStatus::kEof) {
+      throw std::runtime_error("serve: connection closed mid-frame");
+    }
+    on_tick();
   }
   return true;
 }

@@ -52,6 +52,28 @@ void WriteFrame(int fd, FrameType type, std::string_view payload);
 /// length prefix.
 bool ReadFrame(int fd, Frame* out);
 
+/// Deadlines for the resumable frame read below.  Both are wall-clock
+/// seconds; a value <= 0 means the first receive-timeout tick in that
+/// state throws immediately (the non-resumable behaviour above).
+struct FrameReadLimits {
+  /// Quiet time allowed while waiting for a frame to *start* (no byte of
+  /// the prelude received yet) — the per-request idle timeout.
+  double idle_timeout_sec = 0;
+  /// Total time allowed to finish one frame once its first byte arrived.
+  /// A slow-but-active sender may straddle any number of receive-timeout
+  /// ticks mid-frame as long as the whole frame lands inside this budget.
+  double frame_deadline_sec = 0;
+};
+
+/// Resumable frame read for sockets whose SO_RCVTIMEO is set to a short
+/// polling tick: an expiry mid-frame is NOT an error — the read resumes
+/// and accumulates until `limits` says otherwise, so a client that
+/// stalls between the bytes of one frame is distinguished from one that
+/// sends a genuinely malformed stream.  Returns false on clean EOF at a
+/// frame boundary; throws "timed out" once a limit is exceeded and
+/// "connection closed mid-frame" on mid-frame EOF.
+bool ReadFrame(int fd, Frame* out, const FrameReadLimits& limits);
+
 /// Per-job options carried in the kJob frame.
 struct JobSpec {
   std::string read_group;        // RG:Z tag ("" = none)

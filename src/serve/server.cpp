@@ -252,10 +252,22 @@ struct MapServer::Impl {
 
   // --- session thread ---------------------------------------------------
 
+  FrameReadLimits SessionReadLimits() const {
+    FrameReadLimits limits;
+    limits.idle_timeout_sec = config_.request_timeout_sec;
+    limits.frame_deadline_sec =
+        config_.frame_deadline_sec > 0
+            ? config_.frame_deadline_sec
+            : 4.0 * config_.request_timeout_sec;
+    return limits;
+  }
+
   void SessionMain(SessionPtr s) {
+    const FrameReadLimits limits = SessionReadLimits();
     try {
       Frame frame;
-      if (!ReadFrame(s->fd, &frame) || frame.type != FrameType::kJob) {
+      if (!ReadFrame(s->fd, &frame, limits) ||
+          frame.type != FrameType::kJob) {
         throw std::runtime_error("expected a kJob frame first");
       }
       const JobSpec job = ParseJobSpec(frame.payload);
@@ -280,7 +292,7 @@ struct MapServer::Impl {
       FastqRecord rec;
       bool ended = false;
       while (!ended) {
-        if (!ReadFrame(s->fd, &frame)) {
+        if (!ReadFrame(s->fd, &frame, limits)) {
           throw std::runtime_error("client disconnected before kEnd");
         }
         switch (frame.type) {
@@ -535,9 +547,16 @@ struct MapServer::Impl {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) continue;
       if (config_.request_timeout_sec > 0) {
+        // The receive timeout is a short polling *tick*, not the deadline:
+        // ReadFrame resumes across ticks and enforces the idle/frame
+        // deadlines itself, so an expiry mid-frame no longer kills a
+        // slow-but-active client.  Sends keep the full timeout as a hard
+        // stall cap.
+        timeval tick{};
+        tick.tv_usec = 500 * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tick, sizeof(tick));
         timeval tv{};
         tv.tv_sec = config_.request_timeout_sec;
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
       }
       auto session = std::make_shared<Session>(fd, ++sessions_accepted_);

@@ -46,8 +46,14 @@ struct ServeConfig {
   /// cross-session coalescing, smaller = lower single-client latency.
   int linger_ms = 2;
   /// Per-request idle timeout in seconds: a client that stays silent this
-  /// long mid-job is dropped and its session discarded.  <= 0 disables.
+  /// long *between frames* mid-job is dropped and its session discarded.
+  /// <= 0 disables.
   int request_timeout_sec = 30;
+  /// Hard deadline in seconds for finishing one frame once its first byte
+  /// arrived: a slow-but-active client may pause mid-frame (straddling any
+  /// number of receive-timeout ticks) as long as the whole frame lands
+  /// inside this budget.  <= 0 derives 4x request_timeout_sec.
+  int frame_deadline_sec = 0;
   /// Default MAPQ cap for jobs that do not set one.
   int mapq_cap = 60;
   /// Server-side @RG default ("" = none) when the job sets no read group.

@@ -173,6 +173,29 @@ inline int CountOneRuns64(const U64* mask, int nwords, int stride = 1) {
   return runs;
 }
 
+/// Length of the run of 0s starting at bit `pos`, clamped so the run
+/// never extends past `length_bits` (tail bits beyond the sequence are
+/// zero by construction and must not count as matches).  `stride` walks
+/// one lane of a lane-major buffer, as in CountOneRuns64.
+inline int ZeroRunFrom64(const U64* row, int nwords, int pos, int length_bits,
+                         int stride = 1) {
+  int p = pos;
+  int word = pos / kWordBits64;
+  int off = pos % kWordBits64;
+  while (word < nwords) {
+    const U64 w = row[word * stride] << off;
+    if (w != 0) {
+      p += std::countl_zero(w);
+      break;
+    }
+    p += kWordBits64 - off;
+    off = 0;
+    ++word;
+  }
+  if (p > length_bits) p = length_bits;
+  return p - pos;
+}
+
 /// Total set bits; `stride` as in CountOneRuns64.
 inline int PopcountWords64(const U64* mask, int nwords, int stride = 1) {
   int n = 0;
@@ -181,15 +204,22 @@ inline int PopcountWords64(const U64* mask, int nwords, int stride = 1) {
 }
 
 /// Flips every internal run of 0s of length <= 2 bounded by 1s on both
-/// sides — the branch-free amendment, one word width up.
+/// sides — the branch-free amendment, one word width up.  Fused single
+/// pass: the four shifted neighborhoods are formed per word from the
+/// original current/previous/next words (in-place updates must not feed
+/// already-amended bits back in, hence `prev` carries the pre-amendment
+/// value), so no scratch arrays and no extra passes over the mask.
 inline void AmendShortZeroRuns64(U64* mask, int nwords) {
-  U64 l1[kMaxWords64], l2[kMaxWords64], r1[kMaxWords64], r2[kMaxWords64];
-  ShiftToLater64(mask, l1, nwords, 1);
-  ShiftToLater64(mask, l2, nwords, 2);
-  ShiftToEarlier64(mask, r1, nwords, 1);
-  ShiftToEarlier64(mask, r2, nwords, 2);
+  U64 prev = 0;
   for (int i = 0; i < nwords; ++i) {
-    mask[i] |= (l1[i] & r1[i]) | (l1[i] & r2[i]) | (l2[i] & r1[i]);
+    const U64 cur = mask[i];
+    const U64 next = i + 1 < nwords ? mask[i + 1] : 0;
+    const U64 l1 = (cur >> 1) | (prev << (kWordBits64 - 1));
+    const U64 l2 = (cur >> 2) | (prev << (kWordBits64 - 2));
+    const U64 r1 = (cur << 1) | (next >> (kWordBits64 - 1));
+    const U64 r2 = (cur << 2) | (next >> (kWordBits64 - 2));
+    mask[i] = cur | (l1 & (r1 | r2)) | (l2 & r1);
+    prev = cur;
   }
 }
 

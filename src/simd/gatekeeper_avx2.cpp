@@ -18,8 +18,12 @@
 // the scalar path so the symbol set stays identical.
 #include "simd/gatekeeper_batch.hpp"
 
+#include <vector>
+
 #include "simd/bitops64.hpp"
 #include "simd/dispatch.hpp"
+#include "simd/snake_batch.hpp"
+#include "simd/window_gather.hpp"
 
 #if defined(GKGPU_SIMD_AVX2)
 #include <immintrin.h>
@@ -143,18 +147,28 @@ void VSetRange(__m256i* mask, int nwords, int from, int to) {
   }
 }
 
+/// Fused single-pass amendment (see AmendShortZeroRuns64): the four
+/// shifted neighborhoods come from the original current/previous/next
+/// words per iteration — no vector scratch arrays, one pass.
 void VAmend(__m256i* mask, int nwords) {
-  __m256i l1[kMaxWords64], l2[kMaxWords64], r1[kMaxWords64], r2[kMaxWords64];
-  VShiftToLater(mask, l1, nwords, 1);
-  VShiftToLater(mask, l2, nwords, 2);
-  VShiftToEarlier(mask, r1, nwords, 1);
-  VShiftToEarlier(mask, r2, nwords, 2);
+  __m256i prev = _mm256_setzero_si256();
   for (int i = 0; i < nwords; ++i) {
-    const __m256i a = _mm256_and_si256(l1[i], r1[i]);
-    const __m256i b = _mm256_and_si256(l1[i], r2[i]);
-    const __m256i c = _mm256_and_si256(l2[i], r1[i]);
-    mask[i] = _mm256_or_si256(
-        mask[i], _mm256_or_si256(_mm256_or_si256(a, b), c));
+    const __m256i cur = mask[i];
+    const __m256i next =
+        i + 1 < nwords ? mask[i + 1] : _mm256_setzero_si256();
+    const __m256i l1 = _mm256_or_si256(_mm256_srli_epi64(cur, 1),
+                                       _mm256_slli_epi64(prev, 63));
+    const __m256i l2 = _mm256_or_si256(_mm256_srli_epi64(cur, 2),
+                                       _mm256_slli_epi64(prev, 62));
+    const __m256i r1 = _mm256_or_si256(_mm256_slli_epi64(cur, 1),
+                                       _mm256_srli_epi64(next, 63));
+    const __m256i r2 = _mm256_or_si256(_mm256_slli_epi64(cur, 2),
+                                       _mm256_srli_epi64(next, 62));
+    const __m256i amend = _mm256_or_si256(
+        _mm256_and_si256(l1, _mm256_or_si256(r1, r2)),
+        _mm256_and_si256(l2, r1));
+    mask[i] = _mm256_or_si256(cur, amend);
+    prev = cur;
   }
 }
 
@@ -254,8 +268,9 @@ void GateKeeperFilterRangeAvx2(const PairBlock& block, std::size_t begin,
                                std::size_t end, int e,
                                const GateKeeperParams& params,
                                PairResult* results) {
-  Word read_scratch[kMaxEncodedWords];
-  Word ref_scratch[kMaxEncodedWords];
+  Word read_scratch[kLanes][kMaxEncodedWords];
+  Word ref_scratch[kLanes][kMaxEncodedWords];
+  BlockPairView views[kLanes];
   const int enc32 = EncodedWords(block.length);
   std::size_t i = begin;
   for (; i + kLanes <= end; i += kLanes) {
@@ -263,14 +278,12 @@ void GateKeeperFilterRangeAvx2(const PairBlock& block, std::size_t begin,
     U64 refs[kLanes][kMaxWords64];
     bool bypass[kLanes];
     bool all_bypassed = true;
+    LoadBlockGroup(block, i, kLanes, read_scratch, ref_scratch, views);
     for (int l = 0; l < kLanes; ++l) {
-      const BlockPairView p =
-          LoadBlockPair(block, i + static_cast<std::size_t>(l), read_scratch,
-                        ref_scratch);
-      bypass[l] = p.bypass;
-      all_bypassed = all_bypassed && p.bypass;
-      PackWords64(p.read, enc32, reads[l]);
-      PackWords64(p.ref, enc32, refs[l]);
+      bypass[l] = views[l].bypass;
+      all_bypassed = all_bypassed && views[l].bypass;
+      PackWords64(views[l].read, enc32, reads[l]);
+      PackWords64(views[l].ref, enc32, refs[l]);
     }
     if (all_bypassed) {
       for (int l = 0; l < kLanes; ++l) {
@@ -295,6 +308,147 @@ void GateKeeperFilterRangeAvx2(const PairBlock& block, std::size_t begin,
   }
 }
 
+void ExtractWindowsAvx2(const Word* ref_words, std::int64_t ref_len,
+                        const std::int64_t* starts, int count, int len,
+                        Word* out, std::size_t out_stride) {
+  const std::int64_t total_words =
+      (ref_len + kBasesPerWord - 1) / kBasesPerWord;
+  const int out_words = EncodedWords(len);
+  // The gather indexes with 32-bit lanes; genomes past 2^31 encoded words
+  // (> 34 Gbp) take the scalar path.  KmerIndex refuses them far earlier.
+  if (total_words > 0x7FFFFFFF) {
+    ExtractWindowsScalar(ref_words, ref_len, starts, count, len, out,
+                         out_stride);
+    return;
+  }
+  const int pad_bits = out_words * kWordBits - 2 * len;
+  int i = 0;
+  for (; i + 4 <= count; i += 4) {
+    alignas(16) std::int32_t first[4];
+    alignas(16) std::int32_t off[4];
+    Word* dst[4];
+    for (int l = 0; l < 4; ++l) {
+      const std::int64_t start = starts[i + l];
+      first[l] = static_cast<std::int32_t>(start / kBasesPerWord);
+      off[l] = 2 * static_cast<std::int32_t>(start % kBasesPerWord);
+      dst[l] = out + static_cast<std::size_t>(i + l) * out_stride;
+    }
+    const __m128i vfirst = _mm_load_si128(reinterpret_cast<__m128i*>(first));
+    const __m128i voff = _mm_load_si128(reinterpret_cast<__m128i*>(off));
+    // srlv by (32 - off) yields 0 when off == 0 (shift counts >= 32 are
+    // defined to produce 0 for the vector variable shifts), so no branch.
+    const __m128i vshr = _mm_sub_epi32(_mm_set1_epi32(kWordBits), voff);
+    const __m128i vlast = _mm_set1_epi32(
+        static_cast<std::int32_t>(total_words) - 1);
+    const int* base = reinterpret_cast<const int*>(ref_words);
+    for (int k = 0; k < out_words; ++k) {
+      // start + len <= ref_len keeps first + k in range for every out
+      // word; only the k+1 neighbour can run off the end, and its bits
+      // land exclusively in the zeroed pad region when it does, so
+      // clamping it to the last word is exact.
+      const __m128i idx = _mm_add_epi32(vfirst, _mm_set1_epi32(k));
+      const __m128i idx1 =
+          _mm_min_epi32(_mm_add_epi32(idx, _mm_set1_epi32(1)), vlast);
+      const __m128i a = _mm_i32gather_epi32(base, idx, 4);
+      const __m128i b = _mm_i32gather_epi32(base, idx1, 4);
+      const __m128i w =
+          _mm_or_si128(_mm_sllv_epi32(a, voff), _mm_srlv_epi32(b, vshr));
+      alignas(16) std::uint32_t lanes[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(lanes), w);
+      for (int l = 0; l < 4; ++l) dst[l][k] = lanes[l];
+    }
+    if (pad_bits > 0) {
+      for (int l = 0; l < 4; ++l) {
+        dst[l][out_words - 1] &= ~Word{0} << pad_bits;
+      }
+    }
+  }
+  if (i < count) {
+    ExtractWindowsScalar(ref_words, ref_len, starts + i, count - i, len,
+                         out + static_cast<std::size_t>(i) * out_stride,
+                         out_stride);
+  }
+}
+
+void SneakySnakeFilterRangeAvx2(const PairBlock& block, std::size_t begin,
+                                std::size_t end, int e, PairResult* results) {
+  const int length = block.length;
+  const int enc32 = EncodedWords(length);
+  const int enc64 = Words64(enc32);
+  const int mask64 = Words64(MaskWords(length));
+  const int ndiag = 2 * e + 1;
+  // Lane-major maze: diagonal d's word w for lane l sits at
+  // rows[((d + e) * mask64 + w) * kLanes + l].
+  std::vector<U64> rows(static_cast<std::size_t>(ndiag) *
+                        static_cast<std::size_t>(mask64) * kLanes);
+  Word read_scratch[kLanes][kMaxEncodedWords];
+  Word ref_scratch[kLanes][kMaxEncodedWords];
+  BlockPairView views[kLanes];
+  std::size_t i = begin;
+  for (; i + kLanes <= end; i += kLanes) {
+    LoadBlockGroup(block, i, kLanes, read_scratch, ref_scratch, views);
+    bool all_bypassed = true;
+    for (int l = 0; l < kLanes; ++l) {
+      all_bypassed = all_bypassed && views[l].bypass;
+    }
+    if (all_bypassed) {
+      for (int l = 0; l < kLanes; ++l) {
+        results[i + static_cast<std::size_t>(l)] = BypassedPairResult();
+      }
+      continue;
+    }
+    U64 reads[kLanes][kMaxWords64];
+    U64 refs[kLanes][kMaxWords64];
+    for (int l = 0; l < kLanes; ++l) {
+      PackWords64(views[l].read, enc32, reads[l]);
+      PackWords64(views[l].ref, enc32, refs[l]);
+    }
+    __m256i R[kMaxWords64], G[kMaxWords64], shifted[kMaxWords64],
+        diff[kMaxWords64], row[kMaxWords64];
+    for (int w = 0; w < enc64; ++w) {
+      R[w] = Lanes(reads, w);
+      G[w] = Lanes(refs, w);
+    }
+    for (int d = -e; d <= e; ++d) {
+      // NeighborhoodMap::BuildEncoded lane-parallel: shift the *reference*
+      // by the diagonal offset, XOR, reduce, fence out-of-range columns.
+      const __m256i* rhs = G;
+      if (d > 0) {
+        VShiftToEarlier(G, shifted, enc64, 2 * d);
+        rhs = shifted;
+      } else if (d < 0) {
+        VShiftToLater(G, shifted, enc64, -2 * d);
+        rhs = shifted;
+      }
+      VXor(R, rhs, diff, enc64);
+      VReduce(diff, length, row);
+      if (d > 0) {
+        VSetRange(row, mask64, std::max(0, length - d), length);
+      } else if (d < 0) {
+        VSetRange(row, mask64, 0, std::min(length, -d));
+      }
+      U64* lane_rows = rows.data() + static_cast<std::size_t>(d + e) *
+                                         static_cast<std::size_t>(mask64) *
+                                         kLanes;
+      for (int w = 0; w < mask64; ++w) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(lane_rows + w * kLanes), row[w]);
+      }
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      results[i + static_cast<std::size_t>(l)] =
+          views[l].bypass
+              ? BypassedPairResult()
+              : MakePairResult(SnakeTraverse64(rows.data() + l, mask64,
+                                               length, e, kLanes),
+                               false);
+    }
+  }
+  if (i < end) {
+    SneakySnakeFilterRangeScalar(block, i, end, e, results);
+  }
+}
+
 #else  // !GKGPU_SIMD_AVX2
 
 bool Avx2Compiled() { return false; }
@@ -304,6 +458,18 @@ void GateKeeperFilterRangeAvx2(const PairBlock& block, std::size_t begin,
                                const GateKeeperParams& params,
                                PairResult* results) {
   GateKeeperFilterRangeScalar(block, begin, end, e, params, results);
+}
+
+void ExtractWindowsAvx2(const Word* ref_words, std::int64_t ref_len,
+                        const std::int64_t* starts, int count, int len,
+                        Word* out, std::size_t out_stride) {
+  ExtractWindowsScalar(ref_words, ref_len, starts, count, len, out,
+                       out_stride);
+}
+
+void SneakySnakeFilterRangeAvx2(const PairBlock& block, std::size_t begin,
+                                std::size_t end, int e, PairResult* results) {
+  SneakySnakeFilterRangeScalar(block, begin, end, e, results);
 }
 
 #endif  // GKGPU_SIMD_AVX2

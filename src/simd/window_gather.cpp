@@ -1,0 +1,28 @@
+#include "simd/window_gather.hpp"
+
+#include "simd/dispatch.hpp"
+
+namespace gkgpu::simd {
+
+void ExtractWindowsScalar(const Word* ref_words, std::int64_t ref_len,
+                          const std::int64_t* starts, int count, int len,
+                          Word* out, std::size_t out_stride) {
+  for (int i = 0; i < count; ++i) {
+    ExtractSegmentRaw(ref_words, ref_len, starts[i], len,
+                      out + static_cast<std::size_t>(i) * out_stride);
+  }
+}
+
+void ExtractWindows(const Word* ref_words, std::int64_t ref_len,
+                    const std::int64_t* starts, int count, int len, Word* out,
+                    std::size_t out_stride) {
+  if (ActiveLevel() != Level::kScalar) {
+    ExtractWindowsAvx2(ref_words, ref_len, starts, count, len, out,
+                       out_stride);
+  } else {
+    ExtractWindowsScalar(ref_words, ref_len, starts, count, len, out,
+                         out_stride);
+  }
+}
+
+}  // namespace gkgpu::simd

@@ -1,0 +1,46 @@
+// Lane-parallel candidate window extraction.
+//
+// Candidate-shaped PairBlocks carry (read_index, strand, ref_pos) rows
+// against one encoded genome; every consumer used to slice each lane's
+// reference window out of the 2-bit encoding with a scalar per-lane copy
+// (ExtractSegmentRaw) before the vector mask pipeline ever started.  The
+// gather variant feeds all lanes of a SIMD group at once: per output word
+// it gathers the covering raw words of every lane with one vector gather
+// and realigns them with per-lane variable shifts, so the vector kernels'
+// candidate preamble is itself lane-parallel.
+//
+// ExtractWindowsAvx2 lives in the -mavx2 TU (simd/gatekeeper_avx2.cpp)
+// and degrades to the scalar loop in binaries built without AVX2; callers
+// inside the vector kernels may call it directly, everyone else goes
+// through ExtractWindows (runtime dispatch).
+#ifndef GKGPU_SIMD_WINDOW_GATHER_HPP
+#define GKGPU_SIMD_WINDOW_GATHER_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "encode/encoded.hpp"
+
+namespace gkgpu::simd {
+
+/// Extracts `count` windows of `len` bases each: window i starts at genome
+/// base starts[i] and lands at out + i * out_stride (EncodedWords(len)
+/// words written, pad bases zeroed).  Scalar reference implementation.
+void ExtractWindowsScalar(const Word* ref_words, std::int64_t ref_len,
+                          const std::int64_t* starts, int count, int len,
+                          Word* out, std::size_t out_stride);
+
+/// Four windows per gather instruction (falls back to the scalar loop in
+/// binaries built without AVX2 support).
+void ExtractWindowsAvx2(const Word* ref_words, std::int64_t ref_len,
+                        const std::int64_t* starts, int count, int len,
+                        Word* out, std::size_t out_stride);
+
+/// Runtime-dispatched entry point (simd::ActiveLevel()).
+void ExtractWindows(const Word* ref_words, std::int64_t ref_len,
+                    const std::int64_t* starts, int count, int len, Word* out,
+                    std::size_t out_stride);
+
+}  // namespace gkgpu::simd
+
+#endif  // GKGPU_SIMD_WINDOW_GATHER_HPP

@@ -3,9 +3,15 @@
 // cross-checked against each other on randomized sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "align/banded.hpp"
+#include "align/cigar.hpp"
+#include "align/local.hpp"
 #include "align/myers.hpp"
 #include "align/needleman_wunsch.hpp"
 #include "encode/dna.hpp"
@@ -149,6 +155,202 @@ TEST(BandedTest, AgreesWithMyersWithinThreshold) {
     } else {
       EXPECT_EQ(banded, -1) << "trial " << trial;
     }
+  }
+}
+
+// Full-matrix reference for LocalAligner::BestFit: identical recurrence,
+// poisoning and tie-breaking, but every row sweeps all n columns of a
+// freshly kInf-cleared matrix.  The production aligner's adaptive band
+// must be invisible — same edits, placement, multiplicity and CIGAR.
+LocalAlignment ReferenceBestFit(std::string_view read, std::string_view ref,
+                                int max_edits, std::int64_t max_begin) {
+  constexpr int kInf = 1 << 29;
+  if (max_edits < 0) return {};
+  const int m = static_cast<int>(read.size());
+  const int n = static_cast<int>(ref.size());
+  const std::size_t stride = static_cast<std::size_t>(n) + 1;
+  std::vector<int> dp(static_cast<std::size_t>(m + 1) * stride, kInf);
+  auto at = [&](int i, int j) -> int& {
+    return dp[static_cast<std::size_t>(i) * stride +
+              static_cast<std::size_t>(j)];
+  };
+  const int begin_limit =
+      max_begin < 0 ? n
+                    : static_cast<int>(std::min<std::int64_t>(n, max_begin));
+  for (int j = 0; j <= begin_limit; ++j) at(0, j) = 0;
+  for (int i = 1; i <= m; ++i) {
+    const int j_lo = std::max(0, i - max_edits);
+    if (j_lo == 0) at(i, 0) = i;
+    for (int j = std::max(1, j_lo); j <= n; ++j) {
+      int v = kInf;
+      if (at(i - 1, j - 1) < kInf) {
+        const int cost = read[static_cast<std::size_t>(i - 1)] ==
+                                 ref[static_cast<std::size_t>(j - 1)]
+                             ? 0
+                             : 1;
+        v = std::min(v, at(i - 1, j - 1) + cost);
+      }
+      if (at(i - 1, j) < kInf) v = std::min(v, at(i - 1, j) + 1);
+      if (at(i, j - 1) < kInf) v = std::min(v, at(i, j - 1) + 1);
+      at(i, j) = v > max_edits ? kInf : v;
+    }
+  }
+  int best_j = -1;
+  int best = kInf;
+  for (int j = 0; j <= n; ++j) {
+    if (at(m, j) < best) {
+      best = at(m, j);
+      best_j = j;
+    }
+  }
+  if (best_j < 0 || best > max_edits) return {};
+  LocalAlignment result;
+  result.edits = best;
+  int last_tied = -1;
+  for (int j = 0; j <= n; ++j) {
+    if (at(m, j) != best) continue;
+    if (last_tied < 0 || j - last_tied > std::max(1, max_edits)) {
+      ++result.placements;
+    }
+    last_tied = j;
+  }
+  std::string ops;
+  int i = m;
+  int j = best_j;
+  while (i > 0) {
+    const int cur = at(i, j);
+    if (j > 0 && at(i - 1, j - 1) < kInf) {
+      const int cost = read[static_cast<std::size_t>(i - 1)] ==
+                               ref[static_cast<std::size_t>(j - 1)]
+                           ? 0
+                           : 1;
+      if (at(i - 1, j - 1) + cost == cur) {
+        ops.push_back('M');
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (at(i - 1, j) < kInf && at(i - 1, j) + 1 == cur) {
+      ops.push_back('I');
+      --i;
+      continue;
+    }
+    ops.push_back('D');
+    --j;
+  }
+  std::reverse(ops.begin(), ops.end());
+  result.ref_begin = j;
+  result.ref_span = best_j - j;
+  result.cigar = CompressCigarOps(ops);
+  return result;
+}
+
+void ExpectSameFit(const LocalAlignment& got, const LocalAlignment& want,
+                   const std::string& label) {
+  EXPECT_EQ(got.edits, want.edits) << label;
+  EXPECT_EQ(got.ref_begin, want.ref_begin) << label;
+  EXPECT_EQ(got.ref_span, want.ref_span) << label;
+  EXPECT_EQ(got.placements, want.placements) << label;
+  EXPECT_EQ(got.cigar, want.cigar) << label;
+}
+
+TEST(BestFitBandTest, MatchesFullMatrixOnRandomizedGrid) {
+  // One aligner reused across every call: the band rewrites only its own
+  // span per call, so any unwritten-cell read would surface as a
+  // divergence from the always-fresh reference matrix.
+  Rng rng(23);
+  LocalAligner aligner;
+  for (int trial = 0; trial < 250; ++trial) {
+    const int m = 20 + static_cast<int>(rng.Uniform(80));
+    const int n = m + static_cast<int>(rng.Uniform(220));
+    const std::string ref = RandomSeq(rng, static_cast<std::size_t>(n));
+    // Plant the read somewhere in the window, then mutate it.
+    const int offset = static_cast<int>(rng.Uniform(
+        static_cast<std::uint64_t>(n - m) + 1));
+    std::string read = ref.substr(static_cast<std::size_t>(offset),
+                                  static_cast<std::size_t>(m));
+    const int planted = static_cast<int>(rng.Uniform(6));
+    for (int e = 0; e < planted; ++e) {
+      const std::size_t pos = rng.Uniform(static_cast<std::uint64_t>(m));
+      switch (rng.Uniform(3)) {
+        case 0:  // substitution
+          read[pos] = read[pos] == 'A' ? 'C' : 'A';
+          break;
+        case 1:  // deletion from the read
+          read.erase(pos, 1);
+          break;
+        default:  // insertion into the read
+          read.insert(pos, 1, kBases[rng.NextU64() & 0x3u]);
+          break;
+      }
+    }
+    const int max_edits = static_cast<int>(rng.Uniform(11));
+    // Mix begin geometries: unrestricted, tight around the planted
+    // offset, and degenerate (column 0 only).
+    const std::int64_t max_begins[] = {-1, offset, offset + max_edits, 0,
+                                       n};
+    const std::int64_t max_begin =
+        max_begins[rng.Uniform(5)];
+    const std::string label = "trial " + std::to_string(trial) + " m " +
+                              std::to_string(read.size()) + " n " +
+                              std::to_string(n) + " e " +
+                              std::to_string(max_edits) + " b " +
+                              std::to_string(max_begin);
+    ExpectSameFit(aligner.BestFit(read, ref, max_edits, max_begin),
+                  ReferenceBestFit(read, ref, max_edits, max_begin), label);
+  }
+}
+
+TEST(BestFitBandTest, IndelsAtTheBandEdgesAreNotClipped) {
+  // Rescue-like geometry: the true placement sits at the far right of the
+  // band (start == max_begin) and carries reference-consuming deletions,
+  // so its path rides the band's upper boundary.  Clipping any row would
+  // lose it.
+  Rng rng(29);
+  LocalAligner aligner;
+  for (const int dels : {1, 2, 3, 4}) {
+    const int m = 60;
+    const int n = 400;
+    const std::string ref = RandomSeq(rng, static_cast<std::size_t>(n));
+    const int offset = n - m - dels;  // flush against the window's end
+    std::string read = ref.substr(static_cast<std::size_t>(offset),
+                                  static_cast<std::size_t>(m + dels));
+    // Delete `dels` spread-out read bases so the placement spans
+    // m + dels reference columns — the widest admissible drift.
+    for (int d = 0; d < dels; ++d) {
+      read.erase(static_cast<std::size_t>((d + 1) * m / (dels + 1)), 1);
+    }
+    const LocalAlignment got =
+        aligner.BestFit(read, ref, dels, /*max_begin=*/offset);
+    ASSERT_EQ(got.edits, dels) << "dels " << dels;
+    EXPECT_EQ(got.ref_begin, offset) << "dels " << dels;
+    EXPECT_EQ(got.ref_span, m + dels) << "dels " << dels;
+    ExpectSameFit(got, ReferenceBestFit(read, ref, dels, offset),
+                  "dels " + std::to_string(dels));
+  }
+}
+
+TEST(BestFitBandTest, ShrinkingWindowsReuseTheMatrixSafely) {
+  // Alternate large and small problems on one aligner so the small calls
+  // run inside a matrix still holding the large calls' values.
+  Rng rng(31);
+  LocalAligner aligner;
+  for (int trial = 0; trial < 40; ++trial) {
+    const bool large = (trial % 2) == 0;
+    const int n = large ? 600 : 40;
+    const int m = large ? 100 : 24;
+    const std::string ref = RandomSeq(rng, static_cast<std::size_t>(n));
+    const int offset =
+        static_cast<int>(rng.Uniform(static_cast<std::uint64_t>(n - m) + 1));
+    std::string read = ref.substr(static_cast<std::size_t>(offset),
+                                  static_cast<std::size_t>(m));
+    read[static_cast<std::size_t>(m / 2)] =
+        read[static_cast<std::size_t>(m / 2)] == 'G' ? 'T' : 'G';
+    const int max_edits = 4;
+    ExpectSameFit(aligner.BestFit(read, ref, max_edits, -1),
+                  ReferenceBestFit(read, ref, max_edits, -1),
+                  "trial " + std::to_string(trial));
   }
 }
 

@@ -340,6 +340,62 @@ TEST(DuplicateMarkingTest, LaterFragmentCopiesAreFlagged) {
   }
 }
 
+TEST(DuplicateMarkingTest, OpticalDistanceClassifiesTileAdjacentCopies) {
+  const std::string genome = GenerateGenome(80000, 93);
+  const std::int64_t frag_start = 30000;
+  const int frag_len = 350;
+  const std::string fragment = genome.substr(frag_start, frag_len);
+  ASSERT_EQ(fragment.find('N'), std::string::npos);
+  const std::string r1 = fragment.substr(0, kReadLength);
+  const std::string r2 =
+      ReverseComplement(fragment.substr(frag_len - kReadLength, kReadLength));
+
+  // Five copies of one fragment with Illumina-style names: the first
+  // stays unmarked; of the four later copies only the tile-adjacent one
+  // classifies optical — different tile, far pixels, and an unparseable
+  // name all stay plain PCR duplicates.
+  const std::vector<std::string> names = {
+      "M00001:7:FC1:1:101:1000:2000",  // first copy (unmarked)
+      "M00001:7:FC1:1:101:1005:2003",  // same tile, 5x3 px away: optical
+      "M00001:7:FC1:1:102:1000:2000",  // different tile
+      "M00001:7:FC1:1:101:5000:9000",  // same tile, far away
+      "no_coordinates_here",           // unparseable name
+  };
+  std::vector<FastqRecord> mates1, mates2;
+  for (const std::string& name : names) {
+    mates1.push_back({name, r1, ""});
+    mates2.push_back({name, r2, ""});
+  }
+
+  ReadMapper mapper(genome, MakeMapperConfig());
+  PairedConfig pconf;
+  pconf.max_insert = 800;
+  pconf.mark_duplicates = true;
+  pconf.optical_dup_distance = 100;
+  PairedEndMapper paired(mapper, pconf);
+  std::ostringstream sam;
+  const PairedStats stats = paired.MapPairs(mates1, mates2, nullptr, &sam);
+  EXPECT_EQ(stats.proper_pairs, 5u);
+  EXPECT_EQ(stats.duplicate_pairs, 4u);
+  EXPECT_EQ(stats.optical_duplicate_pairs, 1u);
+
+  // Optical classification refines the stats only — every later copy
+  // still flags 0x400, so the SAM bytes match a plain-duplicates run.
+  int dup_records = 0;
+  for (const ParsedRecord& rec : ParseSam(sam.str())) {
+    if ((rec.flag & kSamDuplicate) != 0) ++dup_records;
+  }
+  EXPECT_EQ(dup_records, 8);  // both mates of the four later copies
+
+  pconf.optical_dup_distance = 0;  // default off
+  PairedEndMapper plain(mapper, pconf);
+  std::ostringstream sam2;
+  const PairedStats stats2 = plain.MapPairs(mates1, mates2, nullptr, &sam2);
+  EXPECT_EQ(stats2.duplicate_pairs, 4u);
+  EXPECT_EQ(stats2.optical_duplicate_pairs, 0u);
+  EXPECT_EQ(sam2.str(), sam.str());
+}
+
 TEST(DuplicateMarkingTest, SingleEndAndDiscordantCopiesAreFlagged) {
   const std::string genome = GenerateGenome(80000, 92);
   const std::string r1 = genome.substr(20000, kReadLength);

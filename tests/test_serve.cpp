@@ -5,9 +5,12 @@
 // wrong-length and malformed inputs, and shutdown drain.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -39,6 +42,58 @@ std::string MakeFastq(const std::string& prefix,
            std::string(seqs[i].size(), 'I') + "\n";
   }
   return out;
+}
+
+// --- raw-socket helpers for the frame-timing tests: the client library
+// always sends whole frames, so pauses *inside* a frame need hand-rolled
+// byte-level writes. ---------------------------------------------------
+
+int ConnectRaw(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+void SendRaw(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string FrameBytes(serve::FrameType type, std::string_view payload) {
+  const std::uint32_t prelude[2] = {
+      static_cast<std::uint32_t>(type),
+      static_cast<std::uint32_t>(payload.size()),
+  };
+  std::string out(reinterpret_cast<const char*>(prelude), sizeof(prelude));
+  out.append(payload);
+  return out;
+}
+
+/// Reads server frames until kDone, kError, or EOF; returns the final
+/// frame (kJob type doubles as the "EOF before a terminal frame" marker).
+serve::Frame DrainToTerminal(int fd) {
+  serve::Frame frame;
+  serve::Frame last;
+  last.type = serve::FrameType::kJob;
+  while (serve::ReadFrame(fd, &frame)) {
+    last = frame;
+    if (frame.type == serve::FrameType::kDone ||
+        frame.type == serve::FrameType::kError) {
+      break;
+    }
+  }
+  return last;
 }
 
 class ServeTest : public ::testing::Test {
@@ -251,6 +306,85 @@ TEST_F(ServeTest, MalformedFastqFailsOnlyThatSession) {
   EXPECT_EQ(served, golden);
   EXPECT_EQ(stats.sessions_failed, 1u);
   EXPECT_EQ(stats.sessions_completed, 1u);
+}
+
+TEST_F(ServeTest, SlowMidFramePauseOutlivesTheReceiveTick) {
+  // A client that pauses *inside* a kData frame for longer than the idle
+  // timeout is still making progress on that frame — the receive-timeout
+  // expiry mid-frame must resume the read (up to the frame deadline), not
+  // surface as a malformed-frame/timeout error.
+  const auto seqs = SimulateReadSequences(ref_.text(), 8, kReadLength,
+                                          ReadErrorProfile::Illumina(), 13);
+  const std::string fastq_text = MakeFastq("slow", seqs);
+  const std::string data = FrameBytes(serve::FrameType::kData, fastq_text);
+  const std::size_t split = data.size() / 2;
+
+  serve::ServeConfig scfg = BaseConfig();
+  scfg.request_timeout_sec = 1;  // several receive ticks inside the pause
+
+  const serve::ServeStats stats =
+      WithServer(scfg, [&](const std::string& socket) {
+        const int fd = ConnectRaw(socket);
+        SendRaw(fd, FrameBytes(serve::FrameType::kJob, ""));
+        SendRaw(fd, data.substr(0, split));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1400));
+        SendRaw(fd, data.substr(split));
+        SendRaw(fd, FrameBytes(serve::FrameType::kEnd, ""));
+        const serve::Frame last = DrainToTerminal(fd);
+        EXPECT_EQ(last.type, serve::FrameType::kDone) << last.payload;
+        ::close(fd);
+      });
+  EXPECT_EQ(stats.sessions_completed, 1u);
+  EXPECT_EQ(stats.sessions_failed, 0u);
+  EXPECT_EQ(stats.reads, 8u);
+}
+
+TEST_F(ServeTest, SilentMidFrameStallHitsTheFrameDeadline) {
+  // A frame that *starts* but never finishes must still die — on the
+  // frame deadline, with a timeout error, not a malformed-frame one.
+  serve::ServeConfig scfg = BaseConfig();
+  scfg.request_timeout_sec = 1;
+  scfg.frame_deadline_sec = 2;
+
+  const serve::ServeStats stats =
+      WithServer(scfg, [&](const std::string& socket) {
+        const int fd = ConnectRaw(socket);
+        SendRaw(fd, FrameBytes(serve::FrameType::kJob, ""));
+        // A kData frame claiming 64 payload bytes, of which 4 ever arrive.
+        const std::string partial =
+            FrameBytes(serve::FrameType::kData, std::string(64, 'A'))
+                .substr(0, serve::kFramePreludeBytes + 4);
+        SendRaw(fd, partial);
+        const serve::Frame last = DrainToTerminal(fd);
+        EXPECT_EQ(last.type, serve::FrameType::kError);
+        EXPECT_NE(last.payload.find("timed out"), std::string::npos)
+            << last.payload;
+        ::close(fd);
+      });
+  EXPECT_EQ(stats.sessions_failed, 1u);
+  EXPECT_EQ(stats.sessions_completed, 0u);
+}
+
+TEST_F(ServeTest, AbruptCloseMidFrameIsMalformedNotTimeout) {
+  serve::ServeConfig scfg = BaseConfig();
+  scfg.request_timeout_sec = 1;
+
+  const serve::ServeStats stats =
+      WithServer(scfg, [&](const std::string& socket) {
+        const int fd = ConnectRaw(socket);
+        SendRaw(fd, FrameBytes(serve::FrameType::kJob, ""));
+        // Half a prelude, then EOF: genuinely malformed input.
+        const std::string half =
+            FrameBytes(serve::FrameType::kData, "xyz").substr(0, 4);
+        SendRaw(fd, half);
+        ::shutdown(fd, SHUT_WR);
+        const serve::Frame last = DrainToTerminal(fd);
+        EXPECT_EQ(last.type, serve::FrameType::kError);
+        EXPECT_NE(last.payload.find("closed mid-frame"), std::string::npos)
+            << last.payload;
+        ::close(fd);
+      });
+  EXPECT_EQ(stats.sessions_failed, 1u);
 }
 
 TEST_F(ServeTest, ShutdownWithoutClientsDrainsCleanly) {

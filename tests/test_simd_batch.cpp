@@ -5,9 +5,14 @@
 //     bit-identical — decisions *and* estimated edits — to the 32-bit
 //     reference core over random lengths (including every tail-word
 //     shape), thresholds, and both algorithm modes;
-//   * the scalar and AVX2 range kernels produce identical PairResult
-//     arrays on every block shape, including 'N'-bypass pairs and odd
-//     group remainders (the AVX2 kernel runs 4 lanes + scalar tail);
+//   * the scalar, AVX2 (4-lane + scalar tail) and AVX-512 (8-lane +
+//     AVX2 tail) range kernels produce identical PairResult arrays on
+//     every block shape, including 'N'-bypass pairs and odd group
+//     remainders;
+//   * the batch SneakySnake kernels — encoded-lane maze build plus the
+//     u64 traversal, scalar and AVX2 — are bit-identical to the
+//     character-domain SneakySnakeFilter::Filter on every length and
+//     candidate-shape block;
 //   * FilterBatch on every overriding filter equals its per-pair
 //     Filter() on non-bypassed pairs and the bypass slot otherwise;
 //   * candidate-shape blocks (encoded genome, strand bits, reference 'N'
@@ -24,9 +29,11 @@
 #include "filters/pair_block.hpp"
 #include "filters/shd.hpp"
 #include "filters/shouji.hpp"
+#include "filters/sneakysnake.hpp"
 #include "simd/bitops64.hpp"
 #include "simd/dispatch.hpp"
 #include "simd/gatekeeper_batch.hpp"
+#include "simd/snake_batch.hpp"
 #include "util/rng.hpp"
 
 namespace gkgpu {
@@ -154,6 +161,181 @@ TEST(SimdBatchTest, ScalarAndAvx2RangesBitIdentical) {
   }
 }
 
+TEST(SimdBatchTest, ScalarAndAvx512RangesBitIdentical) {
+  // Same contract one tier up: the 8-lane kernel (plus its AVX2 tail for
+  // the odd remainder) against the portable path.  Only runs where
+  // dispatch actually resolves to AVX-512 — the GKGPU_NO_AVX512 CI leg
+  // proves the AVX2 story on the same machine.
+  if (simd::ActiveLevel() != simd::Level::kAvx512) {
+    GTEST_SKIP() << "AVX-512 kernels not dispatched on this build/machine";
+  }
+  Rng rng(90006);
+  for (const int length : kLengths) {
+    const int e = RandomThreshold(rng, length);
+    PairBlockStorage block(length);
+    // 27 pairs: three 8-lane groups plus a 3-pair tail that exercises the
+    // AVX2-then-scalar fallback chain; 'N' pairs mix bypassed lanes into
+    // live groups.
+    for (int i = 0; i < 27; ++i) {
+      std::string read = RandomSeq(rng, length);
+      std::string ref = MutatePartner(rng, read, static_cast<int>(
+                                                     rng.Uniform(6)));
+      if (rng.Uniform(5) == 0) InjectN(rng, rng.Uniform(2) == 0 ? &read : &ref);
+      block.Add(read, ref);
+    }
+    for (const GateKeeperMode mode :
+         {GateKeeperMode::kImproved, GateKeeperMode::kOriginal}) {
+      GateKeeperParams params;
+      params.mode = mode;
+      std::vector<PairResult> scalar(block.size());
+      std::vector<PairResult> avx512(block.size());
+      simd::GateKeeperFilterRangeScalar(block.view(), 0, block.size(), e,
+                                        params, scalar.data());
+      simd::GateKeeperFilterRangeAvx512(block.view(), 0, block.size(), e,
+                                        params, avx512.data());
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        ExpectSameResult(avx512[i], scalar[i], "scalar-vs-avx512", i);
+      }
+    }
+  }
+}
+
+TEST(SnakeBatchTest, FilterBatchMatchesPerPairFilterOverTheGrid) {
+  // The dispatched batch SneakySnake (encoded maze build + u64 traversal,
+  // AVX2 lane-parallel where active) against the character-domain
+  // per-pair Filter() — decisions and edit estimates both.
+  Rng rng(90007);
+  const SneakySnakeFilter snake;
+  for (const int length : kLengths) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const int e = RandomThreshold(rng, length);
+      PairBlockStorage block(length);
+      std::vector<std::string> reads, refs;
+      for (int i = 0; i < 23; ++i) {
+        std::string read = RandomSeq(rng, length);
+        std::string ref = MutatePartner(
+            rng, read, static_cast<int>(rng.Uniform(
+                           static_cast<std::uint64_t>(e) + 3)));
+        if (rng.Uniform(6) == 0) {
+          InjectN(rng, rng.Uniform(2) == 0 ? &read : &ref);
+        }
+        block.Add(read, ref);
+        reads.push_back(std::move(read));
+        refs.push_back(std::move(ref));
+      }
+      std::vector<PairResult> results(block.size());
+      snake.FilterBatch(block.view(), e, results.data());
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        if (ContainsUnknown(reads[i]) || ContainsUnknown(refs[i])) {
+          EXPECT_EQ(results[i].accept, 1) << "length " << length << " " << i;
+          EXPECT_EQ(results[i].bypassed, 1)
+              << "length " << length << " " << i;
+          continue;
+        }
+        const FilterResult expected = snake.Filter(reads[i], refs[i], e);
+        EXPECT_EQ(results[i].accept, expected.accept ? 1 : 0)
+            << "length " << length << " e " << e << " pair " << i;
+        EXPECT_EQ(results[i].edits, expected.estimated_edits)
+            << "length " << length << " e " << e << " pair " << i;
+        EXPECT_EQ(results[i].bypassed, 0) << "length " << length << " " << i;
+      }
+    }
+  }
+}
+
+TEST(SnakeBatchTest, ScalarAndAvx2SnakeRangesBitIdentical) {
+  // Explicit scalar-vs-AVX2 comparison of the snake range kernels (the
+  // grid test above exercises whichever tier dispatch picked).  Any
+  // vector tier implies the CPU runs AVX2, so only the forced-scalar /
+  // non-x86 configurations skip.
+  if (simd::ActiveLevel() == simd::Level::kScalar) {
+    GTEST_SKIP() << "AVX2 kernels not dispatched on this build/machine";
+  }
+  Rng rng(90008);
+  for (const int length : kLengths) {
+    const int e = RandomThreshold(rng, length);
+    PairBlockStorage block(length);
+    for (int i = 0; i < 23; ++i) {
+      std::string read = RandomSeq(rng, length);
+      std::string ref = MutatePartner(rng, read, static_cast<int>(
+                                                     rng.Uniform(6)));
+      if (rng.Uniform(5) == 0) InjectN(rng, rng.Uniform(2) == 0 ? &read : &ref);
+      block.Add(read, ref);
+    }
+    std::vector<PairResult> scalar(block.size());
+    std::vector<PairResult> avx2(block.size());
+    simd::SneakySnakeFilterRangeScalar(block.view(), 0, block.size(), e,
+                                       scalar.data());
+    simd::SneakySnakeFilterRangeAvx2(block.view(), 0, block.size(), e,
+                                     avx2.data());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      ExpectSameResult(avx2[i], scalar[i], "snake-scalar-vs-avx2", i);
+    }
+  }
+}
+
+TEST(SnakeBatchTest, CandidateBlocksMatchTheScalarRange) {
+  // Candidate-shaped blocks (encoded genome windows, strand bits,
+  // reference 'N' masks) through the dispatched snake kernel against the
+  // portable range — covering the lane-parallel window gather feeding the
+  // maze build.
+  Rng rng(90009);
+  const int length = 100;
+  const int e = 5;
+  std::string genome = RandomSeq(rng, 4000);
+  for (int i = 1500; i < 1530; ++i) genome[static_cast<std::size_t>(i)] = 'N';
+  const ReferenceEncoding ref = EncodeReference(genome);
+
+  const int n_reads = 12;
+  std::vector<Word> read_table(static_cast<std::size_t>(n_reads) *
+                               static_cast<std::size_t>(EncodedWords(length)));
+  std::vector<std::uint8_t> read_has_n(n_reads, 0);
+  for (int r = 0; r < n_reads; ++r) {
+    std::string s = RandomSeq(rng, length);
+    if (r == 5) InjectN(rng, &s);
+    read_has_n[static_cast<std::size_t>(r)] =
+        EncodeSequence(s, read_table.data() +
+                              static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(
+                                      EncodedWords(length)))
+            ? 1
+            : 0;
+  }
+  std::vector<CandidatePair> candidates;
+  for (int i = 0; i < 200; ++i) {
+    CandidatePair c;
+    c.read_index = static_cast<std::uint32_t>(rng.Uniform(n_reads));
+    c.strand = static_cast<std::uint8_t>(rng.Uniform(2));
+    c.ref_pos = static_cast<std::int64_t>(
+        rng.Uniform(static_cast<std::uint64_t>(genome.size()) - length));
+    candidates.push_back(c);
+  }
+  PairBlock block;
+  block.size = candidates.size();
+  block.length = length;
+  block.words_per_seq = EncodedWords(length);
+  block.reads_enc = read_table.data();
+  block.bypass = read_has_n.data();
+  block.candidates = candidates.data();
+  block.ref_words = ref.words.data();
+  block.ref_n_mask = ref.n_mask.data();
+  block.ref_len = ref.length;
+
+  std::vector<PairResult> dispatched(block.size);
+  std::vector<PairResult> scalar(block.size);
+  simd::SneakySnakeFilterRange(block, 0, block.size, e, dispatched.data());
+  simd::SneakySnakeFilterRangeScalar(block, 0, block.size, e, scalar.data());
+  for (std::size_t i = 0; i < block.size; ++i) {
+    ExpectSameResult(dispatched[i], scalar[i], "snake-candidate", i);
+    if (read_has_n[candidates[i].read_index] != 0 ||
+        ref.RangeHasUnknown(candidates[i].ref_pos, length)) {
+      EXPECT_EQ(dispatched[i].bypassed, 1) << i;
+    } else {
+      EXPECT_EQ(dispatched[i].bypassed, 0) << i;
+    }
+  }
+}
+
 TEST(FilterBatchTest, OverridingFiltersMatchTheirScalarReference) {
   Rng rng(90003);
   const GateKeeperFilter gk;
@@ -163,6 +345,7 @@ TEST(FilterBatchTest, OverridingFiltersMatchTheirScalarReference) {
   const GateKeeperFilter gk_fpga(fpga);
   const ShdFilter shd;
   const ShoujiFilter shouji;
+  const SneakySnakeFilter snake;
   struct Case {
     const PreAlignmentFilter* filter;
     bool mark_undefined;  // block builder's bypass policy
@@ -175,6 +358,7 @@ TEST(FilterBatchTest, OverridingFiltersMatchTheirScalarReference) {
       {&gk_fpga, false},
       {&shd, true},
       {&shouji, true},
+      {&snake, true},
   };
   for (const int length : {17, 64, 100, 150}) {
     for (const Case& c : cases) {

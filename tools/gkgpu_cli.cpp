@@ -233,7 +233,8 @@ int Usage() {
       "                      [--batch N] [--report-secondary]\n"
       "                    --paired R1.fq R2.fq | --interleaved FILE\n"
       "                      [--max-insert N] [--no-filter] [--streaming]\n"
-      "                      [--no-rescue] [--mark-duplicates] [--batch N]\n"
+      "                      [--no-rescue] [--mark-duplicates]\n"
+      "                      [--optical-dup-distance N] [--batch N]\n"
       "  pipeline        --reads FASTQ (--ref FASTA | --index FILE) --e N\n"
       "                  [--sam FILE] | --pairs FILE --e N [--out FILE]\n"
       "                  [--batch N] [--queue N] [--encode-workers N]\n"
@@ -479,7 +480,8 @@ int FilterCmd(const Args& args) {
   } else {
     std::printf("filter time %.4f s (host)\n", ft);
   }
-  std::printf("batch kernels: %s (GKGPU_NO_AVX2=1 forces scalar)\n",
+  std::printf("batch kernels: %s (GKGPU_NO_AVX2=1 forces scalar, "
+              "GKGPU_NO_AVX512=1 caps at avx2)\n",
               simd::LevelName(simd::ActiveLevel()));
   return 0;
 }
@@ -543,6 +545,8 @@ int MapPairedCmd(const Args& args, ReferenceSet refset) {
   pconf.max_insert = args.GetInt("max-insert", 1000);
   pconf.mate_rescue = !args.Has("no-rescue");
   pconf.mark_duplicates = args.Has("mark-duplicates");
+  pconf.optical_dup_distance =
+      static_cast<int>(args.GetInt("optical-dup-distance", 0));
   pconf.mapq_cap =
       static_cast<int>(args.GetInt("mapq-cap", kDefaultMapqCap));
   pconf.read_group = args.Get("read-group", "");
@@ -596,6 +600,10 @@ int MapPairedCmd(const Args& args, ReferenceSet refset) {
   t.AddRow({"rescued mates", TablePrinter::Count(stats.rescued_mates)});
   if (pconf.mark_duplicates) {
     t.AddRow({"duplicate pairs", TablePrinter::Count(stats.duplicate_pairs)});
+    if (pconf.optical_dup_distance > 0) {
+      t.AddRow({"optical duplicates",
+                TablePrinter::Count(stats.optical_duplicate_pairs)});
+    }
     t.AddRow({"duplicate discordant",
               TablePrinter::Count(stats.duplicate_discordant_pairs)});
     t.AddRow({"duplicate singletons",
