@@ -33,6 +33,13 @@
 // the same reference, and the daemon's served throughput over two
 // concurrent Unix-socket clients is recorded as a trajectory point.
 //
+// Observability rides the same run: per-filter false-accept rates are
+// computed from the metrics registry's funnel counters against banded-DP
+// ground truth, a gate proves the always-on instrumentation costs <= 2%
+// on the hot FilterBatch path (registry enabled vs disabled,
+// interleaved), and the full registry snapshot — funnel plus p99 stage
+// latencies — is embedded in BENCH_pipeline.json.
+//
 // Scale with GKGPU_PAIRS (default 200,000), GKGPU_GENOME, GKGPU_READS.
 #include <chrono>
 #include <cstdio>
@@ -41,6 +48,7 @@
 #include <sstream>
 #include <thread>
 
+#include "align/banded.hpp"
 #include "common.hpp"
 #include "encode/dna.hpp"
 #include "filters/gatekeeper.hpp"
@@ -49,6 +57,7 @@
 #include "io/reference.hpp"
 #include "mapper/index.hpp"
 #include "mapper/mapper.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/read_to_sam.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -161,6 +170,55 @@ BatchFilterResult RunBatchFilterBench(const PreAlignmentFilter& filter,
     for (const PairResult& pr : results) accepts += pr.accept;
     r.batch_accepts = accepts;
   }
+  return r;
+}
+
+/// Host-tier accepts of one filter, read from the registry's funnel
+/// counters (the same series `gkgpu stats` exposes).
+std::uint64_t RegistryAccepts(const char* filter) {
+  return static_cast<std::uint64_t>(
+      obs::Registry::Global().Snapshot().Value(
+          "gkgpu_filter_accepts_total",
+          {{"filter", filter},
+           {"tier", simd::LevelName(simd::ActiveLevel())}}));
+}
+
+struct OverheadResult {
+  double enabled_s = 0.0;
+  double disabled_s = 0.0;
+  double overhead_pct() const {
+    return disabled_s > 0.0
+               ? (enabled_s - disabled_s) / disabled_s * 100.0
+               : 0.0;
+  }
+};
+
+/// The always-on-cheap gate: the hot host filtration path timed with the
+/// metrics registry enabled vs disabled, interleaved so both sides see
+/// the same thermal/scheduler conditions, min-of-reps each.
+OverheadResult RunMetricsOverheadBench(const PreAlignmentFilter& filter,
+                                       const Dataset& data, int length,
+                                       int e, int reps) {
+  const std::size_t n = data.size();
+  PairBlockStorage block(length);
+  for (std::size_t i = 0; i < n; ++i) {
+    block.Add(data.reads[i], data.refs[i]);
+  }
+  std::vector<PairResult> results(n);
+  OverheadResult r;
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::SetEnabled(true);
+    WallTimer on;
+    filter.FilterBatch(block.view(), e, results.data());
+    const double on_s = on.Seconds();
+    obs::SetEnabled(false);
+    WallTimer off;
+    filter.FilterBatch(block.view(), e, results.data());
+    const double off_s = off.Seconds();
+    r.enabled_s = rep == 0 ? on_s : std::min(r.enabled_s, on_s);
+    r.disabled_s = rep == 0 ? off_s : std::min(r.disabled_s, off_s);
+  }
+  obs::SetEnabled(true);
   return r;
 }
 
@@ -316,8 +374,12 @@ int main() {
 
   // --- Batch filtration core: per-pair seed path vs FilterBatch --------
   const GateKeeperFilter gk_filter;
+  const std::uint64_t gk_accepts_before = RegistryAccepts("GateKeeper-GPU");
   const BatchFilterResult batch_run =
       RunBatchFilterBench(gk_filter, data, length, e, reps);
+  const std::uint64_t gk_accepts_reg =
+      (RegistryAccepts("GateKeeper-GPU") - gk_accepts_before) /
+      static_cast<std::uint64_t>(reps);
   const bool batch_ok = batch_run.speedup() >= 1.2;
   const bool batch_consistent =
       batch_run.per_pair_accepts == batch_run.batch_accepts;
@@ -342,8 +404,12 @@ int main() {
   // lanes.  The gate is stiffer than GateKeeper's because the snake's
   // per-pair baseline is so much heavier.
   const SneakySnakeFilter snake_filter;
+  const std::uint64_t snake_accepts_before = RegistryAccepts("SneakySnake");
   const BatchFilterResult snake_run =
       RunBatchFilterBench(snake_filter, data, length, e, reps);
+  const std::uint64_t snake_accepts_reg =
+      (RegistryAccepts("SneakySnake") - snake_accepts_before) /
+      static_cast<std::uint64_t>(reps);
   const bool snake_ok = snake_run.speedup() >= 1.5;
   const bool snake_consistent =
       snake_run.per_pair_accepts == snake_run.batch_accepts;
@@ -361,6 +427,45 @@ int main() {
                 static_cast<unsigned long long>(snake_run.batch_accepts),
                 static_cast<unsigned long long>(snake_run.per_pair_accepts));
   }
+
+  // --- per-filter false-accept rate from the registry funnel -----------
+  // Ground truth is banded DP over the same pairs.  The filters have no
+  // false rejects, so every truly-within-e pair is in the accept set and
+  // the excess accepts are exactly the false ones.  Accept counts come
+  // from the registry's funnel counters — the series `gkgpu stats`
+  // exposes — not from the benches' own tallies.
+  std::uint64_t true_pairs = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    true_pairs += WithinEditDistance(data.reads[i], data.refs[i], e) ? 1 : 0;
+  }
+  const auto false_accept_rate = [&](std::uint64_t accepts) {
+    const std::uint64_t false_accepts =
+        accepts > true_pairs ? accepts - true_pairs : 0;
+    return accepts > 0
+               ? static_cast<double>(false_accepts) /
+                     static_cast<double>(accepts) * 100.0
+               : 0.0;
+  };
+  const double gk_far = false_accept_rate(gk_accepts_reg);
+  const double snake_far = false_accept_rate(snake_accepts_reg);
+  std::printf(
+      "\n=== false-accept rate (registry funnel vs banded-DP truth) ===\n"
+      "%zu pairs, %llu truly within e = %d\n"
+      "GateKeeper-GPU: %llu accepts -> %.2f%% false   "
+      "SneakySnake: %llu accepts -> %.2f%% false\n",
+      data.size(), static_cast<unsigned long long>(true_pairs), e,
+      static_cast<unsigned long long>(gk_accepts_reg), gk_far,
+      static_cast<unsigned long long>(snake_accepts_reg), snake_far);
+
+  // --- metrics overhead: the always-on-cheap gate ----------------------
+  const OverheadResult obs_run = RunMetricsOverheadBench(
+      gk_filter, data, length, e, std::max(reps, 5));
+  const bool obs_ok = obs_run.overhead_pct() <= 2.0;
+  std::printf(
+      "\n=== metrics overhead (FilterBatch, registry on vs off) ===\n"
+      "enabled: %.4f s   disabled: %.4f s   overhead %.2f%% %s 2%%\n",
+      obs_run.enabled_s, obs_run.disabled_s, obs_run.overhead_pct(),
+      obs_ok ? "<=" : "ABOVE");
 
   // --- persistent index: mmap load vs cold rebuild ---------------------
   const std::size_t genome_len = EnvSize("GKGPU_GENOME", 1000000);
@@ -444,6 +549,40 @@ int main() {
   report.Add("served_wall_seconds", served.wall_s);
   report.Add("served_mreads_per_s", served_mreads);
   report.Add("served_coalesced_batches", served.coalesced_batches);
+  report.Add("gatekeeper_false_accept_pct", gk_far);
+  report.Add("snake_false_accept_pct", snake_far);
+  report.Add("metrics_enabled_seconds", obs_run.enabled_s);
+  report.Add("metrics_disabled_seconds", obs_run.disabled_s);
+  report.Add("metrics_overhead_pct", obs_run.overhead_pct());
+  report.Add("metrics_gate_threshold_pct", 2.0);
+  report.Add("metrics_gate_pass", obs_ok);
+
+  // The whole-run funnel and stage tail latencies, from the same registry
+  // snapshot the daemon's `gkgpu stats` would serve.
+  const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  report.Add("funnel_filter_input",
+             static_cast<std::uint64_t>(
+                 snap.Total("gkgpu_filter_input_total")));
+  report.Add("funnel_accepts",
+             static_cast<std::uint64_t>(
+                 snap.Total("gkgpu_filter_accepts_total")));
+  report.Add("funnel_rejects",
+             static_cast<std::uint64_t>(
+                 snap.Total("gkgpu_filter_rejects_total")));
+  report.Add("funnel_bypasses",
+             static_cast<std::uint64_t>(
+                 snap.Total("gkgpu_filter_bypasses_total")));
+  if (const obs::FamilySnapshot* service =
+          snap.Find("gkgpu_stage_service_seconds")) {
+    for (const auto& s : service->samples) {
+      if (s.labels.empty() || !s.histogram || s.histogram->count == 0) {
+        continue;
+      }
+      report.Add("stage_" + s.labels[0].second + "_p99_seconds",
+                 s.histogram->Quantile(0.99));
+    }
+  }
+  report.AddRaw("metrics", snap.RenderJson());
   report.Write();
   std::printf(
       "\nheadline (best device-encoded 2-GPU config): %.2fx %s threshold "
@@ -460,7 +599,7 @@ int main() {
       "functionally simulated kernels for the same cores — contention a\n"
       "real GPU would not cause and a multicore host amortizes.\n");
   return (headline_ok && batch_ok && batch_consistent && snake_ok &&
-          snake_consistent && index_ok)
+          snake_consistent && index_ok && obs_ok)
              ? 0
              : 1;
 }

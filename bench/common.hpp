@@ -120,6 +120,11 @@ class BenchReport {
   void Add(const std::string& key, const char* value) {
     fields_.emplace_back(key, "\"" + std::string(value) + "\"");
   }
+  /// Embeds an already-rendered JSON value (object/array) verbatim — the
+  /// metrics registry snapshot rides into the trajectory artifact this way.
+  void AddRaw(const std::string& key, std::string json) {
+    fields_.emplace_back(key, std::move(json));
+  }
 
   /// Writes the report; returns the path written ("" when suppressed or
   /// unwritable).

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/names.hpp"
 #include "util/fingerprint.hpp"
 #include "util/timer.hpp"
 
@@ -13,6 +14,24 @@ namespace gkgpu {
 using gpusim::Device;
 using gpusim::LaunchConfig;
 using gpusim::UnifiedBuffer;
+
+namespace {
+
+// Folds one device-kernel batch into the filter funnel.  The simulated
+// GPU always runs the GateKeeper kernel, so the filter label is fixed
+// and the tier distinguishes this path from the host SIMD tiers.
+void RecordEngineFunnel(std::uint64_t pairs, std::uint64_t accepted,
+                        std::uint64_t bypassed) {
+  if (!obs::Enabled() || pairs == 0) return;
+  obs::FilterInput().Inc(pairs);
+  obs::FilterAccepts("GateKeeper-GPU", "gpusim").Inc(accepted);
+  obs::FilterRejects("GateKeeper-GPU", "gpusim").Inc(pairs - accepted);
+  if (bypassed > 0) {
+    obs::FilterBypasses("GateKeeper-GPU", "gpusim").Inc(bypassed);
+  }
+}
+
+}  // namespace
 
 /// Per-device unified-memory working set (Sec. 3.2 resource allocation).
 struct GateKeeperGpuEngine::DeviceBuffers {
@@ -231,6 +250,7 @@ StreamBatchStats GateKeeperGpuEngine::RunPairsKernel(Device* dev,
       st.bypassed += res[i].bypassed;
     }
     st.readback_seconds = readback.Seconds();
+    RecordEngineFunnel(count, st.accepted, st.bypassed);
   }
   return st;
 }
@@ -327,6 +347,7 @@ StreamBatchStats GateKeeperGpuEngine::RunCandidatesKernel(std::size_t di,
       st.bypassed += res[i].bypassed;
     }
     st.readback_seconds = readback.Seconds();
+    RecordEngineFunnel(count, st.accepted, st.bypassed);
   }
   return st;
 }
@@ -526,6 +547,7 @@ FilterRunStats GateKeeperGpuEngine::FilterPairs(
       stats.accepted += acc[di];
       stats.rejected += slices[di].count - acc[di];
       stats.bypassed += byp_count[di];
+      RecordEngineFunnel(slices[di].count, acc[di], byp_count[di]);
     }
 
     stats.kernel_seconds += round_kt;
@@ -698,6 +720,7 @@ FilterRunStats GateKeeperGpuEngine::FilterCandidatesImpl(
       stats.accepted += acc[di];
       stats.rejected += slices[di].count - acc[di];
       stats.bypassed += byp_count[di];
+      RecordEngineFunnel(slices[di].count, acc[di], byp_count[di]);
     }
 
     stats.kernel_seconds += round_kt;

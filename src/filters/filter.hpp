@@ -7,9 +7,14 @@
 //
 // The batch-first entry point is FilterBatch: one call filters a whole
 // PairBlock (structure-of-arrays, see filters/pair_block.hpp) with no
-// per-pair virtual dispatch on the hot path.  The per-pair Filter() remains
-// as the reference implementation and the default FilterBatch fallback;
-// GateKeeper, SHD and Shouji override FilterBatch with vectorized
+// per-pair virtual dispatch on the hot path.  FilterBatch itself is a
+// non-virtual wrapper — it delegates to the virtual FilterBatchImpl and
+// then folds the results into the process-wide filter funnel
+// (obs/names.hpp: accepts/rejects/bypasses labeled by filter name and
+// SIMD dispatch tier), making every batch call site observable through
+// one choke point.  The per-pair Filter() remains as the reference
+// implementation and the default FilterBatchImpl fallback; GateKeeper,
+// SHD, Shouji and SneakySnake override FilterBatchImpl with vectorized
 // encoded-domain implementations (src/simd/).
 #ifndef GKGPU_FILTERS_FILTER_HPP
 #define GKGPU_FILTERS_FILTER_HPP
@@ -45,12 +50,18 @@ class PreAlignmentFilter {
   /// `results[0..block.size)`.  Contract (shared with the device kernels):
   /// pairs whose block bypass bit is set skip filtration and receive
   /// {accept=1, bypassed=1, edits=0}; every other pair's result equals
-  /// Filter() on the pair's decoded sequences.  The default implementation
-  /// is a per-pair loop over Filter(); overriding filters provide real
-  /// batch kernels and must preserve the equivalence (asserted by the
-  /// differential harness and the scalar-vs-SIMD fuzz test).
-  virtual void FilterBatch(const PairBlock& block, int e,
-                           PairResult* results) const;
+  /// Filter() on the pair's decoded sequences.  Non-virtual: records the
+  /// batch in the filter funnel (one result scan) and delegates to
+  /// FilterBatchImpl.
+  void FilterBatch(const PairBlock& block, int e, PairResult* results) const;
+
+ protected:
+  /// The actual batch kernel.  The default implementation is a per-pair
+  /// loop over Filter(); overriding filters provide real batch kernels
+  /// and must preserve the equivalence (asserted by the differential
+  /// harness and the scalar-vs-SIMD fuzz test).
+  virtual void FilterBatchImpl(const PairBlock& block, int e,
+                               PairResult* results) const;
 };
 
 }  // namespace gkgpu

@@ -24,14 +24,15 @@ FilterResult GateKeeperFilter::Filter(std::string_view read,
   return FilterEncoded(read_enc, ref_enc, static_cast<int>(read.size()), e);
 }
 
-void GateKeeperFilter::FilterBatch(const PairBlock& block, int e,
+void GateKeeperFilter::FilterBatchImpl(const PairBlock& block, int e,
                                    PairResult* results) const {
   simd::GateKeeperFilterRange(block, 0, block.size, e, params_, results);
 }
 
 GateKeeperCpu::GateKeeperCpu(GateKeeperParams params, unsigned threads)
     : params_(params),
-      pool_(threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr) {}
+      pool_(threads > 1 ? std::make_unique<ThreadPool>(threads, "gkgpu-gkcpu")
+                        : nullptr) {}
 
 GateKeeperCpu::~GateKeeperCpu() = default;
 

@@ -41,7 +41,7 @@ class GateKeeperFilter : public PreAlignmentFilter {
   /// Batch entry point: the vectorized encoded-domain pipeline
   /// (simd/gatekeeper_batch.hpp — uint64_t lanes, AVX2 behind runtime
   /// dispatch), bit-identical to Filter() per pair.
-  void FilterBatch(const PairBlock& block, int e,
+  void FilterBatchImpl(const PairBlock& block, int e,
                    PairResult* results) const override;
 
   /// Encoded-domain entry point used by batch runners.

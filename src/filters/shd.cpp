@@ -33,7 +33,7 @@ FilterResult ShdFilter::Filter(std::string_view read, std::string_view ref,
                               static_cast<int>(read.size()), e, ShdParams());
 }
 
-void ShdFilter::FilterBatch(const PairBlock& block, int e,
+void ShdFilter::FilterBatchImpl(const PairBlock& block, int e,
                             PairResult* results) const {
   simd::GateKeeperFilterRange(block, 0, block.size, e, ShdParams(), results);
 }

@@ -18,7 +18,7 @@ class ShdFilter : public PreAlignmentFilter {
                       int e) const override;
   /// SHD is the SIMD formulation of this mask pipeline in the first
   /// place; the batch path runs the shared vectorized kOriginal kernel.
-  void FilterBatch(const PairBlock& block, int e,
+  void FilterBatchImpl(const PairBlock& block, int e,
                    PairResult* results) const override;
 };
 

@@ -75,7 +75,7 @@ FilterResult ShoujiFilter::Filter(std::string_view read, std::string_view ref,
   return ShoujiWalk(map, length, e);
 }
 
-void ShoujiFilter::FilterBatch(const PairBlock& block, int e,
+void ShoujiFilter::FilterBatchImpl(const PairBlock& block, int e,
                                PairResult* results) const {
   // Batch path: the neighborhood map builds bit-parallel from the encoded
   // pair (one shifted XOR + reduction per diagonal, multi-word lanes)

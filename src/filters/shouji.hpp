@@ -17,7 +17,7 @@ class ShoujiFilter : public PreAlignmentFilter {
                       int e) const override;
   /// Batch path: bit-parallel encoded neighborhood-map construction
   /// (NeighborhoodMap::BuildEncoded) + the same window walk as Filter().
-  void FilterBatch(const PairBlock& block, int e,
+  void FilterBatchImpl(const PairBlock& block, int e,
                    PairResult* results) const override;
 };
 

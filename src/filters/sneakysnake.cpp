@@ -32,7 +32,7 @@ FilterResult SneakySnakeFilter::Filter(std::string_view read,
   return {edits <= e, edits};
 }
 
-void SneakySnakeFilter::FilterBatch(const PairBlock& block, int e,
+void SneakySnakeFilter::FilterBatchImpl(const PairBlock& block, int e,
                                     PairResult* results) const {
   simd::SneakySnakeFilterRange(block, 0, block.size, e, results);
 }

@@ -18,7 +18,7 @@ class SneakySnakeFilter : public PreAlignmentFilter {
   /// Batch path: neighborhood mazes built bit-parallel from the encoded
   /// pairs on 64-bit words (AVX2 lane-parallel where dispatched), greedy
   /// traversal over the bitmap rows.  Bit-identical to Filter().
-  void FilterBatch(const PairBlock& block, int e,
+  void FilterBatchImpl(const PairBlock& block, int e,
                    PairResult* results) const override;
 };
 

@@ -13,7 +13,7 @@ constexpr double kLaunchOverheadSeconds = 5e-6;
 
 Device::Device(DeviceProperties props, unsigned host_threads)
     : props_(std::move(props)),
-      pool_(host_threads),
+      pool_(host_threads, "gkgpu-dev"),
       power_(props_.idle_power_mw, props_.tdp_mw),
       free_mem_(props_.global_mem_bytes) {}
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "align/banded.hpp"
+#include "obs/names.hpp"
 #include "encode/revcomp.hpp"
 #include "pipeline/candidate_packer.hpp"
 #include "util/threadpool.hpp"
@@ -17,7 +18,8 @@ ReadMapper::ReadMapper(ReferenceSet reference, MapperConfig config)
     : ref_(std::move(reference)),
       config_(config),
       index_(ref_.text(), config.k),
-      verify_pool_(std::make_unique<ThreadPool>(config.verify_threads)) {}
+      verify_pool_(std::make_unique<ThreadPool>(config.verify_threads,
+                                                "gkgpu-verify")) {}
 
 ReadMapper::ReadMapper(std::string genome, MapperConfig config)
     : ReadMapper(ReferenceSet("synthetic_chr1", std::move(genome)), config) {}
@@ -27,7 +29,8 @@ ReadMapper::ReadMapper(ReferenceSet reference, KmerIndex index,
     : ref_(std::move(reference)),
       config_(config),
       index_(std::move(index)),
-      verify_pool_(std::make_unique<ThreadPool>(config.verify_threads)) {
+      verify_pool_(std::make_unique<ThreadPool>(config.verify_threads,
+                                                "gkgpu-verify")) {
   if (index_.k() != config_.k) {
     throw std::invalid_argument(
         "ReadMapper: preloaded index was built with k=" +
@@ -196,6 +199,9 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
   stats.mapped_reads = static_cast<std::uint64_t>(
       std::count(read_mapped.begin(), read_mapped.end(), true));
   stats.total_seconds = total.Seconds();
+  obs::CandidatesSeeded().Inc(stats.candidates_total);
+  obs::ReadsMapped().Inc(stats.mapped_reads);
+  obs::ReadsUnmapped().Inc(stats.reads - stats.mapped_reads);
   return stats;
 }
 
@@ -293,6 +299,9 @@ MappingStats ReadMapper::MapReadsStreaming(
   stats.mapped_reads = static_cast<std::uint64_t>(
       std::count(read_mapped.begin(), read_mapped.end(), true));
   stats.total_seconds = total.Seconds();
+  obs::CandidatesSeeded().Inc(stats.candidates_total);
+  obs::ReadsMapped().Inc(stats.mapped_reads);
+  obs::ReadsUnmapped().Inc(stats.reads - stats.mapped_reads);
   return stats;
 }
 

@@ -1,0 +1,420 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace gkgpu::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("GKGPU_NO_METRICS");
+  return !(env != nullptr && env[0] != '\0' && env[0] != '0');
+}()};
+
+}  // namespace
+
+bool Enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+namespace {
+// 1-2-5 per decade, 1e-6 .. 1e2 seconds (kBucketCount finite bounds).
+constexpr double kBounds[kBucketCount] = {
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1,
+    1e0,  2e0,  5e0,  1e1,  2e1,  5e1,  1e2};
+}  // namespace
+
+const double* BucketBounds() noexcept { return kBounds; }
+
+int BucketIndex(double v) noexcept {
+  if (!(v <= kBounds[kBucketCount - 1])) return kBucketCount;  // +Inf, NaN
+  const double* end = kBounds + kBucketCount;
+  return static_cast<int>(std::lower_bound(kBounds, end, v) - kBounds);
+}
+
+int ShardIndex() noexcept {
+  static thread_local const int idx = static_cast<int>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      static_cast<std::size_t>(kHistogramShards));
+  return idx;
+}
+
+}  // namespace detail
+
+namespace {
+
+LabelSet SortedLabels(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+struct Series {
+  LabelSet labels;
+  // Exactly one of these is active, per family type.
+  std::atomic<std::uint64_t> counter{0};
+  std::atomic<std::int64_t> gauge{0};
+  std::unique_ptr<detail::HistogramCell> histogram;
+};
+
+struct Family {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  // deque: stable addresses as series are appended.
+  std::deque<Series> series;
+};
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels + one extra pair (for the histogram `le` label).
+std::string FormatLabelsWith(const LabelSet& labels, const std::string& key,
+                             const std::string& value) {
+  LabelSet all = labels;
+  all.emplace_back(key, value);
+  return FormatLabels(all);
+}
+
+std::string FormatValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  const double* bounds = detail::BucketBounds();
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    const std::uint64_t next = cum + in_bucket;
+    if (static_cast<double>(next) >= target) {
+      // +Inf bucket (or the last finite one): clamp to the last bound.
+      if (i >= static_cast<std::size_t>(detail::kBucketCount)) {
+        return bounds[detail::kBucketCount - 1];
+      }
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return bounds[detail::kBucketCount - 1];
+}
+
+const FamilySnapshot* MetricsSnapshot::Find(std::string_view name) const {
+  for (const auto& f : families) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::Value(std::string_view name,
+                              const LabelSet& labels) const {
+  const FamilySnapshot* f = Find(name);
+  if (f == nullptr) return 0.0;
+  const LabelSet want = SortedLabels(labels);
+  for (const auto& s : f->samples) {
+    if (s.labels == want) {
+      return s.histogram ? static_cast<double>(s.histogram->count) : s.value;
+    }
+  }
+  return 0.0;
+}
+
+double MetricsSnapshot::Total(std::string_view name) const {
+  const FamilySnapshot* f = Find(name);
+  if (f == nullptr) return 0.0;
+  double total = 0.0;
+  for (const auto& s : f->samples) {
+    total += s.histogram ? static_cast<double>(s.histogram->count) : s.value;
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::RenderPrometheus() const {
+  std::ostringstream out;
+  for (const auto& f : families) {
+    out << "# HELP " << f.name << " " << f.help << "\n";
+    out << "# TYPE " << f.name << " ";
+    switch (f.type) {
+      case MetricType::kCounter: out << "counter"; break;
+      case MetricType::kGauge: out << "gauge"; break;
+      case MetricType::kHistogram: out << "histogram"; break;
+    }
+    out << "\n";
+    for (const auto& s : f.samples) {
+      if (s.histogram) {
+        const double* bounds = detail::BucketBounds();
+        std::uint64_t cum = 0;
+        for (int i = 0; i < detail::kBucketCount; ++i) {
+          cum += s.histogram->buckets[i];
+          out << f.name << "_bucket"
+              << FormatLabelsWith(s.labels, "le", FormatValue(bounds[i]))
+              << " " << cum << "\n";
+        }
+        cum += s.histogram->buckets[detail::kBucketCount];
+        out << f.name << "_bucket" << FormatLabelsWith(s.labels, "le", "+Inf")
+            << " " << cum << "\n";
+        out << f.name << "_sum" << FormatLabels(s.labels) << " "
+            << FormatValue(s.histogram->sum) << "\n";
+        out << f.name << "_count" << FormatLabels(s.labels) << " "
+            << s.histogram->count << "\n";
+      } else {
+        out << f.name << FormatLabels(s.labels) << " " << FormatValue(s.value)
+            << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::RenderJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first_family = true;
+  for (const auto& f : families) {
+    if (!first_family) out << ",";
+    first_family = false;
+    out << "\n  \"" << EscapeJson(f.name) << "\": {\"type\": \"";
+    switch (f.type) {
+      case MetricType::kCounter: out << "counter"; break;
+      case MetricType::kGauge: out << "gauge"; break;
+      case MetricType::kHistogram: out << "histogram"; break;
+    }
+    out << "\", \"help\": \"" << EscapeJson(f.help) << "\", \"samples\": [";
+    bool first_sample = true;
+    for (const auto& s : f.samples) {
+      if (!first_sample) out << ",";
+      first_sample = false;
+      out << "\n    {\"labels\": {";
+      bool first_label = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first_label) out << ", ";
+        first_label = false;
+        out << "\"" << EscapeJson(k) << "\": \"" << EscapeJson(v) << "\"";
+      }
+      out << "}, ";
+      if (s.histogram) {
+        out << "\"count\": " << s.histogram->count
+            << ", \"sum\": " << FormatValue(s.histogram->sum)
+            << ", \"mean\": " << FormatValue(s.histogram->mean())
+            << ", \"p50\": " << FormatValue(s.histogram->Quantile(0.50))
+            << ", \"p95\": " << FormatValue(s.histogram->Quantile(0.95))
+            << ", \"p99\": " << FormatValue(s.histogram->Quantile(0.99))
+            << ", \"buckets\": [";
+        for (std::size_t i = 0; i < s.histogram->buckets.size(); ++i) {
+          if (i != 0) out << ", ";
+          out << s.histogram->buckets[i];
+        }
+        out << "]";
+      } else {
+        out << "\"value\": " << FormatValue(s.value);
+      }
+      out << "}";
+    }
+    out << "\n  ]}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // deque: stable family addresses as families are appended.
+  std::deque<Family> families;
+
+  Series* FindOrCreate(std::string_view name, std::string_view help,
+                       MetricType type, LabelSet labels) {
+    labels = SortedLabels(std::move(labels));
+    std::lock_guard<std::mutex> lock(mu);
+    Family* family = nullptr;
+    for (auto& f : families) {
+      if (f.name == name) {
+        family = &f;
+        break;
+      }
+    }
+    if (family == nullptr) {
+      families.emplace_back();
+      family = &families.back();
+      family->name = std::string(name);
+      family->help = std::string(help);
+      family->type = type;
+    }
+    for (auto& s : family->series) {
+      if (s.labels == labels) return &s;
+    }
+    family->series.emplace_back();
+    Series* series = &family->series.back();
+    series->labels = std::move(labels);
+    if (type == MetricType::kHistogram) {
+      series->histogram = std::make_unique<detail::HistogramCell>();
+    }
+    return series;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry;  // intentionally leaked
+  return *instance;
+}
+
+Counter Registry::counter(std::string_view name, std::string_view help,
+                          LabelSet labels) {
+  Series* s = impl_->FindOrCreate(name, help, MetricType::kCounter,
+                                  std::move(labels));
+  return Counter(&s->counter);
+}
+
+Gauge Registry::gauge(std::string_view name, std::string_view help,
+                      LabelSet labels) {
+  Series* s =
+      impl_->FindOrCreate(name, help, MetricType::kGauge, std::move(labels));
+  return Gauge(&s->gauge);
+}
+
+Histogram Registry::histogram(std::string_view name, std::string_view help,
+                              LabelSet labels) {
+  Series* s = impl_->FindOrCreate(name, help, MetricType::kHistogram,
+                                  std::move(labels));
+  return Histogram(s->histogram.get());
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snap.families.reserve(impl_->families.size());
+  for (const auto& f : impl_->families) {
+    FamilySnapshot fs;
+    fs.name = f.name;
+    fs.help = f.help;
+    fs.type = f.type;
+    fs.samples.reserve(f.series.size());
+    for (const auto& s : f.series) {
+      SampleSnapshot ss;
+      ss.labels = s.labels;
+      if (f.type == MetricType::kHistogram) {
+        HistogramSnapshot hs;
+        hs.buckets.assign(detail::kBucketCount + 1, 0);
+        for (const auto& shard : s.histogram->shards) {
+          for (int b = 0; b <= detail::kBucketCount; ++b) {
+            hs.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+          }
+          hs.count += shard.count.load(std::memory_order_relaxed);
+          hs.sum += shard.sum.load(std::memory_order_relaxed);
+        }
+        ss.histogram = std::move(hs);
+      } else if (f.type == MetricType::kCounter) {
+        ss.value = static_cast<double>(
+            s.counter.load(std::memory_order_relaxed));
+      } else {
+        ss.value =
+            static_cast<double>(s.gauge.load(std::memory_order_relaxed));
+      }
+      fs.samples.push_back(std::move(ss));
+    }
+    snap.families.push_back(std::move(fs));
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& f : impl_->families) {
+    for (auto& s : f.series) {
+      s.counter.store(0, std::memory_order_relaxed);
+      s.gauge.store(0, std::memory_order_relaxed);
+      if (s.histogram) {
+        for (auto& shard : s.histogram->shards) {
+          for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+          shard.count.store(0, std::memory_order_relaxed);
+          shard.sum.store(0.0, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gkgpu::obs

@@ -1,0 +1,210 @@
+// Process-wide metrics registry: the one snapshot API behind `gkgpu
+// stats`, `--metrics-json`, the end-of-run tables and the bench funnel /
+// tail-latency fields.
+//
+// Three instrument kinds, all cheap enough to be always-on:
+//   * Counter   — monotone u64, relaxed fetch_add;
+//   * Gauge     — i64 set/add, relaxed stores;
+//   * Histogram — fixed 1-2-5 log buckets (1 µs .. 100 s), sharded by
+//                 thread hash so concurrent observers touch distinct
+//                 cache lines; shards merge only at snapshot time, where
+//                 p50/p95/p99 are interpolated within the landing bucket.
+//
+// Handles are trivially copyable pointers into registry-owned storage;
+// acquiring one (Registry::counter/gauge/histogram) takes a mutex and is
+// a cold-path operation — hot loops hold handles, not names.  The same
+// (name, labels) pair always resolves to the same cell, so independent
+// call sites accumulate into one time series.  Instrumentation can be
+// disabled process-wide (GKGPU_NO_METRICS=1 or SetEnabled(false)): the
+// hot-path cost collapses to one relaxed flag load, which is what the
+// bench overhead gate compares against.
+#ifndef GKGPU_OBS_METRICS_HPP
+#define GKGPU_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gkgpu::obs {
+
+/// Instrumentation master switch (default on; GKGPU_NO_METRICS=1 in the
+/// environment flips the initial state).  Relaxed: a toggle mid-run may
+/// lose a handful of events, never corrupt state.
+bool Enabled() noexcept;
+void SetEnabled(bool enabled) noexcept;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Sorted (key, value) label pairs identifying one series in a family.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+/// Histogram bucket upper bounds in seconds: 1-2-5 per decade from 1 µs
+/// to 100 s.  The final +Inf bucket is implicit (index kBucketCount).
+inline constexpr int kBucketCount = 25;
+const double* BucketBounds() noexcept;  // kBucketCount entries
+int BucketIndex(double v) noexcept;     // 0..kBucketCount (+Inf)
+
+inline constexpr int kHistogramShards = 8;
+
+struct alignas(64) HistogramShard {
+  std::atomic<std::uint64_t> buckets[kBucketCount + 1] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+};
+
+struct HistogramCell {
+  HistogramShard shards[kHistogramShards];
+};
+
+/// This thread's shard index (hashed thread id, computed once).
+int ShardIndex() noexcept;
+
+}  // namespace detail
+
+class Counter {
+ public:
+  Counter() = default;
+  void Inc(std::uint64_t n = 1) const noexcept {
+    if (cell_ != nullptr && Enabled()) {
+      cell_->fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t value() const noexcept {
+    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(std::int64_t v) const noexcept {
+    if (cell_ != nullptr && Enabled()) {
+      cell_->store(v, std::memory_order_relaxed);
+    }
+  }
+  void Add(std::int64_t d) const noexcept {
+    if (cell_ != nullptr && Enabled()) {
+      cell_->fetch_add(d, std::memory_order_relaxed);
+    }
+  }
+  std::int64_t value() const noexcept {
+    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  /// Records one observation (seconds for latency series; any unit works
+  /// as long as one series sticks to one unit).
+  void Observe(double v) const noexcept {
+    if (cell_ == nullptr || !Enabled()) return;
+    detail::HistogramShard& s = cell_->shards[detail::ShardIndex()];
+    s.buckets[detail::BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+/// Merged view of one histogram series at snapshot time.
+struct HistogramSnapshot {
+  /// Per-bucket (non-cumulative) counts; index kBucketCount is +Inf.
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Quantile estimate (q in [0, 1]), linearly interpolated inside the
+  /// landing bucket; observations beyond the last finite bound clamp to
+  /// it.  Returns 0 when the series is empty.
+  double Quantile(double q) const;
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+struct SampleSnapshot {
+  LabelSet labels;
+  double value = 0.0;  // counter / gauge
+  std::optional<HistogramSnapshot> histogram;
+};
+
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<SampleSnapshot> samples;
+};
+
+struct MetricsSnapshot {
+  std::vector<FamilySnapshot> families;
+
+  /// Prometheus text exposition (version 0.0.4): HELP/TYPE comments,
+  /// histogram series expanded into _bucket{le=}/_sum/_count.
+  std::string RenderPrometheus() const;
+  /// The same snapshot as one JSON object (families keyed by name).
+  std::string RenderJson() const;
+
+  const FamilySnapshot* Find(std::string_view name) const;
+  /// Scalar value of (name, labels); 0 when absent.  Histogram families
+  /// return the observation count.
+  double Value(std::string_view name, const LabelSet& labels = {}) const;
+  /// Sum over every series of the family; 0 when absent.
+  double Total(std::string_view name) const;
+};
+
+/// The registry.  One process-wide instance (Global()); tests may build
+/// private ones.  Handle acquisition and Snapshot() lock; handle use is
+/// lock-free.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Global();
+
+  Counter counter(std::string_view name, std::string_view help,
+                  LabelSet labels = {});
+  Gauge gauge(std::string_view name, std::string_view help,
+              LabelSet labels = {});
+  Histogram histogram(std::string_view name, std::string_view help,
+                      LabelSet labels = {});
+
+  /// Consistent read point: every series' cells are read once, under the
+  /// registry lock, into plain values.  Families keep registration
+  /// order; series within a family keep first-use order.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every cell (handles stay valid) — bench/test isolation.
+  void Reset();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace gkgpu::obs
+
+#endif  // GKGPU_OBS_METRICS_HPP

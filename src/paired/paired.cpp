@@ -20,6 +20,7 @@
 #include "encode/revcomp.hpp"
 #include "mapper/mapq.hpp"
 #include "mapper/sam.hpp"
+#include "obs/names.hpp"
 #include "pipeline/candidate_packer.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
@@ -719,8 +720,8 @@ void PairFinalizer::Finalize(const PairTask& task) {
 PairedEndMapper::PairedEndMapper(const ReadMapper& mapper, PairedConfig config)
     : mapper_(mapper),
       config_(std::move(config)),
-      verify_pool_(std::make_unique<ThreadPool>(
-          mapper.config().verify_threads)) {
+      verify_pool_(std::make_unique<ThreadPool>(mapper.config().verify_threads,
+                                                "gkgpu-pverify")) {
   // A fragment must at least cover one read; a smaller bound would make
   // every pair discordant and silently disable the prune.
   config_.max_insert =
@@ -728,6 +729,26 @@ PairedEndMapper::PairedEndMapper(const ReadMapper& mapper, PairedConfig config)
 }
 
 PairedEndMapper::~PairedEndMapper() = default;
+
+namespace {
+
+// Folds one paired run's totals into the process funnel: seeding,
+// insert-window pruning, SW mate rescues, and per-mate mapped/unmapped
+// terminals.  Called once per driver, batch-granular by construction.
+void RecordPairedFunnel(const PairedStats& stats) {
+  if (!obs::Enabled()) return;
+  obs::CandidatesSeeded().Inc(stats.candidates_seeded);
+  obs::CandidatesPruned().Inc(stats.candidates_seeded -
+                              stats.candidates_paired);
+  obs::RescuedMates().Inc(stats.rescued_mates);
+  const std::uint64_t live_pairs = stats.pairs - stats.skipped_pairs;
+  const std::uint64_t unmapped_mates =
+      2 * stats.unmapped_pairs + stats.single_end_pairs;
+  obs::ReadsMapped().Inc(2 * live_pairs - unmapped_mates);
+  obs::ReadsUnmapped().Inc(unmapped_mates);
+}
+
+}  // namespace
 
 PairedStats PairedEndMapper::MapPairs(const std::vector<FastqRecord>& r1,
                                       const std::vector<FastqRecord>& r2,
@@ -870,6 +891,7 @@ PairedStats PairedEndMapper::MapPairs(const std::vector<FastqRecord>& r1,
   stats.insert_sigma = fin.model.sigma();
   stats.insert_observations = fin.model.count();
   stats.total_seconds = total.Seconds();
+  RecordPairedFunnel(stats);
   return stats;
 }
 
@@ -1060,6 +1082,7 @@ PairedStats PairedEndMapper::MapPairsStreaming(PairedFastqReader& reader,
   stats.insert_sigma = fin.model.sigma();
   stats.insert_observations = fin.model.count();
   stats.total_seconds = total.Seconds();
+  RecordPairedFunnel(stats);
   return stats;
 }
 

@@ -14,7 +14,10 @@
 #include "align/banded.hpp"
 #include "align/cigar.hpp"
 #include "encode/revcomp.hpp"
+#include "obs/names.hpp"
+#include "obs/trace.hpp"
 #include "util/fingerprint.hpp"
+#include "util/threadname.hpp"
 #include "util/timer.hpp"
 
 namespace gkgpu::pipeline {
@@ -150,11 +153,24 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
   std::atomic<int> drivers_left{ndev};
   std::atomic<int> verifiers_left{config_.verify_workers};
 
+  // Latency observables, resolved once (labeled handle lookup locks the
+  // registry); the stage loops observe batch-granular durations only.
+  const obs::Histogram h_source_service = obs::StageService("source");
+  const obs::Histogram h_encode_wait = obs::StageQueueWait("encode");
+  const obs::Histogram h_encode_service = obs::StageService("encode");
+  const obs::Histogram h_filter_wait = obs::StageQueueWait("filter");
+  const obs::Histogram h_filter_service = obs::StageService("filter");
+  const obs::Histogram h_verify_wait = obs::StageQueueWait("verify");
+  const obs::Histogram h_verify_service = obs::StageService("verify");
+  const obs::Histogram h_sink_wait = obs::StageQueueWait("sink");
+  const obs::Histogram h_sink_service = obs::StageService("sink");
+
   std::vector<std::thread> threads;
 
   // --- Stage 1: source --------------------------------------------------
   AdaptiveBatcher batcher(config_.adaptive_config);
   threads.emplace_back([&] {
+    util::SetCurrentThreadName("gkgpu-source");
     try {
       std::uint64_t seq = 0;
       std::size_t first_pair = 0;
@@ -189,8 +205,12 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
           batch.target_size = batcher.Next(feed_fill, sink_fill);
         }
         WallTimer t;
+        obs::Span span("source", "pipeline");
         const bool more = source(&batch);
-        busy += t.Seconds();
+        span.Close();
+        const double service_s = t.Seconds();
+        busy += service_s;
+        h_source_service.Observe(service_s);
         if (!more) break;
         if (batch.size() == 0) continue;
         if (batch.size() > capacity) {
@@ -275,17 +295,23 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
 
   // --- Stage 2: encode pool --------------------------------------------
   for (int w = 0; w < config_.encode_workers; ++w) {
-    threads.emplace_back([&] {
+    threads.emplace_back([&, w] {
+      util::SetCurrentThreadName("gkgpu-encode" + std::to_string(w));
       double busy = 0.0;
       double model_clock = 0.0;
       std::uint64_t batches = 0;
       std::uint64_t items = 0;
       try {
-        while (auto batch = q_in.Pop()) {
+        for (;;) {
+          WallTimer wait;
+          auto batch = q_in.Pop();
+          h_encode_wait.Observe(wait.Seconds());
+          if (!batch) break;
           const int d = static_cast<int>(
               batch->seq % static_cast<std::uint64_t>(ndev));
           const auto slot = q_free[d]->Pop();
           if (!slot) break;  // aborted
+          obs::Span span("encode", "pipeline");
           const double enc_s =
               cand_mode
                   ? engine_->EncodeCandidatesSlot(
@@ -295,7 +321,9 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
                   : engine_->EncodePairsSlot(d, *slot, batch->reads.data(),
                                              batch->refs.data(),
                                              batch->size());
+          span.Close();
           busy += enc_s;
+          h_encode_service.Observe(enc_s);
           model_clock += enc_s;
           batch->device = d;
           batch->encode_ready = model_clock;
@@ -322,6 +350,7 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
   const bool double_buffered = config_.slots_per_device > 1;
   for (int d = 0; d < ndev; ++d) {
     threads.emplace_back([&, d] {
+      util::SetCurrentThreadName("gkgpu-filter" + std::to_string(d));
       double busy = 0.0;
       double clock = 0.0;
       double kt_sum = 0.0;
@@ -331,16 +360,24 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
       std::uint64_t accepted = 0;
       std::uint64_t bypassed = 0;
       try {
-        while (auto msg = q_ready[d]->Pop()) {
+        for (;;) {
+          WallTimer wait;
+          auto msg = q_ready[d]->Pop();
+          h_filter_wait.Observe(wait.Seconds());
+          if (!msg) break;
           const std::size_t n = msg->batch.size();
           msg->batch.results.assign(n, PairResult{});
           WallTimer t;
+          obs::Span span("filter", "pipeline");
           const StreamBatchStats st =
               cand_mode ? engine_->FilterCandidatesSlot(
                               d, msg->slot, n, msg->batch.results.data())
                         : engine_->FilterPairsSlot(d, msg->slot, n,
                                                    msg->batch.results.data());
-          busy += t.Seconds();
+          span.Close();
+          const double service_s = t.Seconds();
+          busy += service_s;
+          h_filter_service.Observe(service_s);
           q_free[d]->Push(msg->slot);
           // Timeline: a prefetch-capable, double-buffered device overlaps
           // the next batch's transfers with the running kernel; otherwise
@@ -386,7 +423,8 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
 
   // --- Stage 4: verification pool --------------------------------------
   for (int w = 0; w < config_.verify_workers; ++w) {
-    threads.emplace_back([&] {
+    threads.emplace_back([&, w] {
+      util::SetCurrentThreadName("gkgpu-sverify" + std::to_string(w));
       double busy = 0.0;
       std::uint64_t batches = 0;
       std::uint64_t pairs_in = 0;
@@ -399,12 +437,17 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
       std::uint32_t rc_read = 0;
       bool rc_valid = false;
       try {
-        while (auto batch = q_filtered.Pop()) {
+        for (;;) {
+          WallTimer wait;
+          auto batch = q_filtered.Pop();
+          h_verify_wait.Observe(wait.Seconds());
+          if (!batch) break;
           const std::size_t n = batch->size();
           batch->edits.assign(n, -1);
           rc_valid = false;
           if (config_.verify) {
             WallTimer t;
+            obs::Span span("verify", "pipeline");
             const std::size_t L =
                 static_cast<std::size_t>(engine_->config().read_length);
             if (config_.emit_cigar) batch->cigars.assign(n, {});
@@ -449,7 +492,10 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
                 }
               }
             }
-            busy += t.Seconds();
+            span.Close();
+            const double service_s = t.Seconds();
+            busy += service_s;
+            h_verify_service.Observe(service_s);
           }
           batches += 1;
           if (!q_done.Push(std::move(*batch))) break;
@@ -475,7 +521,11 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
   try {
     std::map<std::uint64_t, PairBatch> pending;
     std::uint64_t next_seq = 0;
-    while (auto batch = q_done.Pop()) {
+    for (;;) {
+      WallTimer wait;
+      auto batch = q_done.Pop();
+      h_sink_wait.Observe(wait.Seconds());
+      if (!batch) break;
       pending.emplace(batch->seq, std::move(*batch));
       while (!pending.empty() && pending.begin()->first == next_seq) {
         PairBatch out = std::move(pending.begin()->second);
@@ -486,8 +536,12 @@ PipelineStats StreamingPipeline::Run(const BatchSource& source,
         stats.pairs += out.size();
         stats.batches += 1;
         WallTimer t;
+        obs::Span span("sink", "pipeline");
         sink(std::move(out));
-        sink_stage.busy_seconds += t.Seconds();
+        span.Close();
+        const double service_s = t.Seconds();
+        sink_stage.busy_seconds += service_s;
+        h_sink_service.Observe(service_s);
       }
     }
   } catch (...) {

@@ -7,6 +7,7 @@
 
 #include "io/fastq.hpp"
 #include "mapper/sam.hpp"
+#include "obs/names.hpp"
 #include "pipeline/candidate_packer.hpp"
 #include "pipeline/sam_group.hpp"
 
@@ -100,6 +101,9 @@ ReadToSamStats StreamFastqToSam(std::istream& fastq, const ReadMapper& mapper,
 
   out.pipeline = pipeline.Run(source, sink);
   assert(groups.empty());  // every read's last candidate flushes its group
+  obs::CandidatesSeeded().Inc(out.candidates);
+  obs::ReadsMapped().Inc(out.mapped_reads);
+  obs::ReadsUnmapped().Inc(out.reads - out.skipped_reads - out.mapped_reads);
   return out;
 }
 

@@ -171,4 +171,49 @@ ClientStats MapOverSocket(const std::string& socket_path, std::istream& fastq,
   return stats;
 }
 
+std::string QueryStats(const std::string& socket_path) {
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Fail("invalid socket path");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) Fail("cannot create socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    Fail("cannot connect to " + socket_path + ": " + err);
+  }
+
+  std::string exposition;
+  try {
+    WriteFrame(fd, FrameType::kStatsRequest, {});
+    Frame frame;
+    for (;;) {
+      if (!ReadFrame(fd, &frame)) {
+        Fail("server closed the connection before kDone");
+      }
+      switch (frame.type) {
+        case FrameType::kStats:
+          exposition.append(frame.payload);
+          break;
+        case FrameType::kError:
+          Fail("server error: " + frame.payload);
+        case FrameType::kDone:
+          ::close(fd);
+          return exposition;
+        default:
+          Fail("unexpected response frame type");
+      }
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
 }  // namespace gkgpu::serve

@@ -26,6 +26,12 @@ struct ClientStats {
 ClientStats MapOverSocket(const std::string& socket_path, std::istream& fastq,
                           std::ostream& sam, const JobSpec& job = {});
 
+/// Scrapes the daemon's metrics registry: sends a kStatsRequest frame and
+/// returns the Prometheus text exposition from the kStats reply.  Throws
+/// std::runtime_error on connection failure, a kError frame, or a
+/// protocol violation.
+std::string QueryStats(const std::string& socket_path);
+
 }  // namespace gkgpu::serve
 
 #endif  // GKGPU_SERVE_CLIENT_HPP

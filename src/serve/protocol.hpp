@@ -5,9 +5,15 @@
 //   client -> server   kJob         key=value job options, one per line
 //                      kData        a chunk of raw FASTQ bytes
 //                      kEnd         no more input for this job
+//                      kStatsRequest  instead of kJob: scrape the server's
+//                                   metrics registry; the reply is one
+//                                   kStats frame of Prometheus text
+//                                   exposition followed by kDone
 //   server -> client   kSamHeader   the @HD/@SQ/@RG/@PG header bytes
 //                      kSamRecords  a chunk of SAM record lines
-//                      kStats       key=value job statistics
+//                      kStats       key=value job statistics (after a job)
+//                                   or Prometheus exposition (after a
+//                                   kStatsRequest)
 //                      kError       human-readable failure; job is dead
 //                      kDone        job complete, no further frames
 //
@@ -27,6 +33,7 @@ enum class FrameType : std::uint32_t {
   kJob = 1,
   kData = 2,
   kEnd = 3,
+  kStatsRequest = 4,
   kSamHeader = 10,
   kSamRecords = 11,
   kStats = 12,

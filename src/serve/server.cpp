@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -25,13 +26,43 @@
 
 #include "io/fastq.hpp"
 #include "mapper/sam.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/candidate_packer.hpp"
 #include "pipeline/sam_group.hpp"
 #include "serve/protocol.hpp"
+#include "util/threadname.hpp"
 
 namespace gkgpu::serve {
 
 namespace {
+
+/// Reads the daemon's counters out of one consistent registry snapshot.
+/// MapServer::stats() subtracts the baseline captured at construction, so
+/// several servers in one process (the test suite) each report their own
+/// deltas even though the registry is process-cumulative.
+ServeStats ReadRegistryServeStats() {
+  const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  const auto sessions = [&](const char* state) {
+    return static_cast<std::uint64_t>(
+        snap.Value("gkgpu_serve_sessions_total", {{"state", state}}));
+  };
+  ServeStats s;
+  s.sessions_accepted = sessions("accepted");
+  s.sessions_completed = sessions("completed");
+  s.sessions_failed = sessions("failed");
+  s.reads = static_cast<std::uint64_t>(snap.Value("gkgpu_serve_reads_total"));
+  s.skipped_reads = static_cast<std::uint64_t>(
+      snap.Value("gkgpu_serve_skipped_reads_total"));
+  s.records =
+      static_cast<std::uint64_t>(snap.Value("gkgpu_serve_records_total"));
+  s.batches =
+      static_cast<std::uint64_t>(snap.Value("gkgpu_serve_batches_total"));
+  s.coalesced_batches = static_cast<std::uint64_t>(
+      snap.Value("gkgpu_serve_coalesced_batches_total"));
+  return s;
+}
 
 /// Reassembles FASTQ records from arbitrarily split kData chunks, with the
 /// same validation and name semantics as FastqStreamReader (so a served
@@ -122,6 +153,8 @@ struct Session {
 
   const int fd;
   const std::uint64_t id;
+  const std::chrono::steady_clock::time_point accepted_at =
+      std::chrono::steady_clock::now();
 
   std::mutex write_mu;  // serializes frame writes on fd
   std::atomic<bool> dead{false};
@@ -155,7 +188,8 @@ struct MapServer::Impl {
       : mapper_(mapper),
         engine_(engine),
         config_(std::move(config)),
-        pcfg_(std::move(pipeline_config)) {}
+        pcfg_(std::move(pipeline_config)),
+        baseline_(ReadRegistryServeStats()) {}
 
   // --- configuration ----------------------------------------------------
   const ReadMapper& mapper_;
@@ -183,14 +217,11 @@ struct MapServer::Impl {
   std::unordered_map<std::uint32_t, SessionPtr> owners_;
 
   // --- statistics -------------------------------------------------------
-  std::atomic<std::uint64_t> sessions_accepted_{0};
-  std::atomic<std::uint64_t> sessions_completed_{0};
-  std::atomic<std::uint64_t> sessions_failed_{0};
-  std::atomic<std::uint64_t> reads_{0};
-  std::atomic<std::uint64_t> skipped_reads_{0};
-  std::atomic<std::uint64_t> records_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> coalesced_batches_{0};
+  // All counting goes through the metrics registry (obs/names.hpp);
+  // stats() reads one consistent snapshot and subtracts this baseline.
+  // The session id allocator is the only remaining local counter.
+  std::atomic<std::uint64_t> session_seq_{0};
+  const ServeStats baseline_;
 
   std::size_t QueueCapacity() const {
     return std::max<std::size_t>(1024, config_.batch_size * 4);
@@ -208,12 +239,23 @@ struct MapServer::Impl {
     }
   }
 
+  /// Records the session's terminal state exactly once (whichever of
+  /// FailSession / MaybeComplete / the stats fast path wins done_sent).
+  void CloseoutSession(const SessionPtr& s, const char* state) {
+    obs::ServeSessions(state).Inc();
+    obs::ServeSessionsActive().Add(-1);
+    obs::ServeSessionSeconds().Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      s->accepted_at)
+            .count());
+  }
+
   void FailSession(const SessionPtr& s, const std::string& why) {
     TrySend(s, FrameType::kError, why);
     s->dead.store(true, std::memory_order_release);
     s->input_done.store(true, std::memory_order_release);
     ::shutdown(s->fd, SHUT_RDWR);
-    ++sessions_failed_;
+    if (!s->done_sent.exchange(true)) CloseoutSession(s, "failed");
   }
 
   /// Completes the session once every admitted read has retired: flushes
@@ -227,7 +269,12 @@ struct MapServer::Impl {
       return;
     }
     if (s->done_sent.exchange(true)) return;
-    if (s->dead.load(std::memory_order_acquire)) return;
+    if (s->dead.load(std::memory_order_acquire)) {
+      // Died on an earlier send (client vanished mid-stream): terminal
+      // state is a disconnect, not a completion.
+      CloseoutSession(s, "failed");
+      return;
+    }
     std::string tail;
     std::uint64_t reads = 0, records = 0;
     {
@@ -242,7 +289,8 @@ struct MapServer::Impl {
             "reads=" + std::to_string(reads) +
                 "\nrecords=" + std::to_string(records) + "\n");
     TrySend(s, FrameType::kDone, {});
-    if (!s->dead.load(std::memory_order_acquire)) ++sessions_completed_;
+    CloseoutSession(
+        s, s->dead.load(std::memory_order_acquire) ? "failed" : "completed");
   }
 
   void RetireRead(const SessionPtr& s) {
@@ -263,11 +311,29 @@ struct MapServer::Impl {
   }
 
   void SessionMain(SessionPtr s) {
+    util::SetCurrentThreadName("gkgpu-sess" + std::to_string(s->id));
     const FrameReadLimits limits = SessionReadLimits();
     try {
       Frame frame;
-      if (!ReadFrame(s->fd, &frame, limits) ||
-          frame.type != FrameType::kJob) {
+      if (!ReadFrame(s->fd, &frame, limits)) {
+        throw std::runtime_error("expected a kJob frame first");
+      }
+      if (frame.type == FrameType::kStatsRequest) {
+        // Metrics scrape: no job, no pipeline involvement — answer from
+        // the registry and finish the session.
+        obs::Span span("stats-scrape", "serve");
+        TrySend(s, FrameType::kStats,
+                obs::Registry::Global().Snapshot().RenderPrometheus());
+        TrySend(s, FrameType::kDone, {});
+        s->input_done.store(true, std::memory_order_release);
+        if (!s->done_sent.exchange(true)) {
+          CloseoutSession(s, s->dead.load(std::memory_order_acquire)
+                                 ? "failed"
+                                 : "completed");
+        }
+        return;
+      }
+      if (frame.type != FrameType::kJob) {
         throw std::runtime_error("expected a kJob frame first");
       }
       const JobSpec job = ParseJobSpec(frame.payload);
@@ -308,7 +374,7 @@ struct MapServer::Impl {
         }
         while (fastq.Next(&rec)) {
           if (static_cast<int>(rec.seq.size()) != read_length) {
-            ++skipped_reads_;
+            obs::ServeSkippedReads().Inc();
             continue;
           }
           AdmitRead(s, std::move(rec));
@@ -332,7 +398,7 @@ struct MapServer::Impl {
       std::lock_guard<std::mutex> lock(s->out_mu);
       ++s->reads;
     }
-    ++reads_;
+    obs::ServeReads().Inc();
     std::unique_lock<std::mutex> lock(queue_mu_);
     queue_space_cv_.wait(
         lock, [&] { return queue_.size() < QueueCapacity(); });
@@ -441,8 +507,8 @@ struct MapServer::Impl {
             }
           });
       if (batch->size() == 0) return false;  // input closed and drained
-      ++batches_;
-      if (batch_sessions.size() >= 2) ++coalesced_batches_;
+      obs::ServeBatches().Inc();
+      if (batch_sessions.size() >= 2) obs::ServeCoalescedBatches().Inc();
       return true;
     };
 
@@ -478,7 +544,7 @@ struct MapServer::Impl {
             std::lock_guard<std::mutex> lock(s->out_mu);
             const std::size_t n = s->groups->FlushGroup(s->staged, ref);
             s->records += n;
-            records_ += n;
+            obs::ServeRecords().Inc(n);
             if (static_cast<std::size_t>(s->staged.tellp()) >=
                 kSendThreshold) {
               ready = std::move(s->staged).str();
@@ -532,7 +598,11 @@ struct MapServer::Impl {
                                ": " + err);
     }
 
-    std::thread pipeline_thread([this] { PipelineLoop(); });
+    std::thread pipeline_thread([this] {
+      util::SetCurrentThreadName("gkgpu-servepipe");
+      PipelineLoop();
+    });
+    util::SetCurrentThreadName("gkgpu-accept");
     serving_.store(true, std::memory_order_release);
 
     while (!stopping_.load(std::memory_order_acquire)) {
@@ -559,7 +629,9 @@ struct MapServer::Impl {
         tv.tv_sec = config_.request_timeout_sec;
         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
       }
-      auto session = std::make_shared<Session>(fd, ++sessions_accepted_);
+      auto session = std::make_shared<Session>(fd, ++session_seq_);
+      obs::ServeSessions("accepted").Inc();
+      obs::ServeSessionsActive().Add(1);
       std::lock_guard<std::mutex> lock(threads_mu_);
       session_threads_.emplace_back(
           [this, session = std::move(session)]() mutable {
@@ -586,6 +658,28 @@ struct MapServer::Impl {
     queue_cv_.notify_all();
     pipeline_thread.join();
     Cleanup();
+
+    // One structured line on drain so an operator's log shows what the
+    // daemon did before it honored SIGTERM.
+    const ServeStats now = ReadRegistryServeStats();
+    std::fprintf(
+        stderr,
+        "gkgpu-serve: drained sessions_accepted=%llu sessions_completed=%llu "
+        "sessions_failed=%llu reads=%llu skipped_reads=%llu records=%llu "
+        "batches=%llu coalesced_batches=%llu\n",
+        static_cast<unsigned long long>(now.sessions_accepted -
+                                        baseline_.sessions_accepted),
+        static_cast<unsigned long long>(now.sessions_completed -
+                                        baseline_.sessions_completed),
+        static_cast<unsigned long long>(now.sessions_failed -
+                                        baseline_.sessions_failed),
+        static_cast<unsigned long long>(now.reads - baseline_.reads),
+        static_cast<unsigned long long>(now.skipped_reads -
+                                        baseline_.skipped_reads),
+        static_cast<unsigned long long>(now.records - baseline_.records),
+        static_cast<unsigned long long>(now.batches - baseline_.batches),
+        static_cast<unsigned long long>(now.coalesced_batches -
+                                        baseline_.coalesced_batches));
   }
 
   void Shutdown() noexcept {
@@ -628,15 +722,17 @@ bool MapServer::serving() const noexcept {
 }
 
 ServeStats MapServer::stats() const {
+  const ServeStats now = ReadRegistryServeStats();
+  const ServeStats& base = impl_->baseline_;
   ServeStats s;
-  s.sessions_accepted = impl_->sessions_accepted_.load();
-  s.sessions_completed = impl_->sessions_completed_.load();
-  s.sessions_failed = impl_->sessions_failed_.load();
-  s.reads = impl_->reads_.load();
-  s.skipped_reads = impl_->skipped_reads_.load();
-  s.records = impl_->records_.load();
-  s.batches = impl_->batches_.load();
-  s.coalesced_batches = impl_->coalesced_batches_.load();
+  s.sessions_accepted = now.sessions_accepted - base.sessions_accepted;
+  s.sessions_completed = now.sessions_completed - base.sessions_completed;
+  s.sessions_failed = now.sessions_failed - base.sessions_failed;
+  s.reads = now.reads - base.reads;
+  s.skipped_reads = now.skipped_reads - base.skipped_reads;
+  s.records = now.records - base.records;
+  s.batches = now.batches - base.batches;
+  s.coalesced_batches = now.coalesced_batches - base.coalesced_batches;
   return s;
 }
 

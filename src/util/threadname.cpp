@@ -1,0 +1,20 @@
+#include "util/threadname.hpp"
+
+#include "obs/trace.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
+namespace gkgpu::util {
+
+void SetCurrentThreadName(const std::string& name) {
+#ifdef __linux__
+  // The kernel limit is 16 bytes including the terminator.
+  std::string truncated = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), truncated.c_str());
+#endif
+  obs::RegisterTraceThreadName(name);
+}
+
+}  // namespace gkgpu::util

@@ -1,0 +1,15 @@
+// Names the calling thread for debuggers, `top -H`, and the stage
+// tracer.  pthread_setname_np caps names at 15 characters on Linux; the
+// full name is still registered with the tracer.
+#ifndef GKGPU_UTIL_THREADNAME_HPP
+#define GKGPU_UTIL_THREADNAME_HPP
+
+#include <string>
+
+namespace gkgpu::util {
+
+void SetCurrentThreadName(const std::string& name);
+
+}  // namespace gkgpu::util
+
+#endif  // GKGPU_UTIL_THREADNAME_HPP

@@ -2,15 +2,20 @@
 
 #include <algorithm>
 
+#include "util/threadname.hpp"
+
 namespace gkgpu {
 
-ThreadPool::ThreadPool(unsigned nthreads) {
+ThreadPool::ThreadPool(unsigned nthreads, std::string name_prefix) {
   if (nthreads == 0) {
     nthreads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(nthreads);
   for (unsigned i = 0; i < nthreads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, name = name_prefix + std::to_string(i)] {
+      util::SetCurrentThreadName(name);
+      WorkerLoop();
+    });
   }
 }
 

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,7 +18,10 @@ namespace gkgpu {
 class ThreadPool {
  public:
   /// Creates `nthreads` persistent workers (0 means hardware concurrency).
-  explicit ThreadPool(unsigned nthreads = 0);
+  /// Workers are named `<name_prefix><index>` (visible in `top -H`, gdb,
+  /// and traces).
+  explicit ThreadPool(unsigned nthreads = 0,
+                      std::string name_prefix = "gkgpu-pool");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -18,6 +18,7 @@
 //   gkgpu index  --ref ref.fa --out ref.gki [--k 12] [--verify]
 //   gkgpu serve  --index ref.gki --socket /tmp/gk.sock [--threads N]
 //   gkgpu map-client --socket /tmp/gk.sock --reads r.fq [--sam out.sam]
+//   gkgpu stats  --socket /tmp/gk.sock
 //
 // `filter --algo gkgpu` runs the full engine (simulated GPU, batching,
 // unified memory); the other algorithms run as host filters.  `map` runs
@@ -55,6 +56,8 @@
 #include "mapper/mapper.hpp"
 #include "mapper/mapq.hpp"
 #include "mapper/sam.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "paired/paired.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/read_to_sam.hpp"
@@ -212,6 +215,106 @@ void ApplyThreads(const Args& args, pipeline::PipelineConfig* pcfg) {
   }
 }
 
+/// The end-of-run observability tables: the filter funnel (with the
+/// per-filter/tier accept split) and stage latency percentiles, all read
+/// from one registry snapshot — the same numbers `gkgpu stats` and
+/// --metrics-json expose.
+void PrintObsTables(const obs::MetricsSnapshot& snap) {
+  const auto total = [&](const char* name) {
+    return static_cast<unsigned long long>(snap.Total(name));
+  };
+  const unsigned long long seeded = total("gkgpu_candidates_seeded_total");
+  const unsigned long long input = total("gkgpu_filter_input_total");
+  if (seeded == 0 && input == 0) return;
+
+  std::printf("\nfilter funnel:\n");
+  TablePrinter funnel({"metric", "value"});
+  funnel.AddRow({"candidates seeded", TablePrinter::Count(seeded)});
+  funnel.AddRow({"insert-window pruned",
+                 TablePrinter::Count(total("gkgpu_candidates_pruned_total"))});
+  funnel.AddRow({"filter input", TablePrinter::Count(input)});
+  funnel.AddRow({"filter accepts",
+                 TablePrinter::Count(total("gkgpu_filter_accepts_total"))});
+  funnel.AddRow({"filter rejects",
+                 TablePrinter::Count(total("gkgpu_filter_rejects_total"))});
+  funnel.AddRow({"filter bypasses",
+                 TablePrinter::Count(total("gkgpu_filter_bypasses_total"))});
+  funnel.AddRow({"SW rescued mates",
+                 TablePrinter::Count(total("gkgpu_rescued_mates_total"))});
+  funnel.AddRow({"reads mapped",
+                 TablePrinter::Count(total("gkgpu_reads_mapped_total"))});
+  funnel.AddRow({"reads unmapped",
+                 TablePrinter::Count(total("gkgpu_reads_unmapped_total"))});
+  funnel.Print(std::cout);
+
+  const obs::FamilySnapshot* accepts =
+      snap.Find("gkgpu_filter_accepts_total");
+  if (accepts != nullptr && !accepts->samples.empty()) {
+    std::printf("\nper-filter accepts:\n");
+    TablePrinter per({"filter", "tier", "accepts", "rejects", "bypasses"});
+    for (const auto& s : accepts->samples) {
+      per.AddRow({s.labels.size() > 0 ? s.labels[0].second : "?",
+                  s.labels.size() > 1 ? s.labels[1].second : "?",
+                  TablePrinter::Count(
+                      static_cast<unsigned long long>(s.value)),
+                  TablePrinter::Count(static_cast<unsigned long long>(
+                      snap.Value("gkgpu_filter_rejects_total", s.labels))),
+                  TablePrinter::Count(static_cast<unsigned long long>(
+                      snap.Value("gkgpu_filter_bypasses_total", s.labels)))});
+    }
+    per.Print(std::cout);
+  }
+
+  const obs::FamilySnapshot* service =
+      snap.Find("gkgpu_stage_service_seconds");
+  if (service != nullptr && !service->samples.empty()) {
+    std::printf("\nstage latency (s):\n");
+    TablePrinter lat({"stage", "batches", "p50", "p95", "p99", "mean"});
+    for (const auto& s : service->samples) {
+      if (!s.histogram || s.histogram->count == 0) continue;
+      const obs::HistogramSnapshot& h = *s.histogram;
+      lat.AddRow({s.labels.empty() ? "?" : s.labels[0].second,
+                  TablePrinter::Count(h.count),
+                  TablePrinter::Num(h.Quantile(0.50), 6),
+                  TablePrinter::Num(h.Quantile(0.95), 6),
+                  TablePrinter::Num(h.Quantile(0.99), 6),
+                  TablePrinter::Num(h.mean(), 6)});
+    }
+    lat.Print(std::cout);
+  }
+}
+
+/// Shared observability tail for `map` and `pipeline`: arms the tracer
+/// when --trace-json is given, and at scope exit (any return path) prints
+/// the funnel/latency tables, dumps --metrics-json, and flushes the
+/// trace file.
+class ObsRun {
+ public:
+  explicit ObsRun(const Args& args)
+      : metrics_json_(args.Get("metrics-json", "")),
+        trace_json_(args.Get("trace-json", "")) {
+    if (!trace_json_.empty()) obs::StartTracing();
+  }
+  ~ObsRun() {
+    const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+    PrintObsTables(snap);
+    if (!metrics_json_.empty()) {
+      std::ofstream os(metrics_json_);
+      os << snap.RenderJson();
+      std::printf("metrics written to %s\n", metrics_json_.c_str());
+    }
+    if (!trace_json_.empty()) {
+      obs::StopTracingToFile(trace_json_);
+      std::printf("trace written to %s (chrome://tracing or Perfetto)\n",
+                  trace_json_.c_str());
+    }
+  }
+
+ private:
+  std::string metrics_json_;
+  std::string trace_json_;
+};
+
 int Usage() {
   std::fputs(
       "usage: gkgpu <command> [options]\n"
@@ -251,6 +354,9 @@ int Usage() {
       "  map-client      --socket PATH --reads FASTQ [--sam FILE]\n"
       "                  [--read-group ID] [--mapq-cap N]\n"
       "                  [--report-secondary]\n"
+      "  stats           --socket PATH   (Prometheus scrape of a daemon)\n"
+      "  (map and pipeline accept --metrics-json FILE for the registry\n"
+      "   snapshot and --trace-json FILE for a chrome://tracing timeline)\n"
       "  (FASTA references may be multi-chromosome; SAM output carries one\n"
       "   @SQ line per chromosome)\n",
       stderr);
@@ -632,6 +738,7 @@ int MapCmd(const Args& args) {
   bool ok = false;
   ReferenceInput input = LoadReferenceInput(args, &ok);
   if (!ok) return Usage();
+  ObsRun obs_run(args);
   if (args.Has("paired") || args.Has("interleaved")) {
     return MapPairedCmd(args, input.TakeReference());
   }
@@ -790,6 +897,7 @@ void PrintPipelineStats(const pipeline::PipelineStats& stats) {
 }
 
 int PipelineCmd(const Args& args) {
+  ObsRun obs_run(args);
   const int e = static_cast<int>(args.GetInt("e", 5));
   const int setup = static_cast<int>(args.GetInt("setup", 1));
   const int ndev = static_cast<int>(args.GetInt("devices", 2));
@@ -1067,6 +1175,15 @@ int MapClientCmd(const Args& args) {
   return 0;
 }
 
+/// `gkgpu stats`: scrape a running daemon's metrics registry and print
+/// the Prometheus text exposition to stdout.
+int StatsCmd(const Args& args) {
+  const std::string socket_path = args.Get("socket", "");
+  if (socket_path.empty()) return Usage();
+  std::fputs(serve::QueryStats(socket_path).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1084,6 +1201,7 @@ int main(int argc, char** argv) {
     if (cmd == "index") return IndexCmd(args);
     if (cmd == "serve") return ServeCmd(args);
     if (cmd == "map-client") return MapClientCmd(args);
+    if (cmd == "stats") return StatsCmd(args);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 1;
