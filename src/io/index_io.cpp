@@ -18,10 +18,12 @@ namespace gkgpu {
 
 namespace {
 
-// Fixed little-endian header.  All fields naturally aligned; the struct is
-// written/read by memcpy, so the layout is the format.  Bumping
+// Fixed little-endian headers.  All fields naturally aligned; the structs
+// are written/read by memcpy, so the layout is the format.  Bumping
 // kIndexFormatVersion is mandatory for any change here.
-struct IndexFileHeader {
+
+// Version 1: single dense CSR, whole-payload checksum only.
+struct IndexFileHeaderV1 {
   char magic[8];
   std::uint32_t version;
   std::uint32_t k;
@@ -39,11 +41,57 @@ struct IndexFileHeader {
   std::uint64_t payload_checksum;  // FNV over every byte after the header
   std::uint64_t header_checksum;   // FNV over the header, this field zeroed
 };
-static_assert(sizeof(IndexFileHeader) == 160,
+static_assert(sizeof(IndexFileHeaderV1) == 160,
               "header layout is the on-disk format; bump "
               "kIndexFormatVersion when it changes");
 
-std::uint64_t HeaderChecksum(IndexFileHeader h) {
+// Version 2: per-shard CSR sections described by a shard table, seed-mode
+// metadata, and a per-section checksum table so verification can name the
+// corrupt section.
+struct IndexFileHeaderV2 {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t k;
+  std::uint64_t genome_length;
+  std::uint64_t ref_fingerprint;
+  std::uint64_t index_fingerprint;  // IndexFingerprint(ref_fp, k, version)
+  std::uint64_t chrom_count;
+  std::uint32_t seed_mode;    // SeedMode numeric value (0 dense, 1 minimizer)
+  std::uint32_t minimizer_w;  // winnowing window; 0 in dense mode
+  std::uint64_t shard_count;
+  std::uint64_t chrom_table_offset, chrom_table_bytes;
+  std::uint64_t text_offset, text_bytes;
+  std::uint64_t enc_words_offset, enc_words_bytes;
+  std::uint64_t n_mask_offset, n_mask_bytes;
+  std::uint64_t shard_table_offset, shard_table_bytes;
+  std::uint64_t section_checksums_offset, section_checksums_bytes;
+  std::uint64_t payload_checksum;  // FNV over every byte after the header
+  std::uint64_t header_checksum;   // FNV over the header, this field zeroed
+};
+static_assert(sizeof(IndexFileHeaderV2) == 176,
+              "header layout is the on-disk format; bump "
+              "kIndexFormatVersion when it changes");
+
+/// One shard's slice of the genome plus the absolute geometry of its CSR
+/// sections — everything needed to mmap this shard independently.
+struct ShardTableEntry {
+  std::uint64_t chrom_begin, chrom_end;  // [begin, end) chromosome indexes
+  std::int64_t text_offset, text_length;
+  std::uint64_t offsets_offset, offsets_bytes;
+  std::uint64_t positions_offset, positions_bytes;
+};
+static_assert(sizeof(ShardTableEntry) == 64,
+              "shard table entries are the on-disk format");
+
+/// Order of the fixed entries in the v2 section-checksum table; per-shard
+/// CSR checksums (offsets chained with positions) follow.
+constexpr const char* kFixedSectionNames[] = {
+    "chromosome-table", "reference-text", "encoded-reference", "n-mask",
+    "shard-table"};
+constexpr std::uint64_t kFixedSectionCount = 5;
+
+template <typename Header>
+std::uint64_t HeaderChecksum(Header h) {
   h.header_checksum = 0;
   return FingerprintBytes(&h, sizeof(h));
 }
@@ -57,16 +105,23 @@ std::uint64_t AlignUp8(std::uint64_t n) { return (n + 7) & ~std::uint64_t{7}; }
 
 class SectionWriter {
  public:
-  explicit SectionWriter(std::ofstream& out) : out_(out) {}
+  SectionWriter(std::ofstream& out, std::uint64_t header_bytes)
+      : out_(out), cursor_(header_bytes) {}
 
   /// Writes `bytes` of `data` padded to the next 8-byte boundary, folds
   /// them (padding included) into the payload checksum, and returns the
-  /// section's file offset.
-  std::uint64_t Write(const void* data, std::uint64_t bytes) {
+  /// section's file offset.  When `section_sum` is non-null the unpadded
+  /// bytes are also chained into it — the per-section checksum the v2
+  /// verifier recomputes straight from the mapping.
+  std::uint64_t Write(const void* data, std::uint64_t bytes,
+                      std::uint64_t* section_sum = nullptr) {
     const std::uint64_t offset = cursor_;
     out_.write(static_cast<const char*>(data),
                static_cast<std::streamsize>(bytes));
     checksum_ = FingerprintBytes(data, bytes, checksum_);
+    if (section_sum != nullptr) {
+      *section_sum = FingerprintBytes(data, bytes, *section_sum);
+    }
     const std::uint64_t padded = AlignUp8(bytes);
     static constexpr char kZeros[8] = {};
     if (padded != bytes) {
@@ -82,7 +137,7 @@ class SectionWriter {
 
  private:
   std::ofstream& out_;
-  std::uint64_t cursor_ = sizeof(IndexFileHeader);
+  std::uint64_t cursor_;
   std::uint64_t checksum_ = kFingerprintSeed;
 };
 
@@ -90,19 +145,9 @@ std::uint64_t ExpectedOffsetsBytes(int k) {
   return ((std::uint64_t{1} << (2 * k)) + 1) * sizeof(std::uint32_t);
 }
 
-}  // namespace
-
-std::uint64_t WriteIndexFile(const std::string& path, const ReferenceSet& ref,
-                             const KmerIndex& index,
-                             const ReferenceEncoding& encoding) {
-  if (ref.empty()) Fail(path, "refusing to write an empty reference");
-  if (index.genome_length() != static_cast<std::size_t>(ref.length()) ||
-      encoding.length != ref.length()) {
-    Fail(path, "index/encoding were not built from this reference");
-  }
-
-  // Serialize the chromosome table: per chromosome u64 name length, the
-  // name bytes, then i64 offset + i64 length.
+/// Per chromosome: u64 name length, the name bytes, i64 offset + i64
+/// length.  Shared by both format versions.
+std::string SerializeChromTable(const ReferenceSet& ref) {
   std::string chrom_table;
   for (const ChromosomeInfo& c : ref.chromosomes()) {
     const std::uint64_t name_len = c.name.size();
@@ -114,13 +159,59 @@ std::uint64_t WriteIndexFile(const std::string& path, const ReferenceSet& ref,
     chrom_table.append(reinterpret_cast<const char*>(&c.length),
                        sizeof(c.length));
   }
+  return chrom_table;
+}
 
+std::vector<ChromosomeInfo> ParseChromTable(const std::string& path,
+                                            const char* data,
+                                            std::uint64_t bytes,
+                                            std::uint64_t count) {
+  std::vector<ChromosomeInfo> chroms;
+  chroms.reserve(count);
+  std::uint64_t cur = 0;
+  const auto take = [&](void* out, std::uint64_t n) {
+    if (cur + n > bytes) {
+      Fail(path, "truncated or corrupt: chromosome-table entries exceed "
+                 "their section");
+    }
+    std::memcpy(out, data + cur, n);
+    cur += n;
+  };
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t name_len = 0;
+    take(&name_len, sizeof(name_len));
+    if (name_len == 0 || name_len > bytes) {
+      Fail(path, "corrupt chromosome name length");
+    }
+    ChromosomeInfo c;
+    c.name.resize(name_len);
+    take(c.name.data(), name_len);
+    take(&c.offset, sizeof(c.offset));
+    take(&c.length, sizeof(c.length));
+    chroms.push_back(std::move(c));
+  }
+  return chroms;
+}
+
+}  // namespace
+
+std::uint64_t WriteIndexFileV1(const std::string& path,
+                               const ReferenceSet& ref,
+                               const KmerIndex& index,
+                               const ReferenceEncoding& encoding) {
+  if (ref.empty()) Fail(path, "refusing to write an empty reference");
+  if (index.genome_length() != static_cast<std::size_t>(ref.length()) ||
+      encoding.length != ref.length()) {
+    Fail(path, "index/encoding were not built from this reference");
+  }
+
+  const std::string chrom_table = SerializeChromTable(ref);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) Fail(path, "cannot open for writing");
 
-  IndexFileHeader h{};
+  IndexFileHeaderV1 h{};
   std::memcpy(h.magic, kIndexMagic, sizeof(kIndexMagic));
-  h.version = kIndexFormatVersion;
+  h.version = 1;
   h.k = static_cast<std::uint32_t>(index.k());
   h.genome_length = static_cast<std::uint64_t>(ref.length());
   h.ref_fingerprint = ref.fingerprint();
@@ -132,7 +223,7 @@ std::uint64_t WriteIndexFile(const std::string& path, const ReferenceSet& ref,
   out.write(reinterpret_cast<const char*>(&h),
             static_cast<std::streamsize>(sizeof(h)));
 
-  SectionWriter w(out);
+  SectionWriter w(out, sizeof(h));
   const std::string_view text = ref.text();
   const auto offsets = index.offsets();
   const auto positions = index.positions();
@@ -159,11 +250,110 @@ std::uint64_t WriteIndexFile(const std::string& path, const ReferenceSet& ref,
   return w.cursor();
 }
 
+std::uint64_t WriteIndexFile(const std::string& path, const ReferenceSet& ref,
+                             const SeedIndex& index,
+                             const ReferenceEncoding& encoding) {
+  if (ref.empty()) Fail(path, "refusing to write an empty reference");
+  if (index.shard_count() == 0 ||
+      index.genome_length() != static_cast<std::size_t>(ref.length()) ||
+      encoding.length != ref.length()) {
+    Fail(path, "index/encoding were not built from this reference");
+  }
+
+  const std::string chrom_table = SerializeChromTable(ref);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) Fail(path, "cannot open for writing");
+
+  IndexFileHeaderV2 h{};
+  std::memcpy(h.magic, kIndexMagic, sizeof(kIndexMagic));
+  h.version = kIndexFormatVersion;
+  h.k = static_cast<std::uint32_t>(index.k());
+  h.genome_length = static_cast<std::uint64_t>(ref.length());
+  h.ref_fingerprint = ref.fingerprint();
+  h.index_fingerprint =
+      IndexFingerprint(h.ref_fingerprint, index.k(), h.version);
+  h.chrom_count = ref.chromosome_count();
+  h.seed_mode = static_cast<std::uint32_t>(index.mode());
+  h.minimizer_w = static_cast<std::uint32_t>(index.minimizer_w());
+  h.shard_count = index.shard_count();
+
+  out.write(reinterpret_cast<const char*>(&h),
+            static_cast<std::streamsize>(sizeof(h)));
+
+  SectionWriter w(out, sizeof(h));
+  std::vector<std::uint64_t> sums;  // the section-checksum table
+  const auto fixed_section = [&](const void* data, std::uint64_t bytes,
+                                 std::uint64_t* offset,
+                                 std::uint64_t* size) {
+    std::uint64_t sum = kFingerprintSeed;
+    *size = bytes;
+    *offset = w.Write(data, bytes, &sum);
+    sums.push_back(sum);
+  };
+  const std::string_view text = ref.text();
+  fixed_section(chrom_table.data(), chrom_table.size(),
+                &h.chrom_table_offset, &h.chrom_table_bytes);
+  fixed_section(text.data(), text.size(), &h.text_offset, &h.text_bytes);
+  fixed_section(encoding.words.data(), encoding.words.size() * sizeof(Word),
+                &h.enc_words_offset, &h.enc_words_bytes);
+  fixed_section(encoding.n_mask.data(), encoding.n_mask.size() * sizeof(Word),
+                &h.n_mask_offset, &h.n_mask_bytes);
+
+  // Per-shard CSR sections stream first; the shard table describing them
+  // follows, then the checksum table (its own integrity rides on the
+  // whole-payload checksum).
+  const std::size_t n = index.shard_count();
+  std::vector<ShardTableEntry> entries(n);
+  std::vector<std::uint64_t> shard_sums(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const ShardInfo& info = index.plan().shard(s);
+    const KmerIndex& shard = index.shard(s);
+    ShardTableEntry& e = entries[s];
+    e.chrom_begin = info.chrom_begin;
+    e.chrom_end = info.chrom_end;
+    e.text_offset = info.text_offset;
+    e.text_length = info.text_length;
+    std::uint64_t sum = kFingerprintSeed;
+    const auto offsets = shard.offsets();
+    const auto positions = shard.positions();
+    e.offsets_bytes = offsets.size_bytes();
+    e.offsets_offset = w.Write(offsets.data(), offsets.size_bytes(), &sum);
+    e.positions_bytes = positions.size_bytes();
+    e.positions_offset =
+        w.Write(positions.data(), positions.size_bytes(), &sum);
+    shard_sums[s] = sum;
+  }
+  fixed_section(entries.data(), entries.size() * sizeof(ShardTableEntry),
+                &h.shard_table_offset, &h.shard_table_bytes);
+  sums.insert(sums.end(), shard_sums.begin(), shard_sums.end());
+  h.section_checksums_bytes = sums.size() * sizeof(std::uint64_t);
+  h.section_checksums_offset =
+      w.Write(sums.data(), h.section_checksums_bytes);
+  h.payload_checksum = w.checksum();
+  h.header_checksum = HeaderChecksum(h);
+
+  out.seekp(0);
+  out.write(reinterpret_cast<const char*>(&h),
+            static_cast<std::streamsize>(sizeof(h)));
+  out.flush();
+  if (!out) Fail(path, "write failed (disk full?)");
+  return w.cursor();
+}
+
 std::uint64_t BuildAndWriteIndexFile(const std::string& path,
-                                     const ReferenceSet& ref, int k) {
-  const KmerIndex index(ref.text(), k);
+                                     const ReferenceSet& ref,
+                                     const SeedConfig& config) {
+  if (ref.empty()) Fail(path, "refusing to write an empty reference");
+  const SeedIndex index = SeedIndex::Build(ref, config);
   const ReferenceEncoding encoding = EncodeReference(ref.text());
   return WriteIndexFile(path, ref, index, encoding);
+}
+
+std::uint64_t BuildAndWriteIndexFile(const std::string& path,
+                                     const ReferenceSet& ref, int k) {
+  SeedConfig config;
+  config.k = k;
+  return BuildAndWriteIndexFile(path, ref, config);
 }
 
 MappedIndexFile MappedIndexFile::Open(const std::string& path,
@@ -177,7 +367,7 @@ MappedIndexFile MappedIndexFile::Open(const std::string& path,
     Fail(path, std::string("fstat failed: ") + std::strerror(err));
   }
   const std::uint64_t file_bytes = static_cast<std::uint64_t>(st.st_size);
-  if (file_bytes < sizeof(IndexFileHeader)) {
+  if (file_bytes < sizeof(IndexFileHeaderV1)) {
     ::close(fd);
     Fail(path, "truncated: smaller than the index header");
   }
@@ -193,62 +383,178 @@ MappedIndexFile MappedIndexFile::Open(const std::string& path,
   f.map_bytes_ = file_bytes;
   const char* base = static_cast<const char*>(map);
 
-  IndexFileHeader h{};
-  std::memcpy(&h, base, sizeof(h));
-  if (std::memcmp(h.magic, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+  // Magic and version share an offset across every format version, so
+  // they are checked before picking a header layout.
+  char magic[8];
+  std::uint32_t version = 0;
+  std::memcpy(magic, base, sizeof(magic));
+  std::memcpy(&version, base + sizeof(magic), sizeof(version));
+  if (std::memcmp(magic, kIndexMagic, sizeof(kIndexMagic)) != 0) {
     Fail(path, "bad magic (not a GKGPUIDX index file)");
   }
-  if (h.version != kIndexFormatVersion) {
-    Fail(path, "format version " + std::to_string(h.version) +
-                   " does not match this build's version " +
+  if (version < kIndexMinSupportedVersion || version > kIndexFormatVersion) {
+    Fail(path, "found format version " + std::to_string(version) +
+                   ", but this build supports versions " +
+                   std::to_string(kIndexMinSupportedVersion) + " through " +
                    std::to_string(kIndexFormatVersion) +
                    " — rebuild the index with `gkgpu index`");
   }
+  f.format_version_ = version;
+
+  const std::uint64_t header_bytes = version == 1
+                                         ? sizeof(IndexFileHeaderV1)
+                                         : sizeof(IndexFileHeaderV2);
+  if (file_bytes < header_bytes) {
+    Fail(path, "truncated: smaller than the index header");
+  }
+  const auto section = [&](std::uint64_t offset, std::uint64_t bytes,
+                           const std::string& what) -> const char* {
+    if (offset < header_bytes || offset % 8 != 0 || bytes > file_bytes ||
+        offset > file_bytes - bytes) {
+      Fail(path,
+           "truncated or corrupt: " + what + " section exceeds the file");
+    }
+    return base + offset;
+  };
+
+  if (version == 1) {
+    IndexFileHeaderV1 h{};
+    std::memcpy(&h, base, sizeof(h));
+    if (HeaderChecksum(h) != h.header_checksum) {
+      Fail(path, "header checksum mismatch (corrupt header)");
+    }
+    if (h.k < 4 || h.k > 14) {
+      Fail(path, "seed length k=" + std::to_string(h.k) + " out of range");
+    }
+    if (h.genome_length == 0 ||
+        h.genome_length > KmerIndex::kMaxGenomeLength) {
+      Fail(path, "genome length out of range");
+    }
+    if (h.index_fingerprint !=
+        IndexFingerprint(h.ref_fingerprint, static_cast<int>(h.k),
+                         h.version)) {
+      Fail(path, "fingerprint mismatch: the index does not correspond to "
+                 "the reference it claims to cover");
+    }
+
+    const char* chrom_table = section(h.chrom_table_offset,
+                                      h.chrom_table_bytes, "chromosome-table");
+    const char* text = section(h.text_offset, h.text_bytes, "reference-text");
+    const char* offsets_raw =
+        section(h.offsets_offset, h.offsets_bytes, "kmer-offsets");
+    const char* positions_raw =
+        section(h.positions_offset, h.positions_bytes, "kmer-positions");
+    const char* enc_raw =
+        section(h.enc_words_offset, h.enc_words_bytes, "encoded-reference");
+    const char* nmask_raw = section(h.n_mask_offset, h.n_mask_bytes, "n-mask");
+
+    if (h.text_bytes != h.genome_length) {
+      Fail(path, "reference-text section does not match the genome length");
+    }
+    if (h.offsets_bytes != ExpectedOffsetsBytes(static_cast<int>(h.k))) {
+      Fail(path, "kmer-offset table has the wrong size for k=" +
+                     std::to_string(h.k));
+    }
+    if (h.positions_bytes % sizeof(std::uint32_t) != 0 ||
+        h.enc_words_bytes !=
+            ((h.genome_length + kBasesPerWord - 1) / kBasesPerWord) *
+                sizeof(Word) ||
+        h.n_mask_bytes !=
+            ((h.genome_length + kWordBits - 1) / kWordBits) * sizeof(Word)) {
+      Fail(path, "section sizes are inconsistent with the genome length");
+    }
+
+    if (options.verify_checksum) {
+      const std::uint64_t payload =
+          FingerprintBytes(base + sizeof(h), file_bytes - sizeof(h));
+      if (payload != h.payload_checksum) {
+        Fail(path, "payload checksum mismatch (corrupt index data)");
+      }
+    }
+
+    try {
+      f.reference_ = ReferenceSet::View(
+          ParseChromTable(path, chrom_table, h.chrom_table_bytes,
+                          h.chrom_count),
+          std::string_view(text, h.text_bytes), h.ref_fingerprint);
+      KmerIndex view = KmerIndex::View(
+          static_cast<int>(h.k), h.genome_length,
+          std::span<const std::uint32_t>(
+              reinterpret_cast<const std::uint32_t*>(offsets_raw),
+              h.offsets_bytes / sizeof(std::uint32_t)),
+          std::span<const std::uint32_t>(
+              reinterpret_cast<const std::uint32_t*>(positions_raw),
+              h.positions_bytes / sizeof(std::uint32_t)));
+      // A v1 file is by construction one dense shard covering everything.
+      std::vector<KmerIndex> shards;
+      shards.push_back(std::move(view));
+      f.index_ = SeedIndex::View(ShardPlan::Partition(f.reference_, 0),
+                                 SeedMode::kDense, 0, std::move(shards));
+    } catch (const std::invalid_argument& e) {
+      Fail(path, std::string("corrupt index structure: ") + e.what());
+    }
+    f.encoding_ = ReferenceEncodingView{
+        static_cast<std::int64_t>(h.genome_length),
+        std::span<const Word>(reinterpret_cast<const Word*>(enc_raw),
+                              h.enc_words_bytes / sizeof(Word)),
+        std::span<const Word>(reinterpret_cast<const Word*>(nmask_raw),
+                              h.n_mask_bytes / sizeof(Word))};
+    f.k_ = static_cast<int>(h.k);
+    f.ref_fingerprint_ = h.ref_fingerprint;
+    return f;
+  }
+
+  IndexFileHeaderV2 h{};
+  std::memcpy(&h, base, sizeof(h));
   if (HeaderChecksum(h) != h.header_checksum) {
     Fail(path, "header checksum mismatch (corrupt header)");
   }
   if (h.k < 4 || h.k > 14) {
     Fail(path, "seed length k=" + std::to_string(h.k) + " out of range");
   }
-  if (h.genome_length == 0 || h.genome_length > KmerIndex::kMaxGenomeLength) {
+  if (h.genome_length == 0) {
     Fail(path, "genome length out of range");
+  }
+  if (h.seed_mode > static_cast<std::uint32_t>(SeedMode::kMinimizer)) {
+    Fail(path, "unknown seed mode " + std::to_string(h.seed_mode));
+  }
+  const bool minimizer = h.seed_mode ==
+                         static_cast<std::uint32_t>(SeedMode::kMinimizer);
+  if (minimizer && (h.minimizer_w < 1 || h.minimizer_w > 255)) {
+    Fail(path, "minimizer window w=" + std::to_string(h.minimizer_w) +
+                   " out of range");
   }
   if (h.index_fingerprint !=
       IndexFingerprint(h.ref_fingerprint, static_cast<int>(h.k), h.version)) {
     Fail(path, "fingerprint mismatch: the index does not correspond to the "
                "reference it claims to cover");
   }
+  if (h.shard_count == 0 ||
+      h.shard_count > file_bytes / sizeof(ShardTableEntry) ||
+      h.shard_table_bytes != h.shard_count * sizeof(ShardTableEntry)) {
+    Fail(path, "shard table has the wrong size for its shard count");
+  }
+  if (h.section_checksums_bytes !=
+      (kFixedSectionCount + h.shard_count) * sizeof(std::uint64_t)) {
+    Fail(path, "section-checksum table has the wrong size");
+  }
 
-  const auto section = [&](std::uint64_t offset, std::uint64_t bytes,
-                           const char* what) -> const char* {
-    if (offset < sizeof(IndexFileHeader) || offset % 8 != 0 ||
-        bytes > file_bytes || offset > file_bytes - bytes) {
-      Fail(path, std::string("truncated or corrupt: ") + what +
-                     " section exceeds the file");
-    }
-    return base + offset;
-  };
-
-  const char* chrom_table =
-      section(h.chrom_table_offset, h.chrom_table_bytes, "chromosome-table");
+  const char* chrom_table = section(h.chrom_table_offset, h.chrom_table_bytes,
+                                    "chromosome-table");
   const char* text = section(h.text_offset, h.text_bytes, "reference-text");
-  const char* offsets_raw =
-      section(h.offsets_offset, h.offsets_bytes, "kmer-offsets");
-  const char* positions_raw =
-      section(h.positions_offset, h.positions_bytes, "kmer-positions");
   const char* enc_raw =
       section(h.enc_words_offset, h.enc_words_bytes, "encoded-reference");
   const char* nmask_raw = section(h.n_mask_offset, h.n_mask_bytes, "n-mask");
+  const char* shard_table_raw =
+      section(h.shard_table_offset, h.shard_table_bytes, "shard-table");
+  const char* sums_raw = section(h.section_checksums_offset,
+                                 h.section_checksums_bytes,
+                                 "section-checksum-table");
 
   if (h.text_bytes != h.genome_length) {
     Fail(path, "reference-text section does not match the genome length");
   }
-  if (h.offsets_bytes != ExpectedOffsetsBytes(static_cast<int>(h.k))) {
-    Fail(path, "kmer-offset table has the wrong size for k=" +
-                   std::to_string(h.k));
-  }
-  if (h.positions_bytes % sizeof(std::uint32_t) != 0 ||
-      h.enc_words_bytes !=
+  if (h.enc_words_bytes !=
           ((h.genome_length + kBasesPerWord - 1) / kBasesPerWord) *
               sizeof(Word) ||
       h.n_mask_bytes !=
@@ -256,53 +562,84 @@ MappedIndexFile MappedIndexFile::Open(const std::string& path,
     Fail(path, "section sizes are inconsistent with the genome length");
   }
 
+  std::vector<ShardTableEntry> entries(h.shard_count);
+  std::memcpy(entries.data(), shard_table_raw, h.shard_table_bytes);
+  for (std::uint64_t s = 0; s < h.shard_count; ++s) {
+    const ShardTableEntry& e = entries[s];
+    const std::string name = "shard-" + std::to_string(s);
+    if (e.offsets_bytes != ExpectedOffsetsBytes(static_cast<int>(h.k))) {
+      Fail(path, name + " kmer-offset table has the wrong size for k=" +
+                     std::to_string(h.k));
+    }
+    if (e.positions_bytes % sizeof(std::uint32_t) != 0) {
+      Fail(path, name + " kmer-positions section is misaligned");
+    }
+    (void)section(e.offsets_offset, e.offsets_bytes, name + " kmer-offsets");
+    (void)section(e.positions_offset, e.positions_bytes,
+                  name + " kmer-positions");
+  }
+
   if (options.verify_checksum) {
-    const std::uint64_t payload = FingerprintBytes(
-        base + sizeof(IndexFileHeader), file_bytes - sizeof(IndexFileHeader));
+    // Per-section verification: a mismatch names the section instead of
+    // the v1 "somewhere in the payload" diagnosis.
+    std::vector<std::uint64_t> stored(kFixedSectionCount + h.shard_count);
+    std::memcpy(stored.data(), sums_raw, h.section_checksums_bytes);
+    const char* fixed_data[kFixedSectionCount] = {chrom_table, text, enc_raw,
+                                                  nmask_raw, shard_table_raw};
+    const std::uint64_t fixed_bytes[kFixedSectionCount] = {
+        h.chrom_table_bytes, h.text_bytes, h.enc_words_bytes, h.n_mask_bytes,
+        h.shard_table_bytes};
+    for (std::uint64_t i = 0; i < kFixedSectionCount; ++i) {
+      if (FingerprintBytes(fixed_data[i], fixed_bytes[i]) != stored[i]) {
+        Fail(path, std::string("checksum mismatch in section '") +
+                       kFixedSectionNames[i] + "' (corrupt index data)");
+      }
+    }
+    for (std::uint64_t s = 0; s < h.shard_count; ++s) {
+      const ShardTableEntry& e = entries[s];
+      std::uint64_t sum = FingerprintBytes(base + e.offsets_offset,
+                                           e.offsets_bytes);
+      sum = FingerprintBytes(base + e.positions_offset, e.positions_bytes,
+                             sum);
+      if (sum != stored[kFixedSectionCount + s]) {
+        Fail(path, "checksum mismatch in section 'shard-" +
+                       std::to_string(s) + "-csr' (corrupt index data)");
+      }
+    }
+    const std::uint64_t payload =
+        FingerprintBytes(base + sizeof(h), file_bytes - sizeof(h));
     if (payload != h.payload_checksum) {
       Fail(path, "payload checksum mismatch (corrupt index data)");
     }
   }
 
-  // Parse the chromosome table (bounds-checked byte cursor).
-  std::vector<ChromosomeInfo> chroms;
-  chroms.reserve(h.chrom_count);
-  std::uint64_t cur = 0;
-  const auto take = [&](void* out, std::uint64_t n) {
-    if (cur + n > h.chrom_table_bytes) {
-      Fail(path, "truncated or corrupt: chromosome-table entries exceed "
-                 "their section");
-    }
-    std::memcpy(out, chrom_table + cur, n);
-    cur += n;
-  };
-  for (std::uint64_t i = 0; i < h.chrom_count; ++i) {
-    std::uint64_t name_len = 0;
-    take(&name_len, sizeof(name_len));
-    if (name_len == 0 || name_len > h.chrom_table_bytes) {
-      Fail(path, "corrupt chromosome name length");
-    }
-    ChromosomeInfo c;
-    c.name.resize(name_len);
-    take(c.name.data(), name_len);
-    take(&c.offset, sizeof(c.offset));
-    take(&c.length, sizeof(c.length));
-    chroms.push_back(std::move(c));
-  }
-
   try {
-    f.reference_ =
-        ReferenceSet::View(std::move(chroms),
-                           std::string_view(text, h.text_bytes),
-                           h.ref_fingerprint);
-    f.index_ = KmerIndex::View(
-        static_cast<int>(h.k), h.genome_length,
-        std::span<const std::uint32_t>(
-            reinterpret_cast<const std::uint32_t*>(offsets_raw),
-            h.offsets_bytes / sizeof(std::uint32_t)),
-        std::span<const std::uint32_t>(
-            reinterpret_cast<const std::uint32_t*>(positions_raw),
-            h.positions_bytes / sizeof(std::uint32_t)));
+    f.reference_ = ReferenceSet::View(
+        ParseChromTable(path, chrom_table, h.chrom_table_bytes,
+                        h.chrom_count),
+        std::string_view(text, h.text_bytes), h.ref_fingerprint);
+    std::vector<ShardInfo> infos;
+    infos.reserve(entries.size());
+    std::vector<KmerIndex> shards;
+    shards.reserve(entries.size());
+    for (const ShardTableEntry& e : entries) {
+      infos.push_back(ShardInfo{static_cast<std::size_t>(e.chrom_begin),
+                                static_cast<std::size_t>(e.chrom_end),
+                                e.text_offset, e.text_length});
+      shards.push_back(KmerIndex::View(
+          static_cast<int>(h.k), static_cast<std::size_t>(e.text_length),
+          std::span<const std::uint32_t>(
+              reinterpret_cast<const std::uint32_t*>(base + e.offsets_offset),
+              e.offsets_bytes / sizeof(std::uint32_t)),
+          std::span<const std::uint32_t>(
+              reinterpret_cast<const std::uint32_t*>(base +
+                                                     e.positions_offset),
+              e.positions_bytes / sizeof(std::uint32_t))));
+    }
+    f.index_ = SeedIndex::View(
+        ShardPlan::FromShards(std::move(infos), f.reference_),
+        static_cast<SeedMode>(h.seed_mode),
+        static_cast<int>(h.minimizer_w), std::move(shards));
   } catch (const std::invalid_argument& e) {
     Fail(path, std::string("corrupt index structure: ") + e.what());
   }
@@ -321,6 +658,7 @@ MappedIndexFile::MappedIndexFile(MappedIndexFile&& other) noexcept
     : map_(std::exchange(other.map_, nullptr)),
       map_bytes_(std::exchange(other.map_bytes_, 0)),
       k_(other.k_),
+      format_version_(other.format_version_),
       ref_fingerprint_(other.ref_fingerprint_),
       reference_(std::move(other.reference_)),
       index_(std::move(other.index_)),
@@ -332,6 +670,7 @@ MappedIndexFile& MappedIndexFile::operator=(MappedIndexFile&& other) noexcept {
     map_ = std::exchange(other.map_, nullptr);
     map_bytes_ = std::exchange(other.map_bytes_, 0);
     k_ = other.k_;
+    format_version_ = other.format_version_;
     ref_fingerprint_ = other.ref_fingerprint_;
     reference_ = std::move(other.reference_);
     index_ = std::move(other.index_);

@@ -1,18 +1,29 @@
 // Persistent on-disk index ("GKGPUIDX"): one file holding everything a
-// mapper needs at startup — the k-mer CSR index, the 2-bit encoded
-// reference with its N-mask, the raw reference text, and the chromosome
-// table.  `gkgpu index` writes it once; every later `map`/`pipeline`/
-// `serve` invocation mmaps it and is ready in microseconds, with the page
-// cache sharing the hot arrays across processes.
+// mapper needs at startup — the per-shard k-mer CSR indexes, the 2-bit
+// encoded reference with its N-mask, the raw reference text, and the
+// chromosome table.  `gkgpu index` writes it once; every later `map`/
+// `pipeline`/`serve` invocation mmaps it and is ready in microseconds,
+// with the page cache sharing the hot arrays across processes.
 //
-// Layout: a fixed little-endian header (magic, format version, k, sizes,
-// fingerprints, per-section offset/size table, checksums) followed by
-// 8-byte-aligned sections.  Loading never copies the big arrays — the
-// KmerIndex and ReferenceSet come back in view mode, spanning straight
-// into the mapping.  Validation is layered: the header (magic, version,
-// section geometry, header checksum, fingerprint consistency) is always
-// checked; the full payload checksum is opt-in (IndexLoadOptions) because
-// hashing gigabytes would forfeit the instant-load property.
+// Format version 2 (current): a fixed little-endian header (magic,
+// version, k, seed mode, winnowing window, sizes, fingerprints, section
+// geometry, checksums) followed by 8-byte-aligned sections — chromosome
+// table, reference text, encoded reference, N-mask, one CSR
+// (offsets + positions) per shard, the shard table, and a per-section
+// checksum table.  Each shard's CSR is independently mmap-able: its
+// geometry lives in its 64-byte shard-table entry, so a future reader
+// could fault in only the shards it queries.  Version 1 files (single
+// shard, dense seeds, whole-payload checksum only) still load; the
+// reader presents them as a one-shard SeedIndex.
+//
+// Loading never copies the big arrays — the SeedIndex and ReferenceSet
+// come back in view mode, spanning straight into the mapping.
+// Validation is layered: the header (magic, version range, section
+// geometry, header checksum, fingerprint consistency) is always checked;
+// the checksums over the payload are opt-in (IndexLoadOptions) because
+// hashing gigabytes would forfeit the instant-load property.  On v2
+// files the opt-in check verifies each section independently and names
+// the corrupt one.
 #ifndef GKGPU_IO_INDEX_IO_HPP
 #define GKGPU_IO_INDEX_IO_HPP
 
@@ -25,42 +36,60 @@
 
 #include "encode/encoded.hpp"
 #include "io/reference.hpp"
-#include "mapper/index.hpp"
+#include "mapper/seed_index.hpp"
 
 namespace gkgpu {
 
 inline constexpr char kIndexMagic[8] = {'G', 'K', 'G', 'P',
                                         'U', 'I', 'D', 'X'};
-inline constexpr std::uint32_t kIndexFormatVersion = 1;
+inline constexpr std::uint32_t kIndexFormatVersion = 2;
+/// Oldest format version the reader still accepts (v1: single-shard,
+/// dense-only).  Version-skew errors report this range.
+inline constexpr std::uint32_t kIndexMinSupportedVersion = 1;
 
-/// Builds the three persisted artifacts from a reference and writes the
-/// index file.  `k` is the seed length the CSR index is built with.
+/// Writes a version-2 index file from an already-built sharded index.
 /// Returns the number of bytes written; throws std::runtime_error on I/O
 /// failure.
 std::uint64_t WriteIndexFile(const std::string& path, const ReferenceSet& ref,
-                             const KmerIndex& index,
+                             const SeedIndex& index,
                              const ReferenceEncoding& encoding);
 
-/// Convenience: build index + encoding from `ref` and write in one step.
+/// Legacy version-1 writer (single-shard, dense seeds).  Kept so the
+/// v1 -> v2 back-compat read path stays testable without checked-in
+/// binary fixtures.
+std::uint64_t WriteIndexFileV1(const std::string& path,
+                               const ReferenceSet& ref,
+                               const KmerIndex& index,
+                               const ReferenceEncoding& encoding);
+
+/// Convenience: build the sharded index + encoding from `ref` and write
+/// in one step.
+std::uint64_t BuildAndWriteIndexFile(const std::string& path,
+                                     const ReferenceSet& ref,
+                                     const SeedConfig& config);
+/// Dense single-budget shorthand (k only), the pre-sharding signature.
 std::uint64_t BuildAndWriteIndexFile(const std::string& path,
                                      const ReferenceSet& ref, int k);
 
 struct IndexLoadOptions {
-  /// Hash the whole payload and compare against the stored checksum.
-  /// Catches bit rot and truncation-past-the-header; costs a full scan of
-  /// the file, so the default trusts the header checks.
+  /// Hash the payload and compare against the stored checksums.  On v2
+  /// files each section is verified independently and a mismatch names
+  /// the corrupt section; v1 files only carry a whole-payload checksum.
+  /// Costs a full scan of the file, so the default trusts the header
+  /// checks.
   bool verify_checksum = false;
 };
 
 /// An open, validated, mmap'd index file.  The accessors return views into
 /// the mapping — the MappedIndexFile must outlive every ReferenceSet /
-/// KmerIndex / encoding view handed out.  Movable, not copyable; the
+/// SeedIndex / encoding view handed out.  Movable, not copyable; the
 /// destructor unmaps.
 class MappedIndexFile {
  public:
   /// Opens + validates; throws std::runtime_error with a diagnosis of
-  /// exactly what is wrong (bad magic, version skew, truncation, checksum
-  /// or fingerprint mismatch) rather than producing silent garbage.
+  /// exactly what is wrong (bad magic, version skew with the supported
+  /// range, truncation, checksum or fingerprint mismatch) rather than
+  /// producing silent garbage.
   static MappedIndexFile Open(const std::string& path,
                               const IndexLoadOptions& options = {});
 
@@ -71,13 +100,18 @@ class MappedIndexFile {
   ~MappedIndexFile();
 
   int k() const { return k_; }
+  std::uint32_t format_version() const { return format_version_; }
   std::uint64_t reference_fingerprint() const { return ref_fingerprint_; }
   std::uint64_t file_bytes() const { return map_bytes_; }
+  SeedMode seed_mode() const { return index_.mode(); }
+  int minimizer_w() const { return index_.minimizer_w(); }
+  std::size_t shard_count() const { return index_.shard_count(); }
 
   /// View-mode reference over the mapped text + parsed chromosome table.
   const ReferenceSet& reference() const { return reference_; }
-  /// View-mode CSR index spanning the mapped offset/position arrays.
-  const KmerIndex& index() const { return index_; }
+  /// View-mode sharded index spanning the mapped CSR arrays (one shard
+  /// for v1 files).
+  const SeedIndex& seed_index() const { return index_; }
   /// Spans over the persisted 2-bit encoding — feed straight to
   /// GateKeeperGpuEngine::LoadReference to skip host re-encoding.
   const ReferenceEncodingView& encoding() const { return encoding_; }
@@ -89,9 +123,10 @@ class MappedIndexFile {
   void* map_ = nullptr;
   std::uint64_t map_bytes_ = 0;
   int k_ = 0;
+  std::uint32_t format_version_ = 0;
   std::uint64_t ref_fingerprint_ = 0;
   ReferenceSet reference_;
-  KmerIndex index_;  // view mode, set in Open
+  SeedIndex index_;  // view mode, set in Open
   ReferenceEncodingView encoding_;
 };
 

@@ -43,6 +43,13 @@ class KmerIndex {
                         std::span<const std::uint32_t> offsets,
                         std::span<const std::uint32_t> positions);
 
+  /// Owning index adopting an externally built CSR layout (the minimizer
+  /// seeder builds its sparse CSR this way).  Same shape validation as
+  /// View(); the index takes ownership of the vectors.
+  static KmerIndex FromCsr(int k, std::size_t genome_length,
+                           std::vector<std::uint32_t> offsets,
+                           std::vector<std::uint32_t> positions);
+
   // Views alias storage they do not own; copying an owning index would
   // silently re-point the copy's spans at the original's buffers.  Moves
   // are safe (vector buffers are address-stable across moves).

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "align/banded.hpp"
+#include "mapper/minimizer.hpp"
 #include "obs/names.hpp"
 #include "encode/revcomp.hpp"
 #include "pipeline/candidate_packer.hpp"
@@ -17,14 +18,17 @@ namespace gkgpu {
 ReadMapper::ReadMapper(ReferenceSet reference, MapperConfig config)
     : ref_(std::move(reference)),
       config_(config),
-      index_(ref_.text(), config.k),
+      index_(SeedIndex::Build(ref_,
+                              SeedConfig{config.k, config.seed_mode,
+                                         config.minimizer_w,
+                                         config.shard_max_bp})),
       verify_pool_(std::make_unique<ThreadPool>(config.verify_threads,
                                                 "gkgpu-verify")) {}
 
 ReadMapper::ReadMapper(std::string genome, MapperConfig config)
     : ReadMapper(ReferenceSet("synthetic_chr1", std::move(genome)), config) {}
 
-ReadMapper::ReadMapper(ReferenceSet reference, KmerIndex index,
+ReadMapper::ReadMapper(ReferenceSet reference, SeedIndex index,
                        MapperConfig config)
     : ref_(std::move(reference)),
       config_(config),
@@ -43,14 +47,17 @@ ReadMapper::ReadMapper(ReferenceSet reference, KmerIndex index,
         std::to_string(index_.genome_length()) +
         " bases but the reference holds " + std::to_string(ref_.length()));
   }
+  // Seeding must run the strategy the persisted CSR encodes.
+  config_.seed_mode = index_.mode();
+  if (index_.mode() == SeedMode::kMinimizer) {
+    config_.minimizer_w = index_.minimizer_w();
+  }
 }
 
 ReadMapper::~ReadMapper() = default;
 
-void ReadMapper::CollectCandidates(std::string_view read,
-                                   std::vector<std::int64_t>* candidates)
-    const {
-  candidates->clear();
+void ReadMapper::CollectDense(std::string_view read,
+                              std::vector<std::int64_t>* candidates) const {
   const int L = static_cast<int>(read.size());
   const int k = config_.k;
   // Pigeonhole seeding: e+1 non-overlapping k-mers guarantee that a read
@@ -58,22 +65,73 @@ void ReadMapper::CollectCandidates(std::string_view read,
   const int max_seeds = L / k;
   const int n_seeds = std::min(config_.error_threshold + 1, max_seeds);
   const std::int64_t genome_len = ref_.length();
+  const std::size_t shards = index_.shard_count();
   for (int s = 0; s < n_seeds; ++s) {
     const int offset = s * k;
-    const auto hits =
-        index_.Lookup(read.substr(static_cast<std::size_t>(offset),
-                                  static_cast<std::size_t>(k)));
-    for (const std::uint32_t pos : hits) {
-      const std::int64_t start = static_cast<std::int64_t>(pos) - offset;
-      if (start < 0 || start + L > genome_len) continue;
-      // A window reaching across a chromosome junction would align the
-      // read against a chimeric segment; drop it at seeding time.
-      if (ref_.chromosome_count() > 1 &&
-          !ref_.WindowWithinChromosome(start, L)) {
-        continue;
+    const std::int64_t code = index_.shard(0).Encode(
+        read.substr(static_cast<std::size_t>(offset),
+                    static_cast<std::size_t>(k)));
+    if (code < 0) continue;
+    for (std::size_t sh = 0; sh < shards; ++sh) {
+      const std::int64_t shard_base = index_.plan().shard(sh).text_offset;
+      for (const std::uint32_t pos : index_.shard(sh).LookupCode(code)) {
+        // Shard-local hit -> global candidate window.  Because shards tile
+        // chromosome groups, every window that survives the junction check
+        // below lies inside one shard; the merged set across shards is
+        // exactly what one monolithic index would seed.
+        const std::int64_t start =
+            shard_base + static_cast<std::int64_t>(pos) - offset;
+        if (start < 0 || start + L > genome_len) continue;
+        // A window reaching across a chromosome junction would align the
+        // read against a chimeric segment; drop it at seeding time.
+        if (ref_.chromosome_count() > 1 &&
+            !ref_.WindowWithinChromosome(start, L)) {
+          continue;
+        }
+        candidates->push_back(start);
       }
-      candidates->push_back(start);
     }
+  }
+}
+
+void ReadMapper::CollectMinimizerSeeds(
+    std::string_view read, std::vector<std::int64_t>* candidates) const {
+  const int L = static_cast<int>(read.size());
+  const std::int64_t genome_len = ref_.length();
+  const std::size_t shards = index_.shard_count();
+  thread_local std::vector<MinimizerHit> hits;
+  hits.clear();
+  CollectMinimizers(read, index_.k(), index_.minimizer_w(), &hits);
+  for (const MinimizerHit& m : hits) {
+    for (std::size_t sh = 0; sh < shards; ++sh) {
+      const std::int64_t shard_base = index_.plan().shard(sh).text_offset;
+      for (const std::uint32_t pos :
+           index_.shard(sh).LookupCode(static_cast<std::int64_t>(m.code))) {
+        // Anchor the read so its minimizer coincides with the reference's:
+        // both sides select the same k-mer of any shared error-free window
+        // of w+k-1 bases (selection is a pure function of window content).
+        const std::int64_t start = shard_base +
+                                   static_cast<std::int64_t>(pos) -
+                                   static_cast<std::int64_t>(m.pos);
+        if (start < 0 || start + L > genome_len) continue;
+        if (ref_.chromosome_count() > 1 &&
+            !ref_.WindowWithinChromosome(start, L)) {
+          continue;
+        }
+        candidates->push_back(start);
+      }
+    }
+  }
+}
+
+void ReadMapper::CollectCandidates(std::string_view read,
+                                   std::vector<std::int64_t>* candidates)
+    const {
+  candidates->clear();
+  if (config_.seed_mode == SeedMode::kMinimizer) {
+    CollectMinimizerSeeds(read, candidates);
+  } else {
+    CollectDense(read, candidates);
   }
   std::sort(candidates->begin(), candidates->end());
   candidates->erase(std::unique(candidates->begin(), candidates->end()),
@@ -95,11 +153,25 @@ void ReadMapper::CollectCandidatesOriented(
   for (const std::int64_t pos : *scratch) candidates->push_back({pos, 1});
 }
 
+void ReadMapper::PublishSeedObservability(const MappingStats& stats) const {
+  obs::CandidatesSeeded().Inc(stats.candidates_total);
+  obs::SeederCandidates(SeedModeName(config_.seed_mode))
+      .Inc(stats.candidates_total);
+  for (std::size_t s = 0; s < stats.shard_candidates.size(); ++s) {
+    obs::ShardCandidates(std::to_string(s)).Inc(stats.shard_candidates[s]);
+  }
+  obs::ReadsMapped().Inc(stats.mapped_reads);
+  obs::ReadsUnmapped().Inc(stats.reads - stats.mapped_reads);
+}
+
 MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
                                   GateKeeperGpuEngine* filter,
                                   std::vector<MappingRecord>* out) {
   MappingStats stats;
   stats.reads = reads.size();
+  if (index_.shard_count() > 1) {
+    stats.shard_candidates.assign(index_.shard_count(), 0);
+  }
   WallTimer total;
   if (filter != nullptr && !filter->HasReference()) {
     WallTimer prep;
@@ -143,6 +215,11 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
     }
     stats.seeding_seconds += seed_timer.Seconds();
     stats.candidates_total += candidates.size();
+    if (!stats.shard_candidates.empty()) {
+      for (const CandidatePair& c : candidates) {
+        ++stats.shard_candidates[index_.plan().ShardOf(c.ref_pos)];
+      }
+    }
 
     // --- Pre-alignment filtering (optional). ---
     std::vector<PairResult> decisions;
@@ -199,9 +276,7 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
   stats.mapped_reads = static_cast<std::uint64_t>(
       std::count(read_mapped.begin(), read_mapped.end(), true));
   stats.total_seconds = total.Seconds();
-  obs::CandidatesSeeded().Inc(stats.candidates_total);
-  obs::ReadsMapped().Inc(stats.mapped_reads);
-  obs::ReadsUnmapped().Inc(stats.reads - stats.mapped_reads);
+  PublishSeedObservability(stats);
   return stats;
 }
 
@@ -225,6 +300,9 @@ MappingStats ReadMapper::MapReadsStreaming(
 
   MappingStats stats;
   stats.reads = reads.size();
+  if (index_.shard_count() > 1) {
+    stats.shard_candidates.assign(index_.shard_count(), 0);
+  }
   WallTimer total;
   if (!filter->HasReference()) {
     WallTimer prep;
@@ -262,6 +340,11 @@ MappingStats ReadMapper::MapReadsStreaming(
           CollectCandidatesOriented(reads[cur_read], &rc_buf, &seed_scratch,
                                     positions);
           candidates_total += positions->size();
+          if (!stats.shard_candidates.empty()) {
+            for (const OrientedCandidate& oc : *positions) {
+              ++stats.shard_candidates[index_.plan().ShardOf(oc.pos)];
+            }
+          }
           return &reads[cur_read];
         },
         [&](const OrientedCandidate&, bool) {
@@ -299,9 +382,7 @@ MappingStats ReadMapper::MapReadsStreaming(
   stats.mapped_reads = static_cast<std::uint64_t>(
       std::count(read_mapped.begin(), read_mapped.end(), true));
   stats.total_seconds = total.Seconds();
-  obs::CandidatesSeeded().Inc(stats.candidates_total);
-  obs::ReadsMapped().Inc(stats.mapped_reads);
-  obs::ReadsUnmapped().Inc(stats.reads - stats.mapped_reads);
+  PublishSeedObservability(stats);
   return stats;
 }
 

@@ -19,7 +19,7 @@
 
 #include "core/engine.hpp"
 #include "io/reference.hpp"
-#include "mapper/index.hpp"
+#include "mapper/seed_index.hpp"
 #include "pipeline/candidate_packer.hpp"
 #include "pipeline/pipeline.hpp"
 
@@ -33,6 +33,13 @@ struct MapperConfig {
   /// sweet spot).
   std::size_t max_reads_per_batch = 100000;
   unsigned verify_threads = 0;  // 0 = hardware concurrency
+  /// Seeding strategy: dense pigeonhole seeds (the mrFAST default) or
+  /// (w,k) minimizer sampling (see mapper/minimizer.hpp).
+  SeedMode seed_mode = SeedMode::kDense;
+  int minimizer_w = 5;  // winnowing window, minimizer mode only
+  /// Shard byte budget for the index (see SeedConfig::shard_max_bp);
+  /// 0 = one shard per 4 Gbp.
+  std::int64_t shard_max_bp = 0;
 };
 
 struct MappingRecord {
@@ -53,6 +60,9 @@ struct MappingStats {
   std::uint64_t verification_pairs = 0;  // candidates entering verification
   std::uint64_t rejected_pairs = 0;      // discarded by the filter
   std::uint64_t bypassed_pairs = 0;      // undefined pairs passed through
+  /// Candidates attributed to each index shard (empty when the index is a
+  /// single shard — the per-shard breakdown only exists on sharded runs).
+  std::vector<std::uint64_t> shard_candidates;
 
   double seeding_seconds = 0.0;
   double preprocess_seconds = 0.0;     // filter-side host preprocessing
@@ -81,18 +91,20 @@ class ReadMapper {
   /// "synthetic_chr1", matching the synthetic-genome tooling).
   ReadMapper(std::string genome, MapperConfig config);
   /// Preloaded-index mapper: adopts an already-built (typically mmap'd,
-  /// view-mode) index instead of scanning the genome.  `index.k()` must
-  /// equal `config.k` and `index.genome_length()` the reference length;
-  /// throws std::invalid_argument otherwise.  When either the reference
-  /// or the index is a view, the backing storage (the MappedIndexFile)
-  /// must outlive the mapper.
-  ReadMapper(ReferenceSet reference, KmerIndex index, MapperConfig config);
+  /// view-mode) sharded index instead of scanning the genome.  The index's
+  /// k must equal `config.k` and its genome_length the reference length;
+  /// throws std::invalid_argument otherwise.  The index's seed mode,
+  /// winnowing window and shard layout override the config's — they are
+  /// baked into the persisted CSR payload.  When either the reference or
+  /// the index is a view, the backing storage (the MappedIndexFile) must
+  /// outlive the mapper.
+  ReadMapper(ReferenceSet reference, SeedIndex index, MapperConfig config);
   ~ReadMapper();
 
   const ReferenceSet& reference() const { return ref_; }
   std::string_view genome() const { return ref_.text(); }
   const MapperConfig& config() const { return config_; }
-  const KmerIndex& index() const { return index_; }
+  const SeedIndex& index() const { return index_; }
 
   /// Maps `reads`; when `filter` is non-null it is used as the
   /// pre-alignment stage (the engine's reference is loaded on first use).
@@ -130,9 +142,15 @@ class ReadMapper {
       const;
 
  private:
+  void CollectDense(std::string_view read,
+                    std::vector<std::int64_t>* candidates) const;
+  void CollectMinimizerSeeds(std::string_view read,
+                             std::vector<std::int64_t>* candidates) const;
+  void PublishSeedObservability(const MappingStats& stats) const;
+
   ReferenceSet ref_;
   MapperConfig config_;
-  KmerIndex index_;
+  SeedIndex index_;
   std::unique_ptr<ThreadPool> verify_pool_;
 };
 

@@ -1,0 +1,67 @@
+#include "mapper/minimizer.hpp"
+
+#include <cassert>
+
+#include "encode/dna.hpp"
+
+namespace gkgpu {
+
+void CollectMinimizers(std::string_view seq, int k, int w,
+                       std::vector<MinimizerHit>* out) {
+  assert(k >= 4 && k <= 14 && w >= 1);
+  if (seq.size() < static_cast<std::size_t>(k + w - 1)) return;
+
+  // Monotone min-deque over the last w k-mer hashes, as a ring buffer.
+  // Entries are strictly increasing in hash from front to back; popping
+  // ties on push makes the *rightmost* minimal k-mer win, the standard
+  // robust-winnowing tie-break (a pure function of window content).
+  struct Entry {
+    std::uint64_t hash;
+    std::uint64_t code;
+    std::uint32_t pos;
+  };
+  std::vector<Entry> ring(static_cast<std::size_t>(w) + 1);
+  std::size_t head = 0, tail = 0;  // [head, tail) live entries
+
+  const std::uint64_t mask = (std::uint64_t{1} << (2 * k)) - 1;
+  std::uint64_t code = 0;
+  std::size_t valid_from = 0;  // first position where the k-mer is clean
+  std::uint32_t last_emitted = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const unsigned c = BaseToCode(seq[i]);
+    if (c >= 4) {
+      valid_from = i + 1;
+      code = (code << 2) & mask;
+      head = tail = 0;  // windows touching this base select nothing
+      continue;
+    }
+    code = ((code << 2) | c) & mask;
+    if (i + 1 < static_cast<std::size_t>(k) ||
+        i + 1 - static_cast<std::size_t>(k) < valid_from) {
+      continue;
+    }
+    const std::uint32_t pos =
+        static_cast<std::uint32_t>(i + 1 - static_cast<std::size_t>(k));
+    const std::uint64_t hash = MinimizerHash(code);
+    while (tail != head && ring[(tail - 1) % ring.size()].hash >= hash) --tail;
+    ring[tail % ring.size()] = Entry{hash, code, pos};
+    ++tail;
+    // The window of w k-mers ending at `pos` spans starts
+    // [pos - w + 1, pos]; it exists once that many clean k-mers accrued.
+    if (pos + 1 < static_cast<std::uint32_t>(w) ||
+        static_cast<std::size_t>(pos) - (w - 1) < valid_from) {
+      continue;
+    }
+    while (ring[head % ring.size()].pos + static_cast<std::uint32_t>(w) <=
+           pos) {
+      ++head;
+    }
+    const Entry& min = ring[head % ring.size()];
+    if (min.pos != last_emitted) {
+      out->push_back(MinimizerHit{min.code, min.pos});
+      last_emitted = min.pos;
+    }
+  }
+}
+
+}  // namespace gkgpu

@@ -1,0 +1,54 @@
+// (w,k) minimizer selection ("winnowing"): of every window of w
+// consecutive k-mers, keep the one with the smallest hashed code.  Both
+// the reference index and the read-side seeder run the same selection, so
+// any window of w+k-1 error-free bases shared between a read and its locus
+// selects the same k-mer on both sides — the sampling-based analogue of
+// the pigeonhole guarantee, at a fraction of the index density and of the
+// candidate volume on repeat-heavy references.
+//
+// Properties relied on elsewhere:
+//   * selection is a pure function of window content (hash ordering with a
+//     rightmost-position tie-break), so identical substrings select
+//     identical relative positions — the read/reference agreement the
+//     seeding guarantee rests on;
+//   * k-mers containing 'N' invalidate every window they touch, matching
+//     the dense index's refusal to index them;
+//   * codes are hashed (splitmix64 finisher) before comparison, so
+//     low-complexity poly-A/poly-T tracts do not monopolize selection the
+//     way lexicographic minima would.
+#ifndef GKGPU_MAPPER_MINIMIZER_HPP
+#define GKGPU_MAPPER_MINIMIZER_HPP
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace gkgpu {
+
+/// One selected minimizer: the k-mer's 2-bit code and its start position
+/// relative to the scanned sequence.
+struct MinimizerHit {
+  std::uint64_t code = 0;
+  std::uint32_t pos = 0;
+};
+
+/// The window-ordering hash (splitmix64 finisher): invertible mix of the
+/// 2-bit k-mer code.  Deterministic across runs and hosts — the selection
+/// it induces is part of the on-disk index contract.
+inline std::uint64_t MinimizerHash(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Appends the (w,k) minimizers of `seq` to `out`, in ascending position
+/// order, each selected position reported once.  Windows containing a
+/// k-mer with an unknown base select nothing.  `k` in [4, 14], `w` >= 1;
+/// sequences shorter than w+k-1 yield no minimizers.
+void CollectMinimizers(std::string_view seq, int k, int w,
+                       std::vector<MinimizerHit>* out);
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_MAPPER_MINIMIZER_HPP

@@ -1,0 +1,102 @@
+#include "mapper/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "mapper/index.hpp"
+
+namespace gkgpu {
+
+ShardPlan ShardPlan::Partition(const ReferenceSet& ref, std::int64_t max_bp) {
+  if (ref.empty()) {
+    throw std::invalid_argument(
+        "ShardPlan: cannot partition an empty reference");
+  }
+  if (max_bp <= 0) {
+    max_bp = static_cast<std::int64_t>(KmerIndex::kMaxGenomeLength);
+  }
+  if (max_bp > static_cast<std::int64_t>(KmerIndex::kMaxGenomeLength)) {
+    throw std::invalid_argument(
+        "ShardPlan: max_bp " + std::to_string(max_bp) +
+        " exceeds the uint32 position ceiling a shard's CSR can address");
+  }
+  ShardPlan plan;
+  ShardInfo cur;
+  bool open = false;
+  for (std::size_t c = 0; c < ref.chromosome_count(); ++c) {
+    const ChromosomeInfo& chrom = ref.chromosome(c);
+    if (chrom.length > max_bp) {
+      throw std::invalid_argument(
+          "ShardPlan: chromosome '" + chrom.name + "' is " +
+          std::to_string(chrom.length) +
+          " bp, longer than the shard budget of " + std::to_string(max_bp) +
+          " bp — a chromosome cannot be split across shards");
+    }
+    if (open && cur.text_length + chrom.length > max_bp) {
+      plan.shards_.push_back(cur);
+      open = false;
+    }
+    if (!open) {
+      cur = ShardInfo{c, c + 1, chrom.offset, chrom.length};
+      open = true;
+    } else {
+      cur.chrom_end = c + 1;
+      cur.text_length += chrom.length;
+    }
+  }
+  if (open) plan.shards_.push_back(cur);
+  return plan;
+}
+
+ShardPlan ShardPlan::FromShards(std::vector<ShardInfo> shards,
+                                const ReferenceSet& ref) {
+  if (shards.empty()) {
+    throw std::invalid_argument("ShardPlan: empty shard table");
+  }
+  std::size_t next_chrom = 0;
+  std::int64_t next_offset = 0;
+  for (const ShardInfo& s : shards) {
+    if (s.chrom_begin != next_chrom || s.chrom_end <= s.chrom_begin ||
+        s.chrom_end > ref.chromosome_count()) {
+      throw std::invalid_argument(
+          "ShardPlan: shard chromosome ranges do not tile the chromosome "
+          "table");
+    }
+    std::int64_t length = 0;
+    for (std::size_t c = s.chrom_begin; c < s.chrom_end; ++c) {
+      length += ref.chromosome(c).length;
+    }
+    if (s.text_offset != next_offset ||
+        s.text_offset != ref.chromosome(s.chrom_begin).offset ||
+        s.text_length != length) {
+      throw std::invalid_argument(
+          "ShardPlan: shard text slice disagrees with the chromosome table");
+    }
+    if (s.text_length >
+        static_cast<std::int64_t>(KmerIndex::kMaxGenomeLength)) {
+      throw std::invalid_argument(
+          "ShardPlan: shard longer than the uint32 position ceiling");
+    }
+    next_chrom = s.chrom_end;
+    next_offset = s.text_offset + s.text_length;
+  }
+  if (next_chrom != ref.chromosome_count() ||
+      next_offset != ref.length()) {
+    throw std::invalid_argument(
+        "ShardPlan: shards do not cover the whole reference");
+  }
+  ShardPlan plan;
+  plan.shards_ = std::move(shards);
+  return plan;
+}
+
+std::size_t ShardPlan::ShardOf(std::int64_t global_pos) const {
+  // First shard starting past the position, minus one.
+  const auto it = std::upper_bound(
+      shards_.begin(), shards_.end(), global_pos,
+      [](std::int64_t pos, const ShardInfo& s) { return pos < s.text_offset; });
+  return static_cast<std::size_t>(it - shards_.begin()) - 1;
+}
+
+}  // namespace gkgpu

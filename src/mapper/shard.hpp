@@ -1,0 +1,71 @@
+// Shard planning for genome-scale indexing: partitions the reference's
+// chromosomes into contiguous groups whose concatenated length stays under
+// a byte budget, so each group can carry its own uint32-position CSR index
+// (KmerIndex::kMaxGenomeLength is the hard ceiling a single CSR can
+// address).  Shard boundaries always coincide with chromosome boundaries —
+// a candidate window never spans a junction (ReferenceSet drops those at
+// seeding time), so seeding each shard independently and merging the hits
+// yields exactly the candidate set a monolithic index would produce.
+#ifndef GKGPU_MAPPER_SHARD_HPP
+#define GKGPU_MAPPER_SHARD_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "io/reference.hpp"
+
+namespace gkgpu {
+
+/// One chromosome group: a half-open chromosome range and the slice of the
+/// concatenated text it covers.  Positions inside a shard's CSR index are
+/// relative to `text_offset`.
+struct ShardInfo {
+  std::size_t chrom_begin = 0;  // first chromosome in the group
+  std::size_t chrom_end = 0;    // one past the last
+  std::int64_t text_offset = 0;
+  std::int64_t text_length = 0;
+};
+
+class ShardPlan {
+ public:
+  /// Empty plan (shard_count() == 0) — a placeholder to assign into.
+  ShardPlan() = default;
+
+  /// Greedy first-fit partition of `ref`'s chromosomes into groups of at
+  /// most `max_bp` bases (0 means the uint32 position ceiling, i.e. one
+  /// shard for any genome a single CSR can address).  Every group holds at
+  /// least one chromosome; a single chromosome longer than `max_bp` cannot
+  /// be split (positions within it must share one coordinate space) and
+  /// throws std::invalid_argument.
+  static ShardPlan Partition(const ReferenceSet& ref,
+                             std::int64_t max_bp = 0);
+
+  /// Rebuilds a plan from persisted shard entries (an index file's shard
+  /// table), validating that the shards tile `ref`'s chromosomes exactly:
+  /// contiguous chromosome ranges, text slices matching the chromosome
+  /// table, lengths within the uint32 ceiling.  Throws
+  /// std::invalid_argument on any mismatch.
+  static ShardPlan FromShards(std::vector<ShardInfo> shards,
+                              const ReferenceSet& ref);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const ShardInfo& shard(std::size_t i) const { return shards_[i]; }
+  const std::vector<ShardInfo>& shards() const { return shards_; }
+  std::int64_t total_length() const {
+    return shards_.empty()
+               ? 0
+               : shards_.back().text_offset + shards_.back().text_length;
+  }
+
+  /// Index of the shard containing the global text position (the caller
+  /// guarantees 0 <= global_pos < total_length()).
+  std::size_t ShardOf(std::int64_t global_pos) const;
+
+ private:
+  std::vector<ShardInfo> shards_;
+};
+
+}  // namespace gkgpu
+
+#endif  // GKGPU_MAPPER_SHARD_HPP

@@ -5,6 +5,10 @@
 //
 // Funnel (counters, reads/pairs):
 //   gkgpu_candidates_seeded_total      seeding output, pre-pruning
+//   gkgpu_seed_candidates_total        {seeder} same volume, split by
+//                                      seeding strategy (dense/minimizer)
+//   gkgpu_shard_candidates_total       {shard} per index shard; only
+//                                      emitted on multi-shard runs
 //   gkgpu_candidates_pruned_total      dropped by paired insert-window
 //   gkgpu_filter_input_total           pairs presented to a filter
 //   gkgpu_filter_accepts_total         {filter,tier} accepted (incl. bypass)
@@ -41,6 +45,8 @@ namespace gkgpu::obs {
 
 // --- filter funnel ---------------------------------------------------
 Counter CandidatesSeeded();
+Counter SeederCandidates(const std::string& seeder);
+Counter ShardCandidates(const std::string& shard);
 Counter CandidatesPruned();
 Counter FilterInput();
 Counter FilterAccepts(const std::string& filter, const std::string& tier);

@@ -90,8 +90,11 @@ TEST_F(IndexIoTest, RoundTripPreservesEverything) {
   EXPECT_EQ(back.text(), ref_.text());
   EXPECT_EQ(back.fingerprint(), ref_.fingerprint());
 
+  EXPECT_EQ(mapped.format_version(), kIndexFormatVersion);
+  EXPECT_EQ(mapped.seed_mode(), SeedMode::kDense);
+  ASSERT_EQ(mapped.shard_count(), 1u);
   const KmerIndex fresh(ref_.text(), kTestK);
-  const KmerIndex& view = mapped.index();
+  const KmerIndex& view = mapped.seed_index().shard(0);
   EXPECT_EQ(view.k(), fresh.k());
   EXPECT_EQ(view.genome_length(), fresh.genome_length());
   ASSERT_EQ(view.offsets().size(), fresh.offsets().size());
@@ -146,10 +149,8 @@ TEST_F(IndexIoTest, MappedMapperProducesIdenticalSam) {
   const std::string golden = render(from_fasta);
 
   const MappedIndexFile mapped = MappedIndexFile::Open(path_);
-  KmerIndex view = KmerIndex::View(
-      mapped.k(), mapped.index().genome_length(), mapped.index().offsets(),
-      mapped.index().positions());
-  ReadMapper from_index(mapped.reference(), std::move(view), mcfg);
+  ReadMapper from_index(mapped.reference(), mapped.seed_index().Alias(),
+                        mcfg);
   EXPECT_EQ(render(from_index), golden);
   EXPECT_FALSE(golden.empty());
 }
@@ -180,8 +181,18 @@ TEST_F(IndexIoTest, RejectsVersionSkew) {
         try {
           MappedIndexFile::Open(path_);
         } catch (const std::runtime_error& e) {
-          EXPECT_NE(std::string(e.what()).find("version"),
-                    std::string::npos);
+          // The diagnosis names both the version found and the range this
+          // build supports.
+          const std::string what = e.what();
+          EXPECT_NE(what.find("version " +
+                              std::to_string(kIndexFormatVersion + 7)),
+                    std::string::npos)
+              << what;
+          EXPECT_NE(
+              what.find(std::to_string(kIndexMinSupportedVersion) +
+                        " through " + std::to_string(kIndexFormatVersion)),
+              std::string::npos)
+              << what;
           throw;
         }
       },
@@ -206,7 +217,7 @@ TEST_F(IndexIoTest, RejectsHeaderTampering) {
 
 TEST_F(IndexIoTest, PayloadCorruptionCaughtByOptInChecksum) {
   const auto size = fs::file_size(path_);
-  CorruptByte(size - 9);  // inside the last payload section
+  CorruptByte(size - 9);  // inside the trailing section-checksum table
   // The default load trusts the header checks and still opens...
   EXPECT_NO_THROW(MappedIndexFile::Open(path_));
   // ...while the opt-in full-payload scan catches the damage.
@@ -223,6 +234,121 @@ TEST_F(IndexIoTest, PayloadCorruptionCaughtByOptInChecksum) {
         }
       },
       std::runtime_error);
+}
+
+TEST_F(IndexIoTest, ChecksumFailureNamesTheCorruptSection) {
+  // The v2 layout is frozen: a 176-byte header, then the chromosome table
+  // ((8 + name + 16) bytes per chromosome, 8-byte padded), then the
+  // reference text.  Flip a byte well inside the text.
+  const std::uint64_t chrom_table_bytes = (8 + 4 + 16) * 2;  // chrA, chrB
+  CorruptByte(176 + chrom_table_bytes + 100);
+  IndexLoadOptions options;
+  options.verify_checksum = true;
+  EXPECT_THROW(
+      {
+        try {
+          MappedIndexFile::Open(path_, options);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("reference-text"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(IndexIoTest, V1FilesStillLoadAsOneShard) {
+  const KmerIndex index(ref_.text(), kTestK);
+  const ReferenceEncoding enc = EncodeReference(ref_.text());
+  WriteIndexFileV1(path_, ref_, index, enc);
+
+  IndexLoadOptions options;
+  options.verify_checksum = true;
+  const MappedIndexFile mapped = MappedIndexFile::Open(path_, options);
+  EXPECT_EQ(mapped.format_version(), 1u);
+  EXPECT_EQ(mapped.seed_mode(), SeedMode::kDense);
+  ASSERT_EQ(mapped.shard_count(), 1u);
+  EXPECT_EQ(mapped.reference().text(), ref_.text());
+
+  const KmerIndex& view = mapped.seed_index().shard(0);
+  EXPECT_EQ(view.k(), index.k());
+  ASSERT_EQ(view.positions().size(), index.positions().size());
+  EXPECT_TRUE(std::equal(view.positions().begin(), view.positions().end(),
+                         index.positions().begin()));
+  EXPECT_TRUE(std::equal(view.offsets().begin(), view.offsets().end(),
+                         index.offsets().begin()));
+}
+
+TEST_F(IndexIoTest, MultiShardRoundTripMatchesMonolithicSam) {
+  // Force one shard per chromosome and prove the persisted sharded index
+  // maps byte-for-byte like the single-shard one.
+  SeedConfig scfg;
+  scfg.k = kTestK;
+  scfg.shard_max_bp = 5000;  // chrA alone fills a shard
+  BuildAndWriteIndexFile(path_, ref_, scfg);
+
+  IndexLoadOptions options;
+  options.verify_checksum = true;
+  const MappedIndexFile mapped = MappedIndexFile::Open(path_, options);
+  ASSERT_EQ(mapped.shard_count(), 2u);
+  EXPECT_EQ(mapped.seed_index().genome_length(), ref_.text().size());
+
+  const auto reads_sim = SimulateReads(ref_.text(), 300, 64,
+                                       ReadErrorProfile::Illumina(), 33);
+  std::vector<std::string> reads;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < reads_sim.size(); ++i) {
+    reads.push_back(reads_sim[i].seq);
+    names.push_back("r" + std::to_string(i));
+  }
+  MapperConfig mcfg;
+  mcfg.k = kTestK;
+  mcfg.read_length = 64;
+  mcfg.error_threshold = 3;
+  const auto render = [&](ReadMapper& mapper) {
+    std::vector<MappingRecord> records;
+    mapper.MapReads(reads, nullptr, &records);
+    std::ostringstream sam;
+    WriteSamHeader(sam, mapper.reference(), "");
+    WriteSamRecordsMultiChrom(sam, reads, names, records,
+                              mapper.reference());
+    return sam.str();
+  };
+  ReadMapper monolithic(TestReference(), mcfg);
+  ReadMapper sharded(mapped.reference(), mapped.seed_index().Alias(), mcfg);
+  const std::string golden = render(monolithic);
+  EXPECT_EQ(render(sharded), golden);
+  EXPECT_FALSE(golden.empty());
+}
+
+TEST_F(IndexIoTest, MinimizerIndexRoundTripsWithItsParameters) {
+  SeedConfig scfg;
+  scfg.k = kTestK;
+  scfg.mode = SeedMode::kMinimizer;
+  scfg.minimizer_w = 4;
+  BuildAndWriteIndexFile(path_, ref_, scfg);
+
+  IndexLoadOptions options;
+  options.verify_checksum = true;
+  const MappedIndexFile mapped = MappedIndexFile::Open(path_, options);
+  EXPECT_EQ(mapped.seed_mode(), SeedMode::kMinimizer);
+  EXPECT_EQ(mapped.minimizer_w(), 4);
+
+  const SeedIndex fresh = SeedIndex::Build(ref_, scfg);
+  ASSERT_EQ(mapped.shard_count(), fresh.shard_count());
+  EXPECT_EQ(mapped.seed_index().indexed_positions(),
+            fresh.indexed_positions());
+
+  // A mapper over the rehydrated index adopts the persisted parameters.
+  MapperConfig mcfg;
+  mcfg.k = kTestK;
+  mcfg.read_length = 64;
+  mcfg.error_threshold = 3;
+  const ReadMapper mapper(mapped.reference(), mapped.seed_index().Alias(),
+                          mcfg);
+  EXPECT_EQ(mapper.config().seed_mode, SeedMode::kMinimizer);
+  EXPECT_EQ(mapper.config().minimizer_w, 4);
 }
 
 TEST(IndexFingerprintTest, DistinguishesContentKAndVersion) {

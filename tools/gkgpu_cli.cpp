@@ -155,16 +155,13 @@ struct ReferenceInput {
     return mapped != nullptr ? mapped->reference() : std::move(owned);
   }
   /// Builds the mapper without re-deriving anything that is already on
-  /// disk: mapped input reuses the persisted CSR index (and forces `k` to
-  /// the index's, which is what the file was built with); FASTA input
-  /// builds the index from the text.
+  /// disk: mapped input reuses the persisted per-shard CSR indexes (and
+  /// forces `k` to the index's, which is what the file was built with);
+  /// FASTA input builds the sharded index from the text.
   ReadMapper MakeMapper(MapperConfig mcfg) {
     if (mapped != nullptr) {
       mcfg.k = mapped->k();
-      KmerIndex view = KmerIndex::View(
-          mapped->k(), mapped->index().genome_length(),
-          mapped->index().offsets(), mapped->index().positions());
-      return ReadMapper(TakeReference(), std::move(view), mcfg);
+      return ReadMapper(TakeReference(), mapped->seed_index().Alias(), mcfg);
     }
     return ReadMapper(TakeReference(), mcfg);
   }
@@ -199,6 +196,36 @@ ReferenceInput LoadReferenceInput(const Args& args, bool* ok) {
     input.owned = ReferenceSet::FromFastaFile(ref_path);
   }
   return input;
+}
+
+/// Applies the seeding flags (--seed dense|minimizer, --minimizer-w,
+/// --shard-max-bp) to a mapper config.  When the reference comes from an
+/// index file the persisted mode always wins (it is baked into the CSR
+/// payload); an explicitly conflicting --seed is an error rather than a
+/// silent override.  Returns false (after diagnosing) on bad flags.
+bool ApplySeedFlags(const Args& args, const MappedIndexFile* mapped,
+                    MapperConfig* mcfg) {
+  if (args.Has("seed")) {
+    const std::string name = args.Get("seed", "dense");
+    const auto mode = ParseSeedMode(name);
+    if (!mode) {
+      std::fprintf(stderr, "unknown --seed mode '%s' (dense|minimizer)\n",
+                   name.c_str());
+      return false;
+    }
+    if (mapped != nullptr && *mode != mapped->seed_mode()) {
+      std::fprintf(stderr,
+                   "--seed %s conflicts with the index file's persisted %s "
+                   "seeding; rebuild the index or drop the flag\n",
+                   name.c_str(), SeedModeName(mapped->seed_mode()));
+      return false;
+    }
+    mcfg->seed_mode = *mode;
+  }
+  mcfg->minimizer_w =
+      static_cast<int>(args.GetInt("minimizer-w", mcfg->minimizer_w));
+  mcfg->shard_max_bp = args.GetInt("shard-max-bp", mcfg->shard_max_bp);
+  return true;
 }
 
 /// Splits `--threads N` across the two pipeline pools the way the daemon
@@ -319,6 +346,7 @@ int Usage() {
   std::fputs(
       "usage: gkgpu <command> [options]\n"
       "  generate-genome --length N --out FILE [--seed S]\n"
+      "                  [--chromosomes N]\n"
       "  generate-reads  --ref FASTA --count N --length L --out FILE\n"
       "                  [--profile illumina|richdel|lowindel] [--seed S]\n"
       "  generate-paired-reads --ref FASTA --count N --length L\n"
@@ -331,7 +359,9 @@ int Usage() {
       "                  [--devices N] [--encode host|device] [--out FILE]\n"
       "  map             (--ref FASTA | --index FILE) --e N [--sam FILE]\n"
       "                  [--setup 1|2] [--devices N] [--read-group ID]\n"
-      "                  [--mapq-cap N] [--threads N] and one of:\n"
+      "                  [--mapq-cap N] [--threads N]\n"
+      "                  [--seed dense|minimizer] [--minimizer-w W]\n"
+      "                  [--shard-max-bp N] and one of:\n"
       "                    --reads FASTQ [--no-filter] [--streaming]\n"
       "                      [--batch N] [--report-secondary]\n"
       "                    --paired R1.fq R2.fq | --interleaved FILE\n"
@@ -346,11 +376,17 @@ int Usage() {
       "                  [--length N] [--no-verify] [--read-group ID]\n"
       "                  [--mapq-cap N] [--adaptive] [--batch-min N]\n"
       "                  [--batch-max N] [--report-secondary]\n"
+      "                  [--seed dense|minimizer] [--minimizer-w W]\n"
+      "                  [--shard-max-bp N]\n"
       "  index           --ref FASTA [--out FILE] [--k N] [--verify]\n"
+      "                  [--seed dense|minimizer] [--minimizer-w W]\n"
+      "                  [--shard-max-bp N]\n"
       "  serve           (--ref FASTA | --index FILE) --socket PATH\n"
       "                  [--length N] [--e N] [--threads N] [--batch N]\n"
       "                  [--setup 1|2] [--devices N] [--timeout SEC]\n"
       "                  [--linger MS] [--read-group ID] [--mapq-cap N]\n"
+      "                  [--seed dense|minimizer] [--minimizer-w W]\n"
+      "                  [--shard-max-bp N]\n"
       "  map-client      --socket PATH --reads FASTQ [--sam FILE]\n"
       "                  [--read-group ID] [--mapq-cap N]\n"
       "                  [--report-secondary]\n"
@@ -367,10 +403,30 @@ int GenerateGenomeCmd(const Args& args) {
   const auto length = static_cast<std::size_t>(args.GetInt("length", 1000000));
   const std::string out = args.Get("out", "reference.fa");
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
-  const std::string genome = GenerateGenome(length, seed);
-  WriteFastaFile(out, {{"synthetic_chr1 length=" + std::to_string(length),
-                        genome}});
-  std::printf("wrote %s (%zu bp)\n", out.c_str(), length);
+  const auto chromosomes =
+      static_cast<std::size_t>(args.GetInt("chromosomes", 1));
+  if (chromosomes < 1 || chromosomes > length) {
+    std::fprintf(stderr, "generate-genome: --chromosomes must be in [1, "
+                         "--length]\n");
+    return 2;
+  }
+  // --chromosomes N splits the length into N independently generated
+  // sequences (distinct RNG streams), the multi-chromosome shape the
+  // sharded-index smoke tests need.
+  std::vector<FastaRecord> records;
+  records.reserve(chromosomes);
+  const std::size_t per = length / chromosomes;
+  for (std::size_t c = 0; c < chromosomes; ++c) {
+    const std::size_t chrom_len =
+        c + 1 == chromosomes ? length - per * (chromosomes - 1) : per;
+    records.push_back(
+        {"synthetic_chr" + std::to_string(c + 1) +
+             " length=" + std::to_string(chrom_len),
+         GenerateGenome(chrom_len, seed + c)});
+  }
+  WriteFastaFile(out, records);
+  std::printf("wrote %s (%zu bp in %zu chromosome(s))\n", out.c_str(), length,
+              chromosomes);
   return 0;
 }
 
@@ -595,7 +651,8 @@ int FilterCmd(const Args& args) {
 /// `map --paired R1 R2` / `map --interleaved FILE`: the paired-end
 /// subsystem — strand-aware seeding, insert-size pairing, mate rescue,
 /// full SAM flag semantics.
-int MapPairedCmd(const Args& args, ReferenceSet refset) {
+int MapPairedCmd(const Args& args, ReferenceSet refset,
+                 const MappedIndexFile* mapped) {
   const auto paired_files = args.GetList("paired");
   const std::string interleaved = args.Get("interleaved", "");
   if (interleaved.empty() && paired_files.size() != 2) {
@@ -645,6 +702,16 @@ int MapPairedCmd(const Args& args, ReferenceSet refset) {
   mcfg.k = 12;
   mcfg.read_length = length;
   mcfg.error_threshold = static_cast<int>(args.GetInt("e", 5));
+  // The paired path always seeds from an in-memory index, but when the
+  // reference came from an index file it should seed the way that file
+  // was built.
+  if (mapped != nullptr) {
+    mcfg.seed_mode = mapped->seed_mode();
+    if (mapped->seed_mode() == SeedMode::kMinimizer) {
+      mcfg.minimizer_w = mapped->minimizer_w();
+    }
+  }
+  if (!ApplySeedFlags(args, mapped, &mcfg)) return 2;
   ReadMapper mapper(std::move(refset), mcfg);
 
   PairedConfig pconf;
@@ -740,7 +807,7 @@ int MapCmd(const Args& args) {
   if (!ok) return Usage();
   ObsRun obs_run(args);
   if (args.Has("paired") || args.Has("interleaved")) {
-    return MapPairedCmd(args, input.TakeReference());
+    return MapPairedCmd(args, input.TakeReference(), input.mapped.get());
   }
   const std::string reads_path = args.Get("reads", "");
   if (reads_path.empty()) return Usage();
@@ -773,6 +840,7 @@ int MapCmd(const Args& args) {
   const long map_threads = args.GetInt("threads", 0);
   mcfg.verify_threads =
       map_threads > 0 ? static_cast<unsigned>(map_threads) : 0;
+  if (!ApplySeedFlags(args, input.mapped.get(), &mcfg)) return 2;
   ReadMapper mapper = input.MakeMapper(mcfg);
 
   std::unique_ptr<GateKeeperGpuEngine> engine;
@@ -801,6 +869,11 @@ int MapCmd(const Args& args) {
 
   TablePrinter t({"metric", "value"});
   t.AddRow({"reads", TablePrinter::Count(stats.reads)});
+  t.AddRow({"seeder", SeedModeName(mapper.config().seed_mode)});
+  if (mapper.index().shard_count() > 1) {
+    t.AddRow({"index shards",
+              TablePrinter::Count(mapper.index().shard_count())});
+  }
   t.AddRow({"mappings", TablePrinter::Count(stats.mappings)});
   t.AddRow({"mapped reads", TablePrinter::Count(stats.mapped_reads)});
   t.AddRow({"candidates", TablePrinter::Count(stats.candidates_total)});
@@ -985,6 +1058,7 @@ int PipelineCmd(const Args& args) {
   mcfg.k = 12;
   mcfg.read_length = length;
   mcfg.error_threshold = e;
+  if (!ApplySeedFlags(args, input.mapped.get(), &mcfg)) return 2;
   ReadMapper mapper = input.MakeMapper(mcfg);
 
   const DeviceSet set = MakeDeviceSet(setup, ndev);
@@ -1036,27 +1110,46 @@ int IndexCmd(const Args& args) {
   const std::string ref_path = args.Get("ref", "");
   if (ref_path.empty()) return Usage();
   const std::string out = args.Get("out", "ref.gki");
-  const int k = static_cast<int>(args.GetInt("k", 12));
+  SeedConfig scfg;
+  scfg.k = static_cast<int>(args.GetInt("k", 12));
+  if (args.Has("seed")) {
+    const std::string name = args.Get("seed", "dense");
+    const auto mode = ParseSeedMode(name);
+    if (!mode) {
+      std::fprintf(stderr, "unknown --seed mode '%s' (dense|minimizer)\n",
+                   name.c_str());
+      return 2;
+    }
+    scfg.mode = *mode;
+  }
+  scfg.minimizer_w =
+      static_cast<int>(args.GetInt("minimizer-w", scfg.minimizer_w));
+  scfg.shard_max_bp = args.GetInt("shard-max-bp", 0);
   WallTimer parse_timer;
   const ReferenceSet refset = ReferenceSet::FromFastaFile(ref_path);
   const double parse_s = parse_timer.Seconds();
   WallTimer build_timer;
-  const std::uint64_t bytes = BuildAndWriteIndexFile(out, refset, k);
+  const std::uint64_t bytes = BuildAndWriteIndexFile(out, refset, scfg);
   const double build_s = build_timer.Seconds();
+  const std::size_t shards =
+      ShardPlan::Partition(refset, scfg.shard_max_bp).shard_count();
   std::printf(
-      "wrote %s: %llu bytes, k=%d, %zu chromosome(s), %lld bp "
-      "(parse %.3f s, build+write %.3f s)\n",
-      out.c_str(), static_cast<unsigned long long>(bytes), k,
-      refset.chromosome_count(), static_cast<long long>(refset.length()),
-      parse_s, build_s);
+      "wrote %s: %llu bytes, k=%d, %s seeds, %zu shard(s), "
+      "%zu chromosome(s), %lld bp (parse %.3f s, build+write %.3f s)\n",
+      out.c_str(), static_cast<unsigned long long>(bytes), scfg.k,
+      SeedModeName(scfg.mode), shards, refset.chromosome_count(),
+      static_cast<long long>(refset.length()), parse_s, build_s);
   if (args.Has("verify")) {
     IndexLoadOptions options;
     options.verify_checksum = true;
     WallTimer load_timer;
+    // A mismatch throws from Open with the failing section named
+    // (e.g. "checksum mismatch in section 'shard-1-csr'").
     const MappedIndexFile mapped = MappedIndexFile::Open(out, options);
-    std::printf("verified in %.3f s: payload checksum OK, "
+    std::printf("verified in %.3f s: all %llu section checksums OK, "
                 "reference fingerprint %016llx\n",
                 load_timer.Seconds(),
+                static_cast<unsigned long long>(5 + mapped.shard_count()),
                 static_cast<unsigned long long>(
                     mapped.reference_fingerprint()));
   }
@@ -1088,6 +1181,7 @@ int ServeCmd(const Args& args) {
   mcfg.read_length = length;
   mcfg.error_threshold = e;
   mcfg.verify_threads = static_cast<unsigned>(threads > 0 ? threads : 1);
+  if (!ApplySeedFlags(args, input.mapped.get(), &mcfg)) return 2;
   ReadMapper mapper = input.MakeMapper(mcfg);
 
   const DeviceSet set =
