@@ -9,10 +9,17 @@
 // the filter ever sees them, then scores concordant combinations and
 // rescues lost mates.
 //
+// An A/B leg re-runs the blocking driver with joint_filtration off and
+// compares: joint filtration must put strictly fewer lanes through the
+// filter and no more SW rescues, with byte-identical SAM (the early-out
+// contract never changes a verdict).
+//
 // Gates (exercised by CI):
 //   * pruning ratio > 1.0 — pairing must remove candidates on concordant
 //     2x100 bp data;
-//   * >= 90% of simulated pairs recover as proper pairs.
+//   * >= 90% of simulated pairs recover as proper pairs;
+//   * joint filtration early-outs > 0 lanes and its SAM matches
+//     independent filtration byte for byte.
 //
 // Scale with GKGPU_PAIRS (default 20,000 pairs) and GKGPU_REPS
 // (min-of-reps, default 3).
@@ -149,6 +156,47 @@ int main() {
                           : std::min(st_seconds, st.total_seconds);
   }
 
+  // --- Joint-filtration A/B: one untimed blocking run per mode, SAM
+  // captured, to measure what the mate-aware early-out saves and prove it
+  // changes nothing the caller can see. ---
+  PairedStats ab_on, ab_off;
+  std::string sam_on, sam_off;
+  {
+    auto devices = gpusim::MakeSetup1(2);
+    auto ptrs = Ptrs(devices);
+    EngineConfig ecfg;
+    ecfg.read_length = kLength;
+    ecfg.error_threshold = kThreshold;
+    GateKeeperGpuEngine engine(ecfg, ptrs);
+    ReadMapper mapper(w.genome, MakeMapperConfig());
+    PairedConfig pconf;
+    pconf.max_insert = 800;
+    std::stringstream out_on;
+    ab_on = PairedEndMapper(mapper, pconf).MapPairs(w.r1, w.r2, &engine,
+                                                    &out_on);
+    sam_on = out_on.str();
+    pconf.joint_filtration = false;
+    std::stringstream out_off;
+    ab_off = PairedEndMapper(mapper, pconf).MapPairs(w.r1, w.r2, &engine,
+                                                     &out_off);
+    sam_off = out_off.str();
+  }
+  const std::uint64_t filtered_on =
+      ab_on.verification_pairs + ab_on.rejected_pairs;
+  const std::uint64_t filtered_off =
+      ab_off.verification_pairs + ab_off.rejected_pairs;
+  const double earlyout_ratio =
+      ab_on.candidates_paired > 0
+          ? static_cast<double>(ab_on.earlyout_lanes) /
+                static_cast<double>(ab_on.candidates_paired)
+          : 0.0;
+  const double filtered_saved_pct =
+      filtered_off > 0 ? 100.0 *
+                             (static_cast<double>(filtered_off) -
+                              static_cast<double>(filtered_on)) /
+                             static_cast<double>(filtered_off)
+                       : 0.0;
+
   const double prune = pe.PruningRatio();
   const double verify_ratio =
       pe.verification_pairs > 0
@@ -189,6 +237,18 @@ int main() {
       static_cast<unsigned long long>(pe.proper_pairs), n_pairs,
       static_cast<unsigned long long>(pe.rescued_mates), pe.insert_mean,
       pe.insert_sigma);
+  std::printf(
+      "joint filtration: %llu/%llu lanes early-outed (%.1f%%), filtered "
+      "lanes %llu -> %llu (%.1f%% saved), %llu combinations "
+      "short-circuited, SW rescues %llu -> %llu (gate skipped %llu)\n",
+      static_cast<unsigned long long>(ab_on.earlyout_lanes),
+      static_cast<unsigned long long>(ab_on.candidates_paired),
+      100.0 * earlyout_ratio, static_cast<unsigned long long>(filtered_off),
+      static_cast<unsigned long long>(filtered_on), filtered_saved_pct,
+      static_cast<unsigned long long>(ab_on.shortcircuited_combinations),
+      static_cast<unsigned long long>(ab_off.rescue_invocations),
+      static_cast<unsigned long long>(ab_on.rescue_invocations),
+      static_cast<unsigned long long>(ab_on.rescue_gate_skips));
 
   bool ok = true;
   if (!(prune > 1.0)) {
@@ -198,6 +258,25 @@ int main() {
   if (pe.proper_pairs * 10 < n_pairs * 9) {
     std::printf("FAIL: only %llu/%zu pairs recovered as proper\n",
                 static_cast<unsigned long long>(pe.proper_pairs), n_pairs);
+    ok = false;
+  }
+  if (ab_on.earlyout_lanes == 0 || filtered_on >= filtered_off) {
+    std::printf("FAIL: joint filtration saved nothing (%llu early-outs, "
+                "filtered %llu vs %llu)\n",
+                static_cast<unsigned long long>(ab_on.earlyout_lanes),
+                static_cast<unsigned long long>(filtered_on),
+                static_cast<unsigned long long>(filtered_off));
+    ok = false;
+  }
+  if (ab_on.rescue_invocations > ab_off.rescue_invocations) {
+    std::printf("FAIL: joint filtration ran MORE SW rescues (%llu vs %llu)\n",
+                static_cast<unsigned long long>(ab_on.rescue_invocations),
+                static_cast<unsigned long long>(ab_off.rescue_invocations));
+    ok = false;
+  }
+  if (sam_on != sam_off) {
+    std::printf("FAIL: joint filtration changed the SAM output "
+                "(%zu vs %zu bytes)\n", sam_on.size(), sam_off.size());
     ok = false;
   }
   // The drivers are pinned byte-identical by the golden test; the
@@ -222,6 +301,13 @@ int main() {
   report.Add("verification_reduction", verify_ratio);
   report.Add("proper_pairs", pe.proper_pairs);
   report.Add("rescued_mates", pe.rescued_mates);
+  report.Add("joint_earlyout_ratio", earlyout_ratio);
+  report.Add("combinations_filtered_saved_pct", filtered_saved_pct);
+  report.Add("rescue_invocations", ab_on.rescue_invocations);
+  report.Add("rescue_invocations_independent", ab_off.rescue_invocations);
+  report.Add("rescue_gate_skips", ab_on.rescue_gate_skips);
+  report.Add("shortcircuited_combinations", ab_on.shortcircuited_combinations);
+  report.Add("joint_sam_identical", sam_on == sam_off);
   report.Add("insert_mean", pe.insert_mean);
   report.Add("insert_sigma", pe.insert_sigma);
   report.Add("single_end_seconds", se_seconds);

@@ -210,7 +210,7 @@ MappingStats ReadMapper::MapReads(const std::vector<std::string>& reads,
                                 &one_read_cands);
       for (const OrientedCandidate oc : one_read_cands) {
         candidates.push_back(
-            {static_cast<std::uint32_t>(i), oc.strand, oc.pos});
+            {static_cast<std::uint32_t>(i), oc.strand, 0, oc.pos});
       }
     }
     stats.seeding_seconds += seed_timer.Seconds();

@@ -106,7 +106,7 @@ void PackCandidateBatch(PairBatch* batch, std::size_t target,
         current_resolved = true;
       }
       const OrientedCandidate oc = stream->positions[stream->offset++];
-      batch->candidates.push_back({current_slot, oc.strand, oc.pos});
+      batch->candidates.push_back({current_slot, oc.strand, 0, oc.pos});
       emit(oc, stream->offset == stream->positions.size());
     }
     if (stream->offset >= stream->positions.size()) stream->read = nullptr;

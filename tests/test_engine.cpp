@@ -210,7 +210,7 @@ TEST(EngineTest, CandidateModeMatchesPairMode) {
       read[rng.Uniform(read.size())] = kBases[rng.NextU64() & 0x3u];
     }
     reads.push_back(read);
-    candidates.push_back({static_cast<std::uint32_t>(i), 0, pos});
+    candidates.push_back({static_cast<std::uint32_t>(i), 0, 0, pos});
     pair_reads.push_back(read);
     pair_refs.push_back(genome.substr(static_cast<std::size_t>(pos), length));
   }
@@ -252,7 +252,7 @@ TEST(EngineTest, CandidateModeBypassesReferenceNs) {
   std::string read(100, 'A');
   for (auto& c : read) c = kBases[rng.NextU64() & 0x3u];
   std::vector<std::string> reads{read};
-  std::vector<CandidatePair> candidates{{0, 0, 2000}, {0, 0, 3000}};
+  std::vector<CandidatePair> candidates{{0, 0, 0, 2000}, {0, 0, 0, 3000}};
   std::vector<PairResult> results;
   const FilterRunStats stats =
       engine.FilterCandidates(reads, candidates, &results);
@@ -324,9 +324,9 @@ TEST(EngineTest, MultiRoundCandidateModeMatches) {
     }
     reads.push_back(std::move(read));
     // several candidates per read, some bogus
-    candidates.push_back({static_cast<std::uint32_t>(i), 0, pos});
+    candidates.push_back({static_cast<std::uint32_t>(i), 0, 0, pos});
     candidates.push_back(
-        {static_cast<std::uint32_t>(i), 0,
+        {static_cast<std::uint32_t>(i), 0, 0,
          static_cast<std::int64_t>(rng.Uniform(genome.size() - length))});
   }
   std::vector<PairResult> expected;

@@ -376,7 +376,7 @@ CandidateWorkload MakeCandidateWorkload(std::size_t n_reads,
     w.reads.push_back(sim[i].seq);
     mapper.CollectCandidates(sim[i].seq, &positions);
     for (const std::int64_t pos : positions) {
-      w.candidates.push_back({static_cast<std::uint32_t>(i), 0, pos});
+      w.candidates.push_back({static_cast<std::uint32_t>(i), 0, 0, pos});
     }
   }
   return w;
@@ -408,7 +408,7 @@ PipelineStats RunCandidateStream(GateKeeperGpuEngine* engine,
       }
       batch->candidates.push_back(
           {static_cast<std::uint32_t>(batch->cand_reads.size() - 1),
-           c.strand, c.ref_pos});
+           c.strand, 0, c.ref_pos});
       batch->read_index.push_back(c.read_index);
     }
     offset += count;
@@ -578,19 +578,19 @@ TEST(CandidateStreamingTest, RejectsInvalidCandidates) {
     PairBatch b;  // reference window would run off the genome end
     b.cand_reads.push_back(read);
     b.candidates.push_back(
-        {0, 0, static_cast<std::int64_t>(genome.size()) - 50});
+        {0, 0, 0, static_cast<std::int64_t>(genome.size()) - 50});
     EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
   }
   {
     PairBatch b;  // negative offset
     b.cand_reads.push_back(read);
-    b.candidates.push_back({0, 0, -1});
+    b.candidates.push_back({0, 0, 0, -1});
     EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
   }
   {
     PairBatch b;  // read_index outside the batch's read table
     b.cand_reads.push_back(read);
-    b.candidates.push_back({7, 0, 100});
+    b.candidates.push_back({7, 0, 0, 100});
     EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
   }
   {
@@ -602,7 +602,7 @@ TEST(CandidateStreamingTest, RejectsInvalidCandidates) {
   {
     PairBatch b;  // wrong-length read in the table
     b.cand_reads.push_back(std::string(80, 'A'));
-    b.candidates.push_back({0, 0, 100});
+    b.candidates.push_back({0, 0, 0, 100});
     EXPECT_THROW(run_one(std::move(b)), std::runtime_error);
   }
 }
@@ -617,7 +617,7 @@ TEST(CandidateStreamingTest, CandidateBatchInPairModeIsRejected) {
     if (sent) return false;
     sent = true;
     batch->cand_reads.push_back(std::string(100, 'A'));
-    batch->candidates.push_back({0, 0, 0});
+    batch->candidates.push_back({0, 0, 0, 0});
     return true;
   };
   const pipeline::BatchSink sink = [](PairBatch&&) {};
